@@ -1,0 +1,46 @@
+"""Ablation: the effect of the repetition count n.
+
+The paper sweeps n in {2, 4, 8, 16} and picks the best per circuit
+(larger n makes each loaded vector go further, at the price of test
+time 8nL).  This bench reports the whole sweep for the quick-suite
+circuits, making the trade-off the paper's best-n rule navigates visible.
+
+Run: ``pytest benchmarks/bench_ablation_n.py --benchmark-only -s``
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.util.text import format_table
+
+
+def test_ablation_repetitions(benchmark, suite_records):
+    def regenerate():
+        rows = []
+        for record in suite_records.records:
+            best = record.best_n
+            for n, run in sorted(record.runs.items()):
+                result = run.result
+                rows.append(
+                    [
+                        record.circuit_name,
+                        f"{n}{' *' if n == best else ''}",
+                        result.num_sequences_after,
+                        result.total_length_after,
+                        result.max_length_after,
+                        result.total_ratio,
+                        result.applied_test_length,
+                    ]
+                )
+        return format_table(
+            ["circuit", "n", "|S|", "tot len", "max len", "tot/len", "test len"],
+            rows,
+            title="Ablation: repetition count sweep (* = paper's best-n rule)",
+        )
+
+    table = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    emit("ablation_n", table)
+
+    for record in suite_records.records:
+        for run in record.runs.values():
+            assert run.result.coverage_preserved

@@ -1,0 +1,71 @@
+"""Ablation: how much does each expansion operator contribute?
+
+DESIGN.md calls out the operator set (repetition, complementation, shift,
+reversal) as the paper's key design choice.  This bench re-runs the
+scheme on s27 (paper T0) and a synthetic circuit with each operator
+disabled in turn and reports the total/max loaded lengths — showing how
+much extra loading a weaker expander costs.
+
+Run: ``pytest benchmarks/bench_ablation_ops.py --benchmark-only -s``
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.atpg import AtpgConfig, generate_t0
+from repro.circuits.catalog import load_circuit, paper_t0_s27
+from repro.core.config import SelectionConfig
+from repro.core.ops import ExpansionConfig
+from repro.core.scheme import LoadAndExpandScheme
+from repro.util.text import format_table
+
+# Paper operator subsets only: the hold-cycles extension rewrites the
+# applied sequence (Sexp no longer starts with S), so it does not carry
+# Procedure 2's coverage guarantee and is evaluated separately in the
+# hold tests rather than in this guaranteed-coverage ablation.
+VARIANTS = [
+    ("full (paper)", dict()),
+    ("no complement", dict(use_complement=False)),
+    ("no shift", dict(use_shift=False)),
+    ("no reverse", dict(use_reverse=False)),
+    ("repetition only", dict(use_complement=False, use_shift=False, use_reverse=False)),
+]
+
+
+def _run_ablation():
+    rows = []
+    cases = [("s27", paper_t0_s27())]
+    synthetic = load_circuit("syn298")
+    atpg = generate_t0(synthetic, AtpgConfig(max_length=600))
+    cases.append(("syn298", atpg.sequence))
+    for circuit_name, t0 in cases:
+        circuit = load_circuit(circuit_name)
+        scheme = LoadAndExpandScheme(circuit)
+        for label, flags in VARIANTS:
+            config = SelectionConfig(
+                expansion=ExpansionConfig(repetitions=4, **flags), seed=1999
+            )
+            run = scheme.run(t0, config)
+            result = run.result
+            assert result.coverage_preserved
+            rows.append(
+                [
+                    circuit_name,
+                    label,
+                    result.num_sequences_after,
+                    result.total_length_after,
+                    result.max_length_after,
+                    result.total_ratio,
+                    result.applied_test_length,
+                ]
+            )
+    return format_table(
+        ["circuit", "operators", "|S|", "tot len", "max len", "tot/len", "test len"],
+        rows,
+        title="Ablation: expansion operator contribution (n=4)",
+    )
+
+
+def test_ablation_operators(benchmark):
+    table = benchmark.pedantic(_run_ablation, rounds=1, iterations=1)
+    emit("ablation_ops", table)

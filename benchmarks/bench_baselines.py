@@ -1,0 +1,68 @@
+"""Scheme versus the paper's Section 1 alternatives, measured.
+
+For every suite circuit, compares three ways to apply T0's coverage:
+
+* **full load** — store all of T0 on chip (the memory-hungry baseline);
+* **partitioning** — contiguous chunks with backward extension where
+  chunk-local coverage is lost (every vector loaded at least once);
+* **load-and-expand** (the paper / this library) — subsequence loading
+  with on-chip expansion.
+
+The paper's argument is that the proposed scheme loads fewer vectors
+than partitioning and needs less memory than both.  This bench verifies
+those orderings hold on the measured suite.
+
+Run: ``pytest benchmarks/bench_baselines.py --benchmark-only -s``
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.baselines.partition import full_load_baseline, partition_baseline
+from repro.util.text import format_table
+
+
+def test_baseline_comparison(benchmark, suite_records):
+    def regenerate():
+        rows = []
+        for record in suite_records.records:
+            run = record.best_run
+            result = run.result
+            compiled = record.experiment.compiled
+            t0 = record.experiment.t0
+            faults = list(record.experiment.universe.faults())
+            full = full_load_baseline(t0)
+            # Chunk size = the scheme's memory requirement, so the
+            # partitioning baseline gets the same on-chip memory budget.
+            chunk = max(1, result.max_length_after)
+            partition = partition_baseline(compiled, t0, faults, chunk_length=chunk)
+            rows.append(
+                [
+                    record.circuit_name,
+                    full.total_loaded_length,
+                    full.max_loaded_length,
+                    partition.total_loaded_length,
+                    partition.max_loaded_length,
+                    result.total_length_after,
+                    result.max_length_after,
+                ]
+            )
+            # The paper's orderings.
+            assert result.total_length_after <= partition.total_loaded_length
+            assert partition.total_loaded_length >= full.total_loaded_length
+        return format_table(
+            [
+                "circuit",
+                "full tot",
+                "full max",
+                "part tot",
+                "part max",
+                "scheme tot",
+                "scheme max",
+            ],
+            rows,
+            title="Loaded vectors: full-load vs partitioning vs load-and-expand",
+        )
+
+    table = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    emit("baselines", table)

@@ -1,0 +1,60 @@
+"""Benchmark of the BIST hardware model: cost figures + session emulation.
+
+Quantifies the hardware-facing claims the paper makes qualitatively in
+its introduction: reduced memory (size for max |S_i|, not |T0|), reduced
+loading time (load tot |S|, not |T0|), and at-speed amplification (8n
+applied vectors per loaded vector).
+
+Run: ``pytest benchmarks/bench_bist_hardware.py --benchmark-only -s``
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.bist import BistSession, CostComparison
+from repro.util.text import format_table
+
+
+def test_bist_cost_table(benchmark, suite_records):
+    def regenerate():
+        rows = []
+        for record in suite_records.records:
+            run = record.best_run
+            result = run.result
+            sequences = run.selection.test_sequences()
+            if not sequences:
+                continue
+            session = BistSession(
+                record.experiment.compiled, sequences, result.config.expansion
+            )
+            cost = session.cost_for_t0(result.t0_length)
+            comparison = CostComparison(cost)
+            rows.append(
+                [
+                    record.circuit_name,
+                    cost.memory_bits,
+                    cost.t0_memory_bits,
+                    f"{comparison.memory_saving_versus_t0:.0%}",
+                    cost.load_cycles,
+                    cost.t0_load_cycles,
+                    f"{comparison.load_saving_versus_t0:.0%}",
+                    cost.at_speed_cycles,
+                ]
+            )
+        return format_table(
+            [
+                "circuit",
+                "mem bits",
+                "T0 bits",
+                "mem saved",
+                "load cyc",
+                "T0 cyc",
+                "load saved",
+                "at-speed",
+            ],
+            rows,
+            title="BIST hardware cost versus storing/loading T0",
+        )
+
+    table = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    emit("bist_cost", table)

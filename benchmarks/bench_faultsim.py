@@ -1,0 +1,61 @@
+"""Throughput benchmark of the bit-parallel fault simulator.
+
+Not a paper table, but the substrate whose speed bounds everything else;
+tracked so regressions in the kernel are visible.  Reports gate-
+evaluations per second in parallel-fault mode on two circuit sizes.
+
+Run: ``pytest benchmarks/bench_faultsim.py --benchmark-only``
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.catalog import load_circuit
+from repro.core.sequence import TestSequence
+from repro.faults.universe import FaultUniverse
+from repro.sim.compiled import CompiledCircuit
+from repro.sim.faultsim import FaultSimulator
+from repro.util.rng import SplitMix64
+
+
+def _stimulus(circuit, length):
+    rng = SplitMix64(2024)
+    return TestSequence(
+        [
+            [rng.next_u64() & 1 for _ in range(circuit.num_inputs)]
+            for _ in range(length)
+        ]
+    )
+
+
+@pytest.mark.parametrize("name,length", [("syn298", 64), ("syn641", 48)])
+def test_parallel_fault_throughput(benchmark, name, length):
+    circuit = load_circuit(name)
+    compiled = CompiledCircuit(circuit)
+    universe = FaultUniverse(circuit)
+    simulator = FaultSimulator(compiled)
+    sequence = _stimulus(circuit, length)
+    faults = list(universe.faults())
+
+    result = benchmark.pedantic(
+        lambda: simulator.run(sequence, faults), rounds=3, iterations=1
+    )
+    assert result.total_faults == len(faults)
+
+
+def test_single_fault_latency(benchmark):
+    """Latency of the Procedure 2 inner operation (one fault, one batch)."""
+    circuit = load_circuit("syn298")
+    compiled = CompiledCircuit(circuit)
+    universe = FaultUniverse(circuit)
+    from repro.sim.seqsim import SequenceBatchSimulator
+
+    simulator = SequenceBatchSimulator(compiled, batch_width=32)
+    candidates = [_stimulus(circuit, 16) for _ in range(32)]
+    fault = universe.fault(0)
+
+    outcomes = benchmark.pedantic(
+        lambda: simulator.detects(fault, candidates), rounds=3, iterations=1
+    )
+    assert len(outcomes) == 32

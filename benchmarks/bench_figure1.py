@@ -1,0 +1,32 @@
+"""Regenerates the paper's Figure 1: the selected subsequences drawn as
+intervals of the T0 timeline.
+
+The figure in the paper is conceptual; here it is produced from measured
+data (the [ustart, udet] windows Procedure 2 actually selected), one
+rendering per suite circuit at its best n.
+
+Run: ``pytest benchmarks/bench_figure1.py --benchmark-only -s``
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.harness.figures import figure1_intervals, render_figure1
+
+
+def test_figure1(benchmark, suite_records):
+    def regenerate():
+        blocks = []
+        for record in suite_records.records:
+            blocks.append(render_figure1(record.best_run))
+        return "\n\n".join(blocks)
+
+    figure = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    emit("figure1", figure)
+
+    # Every interval must lie inside T0, and (the point of the figure)
+    # the selected windows must not need to cover all of T0.
+    for record in suite_records.records:
+        run = record.best_run
+        for interval in figure1_intervals(run):
+            assert 0 <= interval.start <= interval.end < run.result.t0_length

@@ -1,0 +1,27 @@
+"""Regenerates the paper's Table 3: selection results before/after the
+static compaction of S, at the per-circuit best n.
+
+Run: ``pytest benchmarks/bench_table3.py --benchmark-only -s``
+Suite selection: ``REPRO_SUITE=quick|standard|full`` (default quick).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.harness.tables import render_table3
+
+
+def test_table3(benchmark, suite_records):
+    def regenerate():
+        return render_table3(suite_records.records)
+
+    table = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    emit("table3", table)
+
+    # Shape assertions: the paper's qualitative claims must hold.
+    for record in suite_records.records:
+        result = record.best_run.result
+        assert result.coverage_preserved, record.circuit_name
+        assert result.num_sequences_after <= result.num_sequences_before
+        assert result.total_length_after <= result.total_length_before
+        assert result.max_length_after <= result.t0_length

@@ -1,0 +1,39 @@
+"""Shared infrastructure for the benchmark harness.
+
+Benchmarks are long-running experiments, not micro-benchmarks: each one
+regenerates a table or figure of the paper.  pytest-benchmark is used in
+``pedantic`` mode with a single round so the printed table reflects one
+full experiment run; the interesting output is the paper-vs-measured
+table each benchmark prints (run with ``-s`` to see it live; it is also
+appended to ``benchmarks/output/``).
+
+``REPRO_SUITE`` selects the circuit suite (quick/standard/full).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/output/."""
+    banner = f"\n{'=' * 78}\n{name}\n{'=' * 78}\n"
+    print(banner + text)
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    with open(OUTPUT_DIR / f"{name}.txt", "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def suite_records():
+    """Run the active suite once and share the records between benches."""
+    from repro.harness.runner import run_suite
+
+    suite_name = os.environ.get("REPRO_SUITE", "quick")
+    result = run_suite(suite_name)
+    return result

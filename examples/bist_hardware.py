@@ -1,0 +1,98 @@
+"""Emulating the on-chip hardware: memory, expansion FSM, MISR signatures.
+
+Walks through the hardware side of the scheme on s27:
+
+1. size the test memory for the longest selected subsequence;
+2. load a subsequence and let the expansion controller generate Sexp
+   cycle by cycle (showing that the hardware output equals the
+   mathematical expansion);
+3. compute golden MISR signatures, then inject faults and watch the
+   signatures diverge;
+4. print the cost comparison against storing/loading T0 wholesale.
+
+Run:  python examples/bist_hardware.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ExpansionConfig,
+    FaultUniverse,
+    LoadAndExpandScheme,
+    SelectionConfig,
+    expand,
+    load_circuit,
+    paper_t0_s27,
+)
+from repro.bist import BistSession, CostComparison, ExpansionController, TestMemory
+
+
+def main() -> None:
+    circuit = load_circuit("s27")
+    t0 = paper_t0_s27()
+    config = SelectionConfig(expansion=ExpansionConfig(repetitions=2), seed=7)
+    run = LoadAndExpandScheme(circuit).run(t0, config)
+    sequences = run.selection.test_sequences()
+    print(f"selected {len(sequences)} subsequences: "
+          f"{[s.to_strings() for s in sequences]}")
+
+    # ------------------------------------------------------------------
+    # 1-2. Memory + controller, checked against the math.
+    # ------------------------------------------------------------------
+    capacity = max(len(s) for s in sequences)
+    memory = TestMemory(word_bits=circuit.num_inputs, capacity_words=capacity)
+    print(
+        f"\ntest memory: {memory.capacity_words} words x {memory.word_bits} bits "
+        f"= {memory.total_bits} bits"
+    )
+    first = sequences[0]
+    cycles = memory.load(first)
+    print(f"loaded S0 {first.to_strings()} in {cycles} tester cycles")
+    controller = ExpansionController(memory, config.expansion)
+    hardware_output = list(controller.run())
+    software_output = expand(first, config.expansion)
+    print(
+        f"controller produced {len(hardware_output)} at-speed vectors; "
+        f"bit-identical to expand(): "
+        f"{hardware_output == list(software_output.vectors())}"
+    )
+
+    # ------------------------------------------------------------------
+    # 3. Signatures.
+    # ------------------------------------------------------------------
+    session = BistSession(circuit, sequences, config.expansion)
+    golden = session.golden_signatures()
+    print(f"\ngolden signatures: {[hex(s) for s in golden]}")
+    print(f"fault-free device passes: {not session.test_device(None).fails}")
+
+    universe = FaultUniverse(circuit)
+    flagged = 0
+    shown = 0
+    for fault in universe.faults():
+        report = session.test_device(fault)
+        if report.fails:
+            flagged += 1
+            if shown < 3:
+                observed = [hex(v.observed_signature) for v in report.verdicts]
+                print(f"  {fault}: observed {observed}  -> FAIL")
+                shown += 1
+    print(f"faults flagged by signature comparison: {flagged}/{len(universe)}")
+
+    # ------------------------------------------------------------------
+    # 4. Cost comparison.
+    # ------------------------------------------------------------------
+    cost = session.cost_for_t0(len(t0))
+    comparison = CostComparison(cost)
+    print(
+        f"\ncost vs storing T0 on chip:\n"
+        f"  memory: {cost.memory_bits} vs {cost.t0_memory_bits} bits "
+        f"({comparison.memory_saving_versus_t0:.0%} saved)\n"
+        f"  loading: {cost.load_cycles} vs {cost.t0_load_cycles} cycles "
+        f"({comparison.load_saving_versus_t0:.0%} saved)\n"
+        f"  at-speed vectors applied: {cost.at_speed_cycles} "
+        f"({comparison.at_speed_amplification:.0f}x per loaded vector)"
+    )
+
+
+if __name__ == "__main__":
+    main()

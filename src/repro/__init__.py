@@ -1,0 +1,71 @@
+"""repro — reproduction of Pomeranz & Reddy, DAC 1999.
+
+"Built-In Test Sequence Generation for Synchronous Sequential Circuits
+Based on Loading and Expansion of Test Subsequences."
+
+Public API quick reference::
+
+    from repro import (
+        load_circuit, parse_bench, CircuitBuilder,      # circuits
+        FaultUniverse,                                   # faults
+        FaultSimulator, LogicSimulator,                  # simulation
+        TestSequence, ExpansionConfig, expand,           # sequences
+        SelectionConfig, LoadAndExpandScheme,            # the paper's scheme
+    )
+"""
+
+from repro.circuit import CircuitBuilder, Circuit, GateType, parse_bench, parse_bench_file
+from repro.circuits import load_circuit, paper_t0_s27, available_circuits
+from repro.core import (
+    ExpansionConfig,
+    LoadAndExpandScheme,
+    SelectionConfig,
+    TestSequence,
+    complement,
+    concat,
+    expand,
+    expanded_length,
+    repeat,
+    reverse,
+    select_subsequences,
+    shift_left,
+    statically_compact,
+)
+from repro.errors import ReproError
+from repro.faults import Fault, FaultSite, FaultUniverse, collapse_faults
+from repro.sim import FaultSimulator, LogicSimulator, SequenceBatchSimulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Circuit",
+    "CircuitBuilder",
+    "GateType",
+    "parse_bench",
+    "parse_bench_file",
+    "load_circuit",
+    "paper_t0_s27",
+    "available_circuits",
+    "TestSequence",
+    "ExpansionConfig",
+    "expand",
+    "expanded_length",
+    "repeat",
+    "complement",
+    "shift_left",
+    "reverse",
+    "concat",
+    "SelectionConfig",
+    "select_subsequences",
+    "statically_compact",
+    "LoadAndExpandScheme",
+    "ReproError",
+    "Fault",
+    "FaultSite",
+    "FaultUniverse",
+    "collapse_faults",
+    "FaultSimulator",
+    "LogicSimulator",
+    "SequenceBatchSimulator",
+    "__version__",
+]

@@ -1,0 +1,99 @@
+"""Static compaction of a test sequence (the role of reference [12]).
+
+Reference [12] shortens a sequence by *vector restoration*: starting from
+an empty sequence, it restores only the vectors needed to re-detect every
+fault, hardest first.  We implement the same contract with two combined
+techniques that are simpler to verify:
+
+* **tail truncation** — cut everything after the last first-detection
+  (exactly optimal for the suffix; restoration would never keep it);
+* **omission passes** — try deleting vectors one at a time (round-robin
+  over positions, seeded order), keeping a deletion whenever full fault
+  simulation shows the detected set is preserved.
+
+The result is a shorter sequence with *identical or larger* detected
+fault set, which is all the downstream scheme requires of ``T0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.sequence import TestSequence
+from repro.faults.model import Fault
+from repro.sim.compiled import CompiledCircuit
+from repro.sim.faultsim import FaultSimulator
+from repro.util.rng import SplitMix64, derive_seed
+
+
+@dataclass(frozen=True)
+class CompactionStats:
+    """What the compactor did."""
+
+    original_length: int
+    truncated_length: int
+    final_length: int
+    omissions_accepted: int
+    simulations: int
+
+
+def compact_sequence(
+    compiled: CompiledCircuit,
+    sequence: TestSequence,
+    faults: list[Fault],
+    seed: int = 12_1999,
+    max_rounds: int = 2,
+) -> tuple[TestSequence, CompactionStats]:
+    """Shorten ``sequence`` while preserving coverage of ``faults``.
+
+    ``faults`` is typically the collapsed universe; coverage preservation
+    is judged on the set of faults detected, not on detection times.
+    """
+    simulator = FaultSimulator(compiled)
+    simulations = 0
+
+    baseline = simulator.run(sequence, faults)
+    simulations += 1
+    target_detected = set(baseline.detection_time)
+    original_length = len(sequence)
+
+    # Tail truncation: nothing after the last first-detection can add
+    # coverage, and removing it cannot remove coverage.
+    if baseline.detection_time:
+        last_useful = max(baseline.detection_time.values())
+        if last_useful + 1 < len(sequence):
+            sequence = sequence.subsequence(0, last_useful)
+    truncated_length = len(sequence)
+
+    # Omission passes.
+    rng = SplitMix64(derive_seed(seed, len(sequence)))
+    accepted = 0
+    for _ in range(max_rounds):
+        if len(sequence) <= 1:
+            break
+        improved = False
+        order = list(range(len(sequence)))
+        rng.shuffle(order)
+        # Positions shift as vectors are removed; work on a mutable list
+        # of vectors and re-derive candidate sequences per attempt.
+        for position in order:
+            if position >= len(sequence) or len(sequence) <= 1:
+                continue
+            candidate = sequence.omit(position)
+            result = simulator.run(candidate, sorted(target_detected))
+            simulations += 1
+            if set(result.detection_time) >= target_detected:
+                sequence = candidate
+                accepted += 1
+                improved = True
+        if not improved:
+            break
+
+    stats = CompactionStats(
+        original_length=original_length,
+        truncated_length=truncated_length,
+        final_length=len(sequence),
+        omissions_accepted=accepted,
+        simulations=simulations,
+    )
+    return sequence, stats

@@ -1,0 +1,61 @@
+"""Configuration for the ATPG substrate."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AtpgConfig:
+    """Knobs for :func:`repro.atpg.engine.generate_t0`.
+
+    The defaults suit the quick benchmark suite; the full suite and the
+    examples tighten or loosen them explicitly.
+
+    Attributes:
+        seed: master seed; every phase derives independent substreams.
+        random_chunk: vectors appended per random-phase extension attempt.
+        random_patience: consecutive unproductive random extensions before
+            moving to the greedy phase.
+        greedy_candidates: candidate extensions evaluated per greedy step.
+        greedy_chunk: vectors per greedy candidate.
+        greedy_patience: consecutive unproductive greedy steps before the
+            genetic phase.
+        max_length: hard cap on ``len(T0)``.
+        genetic_targets: max number of hard faults the GA attacks.
+        genetic_population: GA population size.
+        genetic_generations: GA generations per target fault.
+        genetic_sequence_length: GA candidate sequence length.
+        run_compaction: run static compaction at the end.
+        compaction_method: ``"restoration"`` (vector restoration, the
+            reference [12] approach — default), or ``"omission"``
+            (try-delete-resimulate; thorough but quadratic).
+        compaction_rounds: max full scan rounds of the omission compactor.
+    """
+
+    seed: int = 20_1999
+    random_chunk: int = 8
+    random_patience: int = 6
+    greedy_candidates: int = 6
+    greedy_chunk: int = 8
+    greedy_patience: int = 4
+    max_length: int = 1200
+    genetic_targets: int = 24
+    genetic_population: int = 10
+    genetic_generations: int = 12
+    genetic_sequence_length: int = 24
+    run_compaction: bool = True
+    compaction_method: str = "restoration"
+    compaction_rounds: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_length < 1:
+            raise ValueError("max_length must be positive")
+        if self.random_chunk < 1 or self.greedy_chunk < 1:
+            raise ValueError("extension chunks must be positive")
+        if self.genetic_population < 2:
+            raise ValueError("genetic_population must be at least 2")
+        if self.compaction_method not in ("restoration", "omission"):
+            raise ValueError(
+                f"unknown compaction method {self.compaction_method!r}"
+            )

@@ -1,0 +1,58 @@
+"""Random-vector helpers shared by the ATPG phases."""
+
+from __future__ import annotations
+
+from repro.core.sequence import TestSequence
+from repro.util.rng import SplitMix64
+
+
+def random_vector(rng: SplitMix64, width: int) -> list[int]:
+    """One uniformly random binary input vector."""
+    return [rng.next_u64() & 1 for _ in range(width)]
+
+
+def random_sequence(rng: SplitMix64, width: int, length: int) -> TestSequence:
+    """A sequence of ``length`` uniformly random vectors."""
+    return TestSequence([random_vector(rng, width) for _ in range(length)])
+
+
+def weighted_sequence(
+    rng: SplitMix64, width: int, length: int, ones_probability: float
+) -> TestSequence:
+    """A random sequence with biased bit probability.
+
+    Biased vectors help activate faults deep in AND/OR trees, a standard
+    weighted-random-pattern trick; the greedy phase mixes several weights.
+    """
+    return TestSequence(
+        [rng.sample_bits(width, ones_probability) for _ in range(length)]
+    )
+
+
+def mutate_sequence(
+    rng: SplitMix64, sequence: TestSequence, bit_flip_probability: float
+) -> TestSequence:
+    """Flip each bit independently with the given probability (GA mutation)."""
+    mutated = []
+    for vector in sequence:
+        mutated.append(
+            [
+                bit ^ 1 if rng.random() < bit_flip_probability else bit
+                for bit in vector
+            ]
+        )
+    return TestSequence(mutated)
+
+
+def crossover(
+    rng: SplitMix64, left: TestSequence, right: TestSequence
+) -> TestSequence:
+    """Single-point crossover at a vector boundary (GA recombination)."""
+    if len(left) == 0 or len(right) == 0:
+        return left if len(left) else right
+    cut_left = rng.randint(0, len(left))
+    cut_right = rng.randint(0, len(right))
+    vectors = left.vectors()[:cut_left] + right.vectors()[cut_right:]
+    if not vectors:
+        vectors = left.vectors()[:1]
+    return TestSequence(vectors)

@@ -1,0 +1,117 @@
+"""Vector-restoration static compaction (reference [12] substitute).
+
+The algorithm of Pomeranz & Reddy's ICCD'97 compaction paper, as the DAC'99
+paper uses it for ``T0``:
+
+1. Fault-simulate ``T0``; record ``udet(f)`` for every detected fault.
+2. Start from an *empty* set of kept vector positions.
+3. Repeatedly take the undetected-by-kept fault ``f`` with the highest
+   ``udet``; *restore* the contiguous window ``T0[j .. udet(f)]`` for the
+   largest ``j`` such that the kept vectors (in original order) detect
+   ``f``.  The window search is batched through the parallel-sequence
+   simulator, exactly like Procedure 2's ``ustart`` search.
+4. Fault-simulate the kept vectors against all still-uncovered faults and
+   drop everything detected; loop until all faults are covered.
+
+The result is ``T0`` restricted to the kept positions — never longer, and
+by construction it detects every fault ``T0`` detects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.sequence import TestSequence
+from repro.errors import AtpgError
+from repro.faults.model import Fault
+from repro.sim.compiled import CompiledCircuit
+from repro.sim.faultsim import FaultSimulator
+from repro.sim.seqsim import SequenceBatchSimulator
+
+
+@dataclass(frozen=True)
+class RestorationStats:
+    """Diagnostics of one restoration-compaction run."""
+
+    original_length: int
+    final_length: int
+    restoration_events: int
+    window_candidates: int
+
+    @property
+    def ratio(self) -> float:
+        if self.original_length == 0:
+            return 1.0
+        return self.final_length / self.original_length
+
+
+def _candidate(
+    t0: TestSequence, kept: set[int], window_start: int, window_end: int
+) -> TestSequence:
+    """T0 restricted to kept positions plus the window, in original order."""
+    positions = sorted(kept | set(range(window_start, window_end + 1)))
+    return TestSequence([t0[p] for p in positions])
+
+
+def restoration_compact(
+    compiled: CompiledCircuit,
+    t0: TestSequence,
+    faults: list[Fault],
+    search_batch_width: int = 24,
+) -> tuple[TestSequence, RestorationStats]:
+    """Compact ``t0`` by vector restoration, preserving its coverage."""
+    fault_simulator = FaultSimulator(compiled)
+    sequence_simulator = SequenceBatchSimulator(compiled, batch_width=search_batch_width)
+
+    baseline = fault_simulator.run(t0, faults)
+    udet = dict(baseline.detection_time)
+    if not udet:
+        return TestSequence.empty(t0.width), RestorationStats(len(t0), 0, 0, 0)
+
+    uncovered = sorted(udet, key=lambda f: (-udet[f], str(f)))
+    kept: set[int] = set()
+    events = 0
+    candidates_tried = 0
+
+    while uncovered:
+        target = uncovered[0]
+        end = udet[target]
+        # Window search: largest j in [0, end] such that kept + window
+        # detects the target.  j = 0 always works (full prefix intact).
+        found_j: int | None = None
+        next_j = end
+        while next_j >= 0 and found_j is None:
+            batch_js = list(range(next_j, max(-1, next_j - search_batch_width), -1))
+            candidates = [_candidate(t0, kept, j, end) for j in batch_js]
+            outcomes = sequence_simulator.detects(target, candidates)
+            candidates_tried += len(candidates)
+            for j, detected in zip(batch_js, outcomes):
+                if detected:
+                    found_j = j
+                    break
+            next_j = batch_js[-1] - 1
+        if found_j is None:
+            raise AtpgError(
+                f"restoration could not re-detect {target} even with the "
+                "full prefix restored — simulator inconsistency"
+            )
+        kept |= set(range(found_j, end + 1))
+        events += 1
+
+        current = TestSequence([t0[p] for p in sorted(kept)])
+        sim = fault_simulator.run(current, uncovered)
+        covered = set(sim.detection_time)
+        if target not in covered:
+            raise AtpgError(
+                f"restored window for {target} lost detection in re-simulation"
+            )
+        uncovered = [f for f in uncovered if f not in covered]
+
+    final = TestSequence([t0[p] for p in sorted(kept)])
+    stats = RestorationStats(
+        original_length=len(t0),
+        final_length=len(final),
+        restoration_events=events,
+        window_candidates=candidates_tried,
+    )
+    return final, stats

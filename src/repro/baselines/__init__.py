@@ -1,0 +1,30 @@
+"""Baseline test-application schemes the paper compares against.
+
+Section 1 of the paper positions load-and-expand against two simpler
+alternatives:
+
+* **full load** — store/load the complete ``T0`` on chip and apply it
+  (maximum memory and loading time, trivially complete coverage);
+* **partitioning** — split ``T0`` into contiguous subsequences loaded one
+  at a time; every vector of ``T0`` is loaded at least once, and chunks
+  must be *extended* (overlapped) wherever a fault's detection depends on
+  warm-up state from before the chunk boundary.
+
+Implementing both makes the paper's comparative claims measurable:
+the proposed scheme loads *less* than ``T0`` in total (partitioning loads
+at least ``|T0|``) and needs far less on-chip memory.
+"""
+
+from repro.baselines.partition import (
+    FullLoadBaseline,
+    PartitionResult,
+    full_load_baseline,
+    partition_baseline,
+)
+
+__all__ = [
+    "FullLoadBaseline",
+    "PartitionResult",
+    "full_load_baseline",
+    "partition_baseline",
+]

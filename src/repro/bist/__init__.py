@@ -1,0 +1,40 @@
+"""Cycle-accurate model of the paper's implied on-chip test hardware.
+
+The paper's scheme needs, next to the circuit under test:
+
+* a small test **memory** (one word per loaded vector, word size = number
+  of primary inputs) — :mod:`repro.bist.memory`;
+* an up/down **address counter** and a **repetition counter** —
+  :mod:`repro.bist.counters`;
+* inverters + muxes for complementation, a mux per output for the
+  circular shift, and a small **control FSM** sequencing the phases —
+  :mod:`repro.bist.controller`;
+* a **MISR** for output response compaction —
+  :mod:`repro.bist.misr`.
+
+:class:`~repro.bist.session.BistSession` wires these into a full test
+session: load each selected subsequence at tester speed, expand and apply
+it at speed, compact responses into signatures, and compare against the
+fault-free golden signatures.  The controller is proven bit-equivalent to
+the mathematical expansion of :mod:`repro.core.ops` by the test suite.
+"""
+
+from repro.bist.memory import TestMemory
+from repro.bist.counters import UpDownCounter, RepetitionCounter
+from repro.bist.controller import ExpansionController
+from repro.bist.misr import Misr
+from repro.bist.session import BistSession, SequenceVerdict, SessionReport
+from repro.bist.cost import BistCostModel, CostComparison
+
+__all__ = [
+    "TestMemory",
+    "UpDownCounter",
+    "RepetitionCounter",
+    "ExpansionController",
+    "Misr",
+    "BistSession",
+    "SequenceVerdict",
+    "SessionReport",
+    "BistCostModel",
+    "CostComparison",
+]

@@ -1,0 +1,104 @@
+"""The expansion control FSM.
+
+Produces, one vector per at-speed clock, the expanded sequence ``Sexp`` of
+the sequence currently loaded in the test memory, using exactly the
+datapath the paper describes:
+
+* the up/down **address counter** walks the memory;
+* the **repetition counter** counts ``n`` passes;
+* a **complement flag** drives the output inverter muxes;
+* a **shift flag** drives the circular-shift muxes (output ``i`` selects
+  memory output ``(i+1) mod m``);
+* a **reverse flag** switches the address counter to down mode and
+  reverses the phase iteration, realizing ``rS'''``.
+
+Phase order (matching ``repro.core.ops.expand``):
+``shift`` is the outermost expansion bit, then ``complement``, then the
+repetition count, then the memory address — and the whole 4nL-vector
+program is replayed backwards for the reversal half, giving ``8nL``
+vectors in total.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.bist.counters import RepetitionCounter, UpDownCounter
+from repro.bist.memory import TestMemory
+from repro.core.ops import ExpansionConfig
+from repro.errors import HardwareModelError
+
+
+class ExpansionController:
+    """Generates ``Sexp`` from a loaded :class:`TestMemory`."""
+
+    def __init__(self, memory: TestMemory, config: ExpansionConfig) -> None:
+        self._memory = memory
+        self._config = config
+
+    @property
+    def config(self) -> ExpansionConfig:
+        return self._config
+
+    def expanded_length(self) -> int:
+        """Number of at-speed cycles the controller will run."""
+        return self._memory.used_words * self._config.length_multiplier
+
+    # ------------------------------------------------------------------
+    # Datapath primitives
+    # ------------------------------------------------------------------
+    def _transform(
+        self, word: tuple[int, ...], complement_flag: bool, shift_flag: bool
+    ) -> tuple[int, ...]:
+        """Output inverter muxes + circular-shift muxes."""
+        bits = word
+        if complement_flag:
+            bits = tuple(1 - bit for bit in bits)
+        if shift_flag:
+            m = len(bits)
+            bits = tuple(bits[(i + 1) % m] for i in range(m))
+        return bits
+
+    # ------------------------------------------------------------------
+    # The FSM, expressed as a generator of output vectors
+    # ------------------------------------------------------------------
+    def run(self) -> Iterator[tuple[int, ...]]:
+        """Yield ``Sexp`` one vector per clock."""
+        words = self._memory.used_words
+        if words == 0:
+            raise HardwareModelError("no sequence loaded into the test memory")
+        config = self._config
+        address = UpDownCounter(words)
+        repetition = RepetitionCounter(config.repetitions)
+
+        shift_values = (False, True) if config.use_shift else (False,)
+        complement_values = (False, True) if config.use_complement else (False,)
+        reverse_values = (False, True) if config.use_reverse else (False,)
+
+        hold_cycles = config.hold_cycles
+        for reverse_flag in reverse_values:
+            address.set_mode(down=reverse_flag)
+            shifts = tuple(reversed(shift_values)) if reverse_flag else shift_values
+            complements = (
+                tuple(reversed(complement_values)) if reverse_flag else complement_values
+            )
+            for shift_flag in shifts:
+                for complement_flag in complements:
+                    repetition.reset()
+                    done = False
+                    while not done:
+                        address.reset()
+                        wrapped = False
+                        while not wrapped:
+                            word = self._memory.read(address.value)
+                            output = self._transform(word, complement_flag, shift_flag)
+                            # Hold counter: the address advances only after
+                            # hold_cycles copies of the word were applied.
+                            for _ in range(hold_cycles):
+                                yield output
+                            wrapped = address.step()
+                        done = repetition.step()
+
+    def generate_all(self) -> list[tuple[int, ...]]:
+        """Materialize the full expanded sequence (convenience for tests)."""
+        return list(self.run())

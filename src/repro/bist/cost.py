@@ -1,0 +1,91 @@
+"""Cost model: what the scheme saves versus loading ``T0`` wholesale.
+
+Quantifies the two headline claims of the paper:
+
+* **memory** — the on-chip memory only needs to hold the longest sequence
+  in ``S`` (paper: ~10% of ``|T0|`` on average);
+* **loading time** — only the sequences in ``S`` are loaded (paper: ~46%
+  of ``|T0|`` on average), while the at-speed vector count *applied* is
+  ``8·n·(total length)``, larger than ``|T0|`` — the at-speed benefit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.ops import ExpansionConfig, expanded_length
+
+
+@dataclass(frozen=True)
+class BistCostModel:
+    """Hardware/time cost of one configured scheme deployment."""
+
+    num_inputs: int
+    t0_length: int
+    total_loaded_length: int
+    max_loaded_length: int
+    expansion: ExpansionConfig
+
+    @property
+    def memory_bits(self) -> int:
+        """Test memory sized for the longest loaded sequence."""
+        return self.max_loaded_length * self.num_inputs
+
+    @property
+    def t0_memory_bits(self) -> int:
+        """Memory needed by the store-everything baseline."""
+        return self.t0_length * self.num_inputs
+
+    @property
+    def memory_ratio(self) -> float:
+        if self.t0_length == 0:
+            return 0.0
+        return self.max_loaded_length / self.t0_length
+
+    @property
+    def load_cycles(self) -> int:
+        """Tester cycles spent loading all sequences of ``S``."""
+        return self.total_loaded_length
+
+    @property
+    def t0_load_cycles(self) -> int:
+        return self.t0_length
+
+    @property
+    def load_ratio(self) -> float:
+        if self.t0_length == 0:
+            return 0.0
+        return self.total_loaded_length / self.t0_length
+
+    @property
+    def at_speed_cycles(self) -> int:
+        """At-speed vectors applied — ``8 n L`` with the full operator set."""
+        return expanded_length(self.total_loaded_length, self.expansion)
+
+
+@dataclass(frozen=True)
+class CostComparison:
+    """Scheme vs the two baselines the paper discusses."""
+
+    scheme: BistCostModel
+
+    @property
+    def memory_saving_versus_t0(self) -> float:
+        """Fraction of memory bits saved versus storing ``T0`` on chip."""
+        if self.scheme.t0_memory_bits == 0:
+            return 0.0
+        return 1.0 - self.scheme.memory_bits / self.scheme.t0_memory_bits
+
+    @property
+    def load_saving_versus_t0(self) -> float:
+        """Fraction of load cycles saved versus loading ``T0``."""
+        if self.scheme.t0_load_cycles == 0:
+            return 0.0
+        return 1.0 - self.scheme.load_cycles / self.scheme.t0_load_cycles
+
+    @property
+    def at_speed_amplification(self) -> float:
+        """Applied at-speed vectors per loaded vector (the 8n factor)."""
+        if self.scheme.load_cycles == 0:
+            return 0.0
+        return self.scheme.at_speed_cycles / self.scheme.load_cycles

@@ -1,0 +1,75 @@
+"""Counters used by the expansion controller."""
+
+from __future__ import annotations
+
+from repro.errors import HardwareModelError
+
+
+class UpDownCounter:
+    """The memory address counter.
+
+    Counts ``0 .. modulus-1`` in up mode and ``modulus-1 .. 0`` in down
+    mode (the paper's reversal mechanism); :meth:`step` returns True when
+    the counter wraps, which clocks the repetition counter.
+    """
+
+    def __init__(self, modulus: int) -> None:
+        if modulus < 1:
+            raise HardwareModelError("counter modulus must be positive")
+        self._modulus = modulus
+        self._value = 0
+        self._down = False
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    @property
+    def down_mode(self) -> bool:
+        return self._down
+
+    def set_mode(self, down: bool) -> None:
+        self._down = down
+
+    def reset(self) -> None:
+        """Reset to the mode's starting value (0 up, modulus-1 down)."""
+        self._value = self._modulus - 1 if self._down else 0
+
+    def step(self) -> bool:
+        """Advance one position; returns True on wrap-around."""
+        if self._down:
+            if self._value == 0:
+                self._value = self._modulus - 1
+                return True
+            self._value -= 1
+            return False
+        if self._value == self._modulus - 1:
+            self._value = 0
+            return True
+        self._value += 1
+        return False
+
+
+class RepetitionCounter:
+    """Counts expansions of the loaded sequence (the paper's ``n``)."""
+
+    def __init__(self, repetitions: int) -> None:
+        if repetitions < 1:
+            raise HardwareModelError("repetition count must be >= 1")
+        self._repetitions = repetitions
+        self._value = 0
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def reset(self) -> None:
+        self._value = 0
+
+    def step(self) -> bool:
+        """Count one completed pass; returns True when all passes done."""
+        self._value += 1
+        if self._value >= self._repetitions:
+            self._value = 0
+            return True
+        return False

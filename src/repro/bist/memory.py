@@ -1,0 +1,74 @@
+"""The on-chip test memory holding one loaded subsequence."""
+
+from __future__ import annotations
+
+from repro.core.sequence import TestSequence
+from repro.errors import HardwareModelError
+
+
+class TestMemory:
+    """Word-addressable memory, one test vector per word.
+
+    ``capacity_words`` is fixed at construction (the hardware is sized for
+    the longest sequence in ``S``); loading a longer sequence raises, as
+    it would not fit on the real chip.
+    """
+
+    #: Library class, not a pytest collection target.
+    __test__ = False
+
+    def __init__(self, word_bits: int, capacity_words: int) -> None:
+        if word_bits < 1:
+            raise HardwareModelError("memory word size must be at least 1 bit")
+        if capacity_words < 1:
+            raise HardwareModelError("memory needs at least one word")
+        self._word_bits = word_bits
+        self._capacity = capacity_words
+        self._words: list[tuple[int, ...]] = []
+        self._load_cycles = 0
+
+    @property
+    def word_bits(self) -> int:
+        return self._word_bits
+
+    @property
+    def capacity_words(self) -> int:
+        return self._capacity
+
+    @property
+    def total_bits(self) -> int:
+        """Physical storage size in bits."""
+        return self._word_bits * self._capacity
+
+    @property
+    def used_words(self) -> int:
+        return len(self._words)
+
+    @property
+    def load_cycles(self) -> int:
+        """Accumulated tester-clock cycles spent loading this memory."""
+        return self._load_cycles
+
+    def load(self, sequence: TestSequence) -> int:
+        """Load ``sequence`` (one word per tester cycle); returns cycles."""
+        if len(sequence) > self._capacity:
+            raise HardwareModelError(
+                f"sequence of {len(sequence)} vectors exceeds memory capacity "
+                f"of {self._capacity} words"
+            )
+        if len(sequence) and sequence.width != self._word_bits:
+            raise HardwareModelError(
+                f"vector width {sequence.width} != memory word size "
+                f"{self._word_bits}"
+            )
+        self._words = list(sequence.vectors())
+        self._load_cycles += len(self._words)
+        return len(self._words)
+
+    def read(self, address: int) -> tuple[int, ...]:
+        """Combinational read of one word."""
+        if not 0 <= address < len(self._words):
+            raise HardwareModelError(
+                f"address {address} out of range (loaded words: {len(self._words)})"
+            )
+        return self._words[address]

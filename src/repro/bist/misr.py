@@ -1,0 +1,89 @@
+"""Multiple-input signature register (output response compactor).
+
+A standard internal-XOR MISR over GF(2): each clock, the register shifts
+and XORs in the primary output values.  The paper leaves response
+compaction open ("it is possible to use output response compression"),
+noting only that the circuit must be synchronized before signature
+capture to avoid unknown values; :class:`Misr` therefore supports masking
+capture cycles whose fault-free outputs are not fully binary, and the
+session model uses that mask for both the golden and the observed run.
+
+Unknown (X) observed values are captured as 0 — in real silicon an X is
+whatever the die produces; the session only feeds the MISR on cycles the
+fault-free machine has fully binary outputs, which is the paper's
+synchronization requirement.
+"""
+
+from __future__ import annotations
+
+from repro.errors import HardwareModelError
+from repro.logic.values import ONE, Ternary
+
+#: Primitive feedback polynomial taps for common register lengths
+#: (x^len + ... + 1), keyed by length; fallback uses a dense tap set.
+_PRIMITIVE_TAPS: dict[int, tuple[int, ...]] = {
+    4: (4, 3),
+    8: (8, 6, 5, 4),
+    16: (16, 15, 13, 4),
+    24: (24, 23, 22, 17),
+    32: (32, 22, 2, 1),
+}
+
+
+class Misr:
+    """An ``length``-bit MISR with XOR feedback."""
+
+    def __init__(self, length: int, inputs: int) -> None:
+        if length < 2:
+            raise HardwareModelError("MISR needs at least 2 bits")
+        if inputs < 1:
+            raise HardwareModelError("MISR needs at least one input")
+        if inputs > length:
+            # Hardware would fold wide output buses; the model folds by
+            # XOR-ing input i into stage i mod length.
+            pass
+        self._length = length
+        self._inputs = inputs
+        taps = _PRIMITIVE_TAPS.get(length, (length, length - 1, 1))
+        self._feedback_mask = 0
+        for tap in taps:
+            self._feedback_mask |= 1 << (length - tap)
+        self._state = 0
+        self._captures = 0
+
+    @property
+    def length(self) -> int:
+        return self._length
+
+    @property
+    def state(self) -> int:
+        return self._state
+
+    @property
+    def captures(self) -> int:
+        """Number of capture cycles folded into the signature."""
+        return self._captures
+
+    def reset(self) -> None:
+        self._state = 0
+        self._captures = 0
+
+    def capture(self, outputs: list[Ternary]) -> None:
+        """Fold one cycle of PO values into the signature (X captured as 0)."""
+        if len(outputs) != self._inputs:
+            raise HardwareModelError(
+                f"MISR wired for {self._inputs} outputs, got {len(outputs)}"
+            )
+        injected = 0
+        for index, value in enumerate(outputs):
+            if value is ONE:
+                injected ^= 1 << (index % self._length)
+        feedback = self._feedback_mask if (self._state & 1) else 0
+        self._state = ((self._state >> 1) ^ feedback ^ injected) & (
+            (1 << self._length) - 1
+        )
+        self._captures += 1
+
+    def signature(self) -> int:
+        """The current signature value."""
+        return self._state

@@ -1,0 +1,21 @@
+"""Gate-level synchronous sequential circuit model and ``.bench`` I/O."""
+
+from repro.circuit.types import GateType
+from repro.circuit.netlist import Gate, Circuit, Load
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.bench_io import parse_bench, parse_bench_file, write_bench
+from repro.circuit.analysis import CircuitStats, circuit_stats, combinational_depth
+
+__all__ = [
+    "GateType",
+    "Gate",
+    "Circuit",
+    "Load",
+    "CircuitBuilder",
+    "parse_bench",
+    "parse_bench_file",
+    "write_bench",
+    "CircuitStats",
+    "circuit_stats",
+    "combinational_depth",
+]

@@ -1,0 +1,131 @@
+"""Structural analysis of circuits: statistics, depth, cones.
+
+Used by the synthetic benchmark generator (to match ISCAS-89 size
+profiles), by the harness (to report circuit columns in the tables), and by
+the tests (to assert generated circuits are well formed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.netlist import Circuit
+
+
+@dataclass(frozen=True)
+class CircuitStats:
+    """Summary counts for one circuit."""
+
+    name: str
+    num_inputs: int
+    num_outputs: int
+    num_flops: int
+    num_gates: int
+    num_signals: int
+    max_fanin: int
+    max_fanout: int
+    depth: int
+
+    def as_row(self) -> list[object]:
+        """Row form used by report tables."""
+        return [
+            self.name,
+            self.num_inputs,
+            self.num_outputs,
+            self.num_flops,
+            self.num_gates,
+            self.depth,
+        ]
+
+
+def circuit_stats(circuit: Circuit) -> CircuitStats:
+    """Compute :class:`CircuitStats` for ``circuit``."""
+    fanout = circuit.fanout()
+    max_fanout = max((len(loads) for loads in fanout.values()), default=0)
+    max_fanin = max((len(g.inputs) for g in circuit.gates.values()), default=0)
+    return CircuitStats(
+        name=circuit.name,
+        num_inputs=circuit.num_inputs,
+        num_outputs=circuit.num_outputs,
+        num_flops=circuit.num_flops,
+        num_gates=circuit.num_gates,
+        num_signals=len(circuit.signals()),
+        max_fanin=max_fanin,
+        max_fanout=max_fanout,
+        depth=combinational_depth(circuit),
+    )
+
+
+def combinational_depth(circuit: Circuit) -> int:
+    """Longest combinational path length in gates (0 for gate-free nets)."""
+    level: dict[str, int] = {}
+    for pi in circuit.inputs:
+        level[pi] = 0
+    for q in circuit.flop_outputs():
+        level[q] = 0
+    deepest = 0
+    for gate in circuit.topo_order():
+        gate_level = 1 + max(level[src] for src in gate.inputs)
+        level[gate.output] = gate_level
+        deepest = max(deepest, gate_level)
+    return deepest
+
+
+def signal_levels(circuit: Circuit) -> dict[str, int]:
+    """Combinational level of every signal (sources at level 0)."""
+    level: dict[str, int] = {}
+    for pi in circuit.inputs:
+        level[pi] = 0
+    for q in circuit.flop_outputs():
+        level[q] = 0
+    for gate in circuit.topo_order():
+        level[gate.output] = 1 + max(level[src] for src in gate.inputs)
+    return level
+
+
+def transitive_fanin(circuit: Circuit, signal: str) -> set[str]:
+    """All signals in the combinational fan-in cone of ``signal``.
+
+    The cone stops at PIs and flop outputs (sequential boundaries).
+    """
+    cone: set[str] = set()
+    stack = [signal]
+    while stack:
+        current = stack.pop()
+        if current in cone:
+            continue
+        cone.add(current)
+        gate = circuit.gates.get(current)
+        if gate is not None:
+            stack.extend(gate.inputs)
+    return cone
+
+
+def reaches_primary_output(circuit: Circuit) -> set[str]:
+    """Signals from which some PO is structurally reachable.
+
+    Reachability here crosses flop boundaries (a signal feeding only a flop
+    can still be observed in a later cycle), so this is the set of signals
+    whose faults are *potentially* observable.
+    """
+    reverse: dict[str, list[str]] = {s: [] for s in circuit.signals()}
+    for gate in circuit.gates.values():
+        for src in gate.inputs:
+            reverse[src].append(gate.output)
+    for q, d in circuit.flops:
+        reverse[d].append(q)
+    reached: set[str] = set()
+    stack = list(circuit.outputs)
+    while stack:
+        current = stack.pop()
+        if current in reached:
+            continue
+        reached.add(current)
+        gate = circuit.gates.get(current)
+        if gate is not None:
+            stack.extend(gate.inputs)
+        for q, d in circuit.flops:
+            if q == current:
+                stack.append(d)
+    # Invert: a signal reaches a PO if a PO's backward cone contains it.
+    return reached

@@ -1,0 +1,104 @@
+"""Reader and writer for the ISCAS-89 ``.bench`` netlist format.
+
+The format, as used by the ISCAS-89 benchmark distribution::
+
+    # comment
+    INPUT(G0)
+    OUTPUT(G17)
+    G5 = DFF(G10)
+    G11 = NOR(G5, G9)
+
+The parser is tolerant of whitespace and case differences in gate type
+names (``INV``/``NOT``, ``BUFF``/``BUF``) because circulating copies of the
+benchmarks differ in these details.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.circuit.netlist import Circuit, Gate
+from repro.circuit.types import BENCH_TYPE_ALIASES
+from repro.errors import BenchFormatError
+
+_DECL_RE = re.compile(r"^(INPUT|OUTPUT)\s*\(\s*([^()\s]+)\s*\)$", re.IGNORECASE)
+_ASSIGN_RE = re.compile(
+    r"^([^()=\s]+)\s*=\s*([A-Za-z]+)\s*\(\s*(.*?)\s*\)$", re.IGNORECASE
+)
+
+
+def parse_bench(text: str, name: str = "bench") -> Circuit:
+    """Parse ``.bench`` source text into a validated :class:`Circuit`."""
+    inputs: list[str] = []
+    outputs: list[str] = []
+    flops: list[tuple[str, str]] = []
+    gates: dict[str, Gate] = {}
+
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        declaration = _DECL_RE.match(line)
+        if declaration:
+            keyword, signal = declaration.group(1).upper(), declaration.group(2)
+            if keyword == "INPUT":
+                inputs.append(signal)
+            else:
+                outputs.append(signal)
+            continue
+        assignment = _ASSIGN_RE.match(line)
+        if not assignment:
+            raise BenchFormatError(
+                f"{name}:{line_number}: unrecognized line {raw_line.strip()!r}"
+            )
+        output, type_name, operand_text = assignment.groups()
+        operands = [op.strip() for op in operand_text.split(",") if op.strip()]
+        type_key = type_name.upper()
+        if type_key == "DFF":
+            if len(operands) != 1:
+                raise BenchFormatError(
+                    f"{name}:{line_number}: DFF takes exactly one operand"
+                )
+            flops.append((output, operands[0]))
+            continue
+        gate_type = BENCH_TYPE_ALIASES.get(type_key)
+        if gate_type is None:
+            raise BenchFormatError(
+                f"{name}:{line_number}: unknown gate type {type_name!r}"
+            )
+        if output in gates:
+            raise BenchFormatError(
+                f"{name}:{line_number}: signal {output!r} assigned twice"
+            )
+        gates[output] = Gate(output, gate_type, tuple(operands))
+
+    circuit = Circuit(name=name, inputs=inputs, outputs=outputs, flops=flops, gates=gates)
+    circuit.validate()
+    return circuit
+
+
+def parse_bench_file(path: str | Path, name: str | None = None) -> Circuit:
+    """Parse a ``.bench`` file from disk; the stem becomes the circuit name."""
+    path = Path(path)
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    return parse_bench(text, name=name or path.stem)
+
+
+def write_bench(circuit: Circuit) -> str:
+    """Serialize a circuit back to ``.bench`` text (round-trip safe)."""
+    lines = [f"# {circuit.name}"]
+    lines.extend(f"INPUT({pi})" for pi in circuit.inputs)
+    lines.extend(f"OUTPUT({po})" for po in circuit.outputs)
+    lines.extend(f"{q} = DFF({d})" for q, d in circuit.flops)
+    for gate in circuit.gates.values():
+        operand_text = ", ".join(gate.inputs)
+        lines.append(f"{gate.output} = {gate.gate_type.value}({operand_text})")
+    return "\n".join(lines) + "\n"
+
+
+def write_bench_file(circuit: Circuit, path: str | Path) -> None:
+    """Write a circuit to a ``.bench`` file."""
+    with open(Path(path), "w", encoding="utf-8") as handle:
+        handle.write(write_bench(circuit))

@@ -1,0 +1,100 @@
+"""Fluent programmatic construction of circuits.
+
+The builder is the supported way to create circuits in user code and in the
+synthetic benchmark generator; it validates as it goes and produces an
+immutable-by-convention :class:`~repro.circuit.netlist.Circuit`.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.netlist import Circuit, Gate
+from repro.circuit.types import GateType
+from repro.errors import NetlistError
+
+
+class CircuitBuilder:
+    """Incrementally assemble a :class:`Circuit`.
+
+    Example::
+
+        builder = CircuitBuilder("toggle")
+        builder.add_input("en")
+        builder.add_flop("q", "d")
+        builder.add_gate("d", GateType.XOR, ["en", "q"])
+        builder.add_output("q")
+        circuit = builder.build()
+    """
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+        self._inputs: list[str] = []
+        self._outputs: list[str] = []
+        self._flops: list[tuple[str, str]] = []
+        self._gates: dict[str, Gate] = {}
+        self._driven: set[str] = set()
+
+    def add_input(self, name: str) -> "CircuitBuilder":
+        """Declare a primary input."""
+        self._claim(name)
+        self._inputs.append(name)
+        return self
+
+    def add_output(self, name: str) -> "CircuitBuilder":
+        """Declare a primary output (the signal may be defined later)."""
+        if name in self._outputs:
+            raise NetlistError(f"output {name!r} declared twice")
+        self._outputs.append(name)
+        return self
+
+    def add_flop(self, q: str, d: str) -> "CircuitBuilder":
+        """Declare a D flip-flop ``q = DFF(d)``."""
+        self._claim(q)
+        self._flops.append((q, d))
+        return self
+
+    def add_gate(
+        self, output: str, gate_type: GateType, inputs: list[str] | tuple[str, ...]
+    ) -> "CircuitBuilder":
+        """Declare a combinational gate."""
+        self._claim(output)
+        self._gates[output] = Gate(output, gate_type, tuple(inputs))
+        return self
+
+    # Convenience single-type helpers keep example code readable.
+    def add_and(self, output: str, *inputs: str) -> "CircuitBuilder":
+        return self.add_gate(output, GateType.AND, inputs)
+
+    def add_nand(self, output: str, *inputs: str) -> "CircuitBuilder":
+        return self.add_gate(output, GateType.NAND, inputs)
+
+    def add_or(self, output: str, *inputs: str) -> "CircuitBuilder":
+        return self.add_gate(output, GateType.OR, inputs)
+
+    def add_nor(self, output: str, *inputs: str) -> "CircuitBuilder":
+        return self.add_gate(output, GateType.NOR, inputs)
+
+    def add_not(self, output: str, source: str) -> "CircuitBuilder":
+        return self.add_gate(output, GateType.NOT, (source,))
+
+    def add_buf(self, output: str, source: str) -> "CircuitBuilder":
+        return self.add_gate(output, GateType.BUF, (source,))
+
+    def add_xor(self, output: str, *inputs: str) -> "CircuitBuilder":
+        return self.add_gate(output, GateType.XOR, inputs)
+
+    def build(self) -> Circuit:
+        """Validate and return the finished circuit."""
+        circuit = Circuit(
+            name=self._name,
+            inputs=list(self._inputs),
+            outputs=list(self._outputs),
+            flops=list(self._flops),
+            gates=dict(self._gates),
+        )
+        circuit.validate()
+        return circuit
+
+    def _claim(self, signal: str) -> None:
+        if signal in self._driven:
+            raise NetlistError(f"signal {signal!r} already has a driver")
+        self._driven.add(signal)

@@ -1,0 +1,235 @@
+"""The :class:`Circuit` netlist model.
+
+A circuit is a synchronous sequential network in the ISCAS-89 style:
+
+* *primary inputs* (PIs) — driven externally each clock cycle;
+* *D flip-flops* (DFFs) — ``q = DFF(d)``; all flops share one implicit
+  clock and start in the unknown (X) state;
+* *combinational gates* — AND/NAND/OR/NOR/NOT/BUF/XOR/XNOR;
+* *primary outputs* (POs) — observed externally each clock cycle.
+
+Signals are identified by name.  Every signal is driven by exactly one of:
+a PI, a flop output (Q), or a gate output.  The combinational part must be
+acyclic; feedback is legal only through flops.
+
+The model is deliberately plain (dicts and tuples, no graph library) —
+the simulators compile it into flat arrays once per circuit, and the
+algorithms in :mod:`repro.core` never touch netlist internals directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuit.types import GateType
+from repro.errors import NetlistError
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One combinational gate: ``output = type(inputs...)``."""
+
+    output: str
+    gate_type: GateType
+    inputs: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        count = len(self.inputs)
+        if count < self.gate_type.min_inputs:
+            raise NetlistError(
+                f"gate {self.output}: {self.gate_type.value} needs at least "
+                f"{self.gate_type.min_inputs} inputs, got {count}"
+            )
+        maximum = self.gate_type.max_inputs
+        if maximum is not None and count > maximum:
+            raise NetlistError(
+                f"gate {self.output}: {self.gate_type.value} takes at most "
+                f"{maximum} inputs, got {count}"
+            )
+
+
+@dataclass(frozen=True)
+class Load:
+    """One fan-out connection of a signal.
+
+    ``kind`` is ``"gate"`` (with ``sink`` the gate output name and ``pin``
+    the input position), ``"dff"`` (``sink`` is the flop's Q name), or
+    ``"po"`` (``sink`` is the output name, ``pin`` is 0).
+    """
+
+    kind: str
+    sink: str
+    pin: int
+
+
+@dataclass
+class Circuit:
+    """A synchronous sequential circuit netlist.
+
+    Attributes:
+        name: circuit name (e.g. ``"s27"``).
+        inputs: primary input names, in declaration order — this order is
+            the bit order of every test vector applied to the circuit.
+        outputs: primary output names, in declaration order.
+        flops: ``(q, d)`` pairs, one per D flip-flop.
+        gates: mapping from output signal name to :class:`Gate`.
+    """
+
+    name: str
+    inputs: list[str]
+    outputs: list[str]
+    flops: list[tuple[str, str]]
+    gates: dict[str, Gate]
+    _topo_cache: list[Gate] | None = field(default=None, repr=False, compare=False)
+    _fanout_cache: dict[str, list[Load]] | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    @property
+    def num_inputs(self) -> int:
+        return len(self.inputs)
+
+    @property
+    def num_outputs(self) -> int:
+        return len(self.outputs)
+
+    @property
+    def num_flops(self) -> int:
+        return len(self.flops)
+
+    @property
+    def num_gates(self) -> int:
+        return len(self.gates)
+
+    def flop_outputs(self) -> list[str]:
+        """Names of all flop Q signals."""
+        return [q for q, _ in self.flops]
+
+    def flop_inputs(self) -> list[str]:
+        """Names of all flop D signals (drivers of next state)."""
+        return [d for _, d in self.flops]
+
+    def signals(self) -> list[str]:
+        """All signal names: PIs, flop outputs, then gate outputs."""
+        return list(self.inputs) + self.flop_outputs() + list(self.gates)
+
+    def driver_kind(self, signal: str) -> str:
+        """Classify the driver of ``signal``: ``"pi"``, ``"ff"`` or ``"gate"``."""
+        if signal in self.gates:
+            return "gate"
+        if signal in set(self.flop_outputs()):
+            return "ff"
+        if signal in self.inputs:
+            return "pi"
+        raise NetlistError(f"{self.name}: unknown signal {signal!r}")
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`NetlistError` on failure."""
+        driven: dict[str, str] = {}
+        for pi in self.inputs:
+            self._claim(driven, pi, "primary input")
+        for q, _ in self.flops:
+            self._claim(driven, q, "flop output")
+        for gate in self.gates.values():
+            self._claim(driven, gate.output, "gate output")
+        known = set(driven)
+        for gate in self.gates.values():
+            for source in gate.inputs:
+                if source not in known:
+                    raise NetlistError(
+                        f"{self.name}: gate {gate.output} reads undriven "
+                        f"signal {source!r}"
+                    )
+        for q, d in self.flops:
+            if d not in known:
+                raise NetlistError(
+                    f"{self.name}: flop {q} reads undriven signal {d!r}"
+                )
+        for po in self.outputs:
+            if po not in known:
+                raise NetlistError(f"{self.name}: output {po!r} is undriven")
+        if not self.outputs:
+            raise NetlistError(f"{self.name}: circuit has no primary outputs")
+        # Acyclicity of the combinational part is proven by topo_order().
+        self.topo_order()
+
+    @staticmethod
+    def _claim(driven: dict[str, str], signal: str, role: str) -> None:
+        if signal in driven:
+            raise NetlistError(
+                f"signal {signal!r} driven twice ({driven[signal]} and {role})"
+            )
+        driven[signal] = role
+
+    def topo_order(self) -> list[Gate]:
+        """Gates in topological order (inputs before outputs); cached.
+
+        Raises :class:`NetlistError` if the combinational part contains a
+        cycle that is not broken by a flop.
+        """
+        if self._topo_cache is not None:
+            return self._topo_cache
+        ready = set(self.inputs)
+        ready.update(self.flop_outputs())
+        remaining: dict[str, Gate] = dict(self.gates)
+        order: list[Gate] = []
+        # Kahn's algorithm with a worklist keyed by unresolved input count.
+        pending_count: dict[str, int] = {}
+        consumers: dict[str, list[str]] = {}
+        frontier: list[str] = []
+        for gate in remaining.values():
+            unresolved = sum(1 for src in gate.inputs if src not in ready)
+            pending_count[gate.output] = unresolved
+            if unresolved == 0:
+                frontier.append(gate.output)
+            for src in gate.inputs:
+                if src not in ready:
+                    consumers.setdefault(src, []).append(gate.output)
+        while frontier:
+            name = frontier.pop()
+            gate = remaining.pop(name)
+            order.append(gate)
+            for consumer in consumers.get(name, ()):
+                pending_count[consumer] -= 1
+                if pending_count[consumer] == 0:
+                    frontier.append(consumer)
+        if remaining:
+            stuck = sorted(remaining)[:5]
+            raise NetlistError(
+                f"{self.name}: combinational cycle involving gates {stuck}"
+            )
+        self._topo_cache = order
+        return order
+
+    def fanout(self) -> dict[str, list[Load]]:
+        """Map each signal to its loads (gate pins, flop D pins, PO pins)."""
+        if self._fanout_cache is not None:
+            return self._fanout_cache
+        loads: dict[str, list[Load]] = {signal: [] for signal in self.signals()}
+        for gate in self.gates.values():
+            for pin, source in enumerate(gate.inputs):
+                loads[source].append(Load("gate", gate.output, pin))
+        for q, d in self.flops:
+            loads[d].append(Load("dff", q, 0))
+        for po in self.outputs:
+            loads[po].append(Load("po", po, 0))
+        self._fanout_cache = loads
+        return loads
+
+    def invalidate_caches(self) -> None:
+        """Drop cached derived structure after a mutation."""
+        self._topo_cache = None
+        self._fanout_cache = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Circuit({self.name!r}, inputs={self.num_inputs}, "
+            f"outputs={self.num_outputs}, flops={self.num_flops}, "
+            f"gates={self.num_gates})"
+        )

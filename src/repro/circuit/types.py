@@ -1,0 +1,65 @@
+"""Gate type definitions shared by the netlist model and the simulators."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class GateType(Enum):
+    """Combinational gate types supported by the ISCAS-89 ``.bench`` format."""
+
+    AND = "AND"
+    NAND = "NAND"
+    OR = "OR"
+    NOR = "NOR"
+    NOT = "NOT"
+    BUF = "BUF"
+    XOR = "XOR"
+    XNOR = "XNOR"
+
+    @property
+    def is_inverting(self) -> bool:
+        """True for gates whose output inverts their 'base' function."""
+        return self in (GateType.NAND, GateType.NOR, GateType.NOT, GateType.XNOR)
+
+    @property
+    def controlling_value(self) -> int | None:
+        """The input value that alone determines the output, if any.
+
+        AND/NAND are controlled by 0; OR/NOR by 1.  NOT/BUF/XOR/XNOR have
+        no controlling value.  Used by fault equivalence collapsing.
+        """
+        if self in (GateType.AND, GateType.NAND):
+            return 0
+        if self in (GateType.OR, GateType.NOR):
+            return 1
+        return None
+
+    @property
+    def min_inputs(self) -> int:
+        """Smallest legal fan-in for the gate type."""
+        if self in (GateType.NOT, GateType.BUF):
+            return 1
+        return 2
+
+    @property
+    def max_inputs(self) -> int | None:
+        """Largest legal fan-in (None means unbounded)."""
+        if self in (GateType.NOT, GateType.BUF):
+            return 1
+        return None
+
+
+#: Aliases accepted by the ``.bench`` parser (ISCAS files vary in spelling).
+BENCH_TYPE_ALIASES = {
+    "AND": GateType.AND,
+    "NAND": GateType.NAND,
+    "OR": GateType.OR,
+    "NOR": GateType.NOR,
+    "NOT": GateType.NOT,
+    "INV": GateType.NOT,
+    "BUF": GateType.BUF,
+    "BUFF": GateType.BUF,
+    "XOR": GateType.XOR,
+    "XNOR": GateType.XNOR,
+}

@@ -1,0 +1,26 @@
+"""Benchmark circuits: the real ISCAS-89 ``s27`` plus a synthetic family.
+
+The paper evaluates on twelve ISCAS-89 circuits.  Only ``s27`` (the
+worked-example circuit, fully specified in the literature) ships verbatim;
+the remaining netlists are not redistributable here, so the catalog
+provides seeded *synthetic* circuits whose PI/PO/flop/gate counts match the
+corresponding ISCAS-89 entries.  See DESIGN.md §3 for the substitution
+argument.
+"""
+
+from repro.circuits.catalog import (
+    PAPER_CIRCUITS,
+    available_circuits,
+    load_circuit,
+    paper_t0_s27,
+)
+from repro.circuits.generator import SyntheticSpec, generate_circuit
+
+__all__ = [
+    "PAPER_CIRCUITS",
+    "available_circuits",
+    "load_circuit",
+    "paper_t0_s27",
+    "SyntheticSpec",
+    "generate_circuit",
+]

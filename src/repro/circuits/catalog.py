@@ -1,0 +1,128 @@
+"""Catalog of benchmark circuits used by the experiments.
+
+``s27`` is the genuine ISCAS-89 netlist (it appears in full in the
+literature, including the paper's own worked example).  Every other entry
+is a synthetic stand-in generated with a pinned seed and a size profile
+matched to the corresponding ISCAS-89 circuit; see DESIGN.md §3.
+"""
+
+from __future__ import annotations
+
+from importlib import resources
+
+from repro.circuit.bench_io import parse_bench
+from repro.circuit.netlist import Circuit
+from repro.circuits.generator import SyntheticSpec, generate_circuit
+from repro.core.sequence import TestSequence
+from repro.errors import CatalogError
+
+#: Size profiles of the ISCAS-89 circuits evaluated in the paper
+#: (inputs, outputs, flip-flops, gates).  Published interface counts.
+_ISCAS_PROFILES: dict[str, tuple[int, int, int, int]] = {
+    "s298": (3, 6, 14, 119),
+    "s344": (9, 11, 15, 160),
+    "s382": (3, 6, 21, 158),
+    "s400": (3, 6, 21, 162),
+    "s526": (3, 6, 21, 193),
+    "s641": (35, 24, 19, 379),
+    "s820": (18, 19, 5, 289),
+    "s1196": (14, 14, 18, 529),
+    "s1423": (17, 5, 74, 657),
+    "s1488": (8, 19, 6, 653),
+    "s5378": (35, 49, 179, 2779),
+    "s35932": (35, 320, 1728, 16065),
+}
+
+#: Pinned generator seeds, one per synthetic circuit.  Chosen by a small
+#: offline search (8 candidate seeds per profile, keeping the circuit with
+#: the best 300-vector random-pattern fault coverage); the three largest
+#: circuits use the first candidate seed directly.
+_SEEDS: dict[str, int] = {
+    "s298": 19992986,
+    "s344": 19993445,
+    "s382": 19993825,
+    "s400": 19994001,
+    "s526": 19995264,
+    "s641": 19996417,
+    "s820": 19998201,
+    "s1196": 20001963,
+    "s1488": 20004884,
+    "s1423": 20004230,
+    "s5378": 20043780,
+    "s35932": 20349320,
+}
+
+#: The circuits of the paper's evaluation, in Table 3 order.
+PAPER_CIRCUITS: tuple[str, ...] = (
+    "s298",
+    "s344",
+    "s382",
+    "s400",
+    "s526",
+    "s641",
+    "s820",
+    "s1196",
+    "s1423",
+    "s1488",
+    "s5378",
+    "s35932",
+)
+
+
+def available_circuits() -> list[str]:
+    """Names accepted by :func:`load_circuit`."""
+    return ["s27"] + [f"syn{name[1:]}" for name in PAPER_CIRCUITS]
+
+
+def load_circuit(name: str) -> Circuit:
+    """Load a benchmark circuit by name.
+
+    ``"s27"`` loads the embedded real netlist.  ``"syn298"`` (etc.) loads
+    the synthetic stand-in for the ISCAS-89 circuit of the same number.
+    ``"s298"`` (etc.) is accepted as an alias for the synthetic stand-in so
+    harness code can use the paper's names directly.
+    """
+    if name == "s27":
+        text = (
+            resources.files("repro.circuits")
+            .joinpath("data/s27.bench")
+            .read_text(encoding="utf-8")
+        )
+        return parse_bench(text, name="s27")
+    key = name
+    if key.startswith("syn"):
+        key = "s" + key[3:]
+    if key not in _ISCAS_PROFILES:
+        raise CatalogError(
+            f"unknown circuit {name!r}; available: {available_circuits()}"
+        )
+    inputs, outputs, flops, gates = _ISCAS_PROFILES[key]
+    spec = SyntheticSpec(
+        name=f"syn{key[1:]}",
+        num_inputs=inputs,
+        num_outputs=outputs,
+        num_flops=flops,
+        num_gates=gates,
+        seed=_SEEDS[key],
+    )
+    return generate_circuit(spec)
+
+
+def paper_t0_s27() -> TestSequence:
+    """The 10-vector ``s27`` test sequence of the paper's Table 2.
+
+    Vector bits are in PI order ``(G0, G1, G2, G3)``.
+    """
+    rows = [
+        "0111",
+        "1001",
+        "0111",
+        "1001",
+        "0100",
+        "1011",
+        "1001",
+        "0000",
+        "0000",
+        "1011",
+    ]
+    return TestSequence.from_strings(rows)

@@ -1,0 +1,230 @@
+"""Seeded generator of ISCAS-like synchronous sequential circuits.
+
+The ISCAS-89 netlists other than ``s27`` are not redistributable inside
+this repository, so the benchmark suite substitutes synthetic circuits with
+matched interface and size profiles (same number of PIs, POs, flip-flops
+and gates as the corresponding ISCAS-89 circuit).  The generator is fully
+deterministic given a seed.
+
+Design choices that matter for the reproduction:
+
+* **Acyclic by construction** — gate ``k`` only reads signals created
+  before it, so combinational cycles are impossible; sequential feedback
+  arises through the flip-flops.
+* **Initializable by construction** — each flip-flop's D input is a
+  dedicated 2-input gate with one *direct primary input* operand whose
+  controlling value forces the gate output to a binary value.  Random input
+  sequences therefore flush the unknown initial state quickly, which the
+  paper's detection semantics (both machines start all-X) require for
+  meaningful fault coverage.
+* **No dead logic** — a fix-up pass wires every otherwise-unloaded gate
+  into a later gate (or exposes it as a PO), so every fault site is at
+  least structurally connected to an observation point, as in the real
+  ISCAS netlists.
+* **ISCAS-like composition** — fan-in is mostly 2 with some 3/4, the type
+  mix is NAND/NOR-heavy with inverters and a few XORs, and fan-out follows
+  the heavy-tailed pattern of real netlists (a few high-fan-out stems).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.netlist import Circuit
+from repro.circuit.types import GateType
+from repro.util.rng import SplitMix64
+
+#: (gate type, weight) for the bulk of the combinational logic.
+_TYPE_WEIGHTS = [
+    (GateType.NAND, 24),
+    (GateType.NOR, 18),
+    (GateType.AND, 16),
+    (GateType.OR, 14),
+    (GateType.NOT, 18),
+    (GateType.BUF, 4),
+    (GateType.XOR, 6),
+]
+
+#: (fan-in, weight) for multi-input gates.
+_FANIN_WEIGHTS = [(2, 60), (3, 25), (4, 15)]
+
+#: Gate types that accept extra inputs during the dead-logic fix-up.
+_EXTENDABLE = {GateType.AND, GateType.NAND, GateType.OR, GateType.NOR}
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """Size profile of a synthetic circuit."""
+
+    name: str
+    num_inputs: int
+    num_outputs: int
+    num_flops: int
+    num_gates: int
+    seed: int
+
+    def __post_init__(self) -> None:
+        if self.num_inputs < 1:
+            raise ValueError("a circuit needs at least one primary input")
+        if self.num_outputs < 1:
+            raise ValueError("a circuit needs at least one primary output")
+        if self.num_gates < self.num_flops + 1:
+            raise ValueError(
+                "num_gates must leave room for one driver gate per flop "
+                f"(need > {self.num_flops}, got {self.num_gates})"
+            )
+
+
+def _weighted_choice(rng: SplitMix64, table: list[tuple[object, int]]) -> object:
+    total = sum(weight for _, weight in table)
+    pick = rng.randint(0, total - 1)
+    for item, weight in table:
+        pick -= weight
+        if pick < 0:
+            return item
+    return table[-1][0]  # pragma: no cover - unreachable
+
+
+def generate_circuit(spec: SyntheticSpec) -> Circuit:
+    """Generate a validated synthetic circuit for ``spec``."""
+    rng = SplitMix64(spec.seed)
+    input_names = [f"I{i}" for i in range(spec.num_inputs)]
+    flop_names = [f"Q{i}" for i in range(spec.num_flops)]
+    d_names = [f"D{i}" for i in range(spec.num_flops)]
+
+    # Gate records as mutable lists: (name, type, [operands]).
+    records: list[tuple[str, GateType, list[str]]] = []
+    pool: list[str] = list(input_names) + list(flop_names)
+    gate_names: list[str] = []
+    creation_index: dict[str, int] = {}
+
+    def pick_operand(recent_bias: float) -> str:
+        # A small direct-PI tap keeps even flop-heavy circuits controllable.
+        if input_names and rng.random() < 0.15:
+            return input_names[rng.randint(0, len(input_names) - 1)]
+        if gate_names and rng.random() < recent_bias:
+            window = max(1, len(gate_names) // 4)
+            return gate_names[
+                rng.randint(len(gate_names) - window, len(gate_names) - 1)
+            ]
+        return pool[rng.randint(0, len(pool) - 1)]
+
+    body_gate_count = spec.num_gates - spec.num_flops
+    for index in range(body_gate_count):
+        name = f"N{index}"
+        gate_type = _weighted_choice(rng, _TYPE_WEIGHTS)
+        fanin = (
+            1
+            if gate_type in (GateType.NOT, GateType.BUF)
+            else _weighted_choice(rng, _FANIN_WEIGHTS)
+        )
+        operands: list[str] = []
+        for _ in range(fanin):
+            operand = pick_operand(recent_bias=0.25)
+            retries = 0
+            while operand in operands and retries < 4:
+                operand = pick_operand(recent_bias=0.1)
+                retries += 1
+            operands.append(operand)
+        records.append((name, gate_type, operands))
+        creation_index[name] = index
+        gate_names.append(name)
+        pool.append(name)
+
+    # Flop D drivers.  Flops are organized into shift-register chains with
+    # XOR-rich stage logic (nonlinear feedback shift registers): chain
+    # heads are driven from a primary input, so the state is controllable
+    # and initializable, and XOR stages preserve information, so random
+    # stimulus traverses a rich, reachable state space — the property that
+    # makes the real ISCAS controllers random-testable.
+    d_types = [GateType.NAND, GateType.NOR, GateType.AND, GateType.OR]
+    chain_position = 0  # 0 = head of a chain
+    chain_remaining = 0
+    for index, d_name in enumerate(d_names):
+        if chain_remaining == 0:
+            chain_remaining = rng.randint(3, 8)
+            chain_position = 0
+        if chain_position == 0:
+            # Chain head: PI-driven through a controlling-value gate, so
+            # the PI alone can force the head binary and the X initial
+            # state flushes down the chain.
+            pi = input_names[index % len(input_names)]
+            other = pick_operand(recent_bias=0.5)
+            if other == pi and len(pool) > 1:
+                other = pool[rng.randint(0, len(pool) - 1)]
+            gate_type = d_types[rng.randint(0, len(d_types) - 1)]
+            records.append((d_name, gate_type, [pi, other]))
+        else:
+            previous_q = flop_names[index - 1]
+            other = pick_operand(recent_bias=0.3)
+            if other == previous_q and len(pool) > 1:
+                other = pool[rng.randint(0, len(pool) - 1)]
+            if rng.random() < 0.65:
+                records.append((d_name, GateType.XOR, [previous_q, other]))
+            else:
+                gate_type = d_types[rng.randint(0, len(d_types) - 1)]
+                records.append((d_name, gate_type, [previous_q, other]))
+        chain_position += 1
+        chain_remaining -= 1
+        creation_index[d_name] = body_gate_count + index
+
+    # Primary outputs: late body gates, preferring currently-unloaded ones.
+    loaded: set[str] = set()
+    for _, _, operands in records:
+        loaded.update(operands)
+    unloaded_late = [g for g in reversed(gate_names) if g not in loaded]
+    outputs: list[str] = []
+    for name in unloaded_late:
+        if len(outputs) == spec.num_outputs:
+            break
+        outputs.append(name)
+    for name in reversed(gate_names):
+        if len(outputs) == spec.num_outputs:
+            break
+        if name not in outputs:
+            outputs.append(name)
+    for name in flop_names + input_names:
+        if len(outputs) == spec.num_outputs:
+            break
+        if name not in outputs:
+            outputs.append(name)
+
+    # Dead-logic fix-up: every body gate that is neither loaded nor a PO
+    # gets wired as an extra input of a later extendable gate; if none
+    # exists it becomes an additional PO.
+    loaded = set(outputs)
+    for _, _, operands in records:
+        loaded.update(operands)
+    by_name = {name: (name, t, ops) for name, t, ops in records}
+    extendable_order = [
+        name
+        for name, gate_type, _ in records
+        if gate_type in _EXTENDABLE
+    ]
+    for name in gate_names:
+        if name in loaded:
+            continue
+        later = [
+            candidate
+            for candidate in extendable_order
+            if creation_index[candidate] > creation_index[name]
+            and len(by_name[candidate][2]) < 6
+        ]
+        if later:
+            target = later[rng.randint(0, len(later) - 1)]
+            by_name[target][2].append(name)
+        else:
+            outputs.append(name)
+        loaded.add(name)
+
+    builder = CircuitBuilder(spec.name)
+    for pi in input_names:
+        builder.add_input(pi)
+    for q, d in zip(flop_names, d_names):
+        builder.add_flop(q, d)
+    for name, gate_type, operands in records:
+        builder.add_gate(name, gate_type, operands)
+    for po in outputs:
+        builder.add_output(po)
+    return builder.build()

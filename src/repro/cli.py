@@ -1,0 +1,209 @@
+"""Command line interface: ``repro-bist`` / ``python -m repro``.
+
+Subcommands:
+
+* ``info`` — list available circuits and their statistics.
+* ``atpg`` — generate a test sequence ``T0`` for a circuit.
+* ``run`` — run the load-and-expand scheme on one circuit.
+* ``tables`` — regenerate the paper's Tables 3-5 for a suite.
+* ``figure1`` — regenerate Figure 1 for one circuit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.atpg.config import AtpgConfig
+from repro.atpg.engine import generate_t0
+from repro.circuit.analysis import circuit_stats
+from repro.circuits.catalog import available_circuits, load_circuit, paper_t0_s27
+from repro.core.config import SelectionConfig
+from repro.core.ops import ExpansionConfig
+from repro.core.scheme import LoadAndExpandScheme
+from repro.harness.figures import render_figure1
+from repro.harness.runner import run_suite
+from repro.util.text import format_table
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    rows = []
+    for name in available_circuits():
+        stats = circuit_stats(load_circuit(name))
+        rows.append(
+            [
+                name,
+                stats.num_inputs,
+                stats.num_outputs,
+                stats.num_flops,
+                stats.num_gates,
+                stats.depth,
+            ]
+        )
+    print(
+        format_table(
+            ["circuit", "inputs", "outputs", "flops", "gates", "depth"],
+            rows,
+            title="Available circuits",
+        )
+    )
+    return 0
+
+
+def _cmd_atpg(args: argparse.Namespace) -> int:
+    circuit = load_circuit(args.circuit)
+    config = AtpgConfig(seed=args.seed, max_length=args.max_length)
+    result = generate_t0(circuit, config)
+    print(
+        f"{result.circuit_name}: {result.detected}/{result.total_faults} faults "
+        f"({result.coverage:.1%}), length {result.length}"
+    )
+    for line in result.phase_log:
+        print("  " + line)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            for row in result.sequence.to_strings():
+                handle.write(row + "\n")
+        print(f"T0 written to {args.output}")
+    return 0
+
+
+def _get_t0(args: argparse.Namespace, circuit) -> object:
+    if args.circuit == "s27" and not args.atpg_t0:
+        return paper_t0_s27()
+    config = AtpgConfig(seed=args.seed, max_length=args.max_length)
+    return generate_t0(circuit, config).sequence
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    circuit = load_circuit(args.circuit)
+    t0 = _get_t0(args, circuit)
+    scheme = LoadAndExpandScheme(circuit)
+    config = SelectionConfig(
+        expansion=ExpansionConfig(repetitions=args.n), seed=args.seed
+    )
+    run = scheme.run(t0, config)
+    result = run.result
+    print(
+        f"{result.circuit_name} n={result.repetitions}: "
+        f"T0 len {result.t0_length}, faults {result.detected_by_t0}/"
+        f"{result.total_faults} detected by T0"
+    )
+    print(
+        f"  before compaction: |S|={result.num_sequences_before} "
+        f"tot={result.total_length_before} max={result.max_length_before}"
+    )
+    print(
+        f"  after  compaction: |S|={result.num_sequences_after} "
+        f"tot={result.total_length_after} max={result.max_length_after}"
+    )
+    print(
+        f"  ratios: tot/len={result.total_ratio:.2f} max/len={result.max_ratio:.2f}; "
+        f"applied at-speed vectors: {result.applied_test_length}"
+    )
+    print(f"  coverage preserved: {result.coverage_preserved}")
+    if args.figure:
+        print()
+        print(render_figure1(run))
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    n_values = tuple(args.n) if args.n else None
+    result = run_suite(args.suite, n_values=n_values, progress=print)
+    print()
+    print(result.tables())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.harness.report import write_experiments_report
+
+    result = run_suite(args.suite, progress=print)
+    write_experiments_report(result, args.output)
+    print(f"report written to {args.output}")
+    return 0
+
+
+def _cmd_figure1(args: argparse.Namespace) -> int:
+    circuit = load_circuit(args.circuit)
+    t0 = _get_t0(args, circuit)
+    scheme = LoadAndExpandScheme(circuit)
+    config = SelectionConfig(
+        expansion=ExpansionConfig(repetitions=args.n), seed=args.seed
+    )
+    run = scheme.run(t0, config)
+    print(render_figure1(run))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bist",
+        description=(
+            "Reproduction of Pomeranz & Reddy (DAC 1999): built-in test "
+            "sequence generation by loading and expansion of test subsequences"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="list available circuits").set_defaults(
+        func=_cmd_info
+    )
+
+    atpg = sub.add_parser("atpg", help="generate a test sequence T0")
+    atpg.add_argument("--circuit", required=True)
+    atpg.add_argument("--seed", type=int, default=20_1999)
+    atpg.add_argument("--max-length", type=int, default=600)
+    atpg.add_argument("--output", help="write T0 vectors to a file")
+    atpg.set_defaults(func=_cmd_atpg)
+
+    run = sub.add_parser("run", help="run the load-and-expand scheme")
+    run.add_argument("--circuit", required=True)
+    run.add_argument("--n", type=int, default=4, help="repetition count n")
+    run.add_argument("--seed", type=int, default=1999)
+    run.add_argument("--max-length", type=int, default=600)
+    run.add_argument(
+        "--atpg-t0",
+        action="store_true",
+        help="use ATPG-generated T0 even for s27 (default: paper's T0)",
+    )
+    run.add_argument("--figure", action="store_true", help="print Figure 1")
+    run.set_defaults(func=_cmd_run)
+
+    tables = sub.add_parser("tables", help="regenerate Tables 3-5 for a suite")
+    tables.add_argument(
+        "--suite", choices=["quick", "standard", "full"], default=None
+    )
+    tables.add_argument(
+        "--n", type=int, nargs="*", help="override the repetition sweep"
+    )
+    tables.set_defaults(func=_cmd_tables)
+
+    figure = sub.add_parser("figure1", help="regenerate Figure 1")
+    figure.add_argument("--circuit", required=True)
+    figure.add_argument("--n", type=int, default=4)
+    figure.add_argument("--seed", type=int, default=1999)
+    figure.add_argument("--max-length", type=int, default=600)
+    figure.add_argument("--atpg-t0", action="store_true")
+    figure.set_defaults(func=_cmd_figure1)
+
+    report = sub.add_parser(
+        "report", help="run a suite and write the EXPERIMENTS.md report"
+    )
+    report.add_argument(
+        "--suite", choices=["quick", "standard", "full"], default=None
+    )
+    report.add_argument("--output", default="EXPERIMENTS.md")
+    report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

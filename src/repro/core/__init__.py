@@ -1,0 +1,48 @@
+"""The paper's contribution: subsequence selection and on-chip expansion.
+
+Public entry points:
+
+* :class:`~repro.core.sequence.TestSequence` — an input sequence.
+* :func:`~repro.core.ops.expand` — the Section 2 expansion function.
+* :class:`~repro.core.scheme.LoadAndExpandScheme` — end-to-end Procedure 1
+  + Procedure 2 + static compaction, producing a
+  :class:`~repro.core.scheme.SchemeResult`.
+"""
+
+from repro.core.sequence import TestSequence
+from repro.core.ops import (
+    ExpansionConfig,
+    complement,
+    concat,
+    expand,
+    expanded_length,
+    hold,
+    repeat,
+    reverse,
+    shift_left,
+)
+from repro.core.config import SelectionConfig
+from repro.core.procedure2 import build_subsequence_for_fault
+from repro.core.procedure1 import select_subsequences, SelectionResult
+from repro.core.postprocess import statically_compact
+from repro.core.scheme import LoadAndExpandScheme, SchemeResult
+
+__all__ = [
+    "TestSequence",
+    "ExpansionConfig",
+    "complement",
+    "concat",
+    "expand",
+    "expanded_length",
+    "hold",
+    "repeat",
+    "reverse",
+    "shift_left",
+    "SelectionConfig",
+    "build_subsequence_for_fault",
+    "select_subsequences",
+    "SelectionResult",
+    "statically_compact",
+    "LoadAndExpandScheme",
+    "SchemeResult",
+]

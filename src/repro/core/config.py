@@ -1,0 +1,59 @@
+"""Configuration records for the selection procedures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.ops import ExpansionConfig
+
+
+@dataclass(frozen=True)
+class SelectionConfig:
+    """Parameters of Procedures 1 and 2 and their simulation batching.
+
+    Attributes:
+        expansion: the expansion function parameters (the paper's ``n``
+            and the operator set).
+        seed: master seed for the random omission order of Procedure 2.
+            Every fault gets an independent deterministic substream, so
+            results do not depend on the order faults are processed in.
+        search_batch_width: how many ``ustart`` candidates Procedure 2
+            simulates per bit-parallel pass.
+        omission_batch_width: how many single-vector omissions Procedure 2
+            simulates per bit-parallel pass.
+        fault_batch_width: slots per pass in parallel-fault simulations.
+        skip_omission: disable the vector-omission phase of Procedure 2
+            (ablation switch; the paper always runs it).
+    """
+
+    expansion: ExpansionConfig = field(default_factory=ExpansionConfig)
+    seed: int = 1999
+    search_batch_width: int = 32
+    omission_batch_width: int = 96
+    fault_batch_width: int = 192
+    skip_omission: bool = False
+
+    def __post_init__(self) -> None:
+        if self.search_batch_width < 1:
+            raise ValueError("search_batch_width must be >= 1")
+        if self.omission_batch_width < 1:
+            raise ValueError("omission_batch_width must be >= 1")
+        if self.fault_batch_width < 1:
+            raise ValueError("fault_batch_width must be >= 1")
+
+    def with_repetitions(self, repetitions: int) -> "SelectionConfig":
+        """A copy with a different expansion repetition count ``n``."""
+        expansion = ExpansionConfig(
+            repetitions=repetitions,
+            use_complement=self.expansion.use_complement,
+            use_shift=self.expansion.use_shift,
+            use_reverse=self.expansion.use_reverse,
+        )
+        return SelectionConfig(
+            expansion=expansion,
+            seed=self.seed,
+            search_batch_width=self.search_batch_width,
+            omission_batch_width=self.omission_batch_width,
+            fault_batch_width=self.fault_batch_width,
+            skip_omission=self.skip_omission,
+        )

@@ -1,0 +1,90 @@
+"""Coverage diagnostics for a selected set ``S``.
+
+Section 3.2's static compaction exists because Procedure 1 greedily adds
+sequences whose fault sets later become redundant.  These helpers expose
+that structure:
+
+* :func:`coverage_matrix` — which faults each expanded sequence detects;
+* :func:`overlap_histogram` — how many faults are covered by exactly
+  ``k`` sequences (``k = 1`` faults pin their sequence in place);
+* :func:`essential_sequences` — sequences that are the *only* cover of
+  some fault and therefore survive every compaction order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.ops import ExpansionConfig, expand
+from repro.core.procedure1 import SelectedSequence
+from repro.faults.model import Fault
+from repro.sim.compiled import CompiledCircuit
+from repro.sim.faultsim import FaultSimulator
+
+
+@dataclass(frozen=True)
+class CoverageDiagnostics:
+    """Joint coverage structure of a selected set."""
+
+    detected_by: dict[int, frozenset[Fault]]  # sequence index -> faults
+    target_faults: frozenset[Fault]
+
+    def sequences_covering(self, fault: Fault) -> list[int]:
+        """Indices of the sequences whose expansion detects ``fault``."""
+        return [
+            index
+            for index, detected in sorted(self.detected_by.items())
+            if fault in detected
+        ]
+
+    def uncovered(self) -> frozenset[Fault]:
+        """Target faults no sequence covers (empty for a valid scheme)."""
+        covered: set[Fault] = set()
+        for detected in self.detected_by.values():
+            covered |= detected
+        return self.target_faults - covered
+
+
+def coverage_matrix(
+    compiled: CompiledCircuit,
+    sequences: list[SelectedSequence],
+    expansion: ExpansionConfig,
+    target_faults: list[Fault],
+) -> CoverageDiagnostics:
+    """Fault-simulate every expanded sequence against the full target set.
+
+    Unlike Procedure 1 (which drops faults as they are covered), this
+    simulates *all* target faults under every sequence, exposing overlap.
+    """
+    simulator = FaultSimulator(compiled)
+    detected_by: dict[int, frozenset[Fault]] = {}
+    for entry in sequences:
+        expanded = expand(entry.sequence, expansion)
+        result = simulator.run(expanded, target_faults)
+        detected_by[entry.index] = frozenset(result.detection_time)
+    return CoverageDiagnostics(
+        detected_by=detected_by, target_faults=frozenset(target_faults)
+    )
+
+
+def overlap_histogram(diagnostics: CoverageDiagnostics) -> dict[int, int]:
+    """``{k: number of faults covered by exactly k sequences}``."""
+    histogram: dict[int, int] = {}
+    for fault in diagnostics.target_faults:
+        count = len(diagnostics.sequences_covering(fault))
+        histogram[count] = histogram.get(count, 0) + 1
+    return dict(sorted(histogram.items()))
+
+
+def essential_sequences(diagnostics: CoverageDiagnostics) -> list[int]:
+    """Sequence indices that uniquely cover at least one fault.
+
+    These survive any order of Section 3.2's passes: at their turn they
+    always detect their uniquely-covered faults.
+    """
+    essential: set[int] = set()
+    for fault in diagnostics.target_faults:
+        covering = diagnostics.sequences_covering(fault)
+        if len(covering) == 1:
+            essential.add(covering[0])
+    return sorted(essential)

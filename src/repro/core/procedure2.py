@@ -1,0 +1,132 @@
+"""Procedure 2: construct the subsequence ``T'`` for one target fault.
+
+Given a fault ``f`` detected by ``T0`` at time ``udet(f)``:
+
+1. **Window search** — find the largest ``ustart`` such that the expanded
+   version of ``T' = T0[ustart, udet(f)]`` detects ``f``, scanning
+   ``ustart = udet(f), udet(f)-1, ...``.  The scan always terminates: for
+   ``ustart = 0`` the unexpanded window detects ``f`` by definition of
+   ``udet``, and every expansion begins with a verbatim copy of ``T'``, so
+   the expanded window detects ``f`` too.
+2. **Vector omission** — repeatedly try to drop single vectors of ``T'``
+   in random order, keeping an omission whenever the expanded remainder
+   still detects ``f``, restarting the scan after every accepted omission
+   (paper Procedure 2 steps 4-9).
+
+Both phases batch their candidate sequences through
+:class:`~repro.sim.seqsim.SequenceBatchSimulator`; a batch of ``W``
+candidates costs about as much as simulating only the longest one, which
+is what makes this pure-Python reproduction feasible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import SelectionConfig
+from repro.core.ops import expand
+from repro.core.sequence import TestSequence
+from repro.errors import SelectionError
+from repro.faults.model import Fault
+from repro.sim.seqsim import SequenceBatchSimulator
+from repro.util.rng import SplitMix64, derive_seed
+
+
+@dataclass(frozen=True)
+class SubsequenceResult:
+    """Outcome of Procedure 2 for one fault."""
+
+    fault: Fault
+    subsequence: TestSequence
+    ustart: int
+    udet: int
+    window_length: int
+    omitted_vectors: int
+    candidates_simulated: int
+
+    @property
+    def final_length(self) -> int:
+        return len(self.subsequence)
+
+
+def build_subsequence_for_fault(
+    simulator: SequenceBatchSimulator,
+    t0: TestSequence,
+    fault: Fault,
+    udet: int,
+    config: SelectionConfig,
+    fault_salt: int = 0,
+) -> SubsequenceResult:
+    """Run Procedure 2 for ``fault`` with detection time ``udet``."""
+    if not 0 <= udet < len(t0):
+        raise SelectionError(
+            f"udet {udet} out of range for T0 of length {len(t0)}"
+        )
+    expansion = config.expansion
+    candidates_simulated = 0
+
+    # ------------------------------------------------------------------
+    # Phase 1: window search for ustart.
+    # ------------------------------------------------------------------
+    ustart: int | None = None
+    next_u = udet
+    while next_u >= 0 and ustart is None:
+        batch_starts = list(
+            range(next_u, max(-1, next_u - config.search_batch_width), -1)
+        )
+        windows = [t0.subsequence(u, udet) for u in batch_starts]
+        expanded = [expand(window, expansion) for window in windows]
+        outcomes = simulator.detects(fault, expanded)
+        candidates_simulated += len(expanded)
+        for u, detected in zip(batch_starts, outcomes):
+            if detected:
+                ustart = u
+                break
+        next_u = batch_starts[-1] - 1
+    if ustart is None:
+        # Cannot happen for a fault with a valid udet (see module docstring);
+        # guard anyway so a simulator bug surfaces loudly.
+        raise SelectionError(
+            f"Procedure 2 found no detecting window for {fault} "
+            f"(udet={udet}); the T0 prefix should always detect"
+        )
+    subsequence = t0.subsequence(ustart, udet)
+    window_length = len(subsequence)
+
+    # ------------------------------------------------------------------
+    # Phase 2: vector omission (skippable for ablation).
+    # ------------------------------------------------------------------
+    omitted = 0
+    if not config.skip_omission:
+        rng = SplitMix64(derive_seed(config.seed, fault_salt, ustart, udet))
+        while len(subsequence) > 1:
+            order = list(range(len(subsequence)))
+            rng.shuffle(order)
+            accepted_index: int | None = None
+            for start in range(0, len(order), config.omission_batch_width):
+                chunk = order[start : start + config.omission_batch_width]
+                candidates = [
+                    expand(subsequence.omit(index), expansion) for index in chunk
+                ]
+                outcomes = simulator.detects(fault, candidates)
+                candidates_simulated += len(candidates)
+                for index, detected in zip(chunk, outcomes):
+                    if detected:
+                        accepted_index = index
+                        break
+                if accepted_index is not None:
+                    break
+            if accepted_index is None:
+                break
+            subsequence = subsequence.omit(accepted_index)
+            omitted += 1
+
+    return SubsequenceResult(
+        fault=fault,
+        subsequence=subsequence,
+        ustart=ustart,
+        udet=udet,
+        window_length=window_length,
+        omitted_vectors=omitted,
+        candidates_simulated=candidates_simulated,
+    )

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch a single base class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class NetlistError(ReproError):
+    """A circuit netlist is structurally invalid (dangling nets, cycles...)."""
+
+
+class BenchFormatError(NetlistError):
+    """An ISCAS-89 ``.bench`` file could not be parsed."""
+
+
+class SimulationError(ReproError):
+    """A simulator was driven with inconsistent inputs or configuration."""
+
+
+class FaultModelError(ReproError):
+    """A fault refers to a line or site that does not exist in the circuit."""
+
+
+class SelectionError(ReproError):
+    """Procedure 1 / Procedure 2 could not make progress on a fault."""
+
+
+class AtpgError(ReproError):
+    """Test generation failed in a way that is not a normal 'fault aborted'."""
+
+
+class HardwareModelError(ReproError):
+    """The BIST hardware model was configured or driven inconsistently."""
+
+
+class CatalogError(ReproError):
+    """An unknown benchmark circuit name was requested from the catalog."""

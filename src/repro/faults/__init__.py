@@ -1,0 +1,16 @@
+"""Single stuck-at fault model: sites, collapsing, fault universe."""
+
+from repro.faults.model import Fault, FaultSite
+from repro.faults.sites import enumerate_sites, enumerate_faults
+from repro.faults.collapse import collapse_faults, CollapseResult
+from repro.faults.universe import FaultUniverse
+
+__all__ = [
+    "Fault",
+    "FaultSite",
+    "enumerate_sites",
+    "enumerate_faults",
+    "collapse_faults",
+    "CollapseResult",
+    "FaultUniverse",
+]

@@ -1,0 +1,40 @@
+"""Enumeration of stuck-at fault sites for a circuit."""
+
+from __future__ import annotations
+
+from repro.circuit.netlist import Circuit
+from repro.faults.model import BRANCH, STEM, Fault, FaultSite
+
+
+def enumerate_sites(circuit: Circuit) -> list[FaultSite]:
+    """All fault sites: one stem per signal, branches where fan-out > 1.
+
+    Site order is deterministic: signals in :meth:`Circuit.signals` order,
+    stem first, then branches in fan-out list order.
+    """
+    fanout = circuit.fanout()
+    sites: list[FaultSite] = []
+    for signal in circuit.signals():
+        sites.append(FaultSite(signal=signal, kind=STEM))
+        loads = fanout[signal]
+        if len(loads) > 1:
+            for load in loads:
+                sites.append(
+                    FaultSite(
+                        signal=signal,
+                        kind=BRANCH,
+                        sink=load.sink,
+                        pin=load.pin,
+                        load_kind=load.kind,
+                    )
+                )
+    return sites
+
+
+def enumerate_faults(circuit: Circuit) -> list[Fault]:
+    """The full (uncollapsed) stuck-at fault list: every site, both values."""
+    faults: list[Fault] = []
+    for site in enumerate_sites(circuit):
+        faults.append(Fault(site=site, stuck_value=0))
+        faults.append(Fault(site=site, stuck_value=1))
+    return faults

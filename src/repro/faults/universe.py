@@ -1,0 +1,70 @@
+"""The fault universe: the collapsed fault list a campaign works against.
+
+A :class:`FaultUniverse` freezes the collapsed representative faults of a
+circuit, assigns them stable integer ids, and provides the bookkeeping the
+selection procedures need (id <-> fault lookups, subset views).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.circuit.netlist import Circuit
+from repro.faults.collapse import CollapseResult, collapse_faults
+from repro.faults.model import Fault
+
+
+class FaultUniverse:
+    """Collapsed stuck-at faults of one circuit, with stable ids."""
+
+    def __init__(self, circuit: Circuit, collapse: CollapseResult | None = None) -> None:
+        self._circuit = circuit
+        self._collapse = collapse if collapse is not None else collapse_faults(circuit)
+        self._faults: tuple[Fault, ...] = self._collapse.representatives
+        self._id_of: dict[Fault, int] = {
+            fault: index for index, fault in enumerate(self._faults)
+        }
+
+    @property
+    def circuit(self) -> Circuit:
+        return self._circuit
+
+    @property
+    def collapse_result(self) -> CollapseResult:
+        return self._collapse
+
+    @property
+    def total_uncollapsed(self) -> int:
+        return self._collapse.total_uncollapsed
+
+    def __len__(self) -> int:
+        return len(self._faults)
+
+    def __iter__(self) -> Iterator[Fault]:
+        return iter(self._faults)
+
+    def faults(self) -> tuple[Fault, ...]:
+        """All representative faults, in id order."""
+        return self._faults
+
+    def fault(self, fault_id: int) -> Fault:
+        """The fault with the given id."""
+        return self._faults[fault_id]
+
+    def id_of(self, fault: Fault) -> int:
+        """The id of a representative fault."""
+        try:
+            return self._id_of[fault]
+        except KeyError:
+            representative = self._collapse.class_of.get(fault)
+            if representative is not None and representative in self._id_of:
+                return self._id_of[representative]
+            raise
+
+    def ids(self, faults: Iterable[Fault]) -> list[int]:
+        """Ids for a collection of faults."""
+        return [self.id_of(fault) for fault in faults]
+
+    def subset(self, fault_ids: Iterable[int]) -> list[Fault]:
+        """Faults for a collection of ids (order preserved)."""
+        return [self._faults[fault_id] for fault_id in fault_ids]

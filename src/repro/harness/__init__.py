@@ -1,0 +1,30 @@
+"""Experiment harness: regenerates every table and figure of the paper."""
+
+from repro.harness.suite import SuiteSpec, suite_circuits, resolve_suite
+from repro.harness.experiment import (
+    CircuitExperiment,
+    ExperimentRecord,
+    run_circuit_experiment,
+)
+from repro.harness.paper_data import PAPER_TABLE3, PAPER_TABLE4, PAPER_TABLE5
+from repro.harness.tables import render_table3, render_table4, render_table5
+from repro.harness.figures import figure1_intervals, render_figure1
+from repro.harness.runner import run_suite
+
+__all__ = [
+    "SuiteSpec",
+    "suite_circuits",
+    "resolve_suite",
+    "CircuitExperiment",
+    "ExperimentRecord",
+    "run_circuit_experiment",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+    "PAPER_TABLE5",
+    "render_table3",
+    "render_table4",
+    "render_table5",
+    "figure1_intervals",
+    "render_figure1",
+    "run_suite",
+]

@@ -1,0 +1,116 @@
+"""Per-circuit experiment: T0 generation, the n-sweep, best-n selection.
+
+Mirrors Section 4 of the paper: four runs with ``n in {2, 4, 8, 16}``,
+reporting the run with the best ``n`` — "the one that results in the
+smallest maximum sequence length of any sequence in S, and the smallest
+total length of all the sequences in S, at the lowest run time (in this
+order)".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.atpg.config import AtpgConfig
+from repro.atpg.engine import AtpgResult, generate_t0
+from repro.circuits.catalog import load_circuit, paper_t0_s27
+from repro.core.config import SelectionConfig
+from repro.core.ops import ExpansionConfig
+from repro.core.scheme import LoadAndExpandScheme, SchemeRun
+from repro.core.sequence import TestSequence
+from repro.faults.universe import FaultUniverse
+from repro.harness.suite import SuiteSpec
+from repro.sim.compiled import CompiledCircuit
+
+#: Process-wide cache of generated T0s, keyed by (circuit, atpg config).
+_T0_CACHE: dict[tuple, AtpgResult] = {}
+
+
+@dataclass
+class CircuitExperiment:
+    """Prepared inputs of one circuit's experiment."""
+
+    spec: SuiteSpec
+    compiled: CompiledCircuit
+    universe: FaultUniverse
+    t0: TestSequence
+    t0_source: str  # "paper" (s27) or "atpg"
+    atpg_result: AtpgResult | None
+
+
+@dataclass
+class ExperimentRecord:
+    """All n-sweep results for one circuit plus the best run."""
+
+    experiment: CircuitExperiment
+    runs: dict[int, SchemeRun] = field(default_factory=dict)
+
+    @property
+    def circuit_name(self) -> str:
+        return self.experiment.compiled.circuit.name
+
+    @property
+    def paper_name(self) -> str:
+        return self.experiment.spec.paper_name
+
+    @property
+    def best_n(self) -> int:
+        """The paper's best-n rule over the sweep."""
+        def key(n: int):
+            result = self.runs[n].result
+            return (
+                result.max_length_after,
+                result.total_length_after,
+                result.procedure1_seconds,
+            )
+
+        return min(self.runs, key=key)
+
+    @property
+    def best_run(self) -> SchemeRun:
+        return self.runs[self.best_n]
+
+
+def prepare_experiment(spec: SuiteSpec) -> CircuitExperiment:
+    """Load the circuit and obtain its ``T0``."""
+    circuit = load_circuit(spec.circuit)
+    compiled = CompiledCircuit(circuit)
+    universe = FaultUniverse(circuit)
+    if spec.circuit == "s27":
+        return CircuitExperiment(
+            spec=spec,
+            compiled=compiled,
+            universe=universe,
+            t0=paper_t0_s27(),
+            t0_source="paper",
+            atpg_result=None,
+        )
+    cache_key = (spec.circuit, spec.atpg)
+    if cache_key not in _T0_CACHE:
+        _T0_CACHE[cache_key] = generate_t0(compiled, spec.atpg, universe=universe)
+    atpg = _T0_CACHE[cache_key]
+    return CircuitExperiment(
+        spec=spec,
+        compiled=compiled,
+        universe=universe,
+        t0=atpg.sequence,
+        t0_source="atpg",
+        atpg_result=atpg,
+    )
+
+
+def run_circuit_experiment(
+    spec: SuiteSpec,
+    n_values: tuple[int, ...] | None = None,
+    selection_seed: int = 1999,
+) -> ExperimentRecord:
+    """Run the full n-sweep for one suite entry."""
+    experiment = prepare_experiment(spec)
+    record = ExperimentRecord(experiment=experiment)
+    scheme = LoadAndExpandScheme(experiment.compiled)
+    for n in n_values or spec.n_values:
+        config = SelectionConfig(
+            expansion=ExpansionConfig(repetitions=n), seed=selection_seed
+        )
+        record.runs[n] = scheme.run(experiment.t0, config)
+    return record

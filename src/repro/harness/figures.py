@@ -1,0 +1,71 @@
+"""Figure 1 regeneration: selected subsequences on the ``T0`` timeline.
+
+The paper's Figure 1 is a conceptual diagram showing subsequences
+``S1, S2, S3`` as intervals of ``T0``.  We regenerate it as *measured*
+data: the ``[ustart, udet]`` window of every selected subsequence drawn
+over the ``T0`` axis, which also visualizes the headline effect — the
+selected windows cover well under all of ``T0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.scheme import SchemeRun
+
+
+@dataclass(frozen=True)
+class SubsequenceInterval:
+    """One selected subsequence's position on the T0 axis."""
+
+    index: int
+    start: int
+    end: int
+    final_length: int  # after omission, <= window length
+
+    @property
+    def window_length(self) -> int:
+        return self.end - self.start + 1
+
+
+def figure1_intervals(run: SchemeRun) -> list[SubsequenceInterval]:
+    """The measured intervals behind Figure 1 for one scheme run."""
+    return [
+        SubsequenceInterval(
+            index=entry.index,
+            start=entry.ustart,
+            end=entry.udet,
+            final_length=entry.length,
+        )
+        for entry in run.selection.sequences
+    ]
+
+
+def render_figure1(run: SchemeRun, axis_width: int = 72) -> str:
+    """ASCII rendering of Figure 1 for one scheme run."""
+    t0_length = run.result.t0_length
+    if t0_length == 0:
+        return "(empty T0)"
+    scale = axis_width / t0_length
+    lines = [
+        f"Figure 1: subsequences of T0 (circuit {run.result.circuit_name}, "
+        f"n={run.result.repetitions})",
+        "T0  |" + "-" * axis_width + f"|  len={t0_length}",
+    ]
+    for interval in figure1_intervals(run):
+        left = int(interval.start * scale)
+        width = max(1, int(interval.window_length * scale))
+        width = min(width, axis_width - left)
+        bar = " " * left + "=" * width
+        lines.append(
+            f"S{interval.index:<3}|{bar.ljust(axis_width)}|  "
+            f"[{interval.start},{interval.end}] kept {interval.final_length}"
+        )
+    covered = set()
+    for interval in figure1_intervals(run):
+        covered.update(range(interval.start, interval.end + 1))
+    lines.append(
+        f"window coverage of T0: {len(covered)}/{t0_length} time units "
+        f"({len(covered) / t0_length:.0%})"
+    )
+    return "\n".join(lines)

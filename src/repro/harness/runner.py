@@ -1,0 +1,55 @@
+"""Top-level suite runner used by the benchmarks and the CLI."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.harness.experiment import ExperimentRecord, run_circuit_experiment
+from repro.harness.suite import SuiteSpec, resolve_suite
+from repro.harness.tables import render_table3, render_table4, render_table5
+
+
+@dataclass
+class SuiteResult:
+    """All experiment records of one suite run."""
+
+    suite_name: str
+    records: list[ExperimentRecord] = field(default_factory=list)
+
+    def tables(self) -> str:
+        """All three tables, ready to print."""
+        parts = [
+            render_table3(self.records),
+            "",
+            render_table4(self.records),
+            "",
+            render_table5(self.records),
+        ]
+        return "\n".join(parts)
+
+
+def run_suite(
+    suite_name: str | None = None,
+    n_values: tuple[int, ...] | None = None,
+    progress=None,
+) -> SuiteResult:
+    """Run every experiment in a suite.
+
+    ``progress`` is an optional callable taking a status string; the CLI
+    passes ``print``.
+    """
+    specs: tuple[SuiteSpec, ...] = resolve_suite(suite_name)
+    result = SuiteResult(suite_name=suite_name or "quick")
+    for spec in specs:
+        if progress is not None:
+            progress(f"[{spec.circuit}] generating T0 and running n-sweep ...")
+        record = run_circuit_experiment(spec, n_values=n_values)
+        result.records.append(record)
+        if progress is not None:
+            best = record.best_run.result
+            progress(
+                f"[{spec.circuit}] done: n={best.repetitions} "
+                f"|S|={best.num_sequences_after} tot={best.total_length_after} "
+                f"max={best.max_length_after} (T0 len {best.t0_length})"
+            )
+    return result

@@ -1,0 +1,85 @@
+"""Benchmark suite definitions.
+
+The paper evaluates twelve ISCAS-89 circuits.  A pure-Python fault
+simulator cannot run the three largest at full scale in interactive time,
+so the harness defines three nested suites; the active one is chosen by
+the ``REPRO_SUITE`` environment variable (``quick`` default / ``standard``
+/ ``full``).
+
+``s27`` is included in every suite as the ground-truth circuit (real
+netlist, the paper's own ``T0``), even though it is not a Table 3 row.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.atpg.config import AtpgConfig
+
+#: Paper repetition sweep (Section 4).
+PAPER_N_VALUES = (2, 4, 8, 16)
+
+
+@dataclass(frozen=True)
+class SuiteSpec:
+    """One suite entry: a circuit plus its experiment parameters."""
+
+    circuit: str  # catalog name: "s27" or "syn298" etc.
+    paper_name: str  # paper row it maps to ("s298"...), or "" for s27
+    n_values: tuple[int, ...] = PAPER_N_VALUES
+    atpg: AtpgConfig = AtpgConfig()
+
+
+def _entry(paper_name: str, max_length: int, genetic_targets: int = 24) -> SuiteSpec:
+    return SuiteSpec(
+        circuit=f"syn{paper_name[1:]}",
+        paper_name=paper_name,
+        atpg=AtpgConfig(max_length=max_length, genetic_targets=genetic_targets),
+    )
+
+
+QUICK_SUITE: tuple[SuiteSpec, ...] = (
+    SuiteSpec(circuit="s27", paper_name="", atpg=AtpgConfig(max_length=100)),
+    _entry("s298", 600),
+    _entry("s344", 600),
+    _entry("s382", 600),
+    _entry("s400", 600),
+)
+
+STANDARD_SUITE: tuple[SuiteSpec, ...] = QUICK_SUITE + (
+    _entry("s526", 800),
+    _entry("s641", 800),
+    _entry("s820", 800),
+)
+
+FULL_SUITE: tuple[SuiteSpec, ...] = STANDARD_SUITE + (
+    _entry("s1196", 800, genetic_targets=12),
+    _entry("s1488", 800, genetic_targets=12),
+    _entry("s1423", 1000, genetic_targets=8),
+    _entry("s5378", 1000, genetic_targets=4),
+    _entry("s35932", 400, genetic_targets=0),
+)
+
+_SUITES = {
+    "quick": QUICK_SUITE,
+    "standard": STANDARD_SUITE,
+    "full": FULL_SUITE,
+}
+
+
+def resolve_suite(name: str | None = None) -> tuple[SuiteSpec, ...]:
+    """The suite for ``name`` (default: ``REPRO_SUITE`` env, else quick)."""
+    if name is None:
+        name = os.environ.get("REPRO_SUITE", "quick")
+    try:
+        return _SUITES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown suite {name!r}; choose from {sorted(_SUITES)}"
+        ) from None
+
+
+def suite_circuits(name: str | None = None) -> list[str]:
+    """Circuit catalog names in the resolved suite."""
+    return [spec.circuit for spec in resolve_suite(name)]

@@ -1,0 +1,176 @@
+"""Renderers for the paper's Tables 3, 4 and 5, paper vs measured.
+
+Each function takes the experiment records of a suite run and returns the
+table as a string in the same row/column layout as the paper, with the
+published values interleaved (marked ``paper:``) where a paper row exists
+for the circuit.
+"""
+
+from __future__ import annotations
+
+from repro.harness.experiment import ExperimentRecord
+from repro.harness.paper_data import (
+    PAPER_AVERAGE_MAX_RATIO,
+    PAPER_AVERAGE_TOTAL_RATIO,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    PAPER_TABLE5,
+)
+from repro.util.text import format_table
+
+
+def render_table3(records: list[ExperimentRecord]) -> str:
+    """Table 3: selection results before and after static compaction."""
+    headers = [
+        "circuit",
+        "faults tot",
+        "det",
+        "len",
+        "n",
+        "|S|",
+        "tot len",
+        "max len",
+        "|S| ac",
+        "tot ac",
+        "max ac",
+    ]
+    rows: list[list[object]] = []
+    for record in records:
+        run = record.best_run
+        result = run.result
+        rows.append(
+            [
+                record.circuit_name,
+                result.total_faults,
+                result.detected_by_t0,
+                result.t0_length,
+                result.repetitions,
+                result.num_sequences_before,
+                result.total_length_before,
+                result.max_length_before,
+                result.num_sequences_after,
+                result.total_length_after,
+                result.max_length_after,
+            ]
+        )
+        paper = PAPER_TABLE3.get(record.paper_name)
+        if paper is not None:
+            rows.append(
+                [
+                    f"  paper:{paper.circuit}",
+                    paper.total_faults,
+                    paper.detected,
+                    paper.t0_length,
+                    paper.n,
+                    paper.num_sequences_before,
+                    paper.total_length_before,
+                    paper.max_length_before,
+                    paper.num_sequences_after,
+                    paper.total_length_after,
+                    paper.max_length_after,
+                ]
+            )
+    return format_table(headers, rows, title="Table 3: experimental results")
+
+
+def render_table4(records: list[ExperimentRecord]) -> str:
+    """Table 4: normalized run times (divided by the T0 simulation time)."""
+    headers = ["circuit", "Proc.1", "comp."]
+    rows: list[list[object]] = []
+    for record in records:
+        result = record.best_run.result
+        rows.append(
+            [
+                record.circuit_name,
+                result.normalized_procedure1_time,
+                result.normalized_compaction_time,
+            ]
+        )
+        paper = PAPER_TABLE4.get(record.paper_name)
+        if paper is not None:
+            rows.append(
+                [
+                    f"  paper:{paper.circuit}",
+                    paper.normalized_procedure1,
+                    paper.normalized_compaction,
+                ]
+            )
+    return format_table(headers, rows, title="Table 4: normalized run times")
+
+
+def render_table5(records: list[ExperimentRecord]) -> str:
+    """Table 5: comparison with T0 (ratios and applied test length)."""
+    headers = [
+        "circuit",
+        "len",
+        "n",
+        "|S|",
+        "tot len",
+        "tot/len",
+        "max len",
+        "max/len",
+        "test len",
+    ]
+    rows: list[list[object]] = []
+    total_ratios: list[float] = []
+    max_ratios: list[float] = []
+    for record in records:
+        result = record.best_run.result
+        total_ratios.append(result.total_ratio)
+        max_ratios.append(result.max_ratio)
+        rows.append(
+            [
+                record.circuit_name,
+                result.t0_length,
+                result.repetitions,
+                result.num_sequences_after,
+                result.total_length_after,
+                result.total_ratio,
+                result.max_length_after,
+                result.max_ratio,
+                result.applied_test_length,
+            ]
+        )
+        paper = PAPER_TABLE5.get(record.paper_name)
+        if paper is not None:
+            rows.append(
+                [
+                    f"  paper:{paper.circuit}",
+                    paper.t0_length,
+                    paper.n,
+                    paper.num_sequences,
+                    paper.total_length,
+                    paper.total_ratio,
+                    paper.max_length,
+                    paper.max_ratio,
+                    paper.test_length,
+                ]
+            )
+    if total_ratios:
+        rows.append(
+            [
+                "average",
+                "",
+                "",
+                "",
+                "",
+                sum(total_ratios) / len(total_ratios),
+                "",
+                sum(max_ratios) / len(max_ratios),
+                "",
+            ]
+        )
+        rows.append(
+            [
+                "  paper:average",
+                "",
+                "",
+                "",
+                "",
+                PAPER_AVERAGE_TOTAL_RATIO,
+                "",
+                PAPER_AVERAGE_MAX_RATIO,
+                "",
+            ]
+        )
+    return format_table(headers, rows, title="Table 5: comparison with T0")

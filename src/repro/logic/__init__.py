@@ -1,0 +1,23 @@
+"""Ternary (0/1/X) logic values and their bit-parallel encoding."""
+
+from repro.logic.values import ZERO, ONE, X, Ternary, ternary_not, ternary_and, ternary_or
+from repro.logic.encoding import (
+    ALL_ONES,
+    pack_slots,
+    unpack_slots,
+    slot_mask,
+)
+
+__all__ = [
+    "ZERO",
+    "ONE",
+    "X",
+    "Ternary",
+    "ternary_not",
+    "ternary_and",
+    "ternary_or",
+    "ALL_ONES",
+    "pack_slots",
+    "unpack_slots",
+    "slot_mask",
+]

@@ -1,0 +1,90 @@
+"""Bit-parallel two-word encoding of ternary values.
+
+A *slot* is one independent simulated machine (one fault in parallel-fault
+mode, or one candidate input sequence in parallel-sequence mode).  A signal
+carries, for a batch of ``width`` slots, two Python integers used as bit
+masks:
+
+* ``H`` — bit ``i`` set iff the signal is 1 in slot ``i``;
+* ``L`` — bit ``i`` set iff the signal is 0 in slot ``i``.
+
+A slot where neither bit is set holds X.  Both bits set is an illegal state
+that the simulators never produce (asserted in the reference cross-checks).
+
+Gate evaluation in this encoding is branch-free::
+
+    AND :  H = H_a & H_b          L = L_a | L_b
+    OR  :  H = H_a | H_b          L = L_a & L_b
+    NOT :  H = L_a                L = H_a
+
+Python integers are arbitrary precision, so a batch may hold hundreds of
+slots; wider batches amortize the interpreter overhead of the gate loop.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.logic.values import ONE, X, ZERO, Ternary
+
+#: Sentinel meaning "mask with every slot bit set" for a given width.
+ALL_ONES = -1  # documented sentinel; real masks are computed via full_mask()
+
+
+def full_mask(width: int) -> int:
+    """Return a mask with bits ``0 .. width-1`` all set."""
+    if width <= 0:
+        raise ValueError(f"batch width must be positive, got {width}")
+    return (1 << width) - 1
+
+
+def slot_mask(slot: int) -> int:
+    """Return the single-bit mask for slot index ``slot``."""
+    if slot < 0:
+        raise ValueError(f"slot index must be non-negative, got {slot}")
+    return 1 << slot
+
+
+def pack_slots(values: Sequence[Ternary]) -> tuple[int, int]:
+    """Pack per-slot ternary values into an ``(H, L)`` word pair."""
+    high = 0
+    low = 0
+    for index, value in enumerate(values):
+        if value is ONE:
+            high |= 1 << index
+        elif value is ZERO:
+            low |= 1 << index
+    return high, low
+
+
+def unpack_slots(high: int, low: int, width: int) -> list[Ternary]:
+    """Unpack an ``(H, L)`` word pair into ``width`` ternary values."""
+    values = []
+    for index in range(width):
+        bit = 1 << index
+        if high & bit:
+            values.append(ONE)
+        elif low & bit:
+            values.append(ZERO)
+        else:
+            values.append(X)
+    return values
+
+
+def broadcast(value: Ternary, width: int) -> tuple[int, int]:
+    """Return the ``(H, L)`` pair holding ``value`` in every slot."""
+    mask = full_mask(width)
+    if value is ONE:
+        return mask, 0
+    if value is ZERO:
+        return 0, mask
+    return 0, 0
+
+
+def pack_bit_columns(bits: Iterable[int]) -> int:
+    """Pack an iterable of 0/1 ints into a mask, bit ``i`` from element ``i``."""
+    mask = 0
+    for index, bit in enumerate(bits):
+        if bit:
+            mask |= 1 << index
+    return mask

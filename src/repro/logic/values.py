@@ -1,0 +1,75 @@
+"""Scalar ternary logic.
+
+Synchronous sequential circuits are simulated from the *all-unspecified*
+(all-X) state, exactly as the paper defines detection: a fault is detected
+by a (sub)sequence only if both the fault-free and the faulty machine start
+in the unknown state and some primary output takes complementary *binary*
+values in the two machines at some time unit.
+
+The scalar representation here is the human-friendly one used at API
+boundaries (test vectors, printed responses).  The simulators use the
+two-word (H, L) bit-parallel encoding from :mod:`repro.logic.encoding`.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class Ternary(IntEnum):
+    """One logic value: 0, 1 or unknown (X)."""
+
+    ZERO = 0
+    ONE = 1
+    X = 2
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return {Ternary.ZERO: "0", Ternary.ONE: "1", Ternary.X: "X"}[self]
+
+    @classmethod
+    def from_char(cls, char: str) -> "Ternary":
+        """Parse a single character ``0``, ``1``, ``x`` or ``X``."""
+        if char == "0":
+            return cls.ZERO
+        if char == "1":
+            return cls.ONE
+        if char in ("x", "X"):
+            return cls.X
+        raise ValueError(f"not a ternary character: {char!r}")
+
+
+ZERO = Ternary.ZERO
+ONE = Ternary.ONE
+X = Ternary.X
+
+
+def ternary_not(value: Ternary) -> Ternary:
+    """Ternary NOT: X stays X."""
+    if value is X:
+        return X
+    return ONE if value is ZERO else ZERO
+
+
+def ternary_and(left: Ternary, right: Ternary) -> Ternary:
+    """Ternary AND: 0 is controlling, X otherwise propagates."""
+    if left is ZERO or right is ZERO:
+        return ZERO
+    if left is X or right is X:
+        return X
+    return ONE
+
+
+def ternary_or(left: Ternary, right: Ternary) -> Ternary:
+    """Ternary OR: 1 is controlling, X otherwise propagates."""
+    if left is ONE or right is ONE:
+        return ONE
+    if left is X or right is X:
+        return X
+    return ZERO
+
+
+def ternary_xor(left: Ternary, right: Ternary) -> Ternary:
+    """Ternary XOR: any X input makes the output X."""
+    if left is X or right is X:
+        return X
+    return ONE if left != right else ZERO

@@ -1,0 +1,27 @@
+"""Simulation engines.
+
+* :mod:`repro.sim.compiled` — compiles a netlist to a flat op program.
+* :mod:`repro.sim.logicsim` — fault-free 3-valued sequential simulation.
+* :mod:`repro.sim.faultsim` — bit-parallel parallel-fault simulation
+  (one input sequence, many faults) with fault dropping.
+* :mod:`repro.sim.seqsim` — bit-parallel parallel-sequence simulation
+  (one fault, many candidate input sequences), the Procedure 2 engine.
+* :mod:`repro.sim.reference` — slow, obviously-correct per-fault scalar
+  simulator used to cross-check the fast engines in the tests.
+"""
+
+from repro.sim.compiled import CompiledCircuit
+from repro.sim.logicsim import LogicSimulator, GoodTrace
+from repro.sim.faultsim import FaultSimulator, FaultSimResult
+from repro.sim.seqsim import SequenceBatchSimulator
+from repro.sim.detection import DetectionRecord
+
+__all__ = [
+    "CompiledCircuit",
+    "LogicSimulator",
+    "GoodTrace",
+    "FaultSimulator",
+    "FaultSimResult",
+    "SequenceBatchSimulator",
+    "DetectionRecord",
+]

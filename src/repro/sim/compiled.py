@@ -1,0 +1,181 @@
+"""Compilation of a netlist into a flat program for the fast simulators.
+
+Signals are assigned dense integer indices (PIs first, then flop outputs,
+then gate outputs in topological order).  Gates become ``(code, out,
+ins)`` triples sorted in evaluation order.  Faults are compiled into
+:class:`InjectionPlan` mask sets that the simulators apply while
+evaluating.
+
+All simulators in this package share one :class:`CompiledCircuit` per
+circuit; compiling is cheap but done once and cached by the callers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.types import GateType
+from repro.errors import FaultModelError, SimulationError
+from repro.faults.model import BRANCH, STEM, Fault
+
+# Op codes; 2-input variants are specialized for speed in the inner loops.
+OP_AND = 0
+OP_NAND = 1
+OP_OR = 2
+OP_NOR = 3
+OP_NOT = 4
+OP_BUF = 5
+OP_XOR = 6
+OP_XNOR = 7
+
+_CODE_OF = {
+    GateType.AND: OP_AND,
+    GateType.NAND: OP_NAND,
+    GateType.OR: OP_OR,
+    GateType.NOR: OP_NOR,
+    GateType.NOT: OP_NOT,
+    GateType.BUF: OP_BUF,
+    GateType.XOR: OP_XOR,
+    GateType.XNOR: OP_XNOR,
+}
+
+
+@dataclass
+class InjectionPlan:
+    """Bit masks describing where a batch of faults forces values.
+
+    Every mask has bit ``i`` set when slot ``i``'s fault forces the line;
+    ``sa1`` masks force 1, ``sa0`` masks force 0.
+
+    Attributes:
+        stem_sa1 / stem_sa0: signal index -> mask (forced everywhere).
+        gate_pin: (op position, pin) -> (sa1 mask, sa0 mask).
+        dff_pin: flop position -> (sa1 mask, sa0 mask), applied to the
+            value latched by that flop only.
+        po_pin: PO position -> (sa1 mask, sa0 mask), applied to the value
+            observed at that PO only.
+    """
+
+    stem_sa1: dict[int, int] = field(default_factory=dict)
+    stem_sa0: dict[int, int] = field(default_factory=dict)
+    gate_pin: dict[tuple[int, int], tuple[int, int]] = field(default_factory=dict)
+    dff_pin: dict[int, tuple[int, int]] = field(default_factory=dict)
+    po_pin: dict[int, tuple[int, int]] = field(default_factory=dict)
+
+    def is_empty(self) -> bool:
+        return not (
+            self.stem_sa1 or self.stem_sa0 or self.gate_pin or self.dff_pin or self.po_pin
+        )
+
+
+class CompiledCircuit:
+    """A circuit lowered to flat arrays for the bit-parallel simulators."""
+
+    def __init__(self, circuit: Circuit) -> None:
+        circuit.validate()
+        self.circuit = circuit
+        self.index_of: dict[str, int] = {}
+        names: list[str] = []
+        for pi in circuit.inputs:
+            self.index_of[pi] = len(names)
+            names.append(pi)
+        for q in circuit.flop_outputs():
+            self.index_of[q] = len(names)
+            names.append(q)
+        topo = circuit.topo_order()
+        for gate in topo:
+            self.index_of[gate.output] = len(names)
+            names.append(gate.output)
+        self.signal_names: list[str] = names
+        self.num_signals = len(names)
+        self.num_inputs = circuit.num_inputs
+        self.pi_indices: list[int] = [self.index_of[pi] for pi in circuit.inputs]
+        self.po_indices: list[int] = [self.index_of[po] for po in circuit.outputs]
+        self.flop_pairs: list[tuple[int, int]] = [
+            (self.index_of[q], self.index_of[d]) for q, d in circuit.flops
+        ]
+        self.ops: list[tuple[int, int, tuple[int, ...]]] = []
+        self.op_position: dict[str, int] = {}
+        for position, gate in enumerate(topo):
+            code = _CODE_OF[gate.gate_type]
+            ins = tuple(self.index_of[src] for src in gate.inputs)
+            self.ops.append((code, self.index_of[gate.output], ins))
+            self.op_position[gate.output] = position
+        self._flop_position: dict[str, int] = {
+            q: position for position, (q, _) in enumerate(circuit.flops)
+        }
+        self._po_position: dict[str, int] = {
+            po: position for position, po in enumerate(circuit.outputs)
+        }
+
+    # ------------------------------------------------------------------
+    # Fault compilation
+    # ------------------------------------------------------------------
+    def add_fault_to_plan(self, plan: InjectionPlan, fault: Fault, slot: int) -> None:
+        """Compile ``fault`` into ``plan`` at bit position ``slot``."""
+        mask = 1 << slot
+        site = fault.site
+        if site.signal not in self.index_of:
+            raise FaultModelError(
+                f"{self.circuit.name}: fault site on unknown signal {site.signal!r}"
+            )
+        if site.kind == STEM:
+            signal_index = self.index_of[site.signal]
+            target_dict = plan.stem_sa1 if fault.stuck_value == 1 else plan.stem_sa0
+            target_dict[signal_index] = target_dict.get(signal_index, 0) | mask
+            return
+        if site.kind != BRANCH:
+            raise FaultModelError(f"unknown fault site kind {site.kind!r}")
+        if site.load_kind == "gate":
+            position = self.op_position.get(site.sink)
+            if position is None:
+                raise FaultModelError(
+                    f"{self.circuit.name}: branch sink gate {site.sink!r} not found"
+                )
+            key = (position, site.pin)
+            sa1, sa0 = plan.gate_pin.get(key, (0, 0))
+            if fault.stuck_value == 1:
+                sa1 |= mask
+            else:
+                sa0 |= mask
+            plan.gate_pin[key] = (sa1, sa0)
+            return
+        if site.load_kind == "dff":
+            position = self._flop_position.get(site.sink)
+            if position is None:
+                raise FaultModelError(
+                    f"{self.circuit.name}: branch sink flop {site.sink!r} not found"
+                )
+            sa1, sa0 = plan.dff_pin.get(position, (0, 0))
+            if fault.stuck_value == 1:
+                sa1 |= mask
+            else:
+                sa0 |= mask
+            plan.dff_pin[position] = (sa1, sa0)
+            return
+        if site.load_kind == "po":
+            position = self._po_position.get(site.sink)
+            if position is None:
+                raise FaultModelError(
+                    f"{self.circuit.name}: branch sink PO {site.sink!r} not found"
+                )
+            sa1, sa0 = plan.po_pin.get(position, (0, 0))
+            if fault.stuck_value == 1:
+                sa1 |= mask
+            else:
+                sa0 |= mask
+            plan.po_pin[position] = (sa1, sa0)
+            return
+        raise FaultModelError(
+            f"branch fault with unknown load kind {site.load_kind!r}"
+        )
+
+    def compile_plan(self, faults: list[Fault]) -> InjectionPlan:
+        """Compile ``faults`` into a single plan, fault ``i`` in slot ``i``."""
+        if not faults:
+            raise SimulationError("cannot compile an empty fault batch")
+        plan = InjectionPlan()
+        for slot, fault in enumerate(faults):
+            self.add_fault_to_plan(plan, fault, slot)
+        return plan

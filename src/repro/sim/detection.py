@@ -1,0 +1,66 @@
+"""Detection result records shared by the simulators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.faults.model import Fault
+
+
+@dataclass(frozen=True)
+class DetectionRecord:
+    """Detection outcome for one fault under one sequence."""
+
+    fault: Fault
+    detected: bool
+    detection_time: int | None
+
+    def __post_init__(self) -> None:
+        if self.detected and self.detection_time is None:
+            raise ValueError("detected fault must carry a detection time")
+        if not self.detected and self.detection_time is not None:
+            raise ValueError("undetected fault cannot carry a detection time")
+
+
+@dataclass
+class FaultSimResult:
+    """Outcome of simulating a set of faults under one sequence.
+
+    ``detection_time[f]`` is the first time unit at which fault ``f`` was
+    detected (the paper's ``udet(f)``); faults absent from the mapping were
+    not detected.
+    """
+
+    sequence_length: int
+    total_faults: int
+    detection_time: dict[Fault, int] = field(default_factory=dict)
+
+    @property
+    def detected_faults(self) -> list[Fault]:
+        return list(self.detection_time)
+
+    @property
+    def num_detected(self) -> int:
+        return len(self.detection_time)
+
+    @property
+    def coverage(self) -> float:
+        """Detected fraction of the simulated fault set."""
+        if self.total_faults == 0:
+            return 0.0
+        return self.num_detected / self.total_faults
+
+    def is_detected(self, fault: Fault) -> bool:
+        return fault in self.detection_time
+
+    def records(self, faults: list[Fault]) -> list[DetectionRecord]:
+        """Per-fault records, in the order of ``faults``."""
+        out = []
+        for fault in faults:
+            time = self.detection_time.get(fault)
+            out.append(
+                DetectionRecord(
+                    fault=fault, detected=time is not None, detection_time=time
+                )
+            )
+        return out

@@ -1,0 +1,342 @@
+"""Bit-parallel parallel-fault simulation.
+
+One input sequence, many faults: each bit slot of the ``(H, L)`` words is
+an independent faulty machine.  The fault-free machine is simulated once
+(scalar) and its primary output values drive the detection comparison:
+fault ``f`` is detected at time ``t`` if some PO is binary in the
+fault-free machine and takes the complementary binary value in ``f``'s
+machine — the paper's detection criterion with both machines starting from
+the all-unspecified state.
+
+Faults are simulated in batches of ``batch_width`` slots; a batch stops as
+soon as every slot has been detected (sequences detect most faults early,
+so this early exit matters).
+
+Two usage modes:
+
+* :meth:`FaultSimulator.run` — one-shot, all-X initial state; used by the
+  paper's procedures, whose detection semantics require a fresh start.
+* :class:`FaultSimSession` — incremental: machine states persist across
+  appended extensions, so test *generation* (which grows a sequence chunk
+  by chunk) costs O(total length) instead of O(length²).
+"""
+
+from __future__ import annotations
+
+from repro.circuit.netlist import Circuit
+from repro.core.sequence import TestSequence
+from repro.errors import SimulationError
+from repro.faults.model import Fault
+from repro.logic.values import ONE, X, ZERO, Ternary
+from repro.sim.compiled import CompiledCircuit
+from repro.sim.detection import FaultSimResult
+from repro.sim.kernel import build_run_ops, eval_combinational, source_stem_patches
+from repro.sim.logicsim import LogicSimulator
+
+DEFAULT_BATCH_WIDTH = 192
+
+# Per-flop 2-bit state codes used by packed machine states.
+_STATE_X = 0
+_STATE_ONE = 1
+_STATE_ZERO = 2
+
+
+class FaultSimulator:
+    """Parallel-fault simulator bound to one circuit."""
+
+    def __init__(
+        self,
+        circuit: Circuit | CompiledCircuit,
+        batch_width: int = DEFAULT_BATCH_WIDTH,
+    ) -> None:
+        if batch_width < 1:
+            raise SimulationError(f"batch width must be >= 1, got {batch_width}")
+        if isinstance(circuit, CompiledCircuit):
+            self._compiled = circuit
+        else:
+            self._compiled = CompiledCircuit(circuit)
+        self._batch_width = batch_width
+        self._logic = LogicSimulator(self._compiled)
+
+    @property
+    def compiled(self) -> CompiledCircuit:
+        return self._compiled
+
+    @property
+    def batch_width(self) -> int:
+        return self._batch_width
+
+    # ------------------------------------------------------------------
+    # One-shot API (all-X initial state)
+    # ------------------------------------------------------------------
+    def run(self, sequence: TestSequence, faults: list[Fault]) -> FaultSimResult:
+        """Simulate ``faults`` under ``sequence``; return detection times."""
+        result = FaultSimResult(
+            sequence_length=len(sequence), total_faults=len(faults)
+        )
+        if len(sequence) == 0 or not faults:
+            return result
+        observation_plan = self._observation_plan(sequence, None)
+        width = self._batch_width
+        for start in range(0, len(faults), width):
+            batch = faults[start : start + width]
+            times, _ = self._run_batch(sequence, batch, observation_plan)
+            for fault, time in zip(batch, times):
+                if time is not None:
+                    result.detection_time[fault] = time
+        return result
+
+    def detects(self, sequence: TestSequence, fault: Fault) -> bool:
+        """Whether ``sequence`` detects the single fault ``fault``."""
+        return self.run(sequence, [fault]).is_detected(fault)
+
+    def session(self, faults: list[Fault]) -> "FaultSimSession":
+        """Open an incremental session over ``faults`` (all start at all-X)."""
+        return FaultSimSession(self, faults)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _observation_plan(
+        self,
+        sequence: TestSequence,
+        good_initial_state: list[Ternary] | None,
+    ) -> list[list[tuple[int, int, int]]]:
+        """Per time step: (signal index, PO position, value) for binary POs."""
+        good = self._logic.run(sequence, initial_state=good_initial_state)
+        plan: list[list[tuple[int, int, int]]] = []
+        po_indices = self._compiled.po_indices
+        for t in range(len(sequence)):
+            row: list[tuple[int, int, int]] = []
+            for position, value in enumerate(good.po_values[t]):
+                if value is ONE:
+                    row.append((po_indices[position], position, 1))
+                elif value is ZERO:
+                    row.append((po_indices[position], position, 0))
+            plan.append(row)
+        return plan
+
+    def _run_batch(
+        self,
+        sequence: TestSequence,
+        batch: list[Fault],
+        observation_plan: list[list[tuple[int, int, int]]],
+        initial_states: list[int] | None = None,
+        collect_final_states: bool = False,
+    ) -> tuple[list[int | None], list[int] | None]:
+        """Simulate one batch.
+
+        ``initial_states``: per-slot packed flop states (2 bits per flop,
+        see module constants); None means all-X.  Returns per-slot first
+        detection times and, if requested, per-slot packed final states.
+        """
+        compiled = self._compiled
+        plan = compiled.compile_plan(batch)
+        run_ops = build_run_ops(compiled, plan)
+        src_patches = source_stem_patches(compiled, plan)
+        dff_patches = sorted(plan.dff_pin.items())
+        po_patches = plan.po_pin
+
+        n = compiled.num_signals
+        H = [0] * n
+        L = [0] * n
+        pi_indices = compiled.pi_indices
+        flop_pairs = compiled.flop_pairs
+        batch_size = len(batch)
+        full = (1 << batch_size) - 1
+        pending = full
+        detect_time: list[int | None] = [None] * batch_size
+
+        if initial_states is None:
+            state: list[tuple[int, int]] = [(0, 0)] * len(flop_pairs)
+        else:
+            state = self._unpack_states(initial_states, len(flop_pairs))
+
+        for t, vector in enumerate(sequence):
+            for position, pi_index in enumerate(pi_indices):
+                if vector[position]:
+                    H[pi_index] = full
+                    L[pi_index] = 0
+                else:
+                    H[pi_index] = 0
+                    L[pi_index] = full
+            for position, (q_index, _) in enumerate(flop_pairs):
+                H[q_index], L[q_index] = state[position]
+            for signal_index, sa1, sa0 in src_patches:
+                H[signal_index] = (H[signal_index] | sa1) & ~sa0
+                L[signal_index] = (L[signal_index] | sa0) & ~sa1
+
+            eval_combinational(run_ops, H, L)
+
+            detected_now = 0
+            for po_index, po_position, good_value in observation_plan[t]:
+                h = H[po_index]
+                l = L[po_index]
+                patch = po_patches.get(po_position)
+                if patch is not None:
+                    sa1, sa0 = patch
+                    h = (h | sa1) & ~sa0
+                    l = (l | sa0) & ~sa1
+                if good_value:
+                    detected_now |= l
+                else:
+                    detected_now |= h
+            detected_now &= pending
+            if detected_now:
+                slot = 0
+                remaining = detected_now
+                while remaining:
+                    if remaining & 1:
+                        detect_time[slot] = t
+                    remaining >>= 1
+                    slot += 1
+                pending &= ~detected_now
+                if pending == 0 and not collect_final_states:
+                    break
+
+            next_state: list[tuple[int, int]] = [
+                (H[d_index], L[d_index]) for _, d_index in flop_pairs
+            ]
+            for position, (sa1, sa0) in dff_patches:
+                h, l = next_state[position]
+                next_state[position] = ((h | sa1) & ~sa0, (l | sa0) & ~sa1)
+            state = next_state
+
+        final_states = (
+            self._pack_states(state, batch_size) if collect_final_states else None
+        )
+        return detect_time, final_states
+
+    @staticmethod
+    def _unpack_states(
+        packed: list[int], num_flops: int
+    ) -> list[tuple[int, int]]:
+        """Per-slot packed states -> per-flop (H, L) word pairs."""
+        state: list[tuple[int, int]] = []
+        for flop in range(num_flops):
+            shift = 2 * flop
+            h = 0
+            l = 0
+            for slot, code_word in enumerate(packed):
+                code = (code_word >> shift) & 3
+                if code == _STATE_ONE:
+                    h |= 1 << slot
+                elif code == _STATE_ZERO:
+                    l |= 1 << slot
+            state.append((h, l))
+        return state
+
+    @staticmethod
+    def _pack_states(
+        state: list[tuple[int, int]], batch_size: int
+    ) -> list[int]:
+        """Per-flop (H, L) word pairs -> per-slot packed states."""
+        packed = [0] * batch_size
+        for flop, (h, l) in enumerate(state):
+            shift = 2 * flop
+            for slot in range(batch_size):
+                bit = 1 << slot
+                if h & bit:
+                    packed[slot] |= _STATE_ONE << shift
+                elif l & bit:
+                    packed[slot] |= _STATE_ZERO << shift
+        return packed
+
+
+class FaultSimSession:
+    """Incremental fault simulation across appended sequence extensions.
+
+    Tracks, for every still-undetected fault, the packed state of its
+    faulty machine, plus the fault-free machine state; :meth:`commit`
+    advances everything by an extension, and :meth:`peek` evaluates an
+    extension without advancing (the ATPG's candidate trials).
+    """
+
+    def __init__(self, simulator: FaultSimulator, faults: list[Fault]) -> None:
+        self._simulator = simulator
+        self._compiled = simulator.compiled
+        self._num_flops = len(self._compiled.flop_pairs)
+        self._good_state: list[Ternary] = [X] * self._num_flops
+        self._fault_states: dict[Fault, int] = {fault: 0 for fault in faults}
+        self._detection_time: dict[Fault, int] = {}
+        self._elapsed = 0
+
+    @property
+    def elapsed(self) -> int:
+        """Total vectors committed so far."""
+        return self._elapsed
+
+    @property
+    def detection_time(self) -> dict[Fault, int]:
+        """Global first-detection times of all faults detected so far."""
+        return dict(self._detection_time)
+
+    @property
+    def remaining_faults(self) -> list[Fault]:
+        return list(self._fault_states)
+
+    @property
+    def num_remaining(self) -> int:
+        return len(self._fault_states)
+
+    def peek(self, extension: TestSequence) -> int:
+        """How many remaining faults ``extension`` would newly detect."""
+        detected, _, _ = self._advance(extension, commit=False)
+        return len(detected)
+
+    def commit(self, extension: TestSequence) -> dict[Fault, int]:
+        """Advance all machines by ``extension``; return new detections."""
+        detected, final_states, good_final = self._advance(extension, commit=True)
+        for fault, time in detected.items():
+            self._detection_time[fault] = time
+            del self._fault_states[fault]
+        if final_states is not None:
+            self._fault_states.update(final_states)
+        if good_final is not None:
+            self._good_state = good_final
+        self._elapsed += len(extension)
+        return detected
+
+    def _advance(
+        self, extension: TestSequence, commit: bool
+    ) -> tuple[
+        dict[Fault, int], dict[Fault, int] | None, list[Ternary] | None
+    ]:
+        if len(extension) == 0:
+            return {}, ({} if commit else None), (list(self._good_state) if commit else None)
+        simulator = self._simulator
+        good = simulator._logic.run(
+            extension, initial_state=self._good_state
+        )
+        observation_plan: list[list[tuple[int, int, int]]] = []
+        po_indices = self._compiled.po_indices
+        for t in range(len(extension)):
+            row: list[tuple[int, int, int]] = []
+            for position, value in enumerate(good.po_values[t]):
+                if value is ONE:
+                    row.append((po_indices[position], position, 1))
+                elif value is ZERO:
+                    row.append((po_indices[position], position, 0))
+            observation_plan.append(row)
+
+        detected: dict[Fault, int] = {}
+        final_states: dict[Fault, int] | None = {} if commit else None
+        faults = list(self._fault_states)
+        width = simulator.batch_width
+        for start in range(0, len(faults), width):
+            batch = faults[start : start + width]
+            initial = [self._fault_states[fault] for fault in batch]
+            times, finals = simulator._run_batch(
+                extension,
+                batch,
+                observation_plan,
+                initial_states=initial,
+                collect_final_states=commit,
+            )
+            for slot, (fault, time) in enumerate(zip(batch, times)):
+                if time is not None:
+                    detected[fault] = self._elapsed + time
+                elif commit and finals is not None and final_states is not None:
+                    final_states[fault] = finals[slot]
+        good_final = good.final_state if commit else None
+        return detected, final_states, good_final

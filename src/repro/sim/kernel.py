@@ -1,0 +1,207 @@
+"""Inner-loop evaluation kernel shared by the bit-parallel simulators.
+
+The kernel evaluates the combinational part of a compiled circuit over
+``(H, L)`` mask words (see :mod:`repro.logic.encoding`).  Fault injection
+masks from an :class:`~repro.sim.compiled.InjectionPlan` are merged into a
+per-run op list so the hot loop does no dictionary lookups: each op is a
+``(code, out, ins, gate_patch, stem_patch)`` tuple where the patches are
+``None`` for the overwhelmingly common unfaulted case.
+
+This module is deliberately written in a flat, slightly repetitive style:
+it is the profile-dominating code of the whole library, and in CPython the
+cheapest correct thing is a single tuple unpack plus one ``if`` chain per
+gate (2-input gates, the common case, are special-cased).
+"""
+
+from __future__ import annotations
+
+from repro.sim.compiled import (
+    CompiledCircuit,
+    InjectionPlan,
+    OP_AND,
+    OP_BUF,
+    OP_NAND,
+    OP_NOR,
+    OP_NOT,
+    OP_OR,
+    OP_XNOR,
+    OP_XOR,
+)
+
+#: A run-ready op: (code, out, ins, gate_patch, stem_patch).
+RunOp = tuple[int, int, tuple[int, ...], tuple | None, tuple | None]
+
+
+def build_run_ops(compiled: CompiledCircuit, plan: InjectionPlan | None) -> list[RunOp]:
+    """Merge an injection plan into the compiled op list."""
+    gate_patches: dict[int, list[tuple[int, int, int]]] = {}
+    stem_patches: dict[int, tuple[int, int]] = {}
+    if plan is not None:
+        for (position, pin), (sa1, sa0) in plan.gate_pin.items():
+            gate_patches.setdefault(position, []).append((pin, sa1, sa0))
+        for signal_index, sa1 in plan.stem_sa1.items():
+            old1, old0 = stem_patches.get(signal_index, (0, 0))
+            stem_patches[signal_index] = (old1 | sa1, old0)
+        for signal_index, sa0 in plan.stem_sa0.items():
+            old1, old0 = stem_patches.get(signal_index, (0, 0))
+            stem_patches[signal_index] = (old1, old0 | sa0)
+    run_ops: list[RunOp] = []
+    for position, (code, out, ins) in enumerate(compiled.ops):
+        gate_patch = gate_patches.get(position)
+        stem_patch = stem_patches.get(out)
+        run_ops.append(
+            (
+                code,
+                out,
+                ins,
+                tuple(gate_patch) if gate_patch else None,
+                stem_patch,
+            )
+        )
+    return run_ops
+
+
+def source_stem_patches(
+    compiled: CompiledCircuit, plan: InjectionPlan | None
+) -> list[tuple[int, int, int]]:
+    """Stem patches on PI / flop-output signals: ``(index, sa1, sa0)``.
+
+    These lines are not produced by any op, so their stuck values must be
+    applied whenever the simulator writes them (input load, state copy,
+    initial all-X state).
+    """
+    if plan is None:
+        return []
+    source_count = compiled.num_inputs + len(compiled.flop_pairs)
+    merged: dict[int, tuple[int, int]] = {}
+    for signal_index, sa1 in plan.stem_sa1.items():
+        if signal_index < source_count:
+            old1, old0 = merged.get(signal_index, (0, 0))
+            merged[signal_index] = (old1 | sa1, old0)
+    for signal_index, sa0 in plan.stem_sa0.items():
+        if signal_index < source_count:
+            old1, old0 = merged.get(signal_index, (0, 0))
+            merged[signal_index] = (old1, old0 | sa0)
+    return [(index, sa1, sa0) for index, (sa1, sa0) in merged.items()]
+
+
+def eval_combinational(run_ops: list[RunOp], H: list[int], L: list[int]) -> None:
+    """Evaluate all ops in order, updating ``H``/``L`` in place."""
+    for code, out, ins, gate_patch, stem_patch in run_ops:
+        if gate_patch is None:
+            if code == OP_NAND:
+                if len(ins) == 2:
+                    a, b = ins
+                    h = L[a] | L[b]
+                    l = H[a] & H[b]
+                else:
+                    l = -1
+                    h = 0
+                    for k in ins:
+                        l &= H[k]
+                        h |= L[k]
+            elif code == OP_NOR:
+                if len(ins) == 2:
+                    a, b = ins
+                    h = L[a] & L[b]
+                    l = H[a] | H[b]
+                else:
+                    h = -1
+                    l = 0
+                    for k in ins:
+                        h &= L[k]
+                        l |= H[k]
+            elif code == OP_AND:
+                if len(ins) == 2:
+                    a, b = ins
+                    h = H[a] & H[b]
+                    l = L[a] | L[b]
+                else:
+                    h = -1
+                    l = 0
+                    for k in ins:
+                        h &= H[k]
+                        l |= L[k]
+            elif code == OP_OR:
+                if len(ins) == 2:
+                    a, b = ins
+                    h = H[a] | H[b]
+                    l = L[a] & L[b]
+                else:
+                    l = -1
+                    h = 0
+                    for k in ins:
+                        l &= L[k]
+                        h |= H[k]
+            elif code == OP_NOT:
+                k = ins[0]
+                h = L[k]
+                l = H[k]
+            elif code == OP_BUF:
+                k = ins[0]
+                h = H[k]
+                l = L[k]
+            elif code == OP_XOR:
+                k = ins[0]
+                h = H[k]
+                l = L[k]
+                for k in ins[1:]:
+                    hk = H[k]
+                    lk = L[k]
+                    h, l = (h & lk) | (l & hk), (h & hk) | (l & lk)
+            else:  # OP_XNOR
+                k = ins[0]
+                h = H[k]
+                l = L[k]
+                for k in ins[1:]:
+                    hk = H[k]
+                    lk = L[k]
+                    h, l = (h & lk) | (l & hk), (h & hk) | (l & lk)
+                h, l = l, h
+        else:
+            hs = [H[k] for k in ins]
+            ls = [L[k] for k in ins]
+            for pin, sa1, sa0 in gate_patch:
+                hs[pin] = (hs[pin] | sa1) & ~sa0
+                ls[pin] = (ls[pin] | sa0) & ~sa1
+            h, l = _fold(code, hs, ls)
+        if stem_patch is not None:
+            sa1, sa0 = stem_patch
+            h = (h | sa1) & ~sa0
+            l = (l | sa0) & ~sa1
+        H[out] = h
+        L[out] = l
+
+
+def _fold(code: int, hs: list[int], ls: list[int]) -> tuple[int, int]:
+    """Generic n-ary gate evaluation on gathered, patched input words."""
+    if code == OP_AND or code == OP_NAND:
+        h = -1
+        l = 0
+        for hk, lk in zip(hs, ls):
+            h &= hk
+            l |= lk
+        if code == OP_NAND:
+            h, l = l, h
+        return h, l
+    if code == OP_OR or code == OP_NOR:
+        h = 0
+        l = -1
+        for hk, lk in zip(hs, ls):
+            h |= hk
+            l &= lk
+        if code == OP_NOR:
+            h, l = l, h
+        return h, l
+    if code == OP_NOT:
+        return ls[0], hs[0]
+    if code == OP_BUF:
+        return hs[0], ls[0]
+    # XOR / XNOR
+    h = hs[0]
+    l = ls[0]
+    for hk, lk in zip(hs[1:], ls[1:]):
+        h, l = (h & lk) | (l & hk), (h & hk) | (l & lk)
+    if code == OP_XNOR:
+        h, l = l, h
+    return h, l

@@ -1,0 +1,125 @@
+"""Fault-free 3-valued sequential logic simulation.
+
+Runs the compiled kernel with a single slot and no injection plan.  The
+resulting :class:`GoodTrace` (per-cycle primary output values, and
+optionally all signal values) is consumed by the fault simulators for
+detection comparison, by the ATPG for guidance, and by the BIST session
+model for computing the fault-free signature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.netlist import Circuit
+from repro.core.sequence import TestSequence
+from repro.errors import SimulationError
+from repro.logic.values import ONE, X, ZERO, Ternary
+from repro.sim.compiled import CompiledCircuit
+from repro.sim.kernel import build_run_ops, eval_combinational
+
+
+@dataclass
+class GoodTrace:
+    """Fault-free response to a sequence.
+
+    Attributes:
+        po_values: ``po_values[t][p]`` is the value of PO ``p`` at time ``t``.
+        final_state: flop values after the last vector.
+        signal_values: optional full trace ``signal_values[t][signal_index]``.
+    """
+
+    po_values: list[list[Ternary]]
+    final_state: list[Ternary]
+    signal_values: list[list[Ternary]] | None = None
+
+    @property
+    def length(self) -> int:
+        return len(self.po_values)
+
+    def known_output_fraction(self) -> float:
+        """Fraction of PO observations that are binary (initialization metric)."""
+        total = sum(len(row) for row in self.po_values)
+        if total == 0:
+            return 0.0
+        known = sum(1 for row in self.po_values for v in row if v is not X)
+        return known / total
+
+
+class LogicSimulator:
+    """Fault-free simulator for one circuit (reusable across sequences)."""
+
+    def __init__(self, circuit: Circuit | CompiledCircuit) -> None:
+        if isinstance(circuit, CompiledCircuit):
+            self._compiled = circuit
+        else:
+            self._compiled = CompiledCircuit(circuit)
+        self._run_ops = build_run_ops(self._compiled, None)
+
+    @property
+    def compiled(self) -> CompiledCircuit:
+        return self._compiled
+
+    def run(
+        self,
+        sequence: TestSequence,
+        record_signals: bool = False,
+        initial_state: list[Ternary] | None = None,
+    ) -> GoodTrace:
+        """Simulate ``sequence``; flops start at ``initial_state`` (default all-X)."""
+        compiled = self._compiled
+        if len(sequence) and sequence.width != compiled.num_inputs:
+            raise SimulationError(
+                f"sequence width {sequence.width} != circuit inputs "
+                f"{compiled.num_inputs}"
+            )
+        n = compiled.num_signals
+        H = [0] * n
+        L = [0] * n
+        if initial_state is None:
+            state: list[tuple[int, int]] = [(0, 0)] * len(compiled.flop_pairs)
+        else:
+            if len(initial_state) != len(compiled.flop_pairs):
+                raise SimulationError(
+                    f"initial state has {len(initial_state)} flop values, "
+                    f"circuit has {len(compiled.flop_pairs)} flops"
+                )
+            state = [
+                (1, 0) if value is ONE else (0, 1) if value is ZERO else (0, 0)
+                for value in initial_state
+            ]
+        pi_indices = compiled.pi_indices
+        po_indices = compiled.po_indices
+        flop_pairs = compiled.flop_pairs
+        run_ops = self._run_ops
+        po_trace: list[list[Ternary]] = []
+        signal_trace: list[list[Ternary]] | None = [] if record_signals else None
+
+        for vector in sequence:
+            for position, pi_index in enumerate(pi_indices):
+                if vector[position]:
+                    H[pi_index] = 1
+                    L[pi_index] = 0
+                else:
+                    H[pi_index] = 0
+                    L[pi_index] = 1
+            for position, (q_index, _) in enumerate(flop_pairs):
+                H[q_index], L[q_index] = state[position]
+            eval_combinational(run_ops, H, L)
+            po_trace.append([_scalar(H[i], L[i]) for i in po_indices])
+            if signal_trace is not None:
+                signal_trace.append([_scalar(H[i], L[i]) for i in range(n)])
+            state = [(H[d], L[d]) for _, d in flop_pairs]
+
+        final_state = [_scalar(h, l) for h, l in state]
+        return GoodTrace(
+            po_values=po_trace, final_state=final_state, signal_values=signal_trace
+        )
+
+
+def _scalar(h: int, l: int) -> Ternary:
+    if h:
+        return ONE
+    if l:
+        return ZERO
+    return X

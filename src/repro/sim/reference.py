@@ -1,0 +1,130 @@
+"""Naive scalar reference simulator.
+
+This simulator exists purely to validate the fast bit-parallel engines:
+it evaluates one machine at a time with scalar ternary values and explicit
+fault semantics, written for obviousness rather than speed.  The property
+tests drive both implementations with random circuits, sequences and
+faults and require identical detection results.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.types import GateType
+from repro.core.sequence import TestSequence
+from repro.faults.model import BRANCH, STEM, Fault
+from repro.logic.values import ONE, X, ZERO, Ternary, ternary_not
+
+
+def _eval_gate(gate_type: GateType, values: list[Ternary]) -> Ternary:
+    if gate_type in (GateType.NOT, GateType.BUF):
+        value = values[0]
+        return ternary_not(value) if gate_type is GateType.NOT else value
+    if gate_type in (GateType.AND, GateType.NAND):
+        if any(v is ZERO for v in values):
+            result = ZERO
+        elif any(v is X for v in values):
+            result = X
+        else:
+            result = ONE
+        return ternary_not(result) if gate_type is GateType.NAND else result
+    if gate_type in (GateType.OR, GateType.NOR):
+        if any(v is ONE for v in values):
+            result = ONE
+        elif any(v is X for v in values):
+            result = X
+        else:
+            result = ZERO
+        return ternary_not(result) if gate_type is GateType.NOR else result
+    # XOR / XNOR
+    if any(v is X for v in values):
+        return X
+    parity = sum(1 for v in values if v is ONE) % 2
+    result = ONE if parity else ZERO
+    return ternary_not(result) if gate_type is GateType.XNOR else result
+
+
+def _stuck(value: Ternary, fault: Fault | None, matches: bool) -> Ternary:
+    if fault is None or not matches:
+        return value
+    return ONE if fault.stuck_value == 1 else ZERO
+
+
+class ReferenceSimulator:
+    """Obviously-correct single-machine simulator."""
+
+    def __init__(self, circuit: Circuit) -> None:
+        circuit.validate()
+        self._circuit = circuit
+        self._topo = circuit.topo_order()
+
+    def simulate(
+        self, sequence: TestSequence, fault: Fault | None = None
+    ) -> list[list[Ternary]]:
+        """Per-time-unit primary output values (with ``fault``, if given)."""
+        circuit = self._circuit
+        values: dict[str, Ternary] = {}
+        state: dict[str, Ternary] = {q: X for q, _ in circuit.flops}
+
+        def stem_faulted(signal: str) -> bool:
+            return (
+                fault is not None
+                and fault.site.kind == STEM
+                and fault.site.signal == signal
+            )
+
+        def seen_value(signal: str, load_kind: str, sink: str, pin: int) -> Ternary:
+            """Value of ``signal`` as seen by one specific load."""
+            value = values[signal]
+            if (
+                fault is not None
+                and fault.site.kind == BRANCH
+                and fault.site.signal == signal
+                and fault.site.load_kind == load_kind
+                and fault.site.sink == sink
+                and fault.site.pin == pin
+            ):
+                value = ONE if fault.stuck_value == 1 else ZERO
+            return value
+
+        po_trace: list[list[Ternary]] = []
+        for vector in sequence:
+            for position, pi in enumerate(circuit.inputs):
+                value = ONE if vector[position] else ZERO
+                values[pi] = _stuck(value, fault, stem_faulted(pi))
+            for q, _ in circuit.flops:
+                values[q] = _stuck(state[q], fault, stem_faulted(q))
+            for gate in self._topo:
+                gathered = [
+                    seen_value(src, "gate", gate.output, pin)
+                    for pin, src in enumerate(gate.inputs)
+                ]
+                result = _eval_gate(gate.gate_type, gathered)
+                values[gate.output] = _stuck(
+                    result, fault, stem_faulted(gate.output)
+                )
+            po_trace.append(
+                [seen_value(po, "po", po, 0) for po in circuit.outputs]
+            )
+            state = {
+                q: _stuck(
+                    seen_value(d, "dff", q, 0), fault, False
+                )
+                for q, d in circuit.flops
+            }
+        return po_trace
+
+    def detection_time(self, sequence: TestSequence, fault: Fault) -> int | None:
+        """First time unit where ``fault`` is detected, or None."""
+        good = self.simulate(sequence, fault=None)
+        bad = self.simulate(sequence, fault=fault)
+        for t in range(len(sequence)):
+            for good_value, bad_value in zip(good[t], bad[t]):
+                if good_value is X or bad_value is X:
+                    continue
+                if good_value is not bad_value:
+                    return t
+        return None
+
+    def detects(self, sequence: TestSequence, fault: Fault) -> bool:
+        return self.detection_time(sequence, fault) is not None

@@ -1,0 +1,156 @@
+"""Bit-parallel parallel-sequence simulation of a single fault.
+
+This engine answers the question Procedure 2 asks thousands of times:
+*which of these candidate sequences detects fault f?* — with one bit slot
+per **candidate sequence** instead of per fault.
+
+Each slot carries its own fault-free machine (the candidates differ, so
+their fault-free responses differ) and its own faulty machine with the
+same single fault injected in every slot.  Detection in slot ``s`` at time
+``t`` requires ``t`` to be inside that candidate's length: slots whose
+sequence is exhausted keep simulating padding vectors, but detections in
+the padding region are masked off (causality makes the padding harmless
+for earlier times).
+
+This turns Procedure 2's ``ustart`` search and its vector-omission trials
+from per-candidate simulations into one batched pass per
+``batch_width`` candidates — the optimization that makes the pure-Python
+reproduction tractable.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.netlist import Circuit
+from repro.core.sequence import TestSequence
+from repro.errors import SimulationError
+from repro.faults.model import Fault
+from repro.sim.compiled import CompiledCircuit
+from repro.sim.kernel import build_run_ops, eval_combinational, source_stem_patches
+
+DEFAULT_SEQ_BATCH_WIDTH = 128
+
+
+class SequenceBatchSimulator:
+    """Simulates one fault under many candidate sequences at once."""
+
+    def __init__(
+        self,
+        circuit: Circuit | CompiledCircuit,
+        batch_width: int = DEFAULT_SEQ_BATCH_WIDTH,
+    ) -> None:
+        if batch_width < 1:
+            raise SimulationError(f"batch width must be >= 1, got {batch_width}")
+        if isinstance(circuit, CompiledCircuit):
+            self._compiled = circuit
+        else:
+            self._compiled = CompiledCircuit(circuit)
+        self._batch_width = batch_width
+        self._good_ops = build_run_ops(self._compiled, None)
+
+    @property
+    def compiled(self) -> CompiledCircuit:
+        return self._compiled
+
+    def detects(self, fault: Fault, sequences: list[TestSequence]) -> list[bool]:
+        """For each candidate sequence, does it detect ``fault``?"""
+        outcomes: list[bool] = []
+        for start in range(0, len(sequences), self._batch_width):
+            outcomes.extend(
+                self._run_batch(fault, sequences[start : start + self._batch_width])
+            )
+        return outcomes
+
+    def _run_batch(self, fault: Fault, batch: list[TestSequence]) -> list[bool]:
+        compiled = self._compiled
+        width = compiled.num_inputs
+        for sequence in batch:
+            if len(sequence) and sequence.width != width:
+                raise SimulationError(
+                    f"candidate width {sequence.width} != circuit inputs {width}"
+                )
+        batch_size = len(batch)
+        if batch_size == 0:
+            return []
+        full = (1 << batch_size) - 1
+        plan = compiled.compile_plan([fault] * batch_size)
+        faulty_ops = build_run_ops(compiled, plan)
+        src_patches = source_stem_patches(compiled, plan)
+        dff_patches = sorted(plan.dff_pin.items())
+        po_patches = plan.po_pin
+        good_ops = self._good_ops
+
+        lengths = [len(sequence) for sequence in batch]
+        max_len = max(lengths)
+        # alive[t]: slots whose sequence still covers time t.
+        alive_masks: list[int] = []
+        for t in range(max_len):
+            mask = 0
+            for slot, length in enumerate(lengths):
+                if t < length:
+                    mask |= 1 << slot
+            alive_masks.append(mask)
+        # Per-time, per-PI packed input words (padding with 0 past the end).
+        pi_words: list[list[tuple[int, int]]] = []
+        for t in range(max_len):
+            row: list[tuple[int, int]] = []
+            for position in range(width):
+                ones = 0
+                for slot, sequence in enumerate(batch):
+                    if t < lengths[slot] and sequence[t][position]:
+                        ones |= 1 << slot
+                row.append((ones, full & ~ones))
+            pi_words.append(row)
+
+        n = compiled.num_signals
+        GH = [0] * n
+        GL = [0] * n
+        FH = [0] * n
+        FL = [0] * n
+        pi_indices = compiled.pi_indices
+        po_indices = compiled.po_indices
+        flop_pairs = compiled.flop_pairs
+        good_state: list[tuple[int, int]] = [(0, 0)] * len(flop_pairs)
+        faulty_state: list[tuple[int, int]] = [(0, 0)] * len(flop_pairs)
+        pending = full
+
+        for t in range(max_len):
+            words = pi_words[t]
+            for position, pi_index in enumerate(pi_indices):
+                ones, zeros = words[position]
+                GH[pi_index] = ones
+                GL[pi_index] = zeros
+                FH[pi_index] = ones
+                FL[pi_index] = zeros
+            for position, (q_index, _) in enumerate(flop_pairs):
+                GH[q_index], GL[q_index] = good_state[position]
+                FH[q_index], FL[q_index] = faulty_state[position]
+            for signal_index, sa1, sa0 in src_patches:
+                FH[signal_index] = (FH[signal_index] | sa1) & ~sa0
+                FL[signal_index] = (FL[signal_index] | sa0) & ~sa1
+
+            eval_combinational(good_ops, GH, GL)
+            eval_combinational(faulty_ops, FH, FL)
+
+            detected_now = 0
+            for position, po_index in enumerate(po_indices):
+                fh = FH[po_index]
+                fl = FL[po_index]
+                patch = po_patches.get(position)
+                if patch is not None:
+                    sa1, sa0 = patch
+                    fh = (fh | sa1) & ~sa0
+                    fl = (fl | sa0) & ~sa1
+                detected_now |= (GH[po_index] & fl) | (GL[po_index] & fh)
+            pending &= ~(detected_now & alive_masks[t])
+            if pending == 0:
+                break
+
+            good_state = [(GH[d], GL[d]) for _, d in flop_pairs]
+            next_faulty = [(FH[d], FL[d]) for _, d in flop_pairs]
+            for position, (sa1, sa0) in dff_patches:
+                h, l = next_faulty[position]
+                next_faulty[position] = ((h | sa1) & ~sa0, (l | sa0) & ~sa1)
+            faulty_state = next_faulty
+
+        detected = full & ~pending
+        return [bool(detected >> slot & 1) for slot in range(batch_size)]

@@ -1,0 +1,7 @@
+"""Small shared utilities: seeded RNG helpers, timers, table rendering."""
+
+from repro.util.rng import SplitMix64, derive_seed
+from repro.util.timing import Stopwatch
+from repro.util.text import format_table
+
+__all__ = ["SplitMix64", "derive_seed", "Stopwatch", "format_table"]

@@ -1,0 +1,59 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints tables in the same row/column layout as the
+paper's Tables 3, 4 and 5, so the output can be compared side by side with
+the published numbers.  No third-party table library is used.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+    align_right: bool = True,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned monospace table."""
+    materialized = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        padded = []
+        for index, cell in enumerate(cells):
+            if align_right and index > 0:
+                padded.append(cell.rjust(widths[index]))
+            else:
+                padded.append(cell.ljust(widths[index]))
+        return "  ".join(padded).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in materialized)
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    """Format one table cell; floats get a compact fixed precision."""
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """Safe ratio used in Table 5 style columns (0 when denominator is 0)."""
+    if denominator == 0:
+        return 0.0
+    return numerator / denominator

@@ -1,0 +1,44 @@
+"""Wall-clock measurement helpers used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+
+
+class Stopwatch:
+    """Accumulating stopwatch.
+
+    The harness uses one stopwatch per measured phase (Procedure 1, static
+    compaction, baseline ``T0`` simulation) and reports ratios of the
+    accumulated times, mirroring the paper's normalized run times.
+    """
+
+    def __init__(self) -> None:
+        self._accumulated = 0.0
+        self._started_at: float | None = None
+
+    def start(self) -> "Stopwatch":
+        """Start (or restart) the stopwatch; returns self for chaining."""
+        self._started_at = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop the stopwatch and return the total accumulated seconds."""
+        if self._started_at is not None:
+            self._accumulated += time.perf_counter() - self._started_at
+            self._started_at = None
+        return self._accumulated
+
+    @property
+    def seconds(self) -> float:
+        """Total accumulated seconds (including a running interval)."""
+        total = self._accumulated
+        if self._started_at is not None:
+            total += time.perf_counter() - self._started_at
+        return total
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

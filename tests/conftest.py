@@ -1,0 +1,104 @@
+"""Shared fixtures: reference circuits and sequences used across the suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.netlist import Circuit
+from repro.circuits.catalog import load_circuit, paper_t0_s27
+from repro.circuits.generator import SyntheticSpec, generate_circuit
+from repro.core.sequence import TestSequence
+from repro.faults.universe import FaultUniverse
+from repro.sim.compiled import CompiledCircuit
+
+
+@pytest.fixture(scope="session")
+def s27() -> Circuit:
+    """The real ISCAS-89 s27 netlist."""
+    return load_circuit("s27")
+
+
+@pytest.fixture(scope="session")
+def s27_compiled(s27) -> CompiledCircuit:
+    return CompiledCircuit(s27)
+
+
+@pytest.fixture(scope="session")
+def s27_universe(s27) -> FaultUniverse:
+    return FaultUniverse(s27)
+
+
+@pytest.fixture(scope="session")
+def s27_t0() -> TestSequence:
+    """The paper's Table 2 test sequence for s27."""
+    return paper_t0_s27()
+
+
+@pytest.fixture(scope="session")
+def tiny_combinational() -> Circuit:
+    """y = NAND(a, b) with no state — the smallest interesting circuit."""
+    builder = CircuitBuilder("tiny_comb")
+    builder.add_input("a")
+    builder.add_input("b")
+    builder.add_nand("y", "a", "b")
+    builder.add_output("y")
+    return builder.build()
+
+
+@pytest.fixture(scope="session")
+def toggle_circuit() -> Circuit:
+    """A one-flop toggle: q' = XOR(en, q), observed through a buffer."""
+    builder = CircuitBuilder("toggle")
+    builder.add_input("en")
+    builder.add_flop("q", "d")
+    builder.add_xor("d", "en", "q")
+    builder.add_buf("out", "q")
+    builder.add_output("out")
+    return builder.build()
+
+
+@pytest.fixture(scope="session")
+def resettable_toggle() -> Circuit:
+    """A toggle with a synchronous reset path so it initializes from all-X.
+
+    ``d = AND(rst_n, XOR(en, q))`` — driving ``rst_n = 0`` forces the flop
+    to a known 0 regardless of the X initial state.
+    """
+    builder = CircuitBuilder("resettable_toggle")
+    builder.add_input("en")
+    builder.add_input("rst_n")
+    builder.add_flop("q", "d")
+    builder.add_xor("t", "en", "q")
+    builder.add_and("d", "rst_n", "t")
+    builder.add_not("out", "q")
+    builder.add_output("out")
+    return builder.build()
+
+
+@pytest.fixture(scope="session")
+def small_synthetic() -> Circuit:
+    """A small synthetic sequential circuit for cross-check tests."""
+    spec = SyntheticSpec(
+        name="mini",
+        num_inputs=4,
+        num_outputs=3,
+        num_flops=4,
+        num_gates=28,
+        seed=424242,
+    )
+    return generate_circuit(spec)
+
+
+@pytest.fixture(scope="session")
+def medium_synthetic() -> Circuit:
+    """A mid-size synthetic circuit for integration tests."""
+    spec = SyntheticSpec(
+        name="midi",
+        num_inputs=5,
+        num_outputs=4,
+        num_flops=6,
+        num_gates=60,
+        seed=31337,
+    )
+    return generate_circuit(spec)

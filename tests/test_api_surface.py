@@ -1,0 +1,88 @@
+"""Public API surface checks and behavioural round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.circuit.bench_io import parse_bench, write_bench
+from repro.core.sequence import TestSequence
+from repro.sim.detection import DetectionRecord, FaultSimResult
+from repro.sim.logicsim import GoodTrace, LogicSimulator
+from repro.util.rng import SplitMix64
+
+
+class TestPublicApi:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version_matches_package_metadata(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_key_entry_points_importable(self):
+        from repro import (
+            CircuitBuilder,
+            ExpansionConfig,
+            FaultSimulator,
+            LoadAndExpandScheme,
+            SelectionConfig,
+            TestSequence,
+            expand,
+            load_circuit,
+        )
+
+        assert callable(expand)
+        assert callable(load_circuit)
+
+
+class TestBenchBehavioralRoundTrip:
+    def test_serialized_circuit_simulates_identically(self, small_synthetic):
+        """write_bench -> parse_bench must preserve behaviour, not just text."""
+        text = write_bench(small_synthetic)
+        reparsed = parse_bench(text, name=small_synthetic.name)
+        rng = SplitMix64(99)
+        stimulus = TestSequence(
+            [
+                [rng.next_u64() & 1 for _ in range(small_synthetic.num_inputs)]
+                for _ in range(25)
+            ]
+        )
+        original = LogicSimulator(small_synthetic).run(stimulus)
+        round_trip = LogicSimulator(reparsed).run(stimulus)
+        assert original.po_values == round_trip.po_values
+        assert original.final_state == round_trip.final_state
+
+
+class TestDetectionRecords:
+    def test_valid_records(self):
+        from repro.faults.model import STEM, Fault, FaultSite
+
+        fault = Fault(FaultSite("a", STEM), 0)
+        DetectionRecord(fault=fault, detected=True, detection_time=3)
+        DetectionRecord(fault=fault, detected=False, detection_time=None)
+
+    def test_inconsistent_records_rejected(self):
+        from repro.faults.model import STEM, Fault, FaultSite
+
+        fault = Fault(FaultSite("a", STEM), 0)
+        with pytest.raises(ValueError):
+            DetectionRecord(fault=fault, detected=True, detection_time=None)
+        with pytest.raises(ValueError):
+            DetectionRecord(fault=fault, detected=False, detection_time=2)
+
+    def test_result_coverage_empty(self):
+        result = FaultSimResult(sequence_length=5, total_faults=0)
+        assert result.coverage == 0.0
+        assert result.num_detected == 0
+
+
+class TestGoodTrace:
+    def test_known_fraction_empty(self):
+        trace = GoodTrace(po_values=[], final_state=[])
+        assert trace.known_output_fraction() == 0.0
+        assert trace.length == 0
+
+    def test_length(self, s27, s27_t0):
+        trace = LogicSimulator(s27).run(s27_t0)
+        assert trace.length == 10

@@ -1,0 +1,102 @@
+"""Tests for the full-load and partitioning baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.partition import (
+    full_load_baseline,
+    partition_baseline,
+)
+from repro.errors import SelectionError
+from repro.sim.compiled import CompiledCircuit
+from repro.sim.faultsim import FaultSimulator
+
+
+class TestFullLoad:
+    def test_figures(self, s27_t0):
+        baseline = full_load_baseline(s27_t0)
+        assert baseline.total_loaded_length == 10
+        assert baseline.max_loaded_length == 10
+        assert baseline.applied_vectors == 10
+
+
+class TestPartition:
+    @pytest.fixture(scope="class")
+    def partition(self, s27, s27_universe, s27_t0):
+        compiled = CompiledCircuit(s27)
+        return partition_baseline(
+            compiled, s27_t0, list(s27_universe.faults()), chunk_length=3
+        )
+
+    def test_coverage_preserved(self, partition):
+        assert partition.coverage_preserved
+
+    def test_every_vector_loaded_at_least_once(self, partition, s27_t0):
+        covered = set()
+        for chunk in partition.chunks:
+            covered.update(range(chunk.start, chunk.end + 1))
+        assert covered == set(range(len(s27_t0)))
+        assert partition.total_loaded_length >= len(s27_t0)
+
+    def test_chunks_are_contiguous_nominally(self, partition, s27_t0):
+        boundaries = [(c.nominal_start, c.end) for c in partition.chunks]
+        expected_starts = list(range(0, len(s27_t0), 3))
+        assert [b[0] for b in boundaries] == expected_starts
+
+    def test_extensions_recorded(self, partition):
+        # s27's later-detected faults need state warm-up, so at least one
+        # chunk must have been extended.
+        assert partition.faults_requiring_extension >= 1
+        assert any(chunk.extension > 0 for chunk in partition.chunks)
+
+    def test_chunks_jointly_detect_everything(
+        self, partition, s27, s27_universe, s27_t0
+    ):
+        simulator = FaultSimulator(s27)
+        remaining = set(s27_universe.faults())
+        detected = set()
+        for chunk in partition.chunks:
+            chunk_seq = s27_t0.subsequence(chunk.start, chunk.end)
+            detected |= set(
+                simulator.run(chunk_seq, sorted(remaining)).detection_time
+            )
+            remaining -= detected
+        assert len(detected) == 32
+
+    def test_chunk_length_one_allowed(self, s27, s27_universe, s27_t0):
+        compiled = CompiledCircuit(s27)
+        result = partition_baseline(
+            compiled, s27_t0, list(s27_universe.faults()), chunk_length=1
+        )
+        assert result.coverage_preserved
+
+    def test_chunk_length_covers_whole_t0(self, s27, s27_universe, s27_t0):
+        compiled = CompiledCircuit(s27)
+        result = partition_baseline(
+            compiled, s27_t0, list(s27_universe.faults()), chunk_length=100
+        )
+        assert result.coverage_preserved
+        assert len(result.chunks) == 1
+        assert result.total_loaded_length == len(s27_t0)
+        assert result.faults_requiring_extension == 0
+
+    def test_invalid_chunk_length(self, s27, s27_universe, s27_t0):
+        with pytest.raises(SelectionError):
+            partition_baseline(
+                CompiledCircuit(s27), s27_t0, list(s27_universe.faults()), 0
+            )
+
+    def test_scheme_beats_partitioning_on_loading(
+        self, s27, s27_universe, s27_t0, partition
+    ):
+        """The paper's comparative claim, measured."""
+        from repro.core.config import SelectionConfig
+        from repro.core.ops import ExpansionConfig
+        from repro.core.scheme import LoadAndExpandScheme
+
+        run = LoadAndExpandScheme(s27).run(
+            s27_t0, SelectionConfig(expansion=ExpansionConfig(repetitions=2), seed=7)
+        )
+        assert run.result.total_length_after < partition.total_loaded_length
+        assert run.result.max_length_after <= partition.max_loaded_length

@@ -1,0 +1,285 @@
+"""Tests for the BIST hardware model: memory, counters, controller, MISR,
+cost model and the full session."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bist.controller import ExpansionController
+from repro.bist.cost import BistCostModel, CostComparison
+from repro.bist.counters import RepetitionCounter, UpDownCounter
+from repro.bist.memory import TestMemory
+from repro.bist.misr import Misr
+from repro.bist.session import BistSession
+from repro.core.ops import ExpansionConfig, expand
+from repro.core.sequence import TestSequence
+from repro.errors import HardwareModelError
+from repro.logic.values import ONE, X, ZERO
+
+bits = st.integers(min_value=0, max_value=1)
+
+
+class TestMemoryModel:
+    def test_load_and_read(self):
+        memory = TestMemory(3, 4)
+        cycles = memory.load(TestSequence.from_strings(["010", "111"]))
+        assert cycles == 2
+        assert memory.read(0) == (0, 1, 0)
+        assert memory.read(1) == (1, 1, 1)
+        assert memory.used_words == 2
+
+    def test_capacity_enforced(self):
+        memory = TestMemory(2, 1)
+        with pytest.raises(HardwareModelError):
+            memory.load(TestSequence.from_strings(["00", "11"]))
+
+    def test_word_width_enforced(self):
+        memory = TestMemory(2, 4)
+        with pytest.raises(HardwareModelError):
+            memory.load(TestSequence.from_strings(["000"]))
+
+    def test_load_cycles_accumulate(self):
+        memory = TestMemory(2, 4)
+        memory.load(TestSequence.from_strings(["00", "01"]))
+        memory.load(TestSequence.from_strings(["10"]))
+        assert memory.load_cycles == 3
+
+    def test_total_bits(self):
+        assert TestMemory(4, 10).total_bits == 40
+
+    def test_read_out_of_range(self):
+        memory = TestMemory(2, 4)
+        memory.load(TestSequence.from_strings(["00"]))
+        with pytest.raises(HardwareModelError):
+            memory.read(1)
+
+    def test_invalid_construction(self):
+        with pytest.raises(HardwareModelError):
+            TestMemory(0, 4)
+        with pytest.raises(HardwareModelError):
+            TestMemory(4, 0)
+
+
+class TestCounters:
+    def test_up_counting_and_wrap(self):
+        counter = UpDownCounter(3)
+        counter.reset()
+        values = [counter.value]
+        wraps = []
+        for _ in range(5):
+            wraps.append(counter.step())
+            values.append(counter.value)
+        assert values[:4] == [0, 1, 2, 0]
+        assert wraps[:3] == [False, False, True]
+
+    def test_down_counting(self):
+        counter = UpDownCounter(3)
+        counter.set_mode(down=True)
+        counter.reset()
+        assert counter.value == 2
+        assert counter.step() is False
+        assert counter.value == 1
+        counter.step()
+        assert counter.step() is True  # wrap from 0
+        assert counter.value == 2
+
+    def test_single_entry_counter_wraps_every_step(self):
+        counter = UpDownCounter(1)
+        counter.reset()
+        assert counter.step() is True
+        assert counter.value == 0
+
+    def test_repetition_counter(self):
+        rep = RepetitionCounter(3)
+        assert rep.step() is False
+        assert rep.step() is False
+        assert rep.step() is True
+        assert rep.value == 0  # auto-reset after completion
+
+    def test_invalid_construction(self):
+        with pytest.raises(HardwareModelError):
+            UpDownCounter(0)
+        with pytest.raises(HardwareModelError):
+            RepetitionCounter(0)
+
+
+class TestController:
+    def _hardware_expand(self, sequence: TestSequence, config: ExpansionConfig):
+        memory = TestMemory(sequence.width, len(sequence))
+        memory.load(sequence)
+        return TestSequence(ExpansionController(memory, config).generate_all())
+
+    def test_paper_table1_via_hardware(self):
+        s = TestSequence.from_strings(["000", "110"])
+        config = ExpansionConfig(repetitions=2)
+        assert self._hardware_expand(s, config) == expand(s, config)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.lists(bits, min_size=3, max_size=3), min_size=1, max_size=6),
+        st.integers(min_value=1, max_value=4),
+        st.booleans(),
+        st.booleans(),
+        st.booleans(),
+    )
+    def test_hardware_equals_math_for_all_configs(
+        self, rows, n, use_complement, use_shift, use_reverse
+    ):
+        sequence = TestSequence(rows)
+        config = ExpansionConfig(
+            repetitions=n,
+            use_complement=use_complement,
+            use_shift=use_shift,
+            use_reverse=use_reverse,
+        )
+        assert self._hardware_expand(sequence, config) == expand(sequence, config)
+
+    def test_expanded_length_prediction(self):
+        s = TestSequence.from_strings(["01", "11", "00"])
+        memory = TestMemory(2, 3)
+        memory.load(s)
+        controller = ExpansionController(memory, ExpansionConfig(repetitions=4))
+        assert controller.expanded_length() == 8 * 4 * 3
+        assert len(controller.generate_all()) == 8 * 4 * 3
+
+    def test_empty_memory_rejected(self):
+        memory = TestMemory(2, 3)
+        controller = ExpansionController(memory, ExpansionConfig(2))
+        with pytest.raises(HardwareModelError):
+            list(controller.run())
+
+
+class TestMisr:
+    def test_deterministic(self):
+        a = Misr(16, 2)
+        b = Misr(16, 2)
+        for _ in range(10):
+            a.capture([ONE, ZERO])
+            b.capture([ONE, ZERO])
+        assert a.signature() == b.signature()
+
+    def test_different_streams_differ(self):
+        a = Misr(16, 2)
+        b = Misr(16, 2)
+        for _ in range(10):
+            a.capture([ONE, ZERO])
+            b.capture([ZERO, ONE])
+        assert a.signature() != b.signature()
+
+    def test_single_bit_flip_changes_signature(self):
+        a = Misr(24, 3)
+        b = Misr(24, 3)
+        stream = [[ONE, ZERO, ONE], [ZERO, ZERO, ONE], [ONE, ONE, ZERO]]
+        for row in stream:
+            a.capture(list(row))
+        stream[1][0] = ONE  # flip one observed bit
+        for row in stream:
+            b.capture(list(row))
+        assert a.signature() != b.signature()
+
+    def test_x_captured_as_zero(self):
+        a = Misr(8, 1)
+        b = Misr(8, 1)
+        a.capture([X])
+        b.capture([ZERO])
+        assert a.signature() == b.signature()
+
+    def test_reset(self):
+        misr = Misr(8, 1)
+        misr.capture([ONE])
+        misr.reset()
+        assert misr.signature() == 0
+        assert misr.captures == 0
+
+    def test_wide_bus_folding(self):
+        misr = Misr(4, 10)  # more inputs than stages: folds mod length
+        misr.capture([ONE] * 10)
+        assert 0 <= misr.signature() < 16
+
+    def test_input_count_checked(self):
+        with pytest.raises(HardwareModelError):
+            Misr(8, 2).capture([ONE])
+
+    def test_invalid_construction(self):
+        with pytest.raises(HardwareModelError):
+            Misr(1, 1)
+        with pytest.raises(HardwareModelError):
+            Misr(8, 0)
+
+
+class TestCostModel:
+    def _model(self):
+        return BistCostModel(
+            num_inputs=4,
+            t0_length=100,
+            total_loaded_length=40,
+            max_loaded_length=10,
+            expansion=ExpansionConfig(repetitions=2),
+        )
+
+    def test_memory_figures(self):
+        model = self._model()
+        assert model.memory_bits == 40
+        assert model.t0_memory_bits == 400
+        assert model.memory_ratio == 0.1
+
+    def test_load_figures(self):
+        model = self._model()
+        assert model.load_cycles == 40
+        assert model.load_ratio == 0.4
+        assert model.at_speed_cycles == 8 * 2 * 40
+
+    def test_comparison(self):
+        comparison = CostComparison(self._model())
+        assert comparison.memory_saving_versus_t0 == pytest.approx(0.9)
+        assert comparison.load_saving_versus_t0 == pytest.approx(0.6)
+        assert comparison.at_speed_amplification == pytest.approx(16.0)
+
+
+class TestSession:
+    @pytest.fixture(scope="class")
+    def session(self, s27, s27_t0):
+        from repro.core.config import SelectionConfig
+        from repro.core.scheme import LoadAndExpandScheme
+
+        config = SelectionConfig(expansion=ExpansionConfig(repetitions=2), seed=7)
+        run = LoadAndExpandScheme(s27).run(s27_t0, config)
+        return BistSession(
+            s27, run.selection.test_sequences(), config.expansion
+        )
+
+    def test_fault_free_device_passes(self, session):
+        report = session.test_device(None)
+        assert not report.fails
+        assert not report.detected_without_compaction
+
+    def test_all_covered_faults_flagged(self, session, s27_universe):
+        flagged = 0
+        for fault in s27_universe.faults():
+            if session.test_device(fault).fails:
+                flagged += 1
+        assert flagged == 32
+
+    def test_signature_agrees_with_po_compare_on_s27(self, session, s27_universe):
+        for fault in list(s27_universe.faults())[:10]:
+            report = session.test_device(fault)
+            assert report.fails == report.detected_without_compaction
+
+    def test_cycle_accounting(self, session):
+        report = session.test_device(None)
+        assert report.total_load_cycles == sum(v.loaded_length for v in report.verdicts)
+        for verdict in report.verdicts:
+            assert verdict.applied_length == 16 * verdict.loaded_length
+
+    def test_cost_for_t0(self, session):
+        cost = session.cost_for_t0(10)
+        assert cost.t0_length == 10
+        assert cost.load_ratio <= 1.0
+
+    def test_empty_sequences_rejected(self, s27):
+        with pytest.raises(HardwareModelError):
+            BistSession(s27, [], ExpansionConfig(2))
+
+    def test_golden_signatures_stable(self, session):
+        assert session.golden_signatures() == session.golden_signatures()

@@ -1,0 +1,72 @@
+"""Tests for structural analysis utilities."""
+
+from __future__ import annotations
+
+from repro.circuit.analysis import (
+    circuit_stats,
+    combinational_depth,
+    signal_levels,
+    transitive_fanin,
+)
+from repro.circuit.builder import CircuitBuilder
+
+
+def _chain(depth: int):
+    builder = CircuitBuilder("chain")
+    builder.add_input("a")
+    previous = "a"
+    for index in range(depth):
+        name = f"n{index}"
+        builder.add_not(name, previous)
+        previous = name
+    builder.add_output(previous)
+    return builder.build()
+
+
+class TestDepth:
+    def test_inverter_chain_depth(self):
+        assert combinational_depth(_chain(5)) == 5
+
+    def test_gateless_net(self):
+        builder = CircuitBuilder("wire")
+        builder.add_input("a")
+        builder.add_output("a")
+        assert combinational_depth(builder.build()) == 0
+
+    def test_s27_depth(self, s27):
+        # Longest path: G0 -> G14 -> G8 -> G15/G16 -> G9 -> G11 -> G17.
+        assert combinational_depth(s27) == 6
+
+    def test_levels_are_consistent(self, s27):
+        levels = signal_levels(s27)
+        for gate in s27.gates.values():
+            assert levels[gate.output] == 1 + max(levels[s] for s in gate.inputs)
+
+
+class TestCones:
+    def test_transitive_fanin_stops_at_state(self, s27):
+        cone = transitive_fanin(s27, "G17")
+        # G17 = NOT(G11), G11 = NOR(G5, G9); flop output G5 terminates.
+        assert "G11" in cone and "G5" in cone
+        assert "G10" not in cone  # behind the flop boundary
+
+    def test_transitive_fanin_of_source(self, s27):
+        assert transitive_fanin(s27, "G0") == {"G0"}
+
+
+class TestStats:
+    def test_s27_stats(self, s27):
+        stats = circuit_stats(s27)
+        assert stats.num_inputs == 4
+        assert stats.num_outputs == 1
+        assert stats.num_flops == 3
+        assert stats.num_gates == 10
+        assert stats.num_signals == 17
+        assert stats.max_fanin == 2
+        assert stats.max_fanout == 3  # G11
+        assert stats.depth == 6
+
+    def test_as_row(self, s27):
+        row = circuit_stats(s27).as_row()
+        assert row[0] == "s27"
+        assert len(row) == 6

@@ -1,0 +1,152 @@
+"""Tests for the circuit builder and the .bench reader/writer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.bench_io import parse_bench, write_bench, write_bench_file, parse_bench_file
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.types import GateType
+from repro.errors import BenchFormatError, NetlistError
+
+
+class TestBuilder:
+    def test_fluent_chain(self):
+        circuit = (
+            CircuitBuilder("c")
+            .add_input("a")
+            .add_input("b")
+            .add_and("y", "a", "b")
+            .add_output("y")
+            .build()
+        )
+        assert circuit.num_gates == 1
+        assert circuit.gates["y"].gate_type is GateType.AND
+
+    def test_all_convenience_gates(self):
+        builder = CircuitBuilder("c")
+        builder.add_input("a").add_input("b")
+        builder.add_and("g0", "a", "b")
+        builder.add_nand("g1", "a", "b")
+        builder.add_or("g2", "a", "b")
+        builder.add_nor("g3", "a", "b")
+        builder.add_not("g4", "a")
+        builder.add_buf("g5", "b")
+        builder.add_xor("g6", "a", "b")
+        builder.add_output("g6")
+        circuit = builder.build()
+        types = {name: g.gate_type for name, g in circuit.gates.items()}
+        assert types == {
+            "g0": GateType.AND,
+            "g1": GateType.NAND,
+            "g2": GateType.OR,
+            "g3": GateType.NOR,
+            "g4": GateType.NOT,
+            "g5": GateType.BUF,
+            "g6": GateType.XOR,
+        }
+
+    def test_duplicate_driver_rejected_eagerly(self):
+        builder = CircuitBuilder("c").add_input("a")
+        with pytest.raises(NetlistError):
+            builder.add_input("a")
+
+    def test_duplicate_gate_output_rejected(self):
+        builder = CircuitBuilder("c").add_input("a").add_not("y", "a")
+        with pytest.raises(NetlistError):
+            builder.add_not("y", "a")
+
+    def test_duplicate_output_declaration_rejected(self):
+        builder = CircuitBuilder("c").add_input("a").add_not("y", "a").add_output("y")
+        with pytest.raises(NetlistError):
+            builder.add_output("y")
+
+    def test_flop_and_feedback(self):
+        circuit = (
+            CircuitBuilder("t")
+            .add_input("en")
+            .add_flop("q", "d")
+            .add_xor("d", "en", "q")
+            .add_output("q")
+            .build()
+        )
+        assert circuit.flops == [("q", "d")]
+
+    def test_build_validates(self):
+        builder = CircuitBuilder("c").add_input("a").add_not("y", "zzz").add_output("y")
+        with pytest.raises(NetlistError):
+            builder.build()
+
+
+class TestBenchParser:
+    def test_parse_s27_shape(self, s27):
+        assert s27.inputs == ["G0", "G1", "G2", "G3"]
+        assert s27.outputs == ["G17"]
+        assert s27.flops == [("G5", "G10"), ("G6", "G11"), ("G7", "G13")]
+        assert s27.num_gates == 10
+
+    def test_s27_gate_type_census_matches_iscas_header(self, s27):
+        census: dict[GateType, int] = {}
+        for gate in s27.gates.values():
+            census[gate.gate_type] = census.get(gate.gate_type, 0) + 1
+        # ISCAS-89 header: 2 inverters, 1 AND, 1 NAND, 2 OR, 4 NOR.
+        assert census == {
+            GateType.NOT: 2,
+            GateType.AND: 1,
+            GateType.NAND: 1,
+            GateType.OR: 2,
+            GateType.NOR: 4,
+        }
+
+    def test_roundtrip(self, s27):
+        text = write_bench(s27)
+        again = parse_bench(text, name="s27")
+        assert again.inputs == s27.inputs
+        assert again.outputs == s27.outputs
+        assert again.flops == s27.flops
+        assert again.gates == s27.gates
+
+    def test_aliases(self):
+        circuit = parse_bench(
+            "INPUT(a)\nOUTPUT(y)\nOUTPUT(z)\nn = INV(a)\ny = BUFF(n)\nz = BUFF(n)\n"
+        )
+        assert circuit.gates["n"].gate_type is GateType.NOT
+        assert circuit.gates["y"].gate_type is GateType.BUF
+
+    def test_comments_and_blank_lines(self):
+        text = """
+        # a comment
+        INPUT(a)   # trailing comment
+
+        OUTPUT(y)
+        y = NOT(a)
+        """
+        circuit = parse_bench(text)
+        assert circuit.num_gates == 1
+
+    def test_unknown_gate_type(self):
+        with pytest.raises(BenchFormatError, match="unknown gate type"):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n")
+
+    def test_garbage_line(self):
+        with pytest.raises(BenchFormatError, match="unrecognized"):
+            parse_bench("INPUT(a)\nwhat is this\n")
+
+    def test_dff_arity_error(self):
+        with pytest.raises(BenchFormatError, match="DFF"):
+            parse_bench("INPUT(a)\nOUTPUT(q)\nq = DFF(a, a)\n")
+
+    def test_double_assignment(self):
+        with pytest.raises(BenchFormatError, match="assigned twice"):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUF(a)\n")
+
+    def test_file_roundtrip(self, s27, tmp_path):
+        path = tmp_path / "c.bench"
+        write_bench_file(s27, path)
+        again = parse_bench_file(path)
+        assert again.name == "c"
+        assert again.gates == s27.gates
+
+    def test_validation_runs_on_parse(self):
+        with pytest.raises(NetlistError):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(ghost)\n")

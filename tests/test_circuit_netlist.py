@@ -1,0 +1,157 @@
+"""Tests for the netlist model, gate records and structural validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.netlist import Circuit, Gate
+from repro.circuit.types import GateType
+from repro.errors import NetlistError
+
+
+def _circuit(gates: dict[str, Gate], **overrides) -> Circuit:
+    defaults = dict(
+        name="t",
+        inputs=["a", "b"],
+        outputs=["y"],
+        flops=[],
+        gates=gates,
+    )
+    defaults.update(overrides)
+    return Circuit(**defaults)
+
+
+class TestGate:
+    def test_valid_gate(self):
+        gate = Gate("y", GateType.AND, ("a", "b"))
+        assert gate.inputs == ("a", "b")
+
+    def test_not_requires_single_input(self):
+        with pytest.raises(NetlistError):
+            Gate("y", GateType.NOT, ("a", "b"))
+
+    def test_and_requires_two_inputs(self):
+        with pytest.raises(NetlistError):
+            Gate("y", GateType.AND, ("a",))
+
+    def test_wide_gate_allowed(self):
+        gate = Gate("y", GateType.NOR, tuple("abcdefgh"))
+        assert len(gate.inputs) == 8
+
+
+class TestGateTypeProperties:
+    def test_inverting(self):
+        assert GateType.NAND.is_inverting
+        assert GateType.NOR.is_inverting
+        assert GateType.NOT.is_inverting
+        assert GateType.XNOR.is_inverting
+        assert not GateType.AND.is_inverting
+        assert not GateType.BUF.is_inverting
+
+    def test_controlling_values(self):
+        assert GateType.AND.controlling_value == 0
+        assert GateType.NAND.controlling_value == 0
+        assert GateType.OR.controlling_value == 1
+        assert GateType.NOR.controlling_value == 1
+        assert GateType.XOR.controlling_value is None
+        assert GateType.NOT.controlling_value is None
+
+
+class TestValidation:
+    def test_valid_circuit_passes(self):
+        circuit = _circuit({"y": Gate("y", GateType.AND, ("a", "b"))})
+        circuit.validate()
+
+    def test_undriven_gate_input(self):
+        circuit = _circuit({"y": Gate("y", GateType.AND, ("a", "ghost"))})
+        with pytest.raises(NetlistError, match="undriven"):
+            circuit.validate()
+
+    def test_undriven_output(self):
+        circuit = _circuit(
+            {"z": Gate("z", GateType.AND, ("a", "b"))}, outputs=["nope"]
+        )
+        with pytest.raises(NetlistError, match="undriven"):
+            circuit.validate()
+
+    def test_undriven_flop_input(self):
+        circuit = _circuit(
+            {"y": Gate("y", GateType.AND, ("a", "b"))},
+            flops=[("q", "missing_d")],
+        )
+        with pytest.raises(NetlistError, match="undriven"):
+            circuit.validate()
+
+    def test_double_driver(self):
+        circuit = _circuit(
+            {"a": Gate("a", GateType.AND, ("a", "b"))}, outputs=["a"]
+        )
+        with pytest.raises(NetlistError, match="twice"):
+            circuit.validate()
+
+    def test_no_outputs(self):
+        circuit = _circuit({"y": Gate("y", GateType.AND, ("a", "b"))}, outputs=[])
+        with pytest.raises(NetlistError, match="no primary outputs"):
+            circuit.validate()
+
+    def test_combinational_cycle_detected(self):
+        gates = {
+            "u": Gate("u", GateType.AND, ("a", "v")),
+            "v": Gate("v", GateType.AND, ("b", "u")),
+            "y": Gate("y", GateType.BUF, ("u",)),
+        }
+        circuit = _circuit(gates)
+        with pytest.raises(NetlistError, match="cycle"):
+            circuit.validate()
+
+    def test_cycle_through_flop_is_legal(self):
+        gates = {"d": Gate("d", GateType.NOT, ("q",)), "y": Gate("y", GateType.BUF, ("q",))}
+        circuit = _circuit(gates, flops=[("q", "d")], inputs=["a", "b"])
+        circuit.validate()
+
+
+class TestDerivedViews:
+    def test_topo_order_respects_dependencies(self, s27):
+        seen: set[str] = set(s27.inputs) | set(s27.flop_outputs())
+        for gate in s27.topo_order():
+            for source in gate.inputs:
+                assert source in seen, f"{gate.output} before its input {source}"
+            seen.add(gate.output)
+
+    def test_topo_order_cached(self, s27):
+        assert s27.topo_order() is s27.topo_order()
+
+    def test_signals_enumeration(self, s27):
+        signals = s27.signals()
+        assert len(signals) == 4 + 3 + 10
+        assert len(set(signals)) == len(signals)
+
+    def test_fanout_covers_all_loads(self, s27):
+        fanout = s27.fanout()
+        total_gate_pins = sum(len(g.inputs) for g in s27.gates.values())
+        total_loads = sum(len(loads) for loads in fanout.values())
+        assert total_loads == total_gate_pins + s27.num_flops + s27.num_outputs
+
+    def test_fanout_branch_example(self, s27):
+        # G11 feeds G17, G10 and flop G6 in the real netlist.
+        sinks = {load.sink for load in s27.fanout()["G11"]}
+        assert sinks == {"G17", "G10", "G6"}
+
+    def test_driver_kind(self, s27):
+        assert s27.driver_kind("G0") == "pi"
+        assert s27.driver_kind("G5") == "ff"
+        assert s27.driver_kind("G11") == "gate"
+
+    def test_driver_kind_unknown(self, s27):
+        with pytest.raises(NetlistError):
+            s27.driver_kind("nope")
+
+    def test_counts(self, s27):
+        assert s27.num_inputs == 4
+        assert s27.num_outputs == 1
+        assert s27.num_flops == 3
+        assert s27.num_gates == 10
+
+    def test_flop_views(self, s27):
+        assert s27.flop_outputs() == ["G5", "G6", "G7"]
+        assert s27.flop_inputs() == ["G10", "G11", "G13"]

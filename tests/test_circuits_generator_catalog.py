@@ -1,0 +1,123 @@
+"""Tests for the synthetic generator and the circuit catalog."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit.analysis import circuit_stats
+from repro.circuits.catalog import (
+    PAPER_CIRCUITS,
+    available_circuits,
+    load_circuit,
+    paper_t0_s27,
+)
+from repro.circuits.generator import SyntheticSpec, generate_circuit
+from repro.errors import CatalogError
+from repro.logic.values import X
+from repro.sim.logicsim import LogicSimulator
+from repro.util.rng import SplitMix64
+
+
+def _random_sequence(seed: int, width: int, length: int):
+    from repro.core.sequence import TestSequence
+
+    rng = SplitMix64(seed)
+    return TestSequence(
+        [[rng.next_u64() & 1 for _ in range(width)] for _ in range(length)]
+    )
+
+
+class TestGenerator:
+    def test_profile_is_matched(self):
+        spec = SyntheticSpec("p", 7, 5, 9, 80, seed=1)
+        circuit = generate_circuit(spec)
+        assert circuit.num_inputs == 7
+        assert circuit.num_flops == 9
+        assert circuit.num_gates == 80
+        # POs may exceed the profile only via dead-logic rescue.
+        assert circuit.num_outputs >= 5
+
+    def test_deterministic(self):
+        spec = SyntheticSpec("p", 4, 3, 5, 40, seed=77)
+        a = generate_circuit(spec)
+        b = generate_circuit(spec)
+        assert a.gates == b.gates
+        assert a.outputs == b.outputs
+
+    def test_seed_changes_structure(self):
+        a = generate_circuit(SyntheticSpec("p", 4, 3, 5, 40, seed=1))
+        b = generate_circuit(SyntheticSpec("p", 4, 3, 5, 40, seed=2))
+        assert a.gates != b.gates
+
+    def test_no_dead_gates(self):
+        circuit = generate_circuit(SyntheticSpec("p", 5, 4, 6, 70, seed=9))
+        fanout = circuit.fanout()
+        for name in circuit.gates:
+            assert fanout[name], f"gate {name} has no loads and is not a PO"
+
+    def test_initializable(self):
+        circuit = generate_circuit(SyntheticSpec("p", 4, 3, 8, 60, seed=5))
+        trace = LogicSimulator(circuit).run(_random_sequence(3, 4, 80))
+        binary = sum(1 for v in trace.final_state if v is not X)
+        assert binary == circuit.num_flops
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticSpec("p", 0, 1, 1, 10, seed=1)
+        with pytest.raises(ValueError):
+            SyntheticSpec("p", 1, 0, 1, 10, seed=1)
+        with pytest.raises(ValueError):
+            SyntheticSpec("p", 1, 1, 10, 5, seed=1)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        inputs=st.integers(min_value=1, max_value=8),
+        outputs=st.integers(min_value=1, max_value=6),
+        flops=st.integers(min_value=0, max_value=8),
+        seed=st.integers(min_value=0, max_value=2**32),
+    )
+    def test_generated_circuits_always_validate(self, inputs, outputs, flops, seed):
+        gates = flops + 15
+        spec = SyntheticSpec("h", inputs, outputs, flops, gates, seed=seed)
+        circuit = generate_circuit(spec)
+        circuit.validate()  # would raise on dangling nets or cycles
+        assert circuit.num_gates == gates
+
+
+class TestCatalog:
+    def test_available_names(self):
+        names = available_circuits()
+        assert "s27" in names
+        assert "syn298" in names
+        assert len(names) == 13
+
+    def test_paper_circuit_list(self):
+        assert len(PAPER_CIRCUITS) == 12
+        assert PAPER_CIRCUITS[0] == "s298"
+
+    def test_alias_resolution(self):
+        via_alias = load_circuit("s298")
+        via_name = load_circuit("syn298")
+        assert via_alias.gates == via_name.gates
+
+    def test_unknown_circuit(self):
+        with pytest.raises(CatalogError):
+            load_circuit("s9999")
+
+    def test_synthetic_profiles_match_iscas(self):
+        stats = circuit_stats(load_circuit("syn344"))
+        assert stats.num_inputs == 9
+        assert stats.num_flops == 15
+        assert stats.num_gates == 160
+
+    def test_paper_t0_shape(self):
+        t0 = paper_t0_s27()
+        assert len(t0) == 10
+        assert t0.width == 4
+        assert t0.to_strings()[0] == "0111"
+        assert t0.to_strings()[9] == "1011"
+
+    def test_s27_loads_real_netlist(self, s27):
+        assert s27.name == "s27"
+        assert s27.num_gates == 10

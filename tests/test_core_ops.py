@@ -1,0 +1,154 @@
+"""Tests for the sequence manipulations and the expansion function.
+
+Includes the paper's Table 1 worked example verbatim and hypothesis
+properties on the operator algebra.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.ops import (
+    ExpansionConfig,
+    complement,
+    concat,
+    expand,
+    expanded_length,
+    repeat,
+    reverse,
+    shift_left,
+)
+from repro.core.sequence import TestSequence
+
+bits = st.integers(min_value=0, max_value=1)
+sequences = st.builds(
+    TestSequence,
+    st.lists(st.lists(bits, min_size=4, max_size=4), min_size=1, max_size=10),
+)
+
+
+class TestPrimitives:
+    def test_repeat_examples(self):
+        s = TestSequence.from_strings(["000", "111"])
+        assert repeat(s, 2).to_strings() == ["000", "111", "000", "111"]
+        assert repeat(s, 3).to_strings() == ["000", "111"] * 3
+
+    def test_repeat_rejects_zero(self):
+        with pytest.raises(ValueError):
+            repeat(TestSequence.from_strings(["0"]), 0)
+
+    def test_complement_example(self):
+        s = TestSequence.from_strings(["000", "111"])
+        assert complement(s).to_strings() == ["111", "000"]
+
+    def test_shift_example_from_paper(self):
+        # Paper Section 2: (001, 101) << 1 == (010, 011).
+        s = TestSequence.from_strings(["001", "101"])
+        assert shift_left(s).to_strings() == ["010", "011"]
+
+    def test_reverse_example_from_paper(self):
+        s = TestSequence.from_strings(["000", "001", "111"])
+        assert reverse(s).to_strings() == ["111", "001", "000"]
+
+    def test_concat(self):
+        a = TestSequence.from_strings(["00"])
+        b = TestSequence.from_strings(["11", "01"])
+        assert concat(a, b, a).to_strings() == ["00", "11", "01", "00"]
+
+
+class TestAlgebraicProperties:
+    @given(sequences)
+    def test_complement_is_involution(self, s):
+        assert complement(complement(s)) == s
+
+    @given(sequences)
+    def test_reverse_is_involution(self, s):
+        assert reverse(reverse(s)) == s
+
+    @given(sequences)
+    def test_shift_period_is_width(self, s):
+        assert shift_left(s, s.width) == s
+
+    @given(sequences, st.integers(min_value=0, max_value=8))
+    def test_shift_composes(self, s, k):
+        assert shift_left(shift_left(s, 1), k) == shift_left(s, k + 1)
+
+    @given(sequences, st.integers(min_value=1, max_value=4))
+    def test_repeat_length(self, s, n):
+        assert len(repeat(s, n)) == n * len(s)
+
+    @given(sequences)
+    def test_complement_commutes_with_reverse(self, s):
+        assert complement(reverse(s)) == reverse(complement(s))
+
+
+class TestExpansion:
+    def test_paper_table1_exact(self):
+        s = TestSequence.from_strings(["000", "110"])
+        result = expand(s, ExpansionConfig(repetitions=2))
+        expected = (
+            "000 110 000 110 111 001 111 001 "
+            "000 101 000 101 111 010 111 010 "
+            "010 111 010 111 101 000 101 000 "
+            "001 111 001 111 110 000 110 000"
+        ).split()
+        assert result.to_strings() == expected
+
+    def test_paper_procedure2_example_expansion(self):
+        # Sexp of (1011) with n=1 from Section 3.1.
+        result = expand(TestSequence.from_strings(["1011"]), ExpansionConfig(1))
+        assert result.to_strings() == [
+            "1011", "0100", "0111", "1000", "1000", "0111", "0100", "1011",
+        ]
+
+    @given(sequences, st.integers(min_value=1, max_value=4))
+    def test_length_is_8nL(self, s, n):
+        config = ExpansionConfig(repetitions=n)
+        assert len(expand(s, config)) == 8 * n * len(s)
+        assert expanded_length(len(s), config) == 8 * n * len(s)
+
+    @given(sequences, st.integers(min_value=1, max_value=4))
+    def test_expansion_starts_with_s(self, s, n):
+        """Procedure 2's termination guarantee rests on this property."""
+        expanded = expand(s, ExpansionConfig(repetitions=n))
+        assert expanded.vectors()[: len(s)] == s.vectors()
+
+    @given(sequences)
+    def test_expansion_is_palindromic_with_reversal(self, s):
+        expanded = expand(s, ExpansionConfig(repetitions=2))
+        assert expanded == reverse(expanded)
+
+    def test_ablation_multipliers(self):
+        s = TestSequence.from_strings(["01", "10"])
+        cases = [
+            (ExpansionConfig(2, use_complement=False), 2 * 2 * 2),
+            (ExpansionConfig(2, use_shift=False), 2 * 2 * 2),
+            (ExpansionConfig(2, use_reverse=False), 2 * 2 * 2),
+            (
+                ExpansionConfig(
+                    3, use_complement=False, use_shift=False, use_reverse=False
+                ),
+                3,
+            ),
+        ]
+        for config, multiplier in cases:
+            assert config.length_multiplier == multiplier
+            assert len(expand(s, config)) == multiplier * len(s)
+
+    def test_empty_sequence_expands_to_empty(self):
+        assert len(expand(TestSequence([]), ExpansionConfig(2))) == 0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ExpansionConfig(repetitions=0)
+
+    def test_stage_structure(self):
+        """White-box: verify the four-stage composition of Section 2."""
+        s = TestSequence.from_strings(["0110"])
+        n = 2
+        s1 = repeat(s, n)
+        s2 = concat(s1, complement(s1))
+        s3 = concat(s2, shift_left(s2, 1))
+        s4 = concat(s3, reverse(s3))
+        assert expand(s, ExpansionConfig(repetitions=n)) == s4

@@ -1,0 +1,114 @@
+"""Tests for the TestSequence value type."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.sequence import TestSequence
+
+bits = st.integers(min_value=0, max_value=1)
+
+
+class TestConstruction:
+    def test_from_strings_roundtrip(self):
+        rows = ["0111", "1001"]
+        seq = TestSequence.from_strings(rows)
+        assert seq.to_strings() == rows
+        assert seq.width == 4
+        assert len(seq) == 2
+
+    def test_vectors_are_tuples(self):
+        seq = TestSequence([[0, 1]])
+        assert seq[0] == (0, 1)
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            TestSequence([[0, 2]])
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            TestSequence([[0, 1], [0]])
+
+    def test_empty(self):
+        seq = TestSequence.empty(5)
+        assert len(seq) == 0
+        assert seq.width == 5
+
+    def test_equality_and_hash(self):
+        a = TestSequence.from_strings(["01", "10"])
+        b = TestSequence.from_strings(["01", "10"])
+        c = TestSequence.from_strings(["01"])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+        assert a != "01 10"
+
+    def test_iteration(self):
+        seq = TestSequence.from_strings(["01", "10"])
+        assert list(seq) == [(0, 1), (1, 0)]
+
+
+class TestSubsequenceSemantics:
+    def test_inclusive_bounds_match_paper_notation(self):
+        # T0[u1, u2] includes both endpoints (paper Section 3.1).
+        t0 = TestSequence.from_strings(["00", "01", "10", "11"])
+        assert t0.subsequence(1, 2).to_strings() == ["01", "10"]
+        assert t0.subsequence(0, 3) == t0
+        assert t0.subsequence(2, 2).to_strings() == ["10"]
+
+    def test_out_of_range(self):
+        t0 = TestSequence.from_strings(["00", "01"])
+        with pytest.raises(IndexError):
+            t0.subsequence(0, 2)
+        with pytest.raises(IndexError):
+            t0.subsequence(-1, 1)
+        with pytest.raises(IndexError):
+            t0.subsequence(1, 0)
+
+    def test_omit(self):
+        t0 = TestSequence.from_strings(["00", "01", "10"])
+        assert t0.omit(1).to_strings() == ["00", "10"]
+        assert t0.omit(0).to_strings() == ["01", "10"]
+        assert t0.omit(2).to_strings() == ["00", "01"]
+
+    def test_omit_out_of_range(self):
+        with pytest.raises(IndexError):
+            TestSequence.from_strings(["00"]).omit(1)
+
+    def test_omit_does_not_mutate(self):
+        t0 = TestSequence.from_strings(["00", "01"])
+        t0.omit(0)
+        assert len(t0) == 2
+
+    def test_append_and_extend(self):
+        seq = TestSequence.from_strings(["00"]).append([1, 1])
+        assert seq.to_strings() == ["00", "11"]
+        combined = seq.extend(TestSequence.from_strings(["10"]))
+        assert combined.to_strings() == ["00", "11", "10"]
+
+    def test_extend_width_mismatch(self):
+        with pytest.raises(ValueError):
+            TestSequence.from_strings(["00"]).extend(
+                TestSequence.from_strings(["000"])
+            )
+
+
+@given(
+    st.lists(st.lists(bits, min_size=3, max_size=3), min_size=1, max_size=20),
+    st.data(),
+)
+def test_subsequence_matches_python_slice(rows, data):
+    seq = TestSequence(rows)
+    start = data.draw(st.integers(min_value=0, max_value=len(seq) - 1))
+    end = data.draw(st.integers(min_value=start, max_value=len(seq) - 1))
+    assert seq.subsequence(start, end).vectors() == seq.vectors()[start : end + 1]
+
+
+@given(st.lists(st.lists(bits, min_size=2, max_size=2), min_size=2, max_size=15), st.data())
+def test_omit_length_and_content(rows, data):
+    seq = TestSequence(rows)
+    index = data.draw(st.integers(min_value=0, max_value=len(seq) - 1))
+    shorter = seq.omit(index)
+    assert len(shorter) == len(seq) - 1
+    assert shorter.vectors() == seq.vectors()[:index] + seq.vectors()[index + 1 :]

@@ -1,0 +1,119 @@
+"""Tests for the hold-cycles extension operator (beyond the paper).
+
+The paper cites Nachman et al. [3], where holding input vectors for
+several clock cycles raises sequential fault coverage.  The extension
+adds a hold stage below the paper's four operators; ``hold_cycles=1``
+must reproduce the paper's behaviour bit for bit.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bist.controller import ExpansionController
+from repro.bist.memory import TestMemory
+from repro.core.config import SelectionConfig
+from repro.core.ops import ExpansionConfig, expand, hold
+from repro.core.scheme import LoadAndExpandScheme
+from repro.core.sequence import TestSequence
+
+bits = st.integers(min_value=0, max_value=1)
+
+
+class TestHoldPrimitive:
+    def test_example(self):
+        s = TestSequence.from_strings(["01", "10"])
+        assert hold(s, 2).to_strings() == ["01", "01", "10", "10"]
+
+    def test_identity_at_one(self):
+        s = TestSequence.from_strings(["01", "10"])
+        assert hold(s, 1) is s
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            hold(TestSequence.from_strings(["0"]), 0)
+
+    @given(
+        st.lists(st.lists(bits, min_size=2, max_size=2), min_size=1, max_size=8),
+        st.integers(min_value=1, max_value=5),
+    )
+    def test_length_property(self, rows, k):
+        s = TestSequence(rows)
+        held = hold(s, k)
+        assert len(held) == k * len(s)
+        # Every vector appears in a block of k identical copies.
+        for index, vector in enumerate(s):
+            block = held.vectors()[index * k : (index + 1) * k]
+            assert all(v == vector for v in block)
+
+
+class TestHoldInExpansion:
+    def test_hold_one_reproduces_paper(self):
+        s = TestSequence.from_strings(["000", "110"])
+        paper = expand(s, ExpansionConfig(repetitions=2))
+        with_hold_field = expand(s, ExpansionConfig(repetitions=2, hold_cycles=1))
+        assert paper == with_hold_field
+
+    def test_multiplier_includes_hold(self):
+        config = ExpansionConfig(repetitions=2, hold_cycles=3)
+        assert config.length_multiplier == 48
+        s = TestSequence.from_strings(["01"])
+        assert len(expand(s, config)) == 48
+
+    def test_hold_applied_before_repetition(self):
+        s = TestSequence.from_strings(["01", "10"])
+        config = ExpansionConfig(
+            repetitions=2,
+            hold_cycles=2,
+            use_complement=False,
+            use_shift=False,
+            use_reverse=False,
+        )
+        assert expand(s, config).to_strings() == [
+            "01", "01", "10", "10", "01", "01", "10", "10",
+        ]
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ExpansionConfig(hold_cycles=0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.lists(bits, min_size=3, max_size=3), min_size=1, max_size=5),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=1, max_value=3),
+    )
+    def test_hardware_matches_math_with_hold(self, rows, n, hold_cycles):
+        sequence = TestSequence(rows)
+        config = ExpansionConfig(repetitions=n, hold_cycles=hold_cycles)
+        memory = TestMemory(3, len(sequence))
+        memory.load(sequence)
+        controller = ExpansionController(memory, config)
+        assert TestSequence(controller.generate_all()) == expand(sequence, config)
+        assert controller.expanded_length() == len(sequence) * config.length_multiplier
+
+
+class TestHoldInScheme:
+    def test_hold_scheme_accounts_for_every_fault(self, s27, s27_t0):
+        """With hold, Sexp no longer starts with S, so Procedure 2's
+        worst-case fallback is gone: faults are either covered or
+        explicitly reported as uncoverable — never silently lost."""
+        config = SelectionConfig(
+            expansion=ExpansionConfig(repetitions=2, hold_cycles=2), seed=7
+        )
+        run = LoadAndExpandScheme(s27).run(s27_t0, config)
+        covered = run.result.detected_by_scheme
+        uncoverable = len(run.selection.uncoverable)
+        assert covered + uncoverable >= run.result.detected_by_t0
+        assert run.result.applied_test_length == (
+            32 * run.result.total_length_after
+        )
+
+    def test_hold_one_has_empty_uncoverable(self, s27, s27_t0):
+        config = SelectionConfig(
+            expansion=ExpansionConfig(repetitions=2, hold_cycles=1), seed=7
+        )
+        run = LoadAndExpandScheme(s27).run(s27_t0, config)
+        assert run.selection.uncoverable == []
+        assert run.result.coverage_preserved

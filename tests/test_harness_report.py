@@ -1,0 +1,47 @@
+"""Tests for the EXPERIMENTS.md report generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.experiment import run_circuit_experiment
+from repro.harness.report import build_experiments_markdown, write_experiments_report
+from repro.harness.runner import SuiteResult
+from repro.harness.suite import QUICK_SUITE
+
+
+@pytest.fixture(scope="module")
+def tiny_suite_result():
+    record = run_circuit_experiment(QUICK_SUITE[0], n_values=(1, 2))
+    return SuiteResult(suite_name="unit", records=[record])
+
+
+class TestReport:
+    def test_contains_all_sections(self, tiny_suite_result):
+        text = build_experiments_markdown(tiny_suite_result)
+        assert "# EXPERIMENTS" in text
+        assert "## Table 3" in text
+        assert "## Table 4" in text
+        assert "## Table 5" in text
+        assert "## Figure 1" in text
+        assert "## Per-circuit notes" in text
+
+    def test_mentions_suite_and_circuit(self, tiny_suite_result):
+        text = build_experiments_markdown(tiny_suite_result)
+        assert "`unit`" in text
+        assert "s27" in text
+
+    def test_per_circuit_notes_content(self, tiny_suite_result):
+        text = build_experiments_markdown(tiny_suite_result)
+        assert "coverage preserved: True" in text
+        assert "paper Table 2 T0" in text
+
+    def test_write_to_file(self, tiny_suite_result, tmp_path):
+        path = tmp_path / "EXPERIMENTS.md"
+        write_experiments_report(tiny_suite_result, str(path))
+        assert path.read_text().startswith("# EXPERIMENTS")
+
+    def test_suite_tables_helper(self, tiny_suite_result):
+        tables = tiny_suite_result.tables()
+        assert "Table 3" in tables
+        assert "Table 5" in tables

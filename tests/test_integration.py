@@ -1,0 +1,140 @@
+"""Cross-module integration tests: the complete pipeline on synthetic
+circuits, and the coverage-preservation invariant under every expansion
+configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.atpg import AtpgConfig, generate_t0
+from repro.bist import BistSession, CostComparison
+from repro.core.config import SelectionConfig
+from repro.core.ops import ExpansionConfig
+from repro.core.scheme import LoadAndExpandScheme
+from repro.faults.universe import FaultUniverse
+from repro.sim.faultsim import FaultSimulator
+
+
+@pytest.fixture(scope="module")
+def pipeline(medium_synthetic):
+    """ATPG -> scheme -> BIST session on a synthetic circuit."""
+    universe = FaultUniverse(medium_synthetic)
+    atpg = generate_t0(
+        medium_synthetic,
+        AtpgConfig(max_length=150, genetic_targets=4),
+        universe=universe,
+    )
+    config = SelectionConfig(expansion=ExpansionConfig(repetitions=2), seed=99)
+    run = LoadAndExpandScheme(medium_synthetic).run(atpg.sequence, config)
+    session = BistSession(
+        medium_synthetic, run.selection.test_sequences(), config.expansion
+    )
+    return universe, atpg, run, session
+
+
+class TestFullPipeline:
+    def test_scheme_preserves_atpg_coverage(self, pipeline):
+        _, atpg, run, _ = pipeline
+        assert run.result.coverage_preserved
+        assert run.result.detected_by_scheme == atpg.detected
+
+    def test_loaded_data_is_smaller_than_t0(self, pipeline):
+        _, atpg, run, session = pipeline
+        cost = session.cost_for_t0(atpg.length)
+        assert cost.load_ratio <= 1.0
+        assert cost.memory_ratio <= 1.0
+        comparison = CostComparison(cost)
+        assert comparison.at_speed_amplification == 16.0  # 8n with n=2
+
+    def test_fault_free_device_passes_session(self, pipeline):
+        _, _, _, session = pipeline
+        assert not session.test_device(None).fails
+
+    def test_sampled_faults_fail_session(self, pipeline):
+        universe, _, run, session = pipeline
+        covered = sorted(run.udet, key=str)[:10]
+        for fault in covered:
+            report = session.test_device(fault)
+            assert report.detected_without_compaction, str(fault)
+
+    def test_subsequences_are_windows_of_t0(self, pipeline):
+        _, atpg, run, _ = pipeline
+        t0_vectors = atpg.sequence.vectors()
+        for entry in run.selection.sequences:
+            window = t0_vectors[entry.ustart : entry.udet + 1]
+            # After omission the subsequence is a subsequence (in order)
+            # of the original window.
+            iterator = iter(window)
+            assert all(
+                vector in iterator for vector in entry.sequence.vectors()
+            ), f"S{entry.index} is not an ordered subsequence of its window"
+
+
+class TestExpansionAblations:
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            dict(use_complement=False),
+            dict(use_shift=False),
+            dict(use_reverse=False),
+            dict(use_complement=False, use_shift=False, use_reverse=False),
+        ],
+    )
+    def test_coverage_preserved_with_reduced_operator_sets(
+        self, s27, s27_t0, flags
+    ):
+        """The guarantee needs only 'Sexp starts with S', so it must hold
+        for every operator subset."""
+        config = SelectionConfig(
+            expansion=ExpansionConfig(repetitions=2, **flags), seed=21
+        )
+        run = LoadAndExpandScheme(s27).run(s27_t0, config)
+        assert run.result.coverage_preserved
+
+    def test_richer_operator_set_never_needs_more_loaded_vectors(self, s27, s27_t0):
+        """The full operator set should load no more than repetition-only."""
+        full = LoadAndExpandScheme(s27).run(
+            s27_t0,
+            SelectionConfig(expansion=ExpansionConfig(repetitions=2), seed=37),
+        )
+        bare = LoadAndExpandScheme(s27).run(
+            s27_t0,
+            SelectionConfig(
+                expansion=ExpansionConfig(
+                    repetitions=2,
+                    use_complement=False,
+                    use_shift=False,
+                    use_reverse=False,
+                ),
+                seed=37,
+            ),
+        )
+        assert full.result.total_length_after <= bare.result.total_length_after
+
+
+class TestCoverageInvariantProperty:
+    @pytest.mark.parametrize("n", [1, 2, 4])
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_invariant_on_synthetic(self, small_synthetic, n, seed):
+        universe = FaultUniverse(small_synthetic)
+        atpg = generate_t0(
+            small_synthetic,
+            AtpgConfig(max_length=80, genetic_targets=0, seed=seed),
+            universe=universe,
+        )
+        if atpg.detected == 0:
+            pytest.skip("seed produced an undetectable-only circuit")
+        config = SelectionConfig(expansion=ExpansionConfig(repetitions=n), seed=seed)
+        run = LoadAndExpandScheme(small_synthetic).run(atpg.sequence, config)
+        assert run.result.coverage_preserved
+        # Explicit re-check with a fresh simulator.
+        fault_sim = FaultSimulator(small_synthetic)
+        covered = set()
+        from repro.core.ops import expand
+
+        for entry in run.selection.sequences:
+            expanded = expand(entry.sequence, config.expansion)
+            covered.update(
+                fault_sim.run(expanded, list(universe.faults())).detection_time
+            )
+        assert covered >= set(run.udet)

@@ -1,0 +1,122 @@
+"""Tests for ternary values and the bit-parallel (H, L) encoding."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.logic.encoding import (
+    broadcast,
+    full_mask,
+    pack_bit_columns,
+    pack_slots,
+    slot_mask,
+    unpack_slots,
+)
+from repro.logic.values import (
+    ONE,
+    X,
+    ZERO,
+    Ternary,
+    ternary_and,
+    ternary_not,
+    ternary_or,
+    ternary_xor,
+)
+
+ALL = [ZERO, ONE, X]
+
+
+class TestTernaryOps:
+    def test_not_truth_table(self):
+        assert ternary_not(ZERO) is ONE
+        assert ternary_not(ONE) is ZERO
+        assert ternary_not(X) is X
+
+    def test_and_truth_table(self):
+        expected = {
+            (ZERO, ZERO): ZERO, (ZERO, ONE): ZERO, (ZERO, X): ZERO,
+            (ONE, ZERO): ZERO, (ONE, ONE): ONE, (ONE, X): X,
+            (X, ZERO): ZERO, (X, ONE): X, (X, X): X,
+        }
+        for (a, b), want in expected.items():
+            assert ternary_and(a, b) is want, (a, b)
+
+    def test_or_truth_table(self):
+        expected = {
+            (ZERO, ZERO): ZERO, (ZERO, ONE): ONE, (ZERO, X): X,
+            (ONE, ZERO): ONE, (ONE, ONE): ONE, (ONE, X): ONE,
+            (X, ZERO): X, (X, ONE): ONE, (X, X): X,
+        }
+        for (a, b), want in expected.items():
+            assert ternary_or(a, b) is want, (a, b)
+
+    def test_xor_truth_table(self):
+        for a in ALL:
+            for b in ALL:
+                result = ternary_xor(a, b)
+                if a is X or b is X:
+                    assert result is X
+                else:
+                    assert result is (ONE if a is not b else ZERO)
+
+    def test_de_morgan_holds_in_ternary(self):
+        for a in ALL:
+            for b in ALL:
+                left = ternary_not(ternary_and(a, b))
+                right = ternary_or(ternary_not(a), ternary_not(b))
+                assert left is right
+
+    def test_from_char(self):
+        assert Ternary.from_char("0") is ZERO
+        assert Ternary.from_char("1") is ONE
+        assert Ternary.from_char("x") is X
+        assert Ternary.from_char("X") is X
+
+    def test_from_char_invalid(self):
+        with pytest.raises(ValueError):
+            Ternary.from_char("2")
+
+    def test_str(self):
+        assert str(ZERO) == "0"
+        assert str(ONE) == "1"
+        assert str(X) == "X"
+
+
+class TestEncoding:
+    def test_full_mask(self):
+        assert full_mask(1) == 1
+        assert full_mask(8) == 255
+
+    def test_full_mask_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            full_mask(0)
+
+    def test_slot_mask(self):
+        assert slot_mask(0) == 1
+        assert slot_mask(5) == 32
+
+    def test_slot_mask_negative(self):
+        with pytest.raises(ValueError):
+            slot_mask(-1)
+
+    def test_pack_unpack_example(self):
+        h, l = pack_slots([ONE, ZERO, X, ONE])
+        assert h == 0b1001
+        assert l == 0b0010
+        assert unpack_slots(h, l, 4) == [ONE, ZERO, X, ONE]
+
+    @given(st.lists(st.sampled_from(ALL), min_size=0, max_size=200))
+    def test_pack_unpack_roundtrip(self, values):
+        h, l = pack_slots(values)
+        assert h & l == 0  # never both bits set
+        assert unpack_slots(h, l, len(values)) == values
+
+    def test_broadcast(self):
+        assert broadcast(ONE, 4) == (0b1111, 0)
+        assert broadcast(ZERO, 4) == (0, 0b1111)
+        assert broadcast(X, 4) == (0, 0)
+
+    def test_pack_bit_columns(self):
+        assert pack_bit_columns([1, 0, 1, 1]) == 0b1101
+        assert pack_bit_columns([]) == 0

@@ -1,0 +1,94 @@
+"""The headline integration test: the paper's own s27 walkthrough.
+
+Every concrete number the paper gives for s27 is asserted here:
+
+* Table 2 — the 10-vector ``T0``, 32 collapsed faults, all detected, and
+  the exact per-time-unit first-detection profile;
+* Section 2 / Table 1 — the expansion worked example;
+* Section 3.1 — Procedure 2's worked example (``Sexp`` of ``(1011)``,
+  window ``[6, 9]`` for the hardest fault, the ``(1001, 0000)``
+  subsequence detecting 26 of 32 faults, the ``(1001)`` follow-up, and
+  termination after three sequences).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.config import SelectionConfig
+from repro.core.ops import ExpansionConfig, expand
+from repro.core.procedure1 import select_subsequences
+from repro.core.sequence import TestSequence
+from repro.sim.faultsim import FaultSimulator
+
+
+class TestTable2:
+    def test_fault_universe_size(self, s27_universe):
+        assert len(s27_universe) == 32
+
+    def test_t0_detects_all_faults(self, s27, s27_universe, s27_t0):
+        result = FaultSimulator(s27).run(s27_t0, list(s27_universe.faults()))
+        assert result.num_detected == 32
+
+    def test_detection_time_profile_matches_paper(self, s27, s27_universe, s27_t0):
+        result = FaultSimulator(s27).run(s27_t0, list(s27_universe.faults()))
+        profile = Counter(result.detection_time.values())
+        assert dict(profile) == {1: 9, 2: 4, 4: 1, 5: 11, 6: 2, 8: 3, 9: 2}
+
+    def test_highest_detection_time_is_9(self, s27, s27_universe, s27_t0):
+        result = FaultSimulator(s27).run(s27_t0, list(s27_universe.faults()))
+        assert max(result.detection_time.values()) == 9
+
+
+class TestSection2:
+    def test_table1(self):
+        s = TestSequence.from_strings(["000", "110"])
+        expected = (
+            "000 110 000 110 111 001 111 001 "
+            "000 101 000 101 111 010 111 010 "
+            "010 111 010 111 101 000 101 000 "
+            "001 111 001 111 110 000 110 000"
+        ).split()
+        assert expand(s, ExpansionConfig(repetitions=2)).to_strings() == expected
+
+
+class TestSection31Walkthrough:
+    def test_ustart9_expansion_matches_paper(self):
+        result = expand(TestSequence.from_strings(["1011"]), ExpansionConfig(1))
+        assert result.to_strings() == [
+            "1011", "0100", "0111", "1000", "1000", "0111", "0100", "1011",
+        ]
+
+    def test_full_walkthrough(self, s27, s27_t0):
+        config = SelectionConfig(expansion=ExpansionConfig(repetitions=1), seed=7)
+        selection = select_subsequences(s27, s27_t0, config)
+
+        # Three sequences terminate the procedure (paper: f10, f13, f18).
+        assert selection.num_sequences == 3
+        first, second, third = selection.sequences
+
+        # First target: highest udet (9); window [6, 9]; after omission
+        # T' = (1001, 0000); its expansion detects 26 of the 32 faults.
+        assert first.udet == 9
+        assert first.ustart == 6
+        assert first.window_length == 4
+        assert first.sequence.to_strings() == ["1001", "0000"]
+        assert first.faults_detected_when_added == 26
+
+        # Second target: udet 5 (the paper's f13); window [3, 5]; after
+        # omission T' = (1001); detects exactly one more fault.
+        assert second.udet == 5
+        assert second.ustart == 3
+        assert second.sequence.to_strings() == ["1001"]
+        assert second.faults_detected_when_added == 1
+
+        # Third target: udet 4 (the paper's f18); detects the last five.
+        assert third.udet == 4
+        assert third.faults_detected_when_added == 5
+
+    def test_first_subsequence_detects_26_exactly(self, s27, s27_universe):
+        expanded = expand(
+            TestSequence.from_strings(["1001", "0000"]), ExpansionConfig(1)
+        )
+        result = FaultSimulator(s27).run(expanded, list(s27_universe.faults()))
+        assert result.num_detected == 26

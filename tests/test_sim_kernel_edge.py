@@ -1,0 +1,106 @@
+"""Edge-case tests for the bit-parallel kernel's patched evaluation paths.
+
+Branch-fault injection takes a generic gather-patch-fold path in the
+kernel that the common (unfaulted) fast path never exercises; these tests
+pin its behaviour for every gate type, including the ones the synthetic
+generator never emits (XNOR) and wide fan-ins.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.types import GateType
+from repro.core.sequence import TestSequence
+from repro.faults.model import BRANCH, Fault, FaultSite
+from repro.faults.sites import enumerate_faults
+from repro.sim.faultsim import FaultSimulator
+from repro.sim.reference import ReferenceSimulator
+
+
+def _fanout_gate_circuit(gate_type: GateType, fanin: int):
+    """A gate whose inputs all come from one fanned-out source signal.
+
+    The source drives an inverter chain so that every gate input pin is a
+    distinct *branch* of some signal, forcing pin-patch injection.
+    """
+    builder = CircuitBuilder(f"edge_{gate_type.value}")
+    builder.add_input("a")
+    builder.add_input("b")
+    sources = []
+    for index in range(fanin):
+        name = f"w{index}"
+        builder.add_gate(
+            name, GateType.NOT if index % 2 else GateType.BUF, ["a" if index % 3 else "b"]
+        )
+        sources.append(name)
+    builder.add_gate("y", gate_type, sources)
+    # Give every wire a second load so branch sites exist on all of them.
+    for index, source in enumerate(sources):
+        builder.add_gate(f"obs{index}", GateType.BUF, [source])
+        builder.add_output(f"obs{index}")
+    builder.add_output("y")
+    return builder.build()
+
+
+@pytest.mark.parametrize(
+    "gate_type",
+    [
+        GateType.AND,
+        GateType.NAND,
+        GateType.OR,
+        GateType.NOR,
+        GateType.XOR,
+        GateType.XNOR,
+    ],
+)
+@pytest.mark.parametrize("fanin", [2, 3, 5])
+def test_branch_faults_match_reference_for_all_gate_types(gate_type, fanin):
+    circuit = _fanout_gate_circuit(gate_type, fanin)
+    reference = ReferenceSimulator(circuit)
+    fast = FaultSimulator(circuit, batch_width=8)
+    stimulus = TestSequence([[0, 0], [0, 1], [1, 0], [1, 1], [1, 0]])
+    branch_faults = [
+        fault
+        for fault in enumerate_faults(circuit)
+        if fault.site.kind == BRANCH and fault.site.sink == "y"
+    ]
+    assert branch_faults, "construction must create branch sites into y"
+    result = fast.run(stimulus, branch_faults)
+    for fault in branch_faults:
+        assert result.detection_time.get(fault) == reference.detection_time(
+            stimulus, fault
+        ), f"{gate_type.value} fan-in {fanin}: {fault}"
+
+
+def test_not_and_buf_branch_faults():
+    builder = CircuitBuilder("nb")
+    builder.add_input("a")
+    builder.add_not("inv", "a")
+    builder.add_buf("buf", "a")
+    builder.add_output("inv")
+    builder.add_output("buf")
+    circuit = builder.build()
+    reference = ReferenceSimulator(circuit)
+    fast = FaultSimulator(circuit)
+    stimulus = TestSequence([[0], [1]])
+    for fault in enumerate_faults(circuit):
+        assert fast.run(stimulus, [fault]).detection_time.get(
+            fault
+        ) == reference.detection_time(stimulus, fault), str(fault)
+
+
+def test_multiple_faults_on_same_gate_different_slots():
+    """Two branch faults on the same gate pin set must stay independent."""
+    circuit = _fanout_gate_circuit(GateType.NAND, 3)
+    faults = [
+        fault
+        for fault in enumerate_faults(circuit)
+        if fault.site.kind == BRANCH and fault.site.sink == "y"
+    ]
+    stimulus = TestSequence([[1, 1], [0, 1], [1, 0]])
+    together = FaultSimulator(circuit).run(stimulus, faults)
+    for fault in faults:
+        alone = FaultSimulator(circuit).run(stimulus, [fault])
+        assert together.detection_time.get(fault) == alone.detection_time.get(fault)

@@ -1,0 +1,127 @@
+"""Tests for the fault-free sequential logic simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.builder import CircuitBuilder
+from repro.core.sequence import TestSequence
+from repro.errors import SimulationError
+from repro.logic.values import ONE, X, ZERO
+from repro.sim.logicsim import LogicSimulator
+
+
+def _comb(gate_adder):
+    builder = CircuitBuilder("c")
+    builder.add_input("a")
+    builder.add_input("b")
+    gate_adder(builder)
+    builder.add_output("y")
+    return builder.build()
+
+
+@pytest.mark.parametrize(
+    "gate,table",
+    [
+        ("add_and", {(0, 0): ZERO, (0, 1): ZERO, (1, 0): ZERO, (1, 1): ONE}),
+        ("add_nand", {(0, 0): ONE, (0, 1): ONE, (1, 0): ONE, (1, 1): ZERO}),
+        ("add_or", {(0, 0): ZERO, (0, 1): ONE, (1, 0): ONE, (1, 1): ONE}),
+        ("add_nor", {(0, 0): ONE, (0, 1): ZERO, (1, 0): ZERO, (1, 1): ZERO}),
+        ("add_xor", {(0, 0): ZERO, (0, 1): ONE, (1, 0): ONE, (1, 1): ZERO}),
+    ],
+)
+def test_two_input_gate_truth_tables(gate, table):
+    circuit = _comb(lambda b: getattr(b, gate)("y", "a", "b"))
+    simulator = LogicSimulator(circuit)
+    for (a, b), expected in table.items():
+        trace = simulator.run(TestSequence([[a, b]]))
+        assert trace.po_values[0][0] is expected, (gate, a, b)
+
+
+def test_not_and_buf():
+    builder = CircuitBuilder("c")
+    builder.add_input("a")
+    builder.add_not("n", "a")
+    builder.add_buf("y", "n")
+    builder.add_output("y")
+    builder.add_output("n")
+    simulator = LogicSimulator(builder.build())
+    trace = simulator.run(TestSequence([[0], [1]]))
+    assert trace.po_values[0] == [ONE, ONE]
+    assert trace.po_values[1] == [ZERO, ZERO]
+
+
+def test_xnor_three_inputs_parity():
+    builder = CircuitBuilder("c")
+    builder.add_input("a")
+    builder.add_input("b")
+    builder.add_input("c")
+    builder.add_gate("y", __import__("repro.circuit.types", fromlist=["GateType"]).GateType.XNOR, ["a", "b", "c"])
+    builder.add_output("y")
+    simulator = LogicSimulator(builder.build())
+    for a in (0, 1):
+        for b in (0, 1):
+            for c in (0, 1):
+                trace = simulator.run(TestSequence([[a, b, c]]))
+                parity = (a + b + c) % 2
+                expected = ZERO if parity else ONE
+                assert trace.po_values[0][0] is expected
+
+
+class TestSequentialBehavior:
+    def test_flops_start_unknown(self, toggle_circuit):
+        trace = LogicSimulator(toggle_circuit).run(TestSequence([[0]]))
+        # q is X, so out = BUF(q) is X; XOR keeps it X forever.
+        assert trace.po_values[0][0] is X
+
+    def test_reset_then_toggle(self, resettable_toggle):
+        # rst_n=0 forces d=0; then en=1 toggles every cycle.
+        seq = TestSequence([[0, 0], [1, 1], [1, 1], [0, 1]])
+        trace = LogicSimulator(resettable_toggle).run(seq)
+        # out = NOT(q): q starts X -> X; after reset q=0 -> out=1;
+        # en=1 toggles q to 1 -> out=0; q toggles to 0 -> out=1.
+        assert [row[0] for row in trace.po_values] == [X, ONE, ZERO, ONE]
+        assert trace.final_state == [ZERO]  # en=0 holds q=0
+
+    def test_initial_state_override(self, toggle_circuit):
+        simulator = LogicSimulator(toggle_circuit)
+        trace = simulator.run(TestSequence([[0]]), initial_state=[ONE])
+        assert trace.po_values[0][0] is ONE
+
+    def test_initial_state_length_checked(self, toggle_circuit):
+        with pytest.raises(SimulationError):
+            LogicSimulator(toggle_circuit).run(
+                TestSequence([[0]]), initial_state=[ONE, ZERO]
+            )
+
+    def test_final_state_feeds_continuation(self, resettable_toggle):
+        simulator = LogicSimulator(resettable_toggle)
+        full = simulator.run(TestSequence([[0, 0], [1, 1], [1, 1]]))
+        first = simulator.run(TestSequence([[0, 0]]))
+        second = simulator.run(
+            TestSequence([[1, 1], [1, 1]]), initial_state=first.final_state
+        )
+        assert full.po_values[1:] == second.po_values
+        assert full.final_state == second.final_state
+
+
+class TestTraces:
+    def test_record_signals(self, s27, s27_t0):
+        trace = LogicSimulator(s27).run(s27_t0, record_signals=True)
+        assert trace.signal_values is not None
+        assert len(trace.signal_values) == len(s27_t0)
+        assert len(trace.signal_values[0]) == 17
+
+    def test_known_output_fraction(self, s27, s27_t0):
+        trace = LogicSimulator(s27).run(s27_t0)
+        # Paper trace: PO is X at time 0, binary afterwards.
+        assert trace.known_output_fraction() == pytest.approx(0.9)
+
+    def test_width_mismatch_rejected(self, s27):
+        with pytest.raises(SimulationError):
+            LogicSimulator(s27).run(TestSequence([[0, 1]]))
+
+    def test_empty_sequence(self, s27):
+        trace = LogicSimulator(s27).run(TestSequence([]))
+        assert trace.po_values == []
+        assert trace.final_state == [X, X, X]

@@ -1,0 +1,93 @@
+"""Tests of the naive reference simulator itself.
+
+The reference is the oracle for the fast engines, so its own semantics
+are pinned here against hand-computed circuit behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.builder import CircuitBuilder
+from repro.core.sequence import TestSequence
+from repro.faults.model import BRANCH, STEM, Fault, FaultSite
+from repro.logic.values import ONE, X, ZERO
+from repro.sim.reference import ReferenceSimulator
+
+
+def _mux_like_circuit():
+    """y observes a; z observes NOT(a): a fans out to two loads."""
+    builder = CircuitBuilder("fan")
+    builder.add_input("a")
+    builder.add_buf("y", "a")
+    builder.add_not("z", "a")
+    builder.add_output("y")
+    builder.add_output("z")
+    return builder.build()
+
+
+class TestFaultFree:
+    def test_combinational_values(self):
+        simulator = ReferenceSimulator(_mux_like_circuit())
+        trace = simulator.simulate(TestSequence([[0], [1]]))
+        assert trace[0] == [ZERO, ONE]
+        assert trace[1] == [ONE, ZERO]
+
+    def test_sequential_x_propagation(self, toggle_circuit):
+        simulator = ReferenceSimulator(toggle_circuit)
+        trace = simulator.simulate(TestSequence([[1], [1]]))
+        assert trace[0] == [X]
+        assert trace[1] == [X]
+
+    def test_reset_behaviour(self, resettable_toggle):
+        simulator = ReferenceSimulator(resettable_toggle)
+        trace = simulator.simulate(TestSequence([[0, 0], [1, 1]]))
+        assert [row[0] for row in trace] == [X, ONE]
+
+
+class TestStuckSemantics:
+    def test_stem_fault_affects_all_loads(self):
+        circuit = _mux_like_circuit()
+        simulator = ReferenceSimulator(circuit)
+        fault = Fault(FaultSite("a", STEM), 1)
+        trace = simulator.simulate(TestSequence([[0]]), fault=fault)
+        # Stuck stem: y sees 1, z sees NOT(1) = 0.
+        assert trace[0] == [ONE, ZERO]
+
+    def test_branch_fault_affects_one_load_only(self):
+        circuit = _mux_like_circuit()
+        simulator = ReferenceSimulator(circuit)
+        fault = Fault(
+            FaultSite("a", BRANCH, sink="z", pin=0, load_kind="gate"), 1
+        )
+        trace = simulator.simulate(TestSequence([[0]]), fault=fault)
+        # Branch into z only: y still sees the true 0, z sees NOT(1).
+        assert trace[0] == [ZERO, ZERO]
+
+    def test_dff_branch_fault(self):
+        builder = CircuitBuilder("d")
+        builder.add_input("a")
+        builder.add_flop("q", "a")
+        builder.add_buf("y", "a")
+        builder.add_buf("z", "q")
+        builder.add_output("y")
+        builder.add_output("z")
+        circuit = builder.build()
+        fault = Fault(FaultSite("a", BRANCH, sink="q", pin=0, load_kind="dff"), 0)
+        simulator = ReferenceSimulator(circuit)
+        trace = simulator.simulate(TestSequence([[1], [1]]), fault=fault)
+        # y reads the healthy branch (1); the flop latched the stuck 0.
+        assert trace[1] == [ONE, ZERO]
+
+    def test_detection_time_definition(self):
+        circuit = _mux_like_circuit()
+        simulator = ReferenceSimulator(circuit)
+        fault = Fault(FaultSite("a", STEM), 1)
+        # First vector 1 (no difference), then 0 (difference).
+        assert simulator.detection_time(TestSequence([[1], [0]]), fault) == 1
+        assert simulator.detection_time(TestSequence([[1], [1]]), fault) is None
+        assert simulator.detects(TestSequence([[0]]), fault)
+
+    def test_x_blocks_detection(self, toggle_circuit):
+        # Good machine output stays X, so nothing is ever detected.
+        simulator = ReferenceSimulator(toggle_circuit)
+        fault = Fault(FaultSite("q", STEM), 0)
+        assert simulator.detection_time(TestSequence([[1], [0], [1]]), fault) is None

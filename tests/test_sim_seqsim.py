@@ -1,0 +1,88 @@
+"""Tests for the parallel-sequence (one fault, many candidates) simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.sequence import TestSequence
+from repro.errors import SimulationError
+from repro.faults.universe import FaultUniverse
+from repro.sim.faultsim import FaultSimulator
+from repro.sim.seqsim import SequenceBatchSimulator
+from repro.util.rng import SplitMix64
+
+
+def _random_sequences(seed, width, count, max_len):
+    rng = SplitMix64(seed)
+    out = []
+    for _ in range(count):
+        length = rng.randint(1, max_len)
+        out.append(
+            TestSequence(
+                [[rng.next_u64() & 1 for _ in range(width)] for _ in range(length)]
+            )
+        )
+    return out
+
+
+class TestAgainstFaultSimulator:
+    def test_s27_all_faults_random_candidates(self, s27, s27_universe):
+        batch_sim = SequenceBatchSimulator(s27, batch_width=16)
+        fault_sim = FaultSimulator(s27)
+        candidates = _random_sequences(5, 4, 20, 12)
+        for fault in list(s27_universe.faults())[:8]:
+            batched = batch_sim.detects(fault, candidates)
+            singly = [fault_sim.detects(c, fault) for c in candidates]
+            assert batched == singly, str(fault)
+
+    def test_synthetic_circuit(self, small_synthetic):
+        universe = FaultUniverse(small_synthetic)
+        batch_sim = SequenceBatchSimulator(small_synthetic, batch_width=8)
+        fault_sim = FaultSimulator(small_synthetic)
+        candidates = _random_sequences(9, small_synthetic.num_inputs, 12, 20)
+        for fault in list(universe.faults())[::7]:
+            batched = batch_sim.detects(fault, candidates)
+            singly = [fault_sim.detects(c, fault) for c in candidates]
+            assert batched == singly, str(fault)
+
+
+class TestBatchMechanics:
+    @pytest.mark.parametrize("width", [1, 2, 5, 64])
+    def test_batch_width_invariance(self, s27, s27_universe, width):
+        fault = s27_universe.fault(3)
+        candidates = _random_sequences(13, 4, 17, 9)
+        baseline = SequenceBatchSimulator(s27, batch_width=128).detects(
+            fault, candidates
+        )
+        other = SequenceBatchSimulator(s27, batch_width=width).detects(
+            fault, candidates
+        )
+        assert baseline == other
+
+    def test_mixed_lengths_padding_is_harmless(self, s27, s27_universe, s27_t0):
+        # A candidate equal to a T0 prefix must behave identically whether
+        # batched with longer candidates or alone.
+        fault = s27_universe.fault(0)
+        prefix = s27_t0.subsequence(0, 2)
+        longer = s27_t0
+        simulator = SequenceBatchSimulator(s27)
+        alone = simulator.detects(fault, [prefix])
+        together = simulator.detects(fault, [prefix, longer])
+        assert together[0] == alone[0]
+
+    def test_empty_candidate_list(self, s27, s27_universe):
+        assert SequenceBatchSimulator(s27).detects(s27_universe.fault(0), []) == []
+
+    def test_zero_length_candidate_detects_nothing(self, s27, s27_universe):
+        simulator = SequenceBatchSimulator(s27)
+        assert simulator.detects(s27_universe.fault(0), [TestSequence([])]) == [False]
+
+    def test_width_mismatch_rejected(self, s27, s27_universe):
+        with pytest.raises(SimulationError):
+            SequenceBatchSimulator(s27).detects(
+                s27_universe.fault(0), [TestSequence([[0, 1]])]
+            )
+
+    def test_invalid_batch_width(self, s27):
+        with pytest.raises(SimulationError):
+            SequenceBatchSimulator(s27, batch_width=0)

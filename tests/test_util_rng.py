@@ -1,0 +1,107 @@
+"""Tests for the deterministic RNG utilities."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.rng import SplitMix64, derive_seed
+
+
+class TestSplitMix64:
+    def test_same_seed_same_stream(self):
+        a = SplitMix64(123)
+        b = SplitMix64(123)
+        assert [a.next_u64() for _ in range(20)] == [b.next_u64() for _ in range(20)]
+
+    def test_different_seeds_differ(self):
+        a = SplitMix64(123)
+        b = SplitMix64(124)
+        assert [a.next_u64() for _ in range(8)] != [b.next_u64() for _ in range(8)]
+
+    def test_known_first_value_is_stable(self):
+        # Pin the stream so refactors cannot silently change every
+        # experiment in the repository.
+        assert SplitMix64(0).next_u64() == 16294208416658607535
+
+    def test_outputs_are_64_bit(self):
+        rng = SplitMix64(7)
+        for _ in range(100):
+            value = rng.next_u64()
+            assert 0 <= value < (1 << 64)
+
+    @given(st.integers(min_value=-50, max_value=50), st.integers(min_value=0, max_value=100))
+    def test_randint_within_bounds(self, low, span):
+        rng = SplitMix64(99)
+        high = low + span
+        for _ in range(20):
+            assert low <= rng.randint(low, high) <= high
+
+    def test_randint_empty_range_raises(self):
+        with pytest.raises(ValueError):
+            SplitMix64(1).randint(5, 4)
+
+    def test_random_unit_interval(self):
+        rng = SplitMix64(5)
+        values = [rng.random() for _ in range(1000)]
+        assert all(0.0 <= v < 1.0 for v in values)
+        # Crude uniformity check: mean near 0.5.
+        assert 0.4 < sum(values) / len(values) < 0.6
+
+    def test_choice_draws_members(self):
+        rng = SplitMix64(11)
+        items = ["a", "b", "c"]
+        for _ in range(30):
+            assert rng.choice(items) in items
+
+    def test_choice_empty_raises(self):
+        with pytest.raises(ValueError):
+            SplitMix64(1).choice([])
+
+    def test_shuffle_is_permutation(self):
+        rng = SplitMix64(17)
+        items = list(range(50))
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+        assert shuffled != items  # astronomically unlikely to be identity
+
+    def test_shuffle_deterministic(self):
+        a_items = list(range(20))
+        b_items = list(range(20))
+        SplitMix64(3).shuffle(a_items)
+        SplitMix64(3).shuffle(b_items)
+        assert a_items == b_items
+
+    def test_sample_bits_width_and_values(self):
+        rng = SplitMix64(23)
+        bits = rng.sample_bits(64, 0.5)
+        assert len(bits) == 64
+        assert set(bits) <= {0, 1}
+
+    def test_sample_bits_extreme_probabilities(self):
+        rng = SplitMix64(29)
+        assert rng.sample_bits(32, 0.0) == [0] * 32
+        assert rng.sample_bits(32, 1.0) == [1] * 32
+
+    def test_fork_independent_of_parent_consumption(self):
+        parent_a = SplitMix64(41)
+        fork_a = parent_a.fork(1)
+        parent_b = SplitMix64(41)
+        fork_b = parent_b.fork(1)
+        assert fork_a.next_u64() == fork_b.next_u64()
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, 2, 3) == derive_seed(1, 2, 3)
+
+    def test_salt_order_matters(self):
+        assert derive_seed(1, 2, 3) != derive_seed(1, 3, 2)
+
+    def test_different_bases_differ(self):
+        assert derive_seed(1, 7) != derive_seed(2, 7)
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_result_is_64_bit(self, base):
+        assert 0 <= derive_seed(base, 5) < (1 << 64)

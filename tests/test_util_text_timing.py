@@ -1,0 +1,82 @@
+"""Tests for table rendering and the stopwatch."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.util.text import format_table, ratio
+from repro.util.timing import Stopwatch
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        out = format_table(["name", "x"], [["a", 1], ["bb", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert "22" in lines[3]
+
+    def test_title_line(self):
+        out = format_table(["c"], [["v"]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_right_alignment_of_value_columns(self):
+        out = format_table(["name", "val"], [["a", 1], ["b", 100]])
+        rows = out.splitlines()[2:]
+        # Both value cells end at the same column.
+        assert rows[0].rstrip().endswith("1")
+        assert rows[1].rstrip().endswith("100")
+        assert len(rows[1].rstrip()) >= len(rows[0].rstrip())
+
+    def test_float_formatting(self):
+        out = format_table(["c", "r"], [["x", 0.4567]])
+        assert "0.46" in out
+
+    def test_column_count_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+
+class TestRatio:
+    def test_normal(self):
+        assert ratio(1, 4) == 0.25
+
+    def test_zero_denominator(self):
+        assert ratio(5, 0) == 0.0
+
+
+class TestStopwatch:
+    def test_measures_time(self):
+        watch = Stopwatch().start()
+        time.sleep(0.01)
+        elapsed = watch.stop()
+        assert elapsed >= 0.009
+
+    def test_accumulates_across_intervals(self):
+        watch = Stopwatch()
+        watch.start()
+        time.sleep(0.005)
+        first = watch.stop()
+        watch.start()
+        time.sleep(0.005)
+        second = watch.stop()
+        assert second > first
+
+    def test_seconds_property_live(self):
+        watch = Stopwatch().start()
+        time.sleep(0.005)
+        assert watch.seconds > 0.0
+
+    def test_context_manager(self):
+        with Stopwatch() as watch:
+            time.sleep(0.005)
+        assert watch.seconds >= 0.004
+
+    def test_stop_without_start_is_safe(self):
+        assert Stopwatch().stop() == 0.0
