@@ -1,22 +1,51 @@
-"""Throughput benchmark of the bit-parallel fault simulator.
+"""Throughput benchmark of the bit-parallel fault simulator backends.
 
 Not a paper table, but the substrate whose speed bounds everything else;
-tracked so regressions in the kernel are visible.  Reports gate-
-evaluations per second in parallel-fault mode on two circuit sizes.
+tracked so regressions in either backend are visible.  Reports
+gate-evaluations per second (``gates x faults x vectors / seconds``) in
+parallel-fault mode and checks that detection times stay bit-identical
+across backends on every measured workload.
 
-Run: ``pytest benchmarks/bench_faultsim.py --benchmark-only``
+Two entry points:
+
+* ``pytest benchmarks/bench_faultsim.py --benchmark-only`` — the
+  pytest-benchmark harness, parametrized over backends;
+* ``python benchmarks/bench_faultsim.py [--smoke] [--output FILE]`` — a
+  standalone runner that writes a machine-readable ``BENCH_faultsim.json``
+  (used by CI as a throughput artifact).  The full profile includes the
+  largest catalog circuit, where the ``numpy`` backend must clear a 3x
+  speedup over ``python``; ``--smoke`` restricts to small circuits for
+  quick regression signal.
 """
 
 from __future__ import annotations
 
-import pytest
+import argparse
+import json
+import platform
+import sys
+import time
 
 from repro.circuits.catalog import load_circuit
 from repro.core.sequence import TestSequence
 from repro.faults.universe import FaultUniverse
+from repro.sim.backend import available_backends
 from repro.sim.compiled import CompiledCircuit
 from repro.sim.faultsim import FaultSimulator
 from repro.util.rng import SplitMix64
+
+#: (circuit, max faults, vectors, python batch width, numpy batch width).
+#: The numpy backend is measured at the wide batches it exists for; the
+#: python big-int kernel at its historical sweet spot.
+_SMOKE_WORKLOADS = [
+    ("syn298", 512, 64, 192, 512),
+    ("syn641", 1024, 48, 192, 1024),
+]
+_FULL_WORKLOADS = _SMOKE_WORKLOADS + [
+    ("syn1423", 2048, 48, 192, 2048),
+    ("syn5378", 2048, 24, 192, 2048),
+    ("syn35932", 2048, 12, 192, 2048),
+]
 
 
 def _stimulus(circuit, length):
@@ -29,33 +58,147 @@ def _stimulus(circuit, length):
     )
 
 
-@pytest.mark.parametrize("name,length", [("syn298", 64), ("syn641", 48)])
-def test_parallel_fault_throughput(benchmark, name, length):
-    circuit = load_circuit(name)
-    compiled = CompiledCircuit(circuit)
-    universe = FaultUniverse(circuit)
-    simulator = FaultSimulator(compiled)
-    sequence = _stimulus(circuit, length)
-    faults = list(universe.faults())
+def _measure(compiled, faults, sequence, backend, batch_width, repeats=3):
+    """Best-of-N wall time and throughput for one backend/workload."""
+    simulator = FaultSimulator(compiled, batch_width=batch_width, backend=backend)
+    result = None
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = simulator.run(sequence, faults)
+        best = min(best, time.perf_counter() - start)
+    gate_evals = len(compiled.ops) * len(faults) * len(sequence)
+    return {
+        "backend": backend,
+        "batch_width": batch_width,
+        "seconds": best,
+        "gate_evals_per_second": gate_evals / best if best else 0.0,
+        "detected": result.num_detected,
+        "detection_times": result.detection_time,
+    }
 
-    result = benchmark.pedantic(
-        lambda: simulator.run(sequence, faults), rounds=3, iterations=1
+
+def run_profile(smoke: bool, progress=print) -> dict:
+    """Run every workload on every backend; return the JSON-able report."""
+    workloads = _SMOKE_WORKLOADS if smoke else _FULL_WORKLOADS
+    backends = available_backends()
+    report = {
+        "profile": "smoke" if smoke else "full",
+        "python_version": platform.python_version(),
+        "backends": backends,
+        "workloads": [],
+    }
+    for name, max_faults, vectors, python_width, numpy_width in workloads:
+        compiled = CompiledCircuit(load_circuit(name))
+        universe = FaultUniverse(compiled.circuit)
+        faults = list(universe.faults())[:max_faults]
+        sequence = _stimulus(compiled.circuit, vectors)
+        entry = {
+            "circuit": name,
+            "gates": len(compiled.ops),
+            "faults": len(faults),
+            "vectors": vectors,
+            "results": {},
+        }
+        reference_times = None
+        for backend in backends:
+            width = numpy_width if backend == "numpy" else python_width
+            measured = _measure(compiled, faults, sequence, backend, width)
+            detection_times = measured.pop("detection_times")
+            if reference_times is None:
+                reference_times = detection_times
+            elif detection_times != reference_times:
+                raise AssertionError(
+                    f"{name}: {backend} detection times diverge from "
+                    f"{backends[0]} — backend parity violated"
+                )
+            entry["results"][backend] = measured
+            progress(
+                f"[{name}] {backend:>6}/{width:<4} "
+                f"{measured['seconds']:.3f}s  "
+                f"{measured['gate_evals_per_second'] / 1e6:.1f} Mgate-evals/s"
+            )
+        if "numpy" in entry["results"]:
+            entry["numpy_speedup"] = (
+                entry["results"]["python"]["seconds"]
+                / entry["results"]["numpy"]["seconds"]
+            )
+            progress(f"[{name}] numpy speedup: {entry['numpy_speedup']:.2f}x")
+        report["workloads"].append(entry)
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fault-simulator backend throughput benchmark"
     )
-    assert result.total_faults == len(faults)
-
-
-def test_single_fault_latency(benchmark):
-    """Latency of the Procedure 2 inner operation (one fault, one batch)."""
-    circuit = load_circuit("syn298")
-    compiled = CompiledCircuit(circuit)
-    universe = FaultUniverse(circuit)
-    from repro.sim.seqsim import SequenceBatchSimulator
-
-    simulator = SequenceBatchSimulator(compiled, batch_width=32)
-    candidates = [_stimulus(circuit, 16) for _ in range(32)]
-    fault = universe.fault(0)
-
-    outcomes = benchmark.pedantic(
-        lambda: simulator.detects(fault, candidates), rounds=3, iterations=1
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small circuits only (CI regression signal)",
     )
-    assert len(outcomes) == 32
+    parser.add_argument(
+        "--output",
+        default="BENCH_faultsim.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+    report = run_profile(smoke=args.smoke)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+    print(f"report written to {args.output}")
+    largest = report["workloads"][-1]
+    if not args.smoke and "numpy_speedup" in largest:
+        speedup = largest["numpy_speedup"]
+        print(
+            f"largest circuit ({largest['circuit']}): "
+            f"numpy speedup {speedup:.2f}x (target >= 3x)"
+        )
+        return 0 if speedup >= 3.0 else 1
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark harness
+# ----------------------------------------------------------------------
+try:
+    import pytest
+except ImportError:  # pragma: no cover - script mode without pytest
+    pytest = None
+
+if pytest is not None:
+
+    @pytest.mark.parametrize("backend", available_backends())
+    @pytest.mark.parametrize("name,length", [("syn298", 64), ("syn641", 48)])
+    def test_parallel_fault_throughput(benchmark, name, length, backend):
+        circuit = load_circuit(name)
+        compiled = CompiledCircuit(circuit)
+        universe = FaultUniverse(circuit)
+        simulator = FaultSimulator(compiled, backend=backend)
+        sequence = _stimulus(circuit, length)
+        faults = list(universe.faults())
+
+        result = benchmark.pedantic(
+            lambda: simulator.run(sequence, faults), rounds=3, iterations=1
+        )
+        assert result.total_faults == len(faults)
+
+    def test_single_fault_latency(benchmark):
+        """Latency of the Procedure 2 inner operation (one fault, one batch)."""
+        circuit = load_circuit("syn298")
+        compiled = CompiledCircuit(circuit)
+        universe = FaultUniverse(circuit)
+        from repro.sim.seqsim import SequenceBatchSimulator
+
+        simulator = SequenceBatchSimulator(compiled, batch_width=32)
+        candidates = [_stimulus(circuit, 16) for _ in range(32)]
+        fault = universe.fault(0)
+
+        outcomes = benchmark.pedantic(
+            lambda: simulator.detects(fault, candidates), rounds=3, iterations=1
+        )
+        assert len(outcomes) == 32
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,3 +1,23 @@
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-bist",
+    version="1.0.0",
+    description=(
+        "Reproduction of Pomeranz & Reddy (DAC 1999): built-in test "
+        "sequence generation by loading and expansion of test subsequences"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    # The embedded ISCAS-89 netlists are loaded via importlib.resources, so
+    # they must ship inside the wheel, not just the source tree.
+    package_data={"repro.circuits": ["data/*.bench"]},
+    include_package_data=True,
+    python_requires=">=3.11",
+    extras_require={
+        # Optional vectorized simulation backend; the pure-Python backend
+        # has no dependencies at all.
+        "numpy": ["numpy>=1.24"],
+    },
+    entry_points={"console_scripts": ["repro-bist=repro.cli:main"]},
+)

@@ -9,9 +9,13 @@ Public API quick reference::
         load_circuit, parse_bench, CircuitBuilder,      # circuits
         FaultUniverse,                                   # faults
         FaultSimulator, LogicSimulator,                  # simulation
+        available_backends,                              # sim backends
         TestSequence, ExpansionConfig, expand,           # sequences
         SelectionConfig, LoadAndExpandScheme,            # the paper's scheme
     )
+
+Every simulator accepts ``backend="python"`` (default, dependency-free)
+or ``backend="numpy"`` (vectorized); results are bit-identical.
 """
 
 from repro.circuit import CircuitBuilder, Circuit, GateType, parse_bench, parse_bench_file
@@ -33,7 +37,14 @@ from repro.core import (
 )
 from repro.errors import ReproError
 from repro.faults import Fault, FaultSite, FaultUniverse, collapse_faults
-from repro.sim import FaultSimulator, LogicSimulator, SequenceBatchSimulator
+from repro.sim import (
+    FaultSimulator,
+    LogicSimulator,
+    SequenceBatchSimulator,
+    SimBackend,
+    available_backends,
+    get_backend,
+)
 
 __version__ = "1.0.0"
 
@@ -67,5 +78,8 @@ __all__ = [
     "FaultSimulator",
     "LogicSimulator",
     "SequenceBatchSimulator",
+    "SimBackend",
+    "available_backends",
+    "get_backend",
     "__version__",
 ]

@@ -43,13 +43,14 @@ def compact_sequence(
     faults: list[Fault],
     seed: int = 12_1999,
     max_rounds: int = 2,
+    backend: str | None = None,
 ) -> tuple[TestSequence, CompactionStats]:
     """Shorten ``sequence`` while preserving coverage of ``faults``.
 
     ``faults`` is typically the collapsed universe; coverage preservation
     is judged on the set of faults detected, not on detection times.
     """
-    simulator = FaultSimulator(compiled)
+    simulator = FaultSimulator(compiled, backend=backend)
     simulations = 0
 
     baseline = simulator.run(sequence, faults)

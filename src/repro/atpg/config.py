@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.sim.backend import DEFAULT_BACKEND
+
 
 @dataclass(frozen=True)
 class AtpgConfig:
@@ -31,6 +33,8 @@ class AtpgConfig:
             reference [12] approach — default), or ``"omission"``
             (try-delete-resimulate; thorough but quadratic).
         compaction_rounds: max full scan rounds of the omission compactor.
+        backend: simulation backend name (see
+            :func:`repro.sim.backend.available_backends`).
     """
 
     seed: int = 20_1999
@@ -47,6 +51,7 @@ class AtpgConfig:
     run_compaction: bool = True
     compaction_method: str = "restoration"
     compaction_rounds: int = 2
+    backend: str = DEFAULT_BACKEND
 
     def __post_init__(self) -> None:
         if self.max_length < 1:

@@ -66,7 +66,7 @@ def generate_t0(
     )
     if universe is None:
         universe = FaultUniverse(compiled.circuit)
-    simulator = FaultSimulator(compiled)
+    simulator = FaultSimulator(compiled, backend=config.backend)
     width = compiled.num_inputs
     all_faults = list(universe.faults())
     session = simulator.session(all_faults)
@@ -158,7 +158,9 @@ def generate_t0(
     # ------------------------------------------------------------------
     if len(sequence) and config.run_compaction:
         if config.compaction_method == "restoration":
-            sequence, stats = restoration_compact(compiled, sequence, all_faults)
+            sequence, stats = restoration_compact(
+                compiled, sequence, all_faults, backend=config.backend
+            )
             result.compaction = stats
             result.phase_log.append(
                 f"restoration: {stats.original_length} -> {stats.final_length} "
@@ -171,6 +173,7 @@ def generate_t0(
                 all_faults,
                 seed=derive_seed(config.seed, 0xC0DE),
                 max_rounds=config.compaction_rounds,
+                backend=config.backend,
             )
             result.compaction = stats
             result.phase_log.append(

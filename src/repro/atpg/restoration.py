@@ -58,10 +58,13 @@ def restoration_compact(
     t0: TestSequence,
     faults: list[Fault],
     search_batch_width: int = 24,
+    backend: str | None = None,
 ) -> tuple[TestSequence, RestorationStats]:
     """Compact ``t0`` by vector restoration, preserving its coverage."""
-    fault_simulator = FaultSimulator(compiled)
-    sequence_simulator = SequenceBatchSimulator(compiled, batch_width=search_batch_width)
+    fault_simulator = FaultSimulator(compiled, backend=backend)
+    sequence_simulator = SequenceBatchSimulator(
+        compiled, batch_width=search_batch_width, backend=backend
+    )
 
     baseline = fault_simulator.run(t0, faults)
     udet = dict(baseline.detection_time)

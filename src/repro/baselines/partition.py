@@ -93,6 +93,7 @@ def partition_baseline(
     faults: list[Fault],
     chunk_length: int,
     search_batch_width: int = 24,
+    backend: str | None = None,
 ) -> PartitionResult:
     """Partition ``t0`` into chunks of ``chunk_length``, extend for coverage.
 
@@ -102,9 +103,9 @@ def partition_baseline(
     """
     if chunk_length < 1:
         raise SelectionError(f"chunk length must be positive, got {chunk_length}")
-    fault_simulator = FaultSimulator(compiled)
+    fault_simulator = FaultSimulator(compiled, backend=backend)
     sequence_simulator = SequenceBatchSimulator(
-        compiled, batch_width=search_batch_width
+        compiled, batch_width=search_batch_width, backend=backend
     )
     baseline = fault_simulator.run(t0, faults)
     udet = dict(baseline.detection_time)

@@ -89,6 +89,7 @@ class BistSession:
         sequences: list[TestSequence],
         config: ExpansionConfig,
         misr_length: int = 24,
+        backend: str | None = None,
     ) -> None:
         if not sequences:
             raise HardwareModelError("a BIST session needs at least one sequence")
@@ -101,8 +102,8 @@ class BistSession:
         self._word_bits = self._circuit.num_inputs
         self._capacity = max(len(s) for s in sequences)
         self._misr_length = misr_length
-        self._logic = LogicSimulator(self._compiled)
-        self._fault_simulator = FaultSimulator(self._compiled)
+        self._logic = LogicSimulator(self._compiled, backend=backend)
+        self._fault_simulator = FaultSimulator(self._compiled, backend=backend)
         # Per-sequence golden data: (expanded TestSequence, capture mask,
         # golden signature), computed once.
         self._golden: list[tuple[TestSequence, list[bool], int]] = []

@@ -23,6 +23,7 @@ from repro.core.ops import ExpansionConfig
 from repro.core.scheme import LoadAndExpandScheme
 from repro.harness.figures import render_figure1
 from repro.harness.runner import run_suite
+from repro.sim.backend import DEFAULT_BACKEND, available_backends
 from repro.util.text import format_table
 
 
@@ -52,7 +53,9 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 def _cmd_atpg(args: argparse.Namespace) -> int:
     circuit = load_circuit(args.circuit)
-    config = AtpgConfig(seed=args.seed, max_length=args.max_length)
+    config = AtpgConfig(
+        seed=args.seed, max_length=args.max_length, backend=args.backend
+    )
     result = generate_t0(circuit, config)
     print(
         f"{result.circuit_name}: {result.detected}/{result.total_faults} faults "
@@ -71,7 +74,9 @@ def _cmd_atpg(args: argparse.Namespace) -> int:
 def _get_t0(args: argparse.Namespace, circuit) -> object:
     if args.circuit == "s27" and not args.atpg_t0:
         return paper_t0_s27()
-    config = AtpgConfig(seed=args.seed, max_length=args.max_length)
+    config = AtpgConfig(
+        seed=args.seed, max_length=args.max_length, backend=args.backend
+    )
     return generate_t0(circuit, config).sequence
 
 
@@ -79,8 +84,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     circuit = load_circuit(args.circuit)
     t0 = _get_t0(args, circuit)
     scheme = LoadAndExpandScheme(circuit)
-    config = SelectionConfig(
-        expansion=ExpansionConfig(repetitions=args.n), seed=args.seed
+    config = SelectionConfig.for_backend(
+        args.backend,
+        expansion=ExpansionConfig(repetitions=args.n),
+        seed=args.seed,
     )
     run = scheme.run(t0, config)
     result = run.result
@@ -110,7 +117,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_tables(args: argparse.Namespace) -> int:
     n_values = tuple(args.n) if args.n else None
-    result = run_suite(args.suite, n_values=n_values, progress=print)
+    result = run_suite(
+        args.suite, n_values=n_values, progress=print, backend=args.backend
+    )
     print()
     print(result.tables())
     return 0
@@ -119,7 +128,7 @@ def _cmd_tables(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.harness.report import write_experiments_report
 
-    result = run_suite(args.suite, progress=print)
+    result = run_suite(args.suite, progress=print, backend=args.backend)
     write_experiments_report(result, args.output)
     print(f"report written to {args.output}")
     return 0
@@ -129,8 +138,10 @@ def _cmd_figure1(args: argparse.Namespace) -> int:
     circuit = load_circuit(args.circuit)
     t0 = _get_t0(args, circuit)
     scheme = LoadAndExpandScheme(circuit)
-    config = SelectionConfig(
-        expansion=ExpansionConfig(repetitions=args.n), seed=args.seed
+    config = SelectionConfig.for_backend(
+        args.backend,
+        expansion=ExpansionConfig(repetitions=args.n),
+        seed=args.seed,
     )
     run = scheme.run(t0, config)
     print(render_figure1(run))
@@ -147,6 +158,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_backend_flag(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--backend",
+            choices=available_backends(),
+            default=DEFAULT_BACKEND,
+            help=(
+                "simulation backend (results are identical across "
+                "backends; 'numpy' is the vectorized engine, fastest on "
+                "large circuits with wide batches)"
+            ),
+        )
+
     sub.add_parser("info", help="list available circuits").set_defaults(
         func=_cmd_info
     )
@@ -156,6 +179,7 @@ def build_parser() -> argparse.ArgumentParser:
     atpg.add_argument("--seed", type=int, default=20_1999)
     atpg.add_argument("--max-length", type=int, default=600)
     atpg.add_argument("--output", help="write T0 vectors to a file")
+    add_backend_flag(atpg)
     atpg.set_defaults(func=_cmd_atpg)
 
     run = sub.add_parser("run", help="run the load-and-expand scheme")
@@ -169,6 +193,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="use ATPG-generated T0 even for s27 (default: paper's T0)",
     )
     run.add_argument("--figure", action="store_true", help="print Figure 1")
+    add_backend_flag(run)
     run.set_defaults(func=_cmd_run)
 
     tables = sub.add_parser("tables", help="regenerate Tables 3-5 for a suite")
@@ -178,6 +203,7 @@ def build_parser() -> argparse.ArgumentParser:
     tables.add_argument(
         "--n", type=int, nargs="*", help="override the repetition sweep"
     )
+    add_backend_flag(tables)
     tables.set_defaults(func=_cmd_tables)
 
     figure = sub.add_parser("figure1", help="regenerate Figure 1")
@@ -186,6 +212,7 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--seed", type=int, default=1999)
     figure.add_argument("--max-length", type=int, default=600)
     figure.add_argument("--atpg-t0", action="store_true")
+    add_backend_flag(figure)
     figure.set_defaults(func=_cmd_figure1)
 
     report = sub.add_parser(
@@ -195,6 +222,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--suite", choices=["quick", "standard", "full"], default=None
     )
     report.add_argument("--output", default="EXPERIMENTS.md")
+    add_backend_flag(report)
     report.set_defaults(func=_cmd_report)
     return parser
 

@@ -5,6 +5,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.ops import ExpansionConfig
+from repro.sim.backend import DEFAULT_BACKEND
+
+#: Batch widths tuned per backend: (search, omission, fault).  The big-int
+#: kernel peaks near a couple hundred slots; the vectorized numpy engine
+#: amortizes per-pass dispatch only with wide batches.  Widths never
+#: change results (batching is order-preserving), only speed.
+_BACKEND_BATCH_WIDTHS: dict[str, tuple[int, int, int]] = {
+    "python": (32, 96, 192),
+    "numpy": (128, 256, 1024),
+}
 
 
 @dataclass(frozen=True)
@@ -24,6 +34,9 @@ class SelectionConfig:
         fault_batch_width: slots per pass in parallel-fault simulations.
         skip_omission: disable the vector-omission phase of Procedure 2
             (ablation switch; the paper always runs it).
+        backend: simulation backend name (see
+            :func:`repro.sim.backend.available_backends`); detection
+            results are bit-identical across backends, only speed differs.
     """
 
     expansion: ExpansionConfig = field(default_factory=ExpansionConfig)
@@ -32,6 +45,7 @@ class SelectionConfig:
     omission_batch_width: int = 96
     fault_batch_width: int = 192
     skip_omission: bool = False
+    backend: str = DEFAULT_BACKEND
 
     def __post_init__(self) -> None:
         if self.search_batch_width < 1:
@@ -40,6 +54,32 @@ class SelectionConfig:
             raise ValueError("omission_batch_width must be >= 1")
         if self.fault_batch_width < 1:
             raise ValueError("fault_batch_width must be >= 1")
+
+    @classmethod
+    def for_backend(
+        cls,
+        backend: str,
+        expansion: ExpansionConfig | None = None,
+        seed: int = 1999,
+        skip_omission: bool = False,
+    ) -> "SelectionConfig":
+        """A config with batch widths tuned to ``backend``.
+
+        Detection results are identical for any widths; this only picks
+        the throughput sweet spot of the selected engine.
+        """
+        search, omission, fault = _BACKEND_BATCH_WIDTHS.get(
+            backend, _BACKEND_BATCH_WIDTHS[DEFAULT_BACKEND]
+        )
+        return cls(
+            expansion=expansion or ExpansionConfig(),
+            seed=seed,
+            search_batch_width=search,
+            omission_batch_width=omission,
+            fault_batch_width=fault,
+            skip_omission=skip_omission,
+            backend=backend,
+        )
 
     def with_repetitions(self, repetitions: int) -> "SelectionConfig":
         """A copy with a different expansion repetition count ``n``."""
@@ -56,4 +96,5 @@ class SelectionConfig:
             omission_batch_width=self.omission_batch_width,
             fault_batch_width=self.fault_batch_width,
             skip_omission=self.skip_omission,
+            backend=self.backend,
         )

@@ -50,13 +50,14 @@ def coverage_matrix(
     sequences: list[SelectedSequence],
     expansion: ExpansionConfig,
     target_faults: list[Fault],
+    backend: str | None = None,
 ) -> CoverageDiagnostics:
     """Fault-simulate every expanded sequence against the full target set.
 
     Unlike Procedure 1 (which drops faults as they are covered), this
     simulates *all* target faults under every sequence, exposing overlap.
     """
-    simulator = FaultSimulator(compiled)
+    simulator = FaultSimulator(compiled, backend=backend)
     detected_by: dict[int, frozenset[Fault]] = {}
     for entry in sequences:
         expanded = expand(entry.sequence, expansion)

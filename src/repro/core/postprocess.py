@@ -112,7 +112,9 @@ def statically_compact(
     returned wrapped in a :class:`CompactionResult`.
     """
     fault_simulator = FaultSimulator(
-        compiled, batch_width=selection.config.fault_batch_width
+        compiled,
+        batch_width=selection.config.fault_batch_width,
+        backend=selection.config.backend,
     )
     passes: list[CompactionPassReport] = []
 

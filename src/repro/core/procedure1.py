@@ -108,9 +108,11 @@ def select_subsequences(
     )
     if universe is None:
         universe = FaultUniverse(compiled.circuit)
-    fault_simulator = FaultSimulator(compiled, batch_width=config.fault_batch_width)
+    fault_simulator = FaultSimulator(
+        compiled, batch_width=config.fault_batch_width, backend=config.backend
+    )
     sequence_simulator = SequenceBatchSimulator(
-        compiled, batch_width=config.omission_batch_width
+        compiled, batch_width=config.omission_batch_width, backend=config.backend
     )
 
     if precomputed_udet is None:

@@ -122,7 +122,9 @@ class LoadAndExpandScheme:
         """Run selection + compaction + verification for ``t0``."""
         config = config or SelectionConfig()
         fault_simulator = FaultSimulator(
-            self._compiled, batch_width=config.fault_batch_width
+            self._compiled,
+            batch_width=config.fault_batch_width,
+            backend=config.backend,
         )
 
         t0_watch = Stopwatch().start()

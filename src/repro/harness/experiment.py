@@ -9,7 +9,7 @@ order)".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.atpg.config import AtpgConfig
 from repro.atpg.engine import AtpgResult, generate_t0
@@ -18,6 +18,7 @@ from repro.core.config import SelectionConfig
 from repro.core.ops import ExpansionConfig
 from repro.core.scheme import LoadAndExpandScheme, SchemeRun
 from repro.core.sequence import TestSequence
+from repro.sim.backend import DEFAULT_BACKEND
 from repro.faults.universe import FaultUniverse
 from repro.harness.suite import SuiteSpec
 from repro.sim.compiled import CompiledCircuit
@@ -71,7 +72,9 @@ class ExperimentRecord:
         return self.runs[self.best_n]
 
 
-def prepare_experiment(spec: SuiteSpec) -> CircuitExperiment:
+def prepare_experiment(
+    spec: SuiteSpec, backend: str | None = None
+) -> CircuitExperiment:
     """Load the circuit and obtain its ``T0``."""
     circuit = load_circuit(spec.circuit)
     compiled = CompiledCircuit(circuit)
@@ -85,9 +88,14 @@ def prepare_experiment(spec: SuiteSpec) -> CircuitExperiment:
             t0_source="paper",
             atpg_result=None,
         )
-    cache_key = (spec.circuit, spec.atpg)
+    atpg_config = (
+        replace(spec.atpg, backend=backend) if backend is not None else spec.atpg
+    )
+    cache_key = (spec.circuit, atpg_config)
     if cache_key not in _T0_CACHE:
-        _T0_CACHE[cache_key] = generate_t0(compiled, spec.atpg, universe=universe)
+        _T0_CACHE[cache_key] = generate_t0(
+            compiled, atpg_config, universe=universe
+        )
     atpg = _T0_CACHE[cache_key]
     return CircuitExperiment(
         spec=spec,
@@ -103,14 +111,17 @@ def run_circuit_experiment(
     spec: SuiteSpec,
     n_values: tuple[int, ...] | None = None,
     selection_seed: int = 1999,
+    backend: str | None = None,
 ) -> ExperimentRecord:
     """Run the full n-sweep for one suite entry."""
-    experiment = prepare_experiment(spec)
+    experiment = prepare_experiment(spec, backend=backend)
     record = ExperimentRecord(experiment=experiment)
     scheme = LoadAndExpandScheme(experiment.compiled)
     for n in n_values or spec.n_values:
-        config = SelectionConfig(
-            expansion=ExpansionConfig(repetitions=n), seed=selection_seed
+        config = SelectionConfig.for_backend(
+            backend or DEFAULT_BACKEND,
+            expansion=ExpansionConfig(repetitions=n),
+            seed=selection_seed,
         )
         record.runs[n] = scheme.run(experiment.t0, config)
     return record

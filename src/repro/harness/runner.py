@@ -32,18 +32,20 @@ def run_suite(
     suite_name: str | None = None,
     n_values: tuple[int, ...] | None = None,
     progress=None,
+    backend: str | None = None,
 ) -> SuiteResult:
     """Run every experiment in a suite.
 
     ``progress`` is an optional callable taking a status string; the CLI
-    passes ``print``.
+    passes ``print``.  ``backend`` selects the simulation backend for
+    every experiment (results are backend-independent).
     """
     specs: tuple[SuiteSpec, ...] = resolve_suite(suite_name)
     result = SuiteResult(suite_name=suite_name or "quick")
     for spec in specs:
         if progress is not None:
             progress(f"[{spec.circuit}] generating T0 and running n-sweep ...")
-        record = run_circuit_experiment(spec, n_values=n_values)
+        record = run_circuit_experiment(spec, n_values=n_values, backend=backend)
         result.records.append(record)
         if progress is not None:
             best = record.best_run.result

@@ -1,6 +1,11 @@
 """Simulation engines.
 
 * :mod:`repro.sim.compiled` — compiles a netlist to a flat op program.
+* :mod:`repro.sim.backend` — the pluggable backend layer: the
+  :class:`SimBackend` protocol, the registry (:func:`get_backend`,
+  :func:`available_backends`) and the per-fault-batch program cache.
+* :mod:`repro.sim.backend_python` — reference big-int backend.
+* :mod:`repro.sim.backend_numpy` — vectorized ``uint64``-array backend.
 * :mod:`repro.sim.logicsim` — fault-free 3-valued sequential simulation.
 * :mod:`repro.sim.faultsim` — bit-parallel parallel-fault simulation
   (one input sequence, many faults) with fault dropping.
@@ -10,6 +15,14 @@
   simulator used to cross-check the fast engines in the tests.
 """
 
+from repro.sim.backend import (
+    DEFAULT_BACKEND,
+    SimBackend,
+    SimBatch,
+    SimProgram,
+    available_backends,
+    get_backend,
+)
 from repro.sim.compiled import CompiledCircuit
 from repro.sim.logicsim import LogicSimulator, GoodTrace
 from repro.sim.faultsim import FaultSimulator, FaultSimResult
@@ -18,6 +31,12 @@ from repro.sim.detection import DetectionRecord
 
 __all__ = [
     "CompiledCircuit",
+    "DEFAULT_BACKEND",
+    "SimBackend",
+    "SimBatch",
+    "SimProgram",
+    "available_backends",
+    "get_backend",
     "LogicSimulator",
     "GoodTrace",
     "FaultSimulator",

@@ -1,0 +1,335 @@
+"""Pluggable simulation backend layer.
+
+Every bit-parallel engine in this package (fault-free logic simulation,
+parallel-fault simulation, parallel-sequence simulation) runs the same
+abstract loop over a compiled circuit:
+
+1. **compile** — lower an :class:`~repro.sim.compiled.InjectionPlan` into a
+   backend-native combinational program (:meth:`SimBackend.program`);
+2. **load inputs** — write one time step's primary-input values into every
+   slot of the batch;
+3. **eval combinational** — run the program over the ``(H, L)`` words;
+4. **observe POs** — read primary outputs (with per-PO fault patches) for
+   the detection comparison;
+5. **advance state** — latch the flop ``D`` values (with per-flop fault
+   patches) as the next cycle's state.
+
+:class:`SimBackend` is the seam between that loop and the data
+representation.  The ``python`` backend keeps the historical
+arbitrary-precision-integer kernel (one big int per signal per rail); the
+``numpy`` backend stores the rails as contiguous ``uint64`` arrays and
+evaluates a levelized, opcode-grouped schedule with vectorized passes.
+Both observe the **(H, L) encoding contract** of
+:mod:`repro.logic.encoding`: per slot, ``H`` set means 1, ``L`` set means
+0, neither means X, and both set never occurs.
+
+All slot masks crossing the backend boundary (detection masks, packed flop
+states, packed input columns) are plain Python integers, so the simulators'
+bookkeeping is backend-independent and results are bit-identical across
+backends by construction.
+
+Backends also memoize compiled programs per fault batch
+(:meth:`SimBackend.program` keeps a small LRU), which makes the thousands
+of repeated Procedure 2 trials against the same fault free of recompilation
+cost.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from collections.abc import Sequence
+
+from repro.errors import SimulationError
+from repro.faults.model import Fault
+from repro.logic.values import ONE, X, ZERO, Ternary
+from repro.sim.compiled import CompiledCircuit
+
+#: Default backend used when a consumer does not select one explicitly.
+DEFAULT_BACKEND = "python"
+
+#: Max entries kept in each backend's per-fault-batch program cache.
+PROGRAM_CACHE_SIZE = 256
+
+#: Rough per-circuit memory budget for cached programs, in signal units
+#: (a compiled program's size scales with the circuit's signal count, for
+#: both backends).  Shrinks the entry cap on large circuits so a sweep of
+#: one-shot wide batches cannot pin hundreds of megabyte-scale op lists.
+PROGRAM_CACHE_SIGNAL_BUDGET = 4_000_000
+
+# Per-flop 2-bit state codes used by packed machine states (the
+# backend-independent interchange format of FaultSimSession).
+STATE_X = 0
+STATE_ONE = 1
+STATE_ZERO = 2
+
+
+def unpack_states(packed: Sequence[int], num_flops: int) -> list[tuple[int, int]]:
+    """Per-slot packed states -> per-flop ``(H, L)`` Python-int word pairs."""
+    state: list[tuple[int, int]] = []
+    for flop in range(num_flops):
+        shift = 2 * flop
+        h = 0
+        l = 0
+        for slot, code_word in enumerate(packed):
+            code = (code_word >> shift) & 3
+            if code == STATE_ONE:
+                h |= 1 << slot
+            elif code == STATE_ZERO:
+                l |= 1 << slot
+        state.append((h, l))
+    return state
+
+
+def pack_states(state: Sequence[tuple[int, int]], batch_size: int) -> list[int]:
+    """Per-flop ``(H, L)`` word pairs -> per-slot packed states."""
+    packed = [0] * batch_size
+    for flop, (h, l) in enumerate(state):
+        shift = 2 * flop
+        for slot in range(batch_size):
+            bit = 1 << slot
+            if h & bit:
+                packed[slot] |= STATE_ONE << shift
+            elif l & bit:
+                packed[slot] |= STATE_ZERO << shift
+    return packed
+
+
+class SimProgram:
+    """A backend-compiled combinational program for one fault batch.
+
+    Opaque to the simulators: they obtain one from
+    :meth:`SimBackend.program` and hand it back to
+    :meth:`SimBackend.batch`.  ``key`` is the fault tuple the program was
+    compiled for (``None`` = fault-free).
+    """
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: tuple[Fault, ...] | None) -> None:
+        self.key = key
+
+
+class SimBatch(ABC):
+    """One in-flight batch of slot machines over a compiled program.
+
+    The per-time-step calling sequence is::
+
+        load_inputs_broadcast(...)   # or load_inputs_packed(...)
+        load_state()
+        apply_source_patches()
+        eval()
+        ... observe_po() / detect_mask() ...
+        capture_state()
+
+    State starts all-X; :meth:`set_state_packed` /
+    :meth:`set_state_scalar` override it before the first step.
+    """
+
+    @abstractmethod
+    def load_inputs_broadcast(self, bits: Sequence[int]) -> None:
+        """Drive each PI with one scalar bit, replicated into every slot."""
+
+    @abstractmethod
+    def load_inputs_packed(self, ones: Sequence[int], zeros: Sequence[int]) -> None:
+        """Drive each PI with per-slot values given as (ones, zeros) masks."""
+
+    @abstractmethod
+    def load_state(self) -> None:
+        """Write the current flop state into the flop-output signals."""
+
+    @abstractmethod
+    def apply_source_patches(self) -> None:
+        """Force stuck values on faulted PI / flop-output stems."""
+
+    @abstractmethod
+    def eval(self) -> None:
+        """Evaluate the combinational program over the current signals."""
+
+    @abstractmethod
+    def observe_po(self, position: int) -> tuple[int, int]:
+        """The ``(H, L)`` Python-int masks of PO ``position`` (patched)."""
+
+    @abstractmethod
+    def detect_mask(self, observations: Sequence[tuple[int, int]]) -> int:
+        """Slots whose PO response contradicts the fault-free machine.
+
+        ``observations`` holds ``(po_position, good_value)`` pairs for the
+        POs that are binary in the fault-free machine this time step.
+        """
+
+    @abstractmethod
+    def capture_state(self) -> None:
+        """Latch the flop ``D`` values (with flop patches) as next state."""
+
+    @abstractmethod
+    def set_state_packed(self, packed: Sequence[int]) -> None:
+        """Set per-slot flop states from packed 2-bit-per-flop codes."""
+
+    @abstractmethod
+    def export_state_packed(self) -> list[int]:
+        """Current flop states as per-slot packed 2-bit-per-flop codes."""
+
+    @abstractmethod
+    def set_state_scalar(self, values: Sequence[Ternary]) -> None:
+        """Set every slot's flop state from one scalar ternary vector."""
+
+    @abstractmethod
+    def read_signal(self, index: int) -> tuple[int, int]:
+        """The raw ``(H, L)`` Python-int masks of signal ``index``."""
+
+    def export_state_scalar(self) -> list[Ternary]:
+        """Slot 0's flop state as scalar ternary values."""
+        values: list[Ternary] = []
+        for h, l in self.export_state_words():
+            if h & 1:
+                values.append(ONE)
+            elif l & 1:
+                values.append(ZERO)
+            else:
+                values.append(X)
+        return values
+
+    @abstractmethod
+    def export_state_words(self) -> list[tuple[int, int]]:
+        """Current flop states as per-flop ``(H, L)`` Python-int pairs."""
+
+
+class SimBackend(ABC):
+    """A simulation engine implementation bound to one compiled circuit."""
+
+    #: Registry name ("python", "numpy", ...).
+    name: str = "abstract"
+    #: Slot granularity of the backend's words: batches are stored in
+    #: units of this many slots.  ``None`` means arbitrary precision (the
+    #: big-int backend); the numpy backend uses 64 and rounds storage up
+    #: to whole words.
+    word_width: int | None = None
+
+    def __init__(self, compiled: CompiledCircuit) -> None:
+        self._compiled = compiled
+        self._programs: OrderedDict[tuple[Fault, ...] | None, SimProgram] = (
+            OrderedDict()
+        )
+        self._program_cache_limit = max(
+            8,
+            min(
+                PROGRAM_CACHE_SIZE,
+                PROGRAM_CACHE_SIGNAL_BUDGET // max(1, compiled.num_signals),
+            ),
+        )
+
+    @property
+    def compiled(self) -> CompiledCircuit:
+        return self._compiled
+
+    def validate_batch_width(self, batch_width: int) -> int:
+        """Check a requested batch width against this backend's words.
+
+        Returns the width unchanged when acceptable; raises
+        :class:`~repro.errors.SimulationError` otherwise.
+        """
+        if batch_width < 1:
+            raise SimulationError(
+                f"batch width must be >= 1, got {batch_width}"
+            )
+        return batch_width
+
+    def program(self, faults: tuple[Fault, ...] | None) -> SimProgram:
+        """The compiled program for ``faults`` (LRU-cached per batch).
+
+        Fault ``i`` of the tuple occupies slot ``i``; ``None`` compiles the
+        fault-free program.  Repeated requests for the same batch (the
+        normal case in Procedure 2's trial loops) return the cached
+        program without rebuilding op lists.
+        """
+        cache = self._programs
+        program = cache.pop(faults, None)
+        if program is None:
+            program = self._compile_program(faults)
+        cache[faults] = program
+        while len(cache) > self._program_cache_limit:
+            cache.popitem(last=False)
+        return program
+
+    @abstractmethod
+    def _compile_program(self, faults: tuple[Fault, ...] | None) -> SimProgram:
+        """Lower ``faults`` into a backend-native program (uncached)."""
+
+    @abstractmethod
+    def batch(self, program: SimProgram, batch_size: int) -> SimBatch:
+        """Open a fresh batch of ``batch_size`` all-X machines."""
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+def _load_python_backend() -> type[SimBackend]:
+    from repro.sim.backend_python import PythonBackend
+
+    return PythonBackend
+
+
+def _load_numpy_backend() -> type[SimBackend]:
+    try:
+        import numpy  # noqa: F401
+    except ImportError as error:  # pragma: no cover - numpy ships in CI
+        raise SimulationError(
+            "the 'numpy' simulation backend requires numpy; install it or "
+            "select backend='python'"
+        ) from error
+    from repro.sim.backend_numpy import NumpyBackend
+
+    return NumpyBackend
+
+
+_REGISTRY = {
+    "python": _load_python_backend,
+    "numpy": _load_numpy_backend,
+}
+
+
+def available_backends() -> list[str]:
+    """Backend names accepted by ``backend=`` selectors, best first."""
+    names = []
+    for name, loader in _REGISTRY.items():
+        try:
+            loader()
+        except SimulationError:  # pragma: no cover - numpy ships in CI
+            continue
+        names.append(name)
+    return names
+
+
+def get_backend(
+    compiled: CompiledCircuit, backend: "str | SimBackend | None" = None
+) -> SimBackend:
+    """Resolve a ``backend=`` selector against a compiled circuit.
+
+    Accepts a registry name, an existing :class:`SimBackend` instance
+    (which must be bound to the same compiled circuit), or ``None`` for
+    :data:`DEFAULT_BACKEND`.  Instances are memoized on the compiled
+    circuit so every consumer of the same circuit shares one backend —
+    and therefore one program cache.
+    """
+    if isinstance(backend, SimBackend):
+        if backend.compiled is not compiled:
+            raise SimulationError(
+                "backend instance is bound to a different compiled circuit"
+            )
+        return backend
+    name = backend or DEFAULT_BACKEND
+    loader = _REGISTRY.get(name)
+    if loader is None:
+        raise SimulationError(
+            f"unknown simulation backend {name!r}; "
+            f"available: {available_backends()}"
+        )
+    cache: dict[str, SimBackend] = compiled.__dict__.setdefault(
+        "_sim_backends", {}
+    )
+    instance = cache.get(name)
+    if instance is None:
+        instance = loader()(compiled)
+        cache[name] = instance
+    return instance

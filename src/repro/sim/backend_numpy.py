@@ -1,0 +1,710 @@
+"""The ``numpy`` backend: contiguous ``uint64`` rails, vectorized passes.
+
+Storage
+    All signal values live in one C-contiguous ``(2 * num_signals, words)``
+    ``uint64`` array ``V``, ``words = ceil(batch_size / 64)``; signal ``i``'s
+    ``H`` rail is row ``2i`` and its ``L`` rail is row ``2i + 1``, and slot
+    ``s`` is bit ``s % 64`` of word ``s // 64``.  In the ``(H, L)``
+    encoding, *inverting a signal is swapping its two rows*, which is the
+    key to pass fusion below.
+
+Schedule
+    The circuit is levelized once per backend (level of a gate = 1 + max
+    level of its inputs; PIs and flop outputs are level 0).  Within a
+    level no gate reads another's output, so evaluation order inside a
+    level is free, and gates are fused into a handful of vectorized passes
+    per level:
+
+    * **and-family** — AND, OR, NAND and NOR all normalize to
+      ``X = V[i...] & ...``, ``Y = V[j...] | ...`` with input and output
+      inversions folded into the gathered row indices (De Morgan as index
+      arithmetic); NOT and BUF are the arity-1 degenerate cases.  One pass
+      per level per arity covers all six opcodes.
+    * **xor-family** — XOR and XNOR share one muxing pass, with XNOR's
+      output inversion folded into its scatter indices.
+
+    Gathers go through ``ndarray.take(..., out=...)`` into preallocated
+    scratch buffers, so the hot loop does almost no allocation.
+
+Fault injection
+    A compiled program keeps the static schedule untouched and adds
+    per-level *patched passes*: gates with faulted input pins are
+    re-evaluated — again fused by family and arity, with the pin patches
+    applied as ``(value | force_mask) & keep_mask`` matrices between
+    gather and combine — after the level's static passes ran, and stem
+    patches are masked onto the just-computed rows in one vectorized
+    gather/modify/scatter.  Same-level gates never read each other, so
+    overwriting after the static pass is safe, and deeper levels read the
+    corrected values.  Wide fault batches patch ~1 site per slot, so these
+    passes stay much smaller than the static schedule, and compiled
+    programs are LRU-cached per fault batch on top.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.faults.model import Fault
+from repro.logic.values import ONE, ZERO, Ternary
+from repro.sim.backend import (
+    SimBackend,
+    SimBatch,
+    SimProgram,
+    pack_states,
+    unpack_states,
+)
+from repro.sim.compiled import (
+    OP_AND,
+    OP_BUF,
+    OP_NAND,
+    OP_NOR,
+    OP_NOT,
+    OP_OR,
+    OP_XNOR,
+    OP_XOR,
+)
+from repro.sim.kernel import merge_stem_patches, source_stem_patches
+
+WORD_BITS = 64
+_FULL_WORD = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+# Pass kinds (first tuple element) in static and patched schedules.
+_PASS_AND_FAMILY = 0
+_PASS_XOR = 1
+_PASS_MASK_ROWS = 2
+
+#: Same-arity groups at least this large keep their own pass; smaller
+#: groups of a level merge into one padded mixed-arity pass.
+_MIN_UNIFORM_GROUP = 48
+
+#: Opcodes that normalize into the and-family pass (NOT/BUF are the
+#: arity-1 cases of NOR/AND respectively).
+_AND_FAMILY_OF = {
+    OP_AND: OP_AND,
+    OP_NAND: OP_NAND,
+    OP_OR: OP_OR,
+    OP_NOR: OP_NOR,
+    OP_BUF: OP_AND,
+    OP_NOT: OP_NOR,
+}
+
+
+def _mask_to_words(mask: int, words: int) -> np.ndarray:
+    """A Python-int slot mask as a little-endian ``uint64`` word array."""
+    return np.frombuffer(
+        mask.to_bytes(words * 8, "little"), dtype=np.uint64
+    ).copy()
+
+
+def _words_to_mask(row: np.ndarray) -> int:
+    """A ``uint64`` word array back to a Python-int slot mask."""
+    return int.from_bytes(np.ascontiguousarray(row).tobytes(), "little")
+
+
+def _masks_to_matrix(masks: Sequence[int], words: int) -> np.ndarray:
+    """Stack per-row Python-int masks into a ``(len(masks), words)`` array."""
+    nbytes = words * 8
+    data = b"".join(mask.to_bytes(nbytes, "little") for mask in masks)
+    return np.frombuffer(data, dtype=np.uint64).reshape(len(masks), words)
+
+
+def _mask_rows_pass(
+    row_patches: list[tuple[int, np.ndarray, np.ndarray]], words: int
+) -> tuple | None:
+    """Build a vectorized ``V[rows] = (V[rows] | force) & keep`` pass.
+
+    ``row_patches`` holds ``(row, force, clear)`` triples; ``keep`` is the
+    complement of ``clear``.
+    """
+    if not row_patches:
+        return None
+    rows = np.asarray([row for row, _, _ in row_patches], dtype=np.intp)
+    force = np.stack([sa for _, sa, _ in row_patches])
+    keep = ~np.stack([sa for _, _, sa in row_patches])
+    return (_PASS_MASK_ROWS, rows, force, keep)
+
+
+class NumpyProgram(SimProgram):
+    """Per-level patched passes plus non-gate patch arrays for one batch."""
+
+    __slots__ = (
+        "batch_size",
+        "words",
+        "fixups_by_level",
+        "src_pass",
+        "dff_pass",
+        "po_patches",
+        "max_group",
+    )
+
+    def __init__(
+        self,
+        key: tuple[Fault, ...] | None,
+        batch_size: int | None,
+        words: int | None,
+        fixups_by_level: dict[int, list[tuple]],
+        src_pass: tuple | None,
+        dff_pass: tuple | None,
+        po_patches: dict[int, tuple[np.ndarray, np.ndarray]],
+        max_group: int,
+    ) -> None:
+        super().__init__(key)
+        self.batch_size = batch_size
+        self.words = words
+        self.fixups_by_level = fixups_by_level
+        self.src_pass = src_pass
+        self.dff_pass = dff_pass
+        self.po_patches = po_patches
+        self.max_group = max_group
+
+
+class NumpyBatch(SimBatch):
+    """Batch state over the interleaved ``(2 * num_signals, words)`` rails."""
+
+    def __init__(
+        self, backend: "NumpyBackend", program: NumpyProgram, batch_size: int
+    ) -> None:
+        compiled = backend.compiled
+        self._backend = backend
+        self._program = program
+        self._batch_size = batch_size
+        self._full_mask = (1 << batch_size) - 1
+        words = (batch_size + WORD_BITS - 1) // WORD_BITS
+        self._words = words
+        self._num_flops = len(compiled.flop_pairs)
+        self._V = np.zeros((2 * compiled.num_signals, words), dtype=np.uint64)
+        self._SH = np.zeros((self._num_flops, words), dtype=np.uint64)
+        self._SL = np.zeros((self._num_flops, words), dtype=np.uint64)
+        self._po_indices = compiled.po_indices
+        scratch = max(backend.max_group, program.max_group, 1)
+        self._buf = [
+            np.empty((scratch, words), dtype=np.uint64) for _ in range(4)
+        ]
+        npi = len(backend.pi_h_rows)
+        self._pi_rows_h = np.zeros((npi, words), dtype=np.uint64)
+        self._pi_rows_l = np.zeros((npi, words), dtype=np.uint64)
+
+    # ------------------------------------------------------------------
+    # Input / state loading
+    # ------------------------------------------------------------------
+    def load_inputs_broadcast(self, bits: Sequence[int]) -> None:
+        backend = self._backend
+        npi = len(backend.pi_h_rows)
+        ones = np.fromiter(
+            (1 if bit else 0 for bit in bits), dtype=bool, count=npi
+        )
+        rows_h = self._pi_rows_h
+        rows_l = self._pi_rows_l
+        rows_h[ones] = _FULL_WORD
+        rows_h[~ones] = 0
+        rows_l[~ones] = _FULL_WORD
+        rows_l[ones] = 0
+        self._V[backend.pi_h_rows] = rows_h
+        self._V[backend.pi_l_rows] = rows_l
+
+    def load_inputs_packed(
+        self, ones: Sequence[int], zeros: Sequence[int]
+    ) -> None:
+        backend = self._backend
+        self._V[backend.pi_h_rows] = _masks_to_matrix(ones, self._words)
+        self._V[backend.pi_l_rows] = _masks_to_matrix(zeros, self._words)
+
+    def load_state(self) -> None:
+        backend = self._backend
+        self._V[backend.q_h_rows] = self._SH
+        self._V[backend.q_l_rows] = self._SL
+
+    def apply_source_patches(self) -> None:
+        if self._program.src_pass is not None:
+            self._run_mask_rows(self._program.src_pass)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def eval(self) -> None:
+        fixups_by_level = self._program.fixups_by_level
+        if not fixups_by_level:
+            for passes in self._backend.level_passes:
+                for entry in passes:
+                    self._run_pass(entry)
+            return
+        for level, passes in enumerate(self._backend.level_passes, start=1):
+            for entry in passes:
+                self._run_pass(entry)
+            for entry in fixups_by_level.get(level, ()):
+                self._run_pass(entry)
+
+    def _run_pass(self, entry: tuple) -> None:
+        V = self._V
+        buf0, buf1, buf2, buf3 = self._buf
+        kind = entry[0]
+        if kind == _PASS_AND_FAMILY:
+            _, cols_and, masks_and, out_and, cols_or, masks_or, out_or = entry
+            g = len(out_and)
+            acc_and = V.take(cols_and[0], axis=0, out=buf0[:g])
+            if masks_and[0] is not None:
+                _apply_pin_mask(acc_and, masks_and[0])
+            for col, mask in zip(cols_and[1:], masks_and[1:]):
+                operand = V.take(col, axis=0, out=buf1[:g])
+                if mask is not None:
+                    _apply_pin_mask(operand, mask)
+                np.bitwise_and(acc_and, operand, out=acc_and)
+            acc_or = V.take(cols_or[0], axis=0, out=buf2[:g])
+            if masks_or[0] is not None:
+                _apply_pin_mask(acc_or, masks_or[0])
+            for col, mask in zip(cols_or[1:], masks_or[1:]):
+                operand = V.take(col, axis=0, out=buf3[:g])
+                if mask is not None:
+                    _apply_pin_mask(operand, mask)
+                np.bitwise_or(acc_or, operand, out=acc_or)
+            V[out_and] = acc_and
+            V[out_or] = acc_or
+        elif kind == _PASS_XOR:
+            _, h_cols, h_masks, l_cols, l_masks, out_h, out_l = entry
+            g = len(out_h)
+            h = V.take(h_cols[0], axis=0, out=buf0[:g])
+            if h_masks[0] is not None:
+                _apply_pin_mask(h, h_masks[0])
+            l = V.take(l_cols[0], axis=0, out=buf1[:g])
+            if l_masks[0] is not None:
+                _apply_pin_mask(l, l_masks[0])
+            for h_col, h_mask, l_col, l_mask in zip(
+                h_cols[1:], h_masks[1:], l_cols[1:], l_masks[1:]
+            ):
+                hk = V.take(h_col, axis=0, out=buf2[:g])
+                if h_mask is not None:
+                    _apply_pin_mask(hk, h_mask)
+                lk = V.take(l_col, axis=0, out=buf3[:g])
+                if l_mask is not None:
+                    _apply_pin_mask(lk, l_mask)
+                h, l = (h & lk) | (l & hk), (h & hk) | (l & lk)
+            V[out_h] = h
+            V[out_l] = l
+        else:  # _PASS_MASK_ROWS
+            self._run_mask_rows(entry)
+
+    def _run_mask_rows(self, entry: tuple) -> None:
+        V = self._V
+        _, rows, force, keep = entry
+        g = len(rows)
+        values = V.take(rows, axis=0, out=self._buf[0][:g])
+        np.bitwise_or(values, force, out=values)
+        np.bitwise_and(values, keep, out=values)
+        V[rows] = values
+
+    # ------------------------------------------------------------------
+    # Observation and state advance
+    # ------------------------------------------------------------------
+    def observe_po(self, position: int) -> tuple[int, int]:
+        h_row = 2 * self._po_indices[position]
+        h = self._V[h_row]
+        l = self._V[h_row + 1]
+        patch = self._program.po_patches.get(position)
+        if patch is not None:
+            sa1, sa0 = patch
+            h = (h | sa1) & ~sa0
+            l = (l | sa0) & ~sa1
+        return _words_to_mask(h), _words_to_mask(l)
+
+    def detect_mask(self, observations: Sequence[tuple[int, int]]) -> int:
+        if not observations:
+            return 0
+        V = self._V
+        detected = np.zeros(self._words, dtype=np.uint64)
+        po_patches = self._program.po_patches
+        for po_position, good_value in observations:
+            h_row = 2 * self._po_indices[po_position]
+            h = V[h_row]
+            l = V[h_row + 1]
+            patch = po_patches.get(po_position)
+            if patch is not None:
+                sa1, sa0 = patch
+                h = (h | sa1) & ~sa0
+                l = (l | sa0) & ~sa1
+            detected |= l if good_value else h
+        return _words_to_mask(detected) & self._full_mask
+
+    def capture_state(self) -> None:
+        backend = self._backend
+        next_h = self._V[backend.d_h_rows]
+        next_l = self._V[backend.d_l_rows]
+        dff_pass = self._program.dff_pass
+        if dff_pass is not None:
+            _, positions, force_h, keep_h, force_l, keep_l = dff_pass
+            next_h[positions] = (next_h[positions] | force_h) & keep_h
+            next_l[positions] = (next_l[positions] | force_l) & keep_l
+        self._SH = next_h
+        self._SL = next_l
+
+    # ------------------------------------------------------------------
+    # State interchange
+    # ------------------------------------------------------------------
+    def set_state_packed(self, packed: Sequence[int]) -> None:
+        pairs = unpack_states(packed, self._num_flops)
+        self._SH = _masks_to_matrix([h for h, _ in pairs], self._words).copy()
+        self._SL = _masks_to_matrix([l for _, l in pairs], self._words).copy()
+
+    def export_state_packed(self) -> list[int]:
+        return pack_states(self.export_state_words(), self._batch_size)
+
+    def set_state_scalar(self, values: Sequence[Ternary]) -> None:
+        self._SH = np.zeros((self._num_flops, self._words), dtype=np.uint64)
+        self._SL = np.zeros((self._num_flops, self._words), dtype=np.uint64)
+        for position, value in enumerate(values):
+            if value is ONE:
+                self._SH[position] = _FULL_WORD
+            elif value is ZERO:
+                self._SL[position] = _FULL_WORD
+
+    def read_signal(self, index: int) -> tuple[int, int]:
+        return (
+            _words_to_mask(self._V[2 * index]),
+            _words_to_mask(self._V[2 * index + 1]),
+        )
+
+    def export_state_words(self) -> list[tuple[int, int]]:
+        return [
+            (_words_to_mask(self._SH[f]), _words_to_mask(self._SL[f]))
+            for f in range(self._num_flops)
+        ]
+
+
+class NumpyBackend(SimBackend):
+    """Vectorized backend over 64-bit word arrays."""
+
+    name = "numpy"
+    word_width = WORD_BITS
+
+    def __init__(self, compiled) -> None:
+        super().__init__(compiled)
+        pi_idx = np.asarray(compiled.pi_indices, dtype=np.intp)
+        self.pi_h_rows = 2 * pi_idx
+        self.pi_l_rows = 2 * pi_idx + 1
+        q_idx = np.asarray([q for q, _ in compiled.flop_pairs], dtype=np.intp)
+        d_idx = np.asarray([d for _, d in compiled.flop_pairs], dtype=np.intp)
+        self.q_h_rows = 2 * q_idx
+        self.q_l_rows = 2 * q_idx + 1
+        self.d_h_rows = 2 * d_idx
+        self.d_l_rows = 2 * d_idx + 1
+        self.op_level: list[int] = []
+        self.level_passes: list[list[tuple]] = []
+        self.max_group = 0
+        self._signal_level: dict[int, int] = {}
+        self._levelize()
+
+    # ------------------------------------------------------------------
+    # Static schedule
+    # ------------------------------------------------------------------
+    def _levelize(self) -> None:
+        compiled = self._compiled
+        level = [0] * compiled.num_signals
+        by_level: dict[int, list[int]] = {}
+        for position, (_, out, ins) in enumerate(compiled.ops):
+            lvl = 1 + max(level[k] for k in ins)
+            level[out] = lvl
+            self.op_level.append(lvl)
+            self._signal_level[out] = lvl
+            by_level.setdefault(lvl, []).append(position)
+        for lvl in range(1, max(by_level, default=0) + 1):
+            passes = self._build_passes(
+                [(position, None) for position in by_level.get(lvl, [])]
+            )
+            self.level_passes.append(passes)
+
+    def _build_passes(
+        self, entries: list[tuple[int, dict | None]], words: int | None = None
+    ) -> list[tuple]:
+        """Fuse gates (with optional per-pin patches) into vectorized passes.
+
+        ``entries`` holds ``(op position, pin patches or None)`` where pin
+        patches map ``pin -> (sa1 words, sa0 words)``.  Used for both the
+        static schedule (no patches) and per-level patched passes.
+        """
+        ops = self._compiled.ops
+        and_family: dict[int, list[tuple[int, dict | None]]] = {}
+        xors: dict[int, list[tuple[int, dict | None]]] = {}
+        for position, patches in entries:
+            code, _, ins = ops[position]
+            if code in _AND_FAMILY_OF:
+                and_family.setdefault(len(ins), []).append((position, patches))
+            else:
+                xors.setdefault(len(ins), []).append((position, patches))
+        passes: list[tuple] = []
+        # Large same-arity groups get their own tight pass; the long tail
+        # of small groups is merged into one pass padded to the largest
+        # remaining arity (padding repeats pin 0, idempotent under AND/OR),
+        # trading a little gather volume for far fewer numpy dispatches.
+        merged: list[tuple[int, dict | None]] = []
+        merged_arity = 0
+        for arity in sorted(and_family):
+            group = and_family[arity]
+            if len(group) >= _MIN_UNIFORM_GROUP:
+                passes.append(self._and_family_pass(group, arity, words))
+            else:
+                merged.extend(group)
+                merged_arity = arity
+        if merged:
+            passes.append(self._and_family_pass(merged, merged_arity, words))
+        for arity in sorted(xors):
+            passes.append(self._xor_pass(xors[arity], arity, words))
+        return passes
+
+    def _and_family_pass(
+        self,
+        entries: list[tuple[int, dict | None]],
+        arity: int,
+        words: int | None,
+    ) -> tuple:
+        """AND/OR/NAND/NOR/NOT/BUF fused via rail-swapped (De Morgan) rows.
+
+        Per gate the pass computes ``X = AND(V[cols_and])`` and
+        ``Y = OR(V[cols_or])``; which rails the columns point at and which
+        output rows receive X and Y encode the opcode:
+
+        ======== =============== ============== ========== ==========
+        opcode   cols_and        cols_or        X goes to  Y goes to
+        ======== =============== ============== ========== ==========
+        AND/BUF  input H rails   input L rails  out H      out L
+        NAND     input H rails   input L rails  out L      out H
+        OR       input L rails   input H rails  out L      out H
+        NOR/NOT  input L rails   input H rails  out H      out L
+        ======== =============== ============== ========== ==========
+
+        Pin patches become ``(value | force) & keep`` matrices applied to
+        the gathered rail, with the force/keep roles of ``sa1``/``sa0``
+        swapped on L-rail gathers.
+
+        ``arity`` may exceed a gate's input count (mixed-arity merged
+        passes): missing pins repeat pin 0, column and patch alike, which
+        is idempotent under both AND and OR.
+        """
+        ops = self._compiled.ops
+        k = len(entries)
+        cols_and = [[0] * k for _ in range(arity)]
+        cols_or = [[0] * k for _ in range(arity)]
+        out_and = [0] * k
+        out_or = [0] * k
+        patch_and: list[dict[int, tuple]] = [{} for _ in range(arity)]
+        patch_or: list[dict[int, tuple]] = [{} for _ in range(arity)]
+        for j, (position, patches) in enumerate(entries):
+            code, out, ins = ops[position]
+            family = _AND_FAMILY_OF[code]
+            inputs_swapped = family in (OP_OR, OP_NOR)
+            output_swapped = family in (OP_NAND, OP_OR)
+            for pin in range(arity):
+                source_pin = pin if pin < len(ins) else 0
+                h_row = 2 * ins[source_pin]
+                cols_and[pin][j] = h_row + 1 if inputs_swapped else h_row
+                cols_or[pin][j] = h_row if inputs_swapped else h_row + 1
+                patch = patches.get(source_pin) if patches else None
+                if patch is not None:
+                    sa1, sa0 = patch
+                    if inputs_swapped:  # gathering L rails
+                        patch_and[pin][j] = (sa0, sa1)
+                        patch_or[pin][j] = (sa1, sa0)
+                    else:  # gathering H rails
+                        patch_and[pin][j] = (sa1, sa0)
+                        patch_or[pin][j] = (sa0, sa1)
+            out_h = 2 * out
+            out_and[j] = out_h + 1 if output_swapped else out_h
+            out_or[j] = out_h if output_swapped else out_h + 1
+        self.max_group = max(self.max_group, k)
+        return (
+            _PASS_AND_FAMILY,
+            tuple(np.asarray(col, dtype=np.intp) for col in cols_and),
+            tuple(_pin_masks(p, k, words) for p in patch_and),
+            np.asarray(out_and, dtype=np.intp),
+            tuple(np.asarray(col, dtype=np.intp) for col in cols_or),
+            tuple(_pin_masks(p, k, words) for p in patch_or),
+            np.asarray(out_or, dtype=np.intp),
+        )
+
+    def _xor_pass(
+        self,
+        entries: list[tuple[int, dict | None]],
+        arity: int,
+        words: int | None,
+    ) -> tuple:
+        """XOR/XNOR fused; XNOR's inversion folds into the output rows."""
+        ops = self._compiled.ops
+        k = len(entries)
+        h_cols = [[0] * k for _ in range(arity)]
+        l_cols = [[0] * k for _ in range(arity)]
+        out_h = [0] * k
+        out_l = [0] * k
+        patch_h: list[dict[int, tuple]] = [{} for _ in range(arity)]
+        patch_l: list[dict[int, tuple]] = [{} for _ in range(arity)]
+        for j, (position, patches) in enumerate(entries):
+            code, out, ins = ops[position]
+            for pin, source in enumerate(ins):
+                h_cols[pin][j] = 2 * source
+                l_cols[pin][j] = 2 * source + 1
+                patch = patches.get(pin) if patches else None
+                if patch is not None:
+                    sa1, sa0 = patch
+                    patch_h[pin][j] = (sa1, sa0)
+                    patch_l[pin][j] = (sa0, sa1)
+            row = 2 * out
+            if code == OP_XNOR:
+                out_h[j] = row + 1
+                out_l[j] = row
+            else:
+                out_h[j] = row
+                out_l[j] = row + 1
+        self.max_group = max(self.max_group, k)
+        return (
+            _PASS_XOR,
+            tuple(np.asarray(col, dtype=np.intp) for col in h_cols),
+            tuple(_pin_masks(p, k, words) for p in patch_h),
+            tuple(np.asarray(col, dtype=np.intp) for col in l_cols),
+            tuple(_pin_masks(p, k, words) for p in patch_l),
+            np.asarray(out_h, dtype=np.intp),
+            np.asarray(out_l, dtype=np.intp),
+        )
+
+    # ------------------------------------------------------------------
+    # Program compilation
+    # ------------------------------------------------------------------
+    def _compile_program(
+        self, faults: tuple[Fault, ...] | None
+    ) -> NumpyProgram:
+        if faults is None:
+            return NumpyProgram(None, None, None, {}, None, None, {}, 0)
+        compiled = self._compiled
+        batch_size = len(faults)
+        words = (batch_size + WORD_BITS - 1) // WORD_BITS
+        plan = compiled.compile_plan(list(faults))
+
+        src_pass = _mask_rows_pass(
+            [
+                entry
+                for signal_index, sa1, sa0 in source_stem_patches(compiled, plan)
+                for entry in (
+                    (
+                        2 * signal_index,
+                        _mask_to_words(sa1, words),
+                        _mask_to_words(sa0, words),
+                    ),
+                    (
+                        2 * signal_index + 1,
+                        _mask_to_words(sa0, words),
+                        _mask_to_words(sa1, words),
+                    ),
+                )
+            ],
+            words,
+        )
+        dff_pass = None
+        if plan.dff_pin:
+            items = sorted(plan.dff_pin.items())
+            positions = np.asarray([p for p, _ in items], dtype=np.intp)
+            force_h = np.stack(
+                [_mask_to_words(sa1, words) for _, (sa1, _) in items]
+            )
+            keep_h = ~np.stack(
+                [_mask_to_words(sa0, words) for _, (_, sa0) in items]
+            )
+            force_l = np.stack(
+                [_mask_to_words(sa0, words) for _, (_, sa0) in items]
+            )
+            keep_l = ~np.stack(
+                [_mask_to_words(sa1, words) for _, (sa1, _) in items]
+            )
+            dff_pass = ("dff", positions, force_h, keep_h, force_l, keep_l)
+        po_patches = {
+            position: (_mask_to_words(sa1, words), _mask_to_words(sa0, words))
+            for position, (sa1, sa0) in plan.po_pin.items()
+        }
+
+        # Gates with faulted pins, grouped per level, rebuilt as fused
+        # patched passes that overwrite the static result of their level.
+        patched_by_level: dict[int, list[tuple[int, dict]]] = {}
+        pin_patches_by_position: dict[int, dict[int, tuple]] = {}
+        for (position, pin), (sa1, sa0) in sorted(plan.gate_pin.items()):
+            pin_patches_by_position.setdefault(position, {})[pin] = (
+                _mask_to_words(sa1, words),
+                _mask_to_words(sa0, words),
+            )
+        for position, patches in pin_patches_by_position.items():
+            patched_by_level.setdefault(self.op_level[position], []).append(
+                (position, patches)
+            )
+        max_group_before = self.max_group
+        fixups_by_level: dict[int, list[tuple]] = {
+            level: self._build_passes(entries, words)
+            for level, entries in patched_by_level.items()
+        }
+        program_max_group = self.max_group
+        self.max_group = max_group_before
+
+        # Stem patches on gate outputs run after the patched-gate passes of
+        # their level, so a gate that is both pin-faulted and stem-faulted
+        # is re-evaluated first and masked second (the kernel's order).
+        num_sources = compiled.num_inputs + len(compiled.flop_pairs)
+        stems = merge_stem_patches(plan, lambda index: index >= num_sources)
+        stem_rows_by_level: dict[int, list[tuple[int, np.ndarray, np.ndarray]]] = {}
+        for signal_index, (sa1, sa0) in sorted(stems.items()):
+            level = self._signal_level[signal_index]
+            sa1_words = _mask_to_words(sa1, words)
+            sa0_words = _mask_to_words(sa0, words)
+            stem_rows_by_level.setdefault(level, []).extend(
+                (
+                    (2 * signal_index, sa1_words, sa0_words),
+                    (2 * signal_index + 1, sa0_words, sa1_words),
+                )
+            )
+        for level, row_patches in stem_rows_by_level.items():
+            stem_pass = _mask_rows_pass(row_patches, words)
+            if stem_pass is not None:
+                fixups_by_level.setdefault(level, []).append(stem_pass)
+
+        # Mask-rows passes gather into the shared scratch buffers too, so
+        # their row counts bound the needed scratch height as well.
+        if src_pass is not None:
+            program_max_group = max(program_max_group, len(src_pass[1]))
+        for row_patches in stem_rows_by_level.values():
+            program_max_group = max(program_max_group, len(row_patches))
+
+        return NumpyProgram(
+            faults,
+            batch_size,
+            words,
+            fixups_by_level,
+            src_pass,
+            dff_pass,
+            po_patches,
+            program_max_group,
+        )
+
+    def batch(self, program: SimProgram, batch_size: int) -> NumpyBatch:
+        assert isinstance(program, NumpyProgram)
+        if program.batch_size is not None and program.batch_size != batch_size:
+            raise SimulationError(
+                f"program compiled for batch size {program.batch_size}, "
+                f"batch opened with {batch_size}"
+            )
+        return NumpyBatch(self, program, batch_size)
+
+
+def _apply_pin_mask(values: np.ndarray, mask: tuple) -> None:
+    """In-place ``values = (values | force) & keep``."""
+    force, keep = mask
+    np.bitwise_or(values, force, out=values)
+    np.bitwise_and(values, keep, out=values)
+
+
+def _pin_masks(
+    patches: dict[int, tuple], group_size: int, words: int | None
+) -> tuple | None:
+    """Dense (force, keep) matrices for one pin of a fused pass."""
+    if not patches:
+        return None
+    force = np.zeros((group_size, words), dtype=np.uint64)
+    clear = np.zeros((group_size, words), dtype=np.uint64)
+    for j, (force_words, clear_words) in patches.items():
+        force[j] = force_words
+        clear[j] = clear_words
+    return force, ~clear

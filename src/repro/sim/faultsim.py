@@ -12,6 +12,12 @@ Faults are simulated in batches of ``batch_width`` slots; a batch stops as
 soon as every slot has been detected (sequences detect most faults early,
 so this early exit matters).
 
+All slot storage and gate evaluation is delegated to a pluggable
+:class:`~repro.sim.backend.SimBackend` (``backend="python"`` big-int
+kernel by default, ``backend="numpy"`` for the vectorized engine); the
+detection bookkeeping here is backend-independent, so detection times are
+bit-identical across backends.
+
 Two usage modes:
 
 * :meth:`FaultSimulator.run` — one-shot, all-X initial state; used by the
@@ -25,20 +31,32 @@ from __future__ import annotations
 
 from repro.circuit.netlist import Circuit
 from repro.core.sequence import TestSequence
-from repro.errors import SimulationError
 from repro.faults.model import Fault
 from repro.logic.values import ONE, X, ZERO, Ternary
+from repro.sim.backend import SimBackend, get_backend
 from repro.sim.compiled import CompiledCircuit
 from repro.sim.detection import FaultSimResult
-from repro.sim.kernel import build_run_ops, eval_combinational, source_stem_patches
-from repro.sim.logicsim import LogicSimulator
+from repro.sim.logicsim import GoodTrace, LogicSimulator
 
 DEFAULT_BATCH_WIDTH = 192
 
-# Per-flop 2-bit state codes used by packed machine states.
-_STATE_X = 0
-_STATE_ONE = 1
-_STATE_ZERO = 2
+#: One time step of an observation plan: ``(po_position, good_value)`` for
+#: every PO that is binary in the fault-free machine at that step.
+ObservationRow = list[tuple[int, int]]
+
+
+def build_observation_plan(trace: GoodTrace) -> list[ObservationRow]:
+    """Per time step, the binary fault-free PO values to compare against."""
+    plan: list[ObservationRow] = []
+    for row in trace.po_values:
+        step: ObservationRow = []
+        for position, value in enumerate(row):
+            if value is ONE:
+                step.append((position, 1))
+            elif value is ZERO:
+                step.append((position, 0))
+        plan.append(step)
+    return plan
 
 
 class FaultSimulator:
@@ -48,19 +66,27 @@ class FaultSimulator:
         self,
         circuit: Circuit | CompiledCircuit,
         batch_width: int = DEFAULT_BATCH_WIDTH,
+        backend: str | SimBackend | None = None,
     ) -> None:
-        if batch_width < 1:
-            raise SimulationError(f"batch width must be >= 1, got {batch_width}")
         if isinstance(circuit, CompiledCircuit):
             self._compiled = circuit
         else:
             self._compiled = CompiledCircuit(circuit)
-        self._batch_width = batch_width
+        self._backend = get_backend(self._compiled, backend)
+        self._batch_width = self._backend.validate_batch_width(batch_width)
+        # The fault-free machine is a single scalar slot; the big-int
+        # kernel is the fastest engine for that shape regardless of the
+        # batch backend, and sharing it keeps observation plans trivially
+        # identical across backends.
         self._logic = LogicSimulator(self._compiled)
 
     @property
     def compiled(self) -> CompiledCircuit:
         return self._compiled
+
+    @property
+    def backend(self) -> SimBackend:
+        return self._backend
 
     @property
     def batch_width(self) -> int:
@@ -87,8 +113,16 @@ class FaultSimulator:
         return result
 
     def detects(self, sequence: TestSequence, fault: Fault) -> bool:
-        """Whether ``sequence`` detects the single fault ``fault``."""
-        return self.run(sequence, [fault]).is_detected(fault)
+        """Whether ``sequence`` detects the single fault ``fault``.
+
+        Fast path: one single-slot batch whose inner loop short-circuits
+        at the first detection, with no :class:`FaultSimResult` built.
+        """
+        if len(sequence) == 0:
+            return False
+        observation_plan = self._observation_plan(sequence, None)
+        times, _ = self._run_batch(sequence, [fault], observation_plan)
+        return times[0] is not None
 
     def session(self, faults: list[Fault]) -> "FaultSimSession":
         """Open an incremental session over ``faults`` (all start at all-X)."""
@@ -101,87 +135,43 @@ class FaultSimulator:
         self,
         sequence: TestSequence,
         good_initial_state: list[Ternary] | None,
-    ) -> list[list[tuple[int, int, int]]]:
-        """Per time step: (signal index, PO position, value) for binary POs."""
+    ) -> list[ObservationRow]:
         good = self._logic.run(sequence, initial_state=good_initial_state)
-        plan: list[list[tuple[int, int, int]]] = []
-        po_indices = self._compiled.po_indices
-        for t in range(len(sequence)):
-            row: list[tuple[int, int, int]] = []
-            for position, value in enumerate(good.po_values[t]):
-                if value is ONE:
-                    row.append((po_indices[position], position, 1))
-                elif value is ZERO:
-                    row.append((po_indices[position], position, 0))
-            plan.append(row)
-        return plan
+        return build_observation_plan(good)
 
     def _run_batch(
         self,
         sequence: TestSequence,
         batch: list[Fault],
-        observation_plan: list[list[tuple[int, int, int]]],
+        observation_plan: list[ObservationRow],
         initial_states: list[int] | None = None,
         collect_final_states: bool = False,
     ) -> tuple[list[int | None], list[int] | None]:
         """Simulate one batch.
 
         ``initial_states``: per-slot packed flop states (2 bits per flop,
-        see module constants); None means all-X.  Returns per-slot first
-        detection times and, if requested, per-slot packed final states.
+        see :mod:`repro.sim.backend`); None means all-X.  Returns per-slot
+        first detection times and, if requested, per-slot packed final
+        states.
         """
-        compiled = self._compiled
-        plan = compiled.compile_plan(batch)
-        run_ops = build_run_ops(compiled, plan)
-        src_patches = source_stem_patches(compiled, plan)
-        dff_patches = sorted(plan.dff_pin.items())
-        po_patches = plan.po_pin
+        backend = self._backend
+        program = backend.program(tuple(batch))
+        machines = backend.batch(program, len(batch))
+        if initial_states is not None:
+            machines.set_state_packed(initial_states)
 
-        n = compiled.num_signals
-        H = [0] * n
-        L = [0] * n
-        pi_indices = compiled.pi_indices
-        flop_pairs = compiled.flop_pairs
         batch_size = len(batch)
         full = (1 << batch_size) - 1
         pending = full
         detect_time: list[int | None] = [None] * batch_size
 
-        if initial_states is None:
-            state: list[tuple[int, int]] = [(0, 0)] * len(flop_pairs)
-        else:
-            state = self._unpack_states(initial_states, len(flop_pairs))
-
         for t, vector in enumerate(sequence):
-            for position, pi_index in enumerate(pi_indices):
-                if vector[position]:
-                    H[pi_index] = full
-                    L[pi_index] = 0
-                else:
-                    H[pi_index] = 0
-                    L[pi_index] = full
-            for position, (q_index, _) in enumerate(flop_pairs):
-                H[q_index], L[q_index] = state[position]
-            for signal_index, sa1, sa0 in src_patches:
-                H[signal_index] = (H[signal_index] | sa1) & ~sa0
-                L[signal_index] = (L[signal_index] | sa0) & ~sa1
+            machines.load_inputs_broadcast(vector)
+            machines.load_state()
+            machines.apply_source_patches()
+            machines.eval()
 
-            eval_combinational(run_ops, H, L)
-
-            detected_now = 0
-            for po_index, po_position, good_value in observation_plan[t]:
-                h = H[po_index]
-                l = L[po_index]
-                patch = po_patches.get(po_position)
-                if patch is not None:
-                    sa1, sa0 = patch
-                    h = (h | sa1) & ~sa0
-                    l = (l | sa0) & ~sa1
-                if good_value:
-                    detected_now |= l
-                else:
-                    detected_now |= h
-            detected_now &= pending
+            detected_now = machines.detect_mask(observation_plan[t]) & pending
             if detected_now:
                 slot = 0
                 remaining = detected_now
@@ -194,53 +184,12 @@ class FaultSimulator:
                 if pending == 0 and not collect_final_states:
                     break
 
-            next_state: list[tuple[int, int]] = [
-                (H[d_index], L[d_index]) for _, d_index in flop_pairs
-            ]
-            for position, (sa1, sa0) in dff_patches:
-                h, l = next_state[position]
-                next_state[position] = ((h | sa1) & ~sa0, (l | sa0) & ~sa1)
-            state = next_state
+            machines.capture_state()
 
         final_states = (
-            self._pack_states(state, batch_size) if collect_final_states else None
+            machines.export_state_packed() if collect_final_states else None
         )
         return detect_time, final_states
-
-    @staticmethod
-    def _unpack_states(
-        packed: list[int], num_flops: int
-    ) -> list[tuple[int, int]]:
-        """Per-slot packed states -> per-flop (H, L) word pairs."""
-        state: list[tuple[int, int]] = []
-        for flop in range(num_flops):
-            shift = 2 * flop
-            h = 0
-            l = 0
-            for slot, code_word in enumerate(packed):
-                code = (code_word >> shift) & 3
-                if code == _STATE_ONE:
-                    h |= 1 << slot
-                elif code == _STATE_ZERO:
-                    l |= 1 << slot
-            state.append((h, l))
-        return state
-
-    @staticmethod
-    def _pack_states(
-        state: list[tuple[int, int]], batch_size: int
-    ) -> list[int]:
-        """Per-flop (H, L) word pairs -> per-slot packed states."""
-        packed = [0] * batch_size
-        for flop, (h, l) in enumerate(state):
-            shift = 2 * flop
-            for slot in range(batch_size):
-                bit = 1 << slot
-                if h & bit:
-                    packed[slot] |= _STATE_ONE << shift
-                elif l & bit:
-                    packed[slot] |= _STATE_ZERO << shift
-        return packed
 
 
 class FaultSimSession:
@@ -308,16 +257,7 @@ class FaultSimSession:
         good = simulator._logic.run(
             extension, initial_state=self._good_state
         )
-        observation_plan: list[list[tuple[int, int, int]]] = []
-        po_indices = self._compiled.po_indices
-        for t in range(len(extension)):
-            row: list[tuple[int, int, int]] = []
-            for position, value in enumerate(good.po_values[t]):
-                if value is ONE:
-                    row.append((po_indices[position], position, 1))
-                elif value is ZERO:
-                    row.append((po_indices[position], position, 0))
-            observation_plan.append(row)
+        observation_plan = build_observation_plan(good)
 
         detected: dict[Fault, int] = {}
         final_states: dict[Fault, int] | None = {} if commit else None

@@ -61,6 +61,25 @@ def build_run_ops(compiled: CompiledCircuit, plan: InjectionPlan | None) -> list
     return run_ops
 
 
+def merge_stem_patches(plan: InjectionPlan, keep) -> dict[int, tuple[int, int]]:
+    """Merge a plan's per-signal stem masks into ``index -> (sa1, sa0)``.
+
+    ``keep`` filters signal indices (e.g. sources only, or op outputs
+    only); both backends derive their stem patch sets through this one
+    merge so the semantics cannot diverge.
+    """
+    merged: dict[int, tuple[int, int]] = {}
+    for signal_index, sa1 in plan.stem_sa1.items():
+        if keep(signal_index):
+            old1, old0 = merged.get(signal_index, (0, 0))
+            merged[signal_index] = (old1 | sa1, old0)
+    for signal_index, sa0 in plan.stem_sa0.items():
+        if keep(signal_index):
+            old1, old0 = merged.get(signal_index, (0, 0))
+            merged[signal_index] = (old1, old0 | sa0)
+    return merged
+
+
 def source_stem_patches(
     compiled: CompiledCircuit, plan: InjectionPlan | None
 ) -> list[tuple[int, int, int]]:
@@ -73,15 +92,7 @@ def source_stem_patches(
     if plan is None:
         return []
     source_count = compiled.num_inputs + len(compiled.flop_pairs)
-    merged: dict[int, tuple[int, int]] = {}
-    for signal_index, sa1 in plan.stem_sa1.items():
-        if signal_index < source_count:
-            old1, old0 = merged.get(signal_index, (0, 0))
-            merged[signal_index] = (old1 | sa1, old0)
-    for signal_index, sa0 in plan.stem_sa0.items():
-        if signal_index < source_count:
-            old1, old0 = merged.get(signal_index, (0, 0))
-            merged[signal_index] = (old1, old0 | sa0)
+    merged = merge_stem_patches(plan, lambda index: index < source_count)
     return [(index, sa1, sa0) for index, (sa1, sa0) in merged.items()]
 
 

@@ -1,10 +1,10 @@
 """Fault-free 3-valued sequential logic simulation.
 
-Runs the compiled kernel with a single slot and no injection plan.  The
-resulting :class:`GoodTrace` (per-cycle primary output values, and
-optionally all signal values) is consumed by the fault simulators for
-detection comparison, by the ATPG for guidance, and by the BIST session
-model for computing the fault-free signature.
+Runs a single-slot batch of the selected simulation backend with no
+injection plan.  The resulting :class:`GoodTrace` (per-cycle primary
+output values, and optionally all signal values) is consumed by the fault
+simulators for detection comparison, by the ATPG for guidance, and by the
+BIST session model for computing the fault-free signature.
 """
 
 from __future__ import annotations
@@ -15,8 +15,8 @@ from repro.circuit.netlist import Circuit
 from repro.core.sequence import TestSequence
 from repro.errors import SimulationError
 from repro.logic.values import ONE, X, ZERO, Ternary
+from repro.sim.backend import SimBackend, get_backend
 from repro.sim.compiled import CompiledCircuit
-from repro.sim.kernel import build_run_ops, eval_combinational
 
 
 @dataclass
@@ -49,16 +49,25 @@ class GoodTrace:
 class LogicSimulator:
     """Fault-free simulator for one circuit (reusable across sequences)."""
 
-    def __init__(self, circuit: Circuit | CompiledCircuit) -> None:
+    def __init__(
+        self,
+        circuit: Circuit | CompiledCircuit,
+        backend: str | SimBackend | None = None,
+    ) -> None:
         if isinstance(circuit, CompiledCircuit):
             self._compiled = circuit
         else:
             self._compiled = CompiledCircuit(circuit)
-        self._run_ops = build_run_ops(self._compiled, None)
+        self._backend = get_backend(self._compiled, backend)
+        self._program = self._backend.program(None)
 
     @property
     def compiled(self) -> CompiledCircuit:
         return self._compiled
+
+    @property
+    def backend(self) -> SimBackend:
+        return self._backend
 
     def run(
         self,
@@ -73,45 +82,35 @@ class LogicSimulator:
                 f"sequence width {sequence.width} != circuit inputs "
                 f"{compiled.num_inputs}"
             )
-        n = compiled.num_signals
-        H = [0] * n
-        L = [0] * n
-        if initial_state is None:
-            state: list[tuple[int, int]] = [(0, 0)] * len(compiled.flop_pairs)
-        else:
+        machine = self._backend.batch(self._program, 1)
+        if initial_state is not None:
             if len(initial_state) != len(compiled.flop_pairs):
                 raise SimulationError(
                     f"initial state has {len(initial_state)} flop values, "
                     f"circuit has {len(compiled.flop_pairs)} flops"
                 )
-            state = [
-                (1, 0) if value is ONE else (0, 1) if value is ZERO else (0, 0)
-                for value in initial_state
-            ]
-        pi_indices = compiled.pi_indices
-        po_indices = compiled.po_indices
-        flop_pairs = compiled.flop_pairs
-        run_ops = self._run_ops
+            machine.set_state_scalar(initial_state)
+        num_outputs = len(compiled.po_indices)
         po_trace: list[list[Ternary]] = []
         signal_trace: list[list[Ternary]] | None = [] if record_signals else None
 
         for vector in sequence:
-            for position, pi_index in enumerate(pi_indices):
-                if vector[position]:
-                    H[pi_index] = 1
-                    L[pi_index] = 0
-                else:
-                    H[pi_index] = 0
-                    L[pi_index] = 1
-            for position, (q_index, _) in enumerate(flop_pairs):
-                H[q_index], L[q_index] = state[position]
-            eval_combinational(run_ops, H, L)
-            po_trace.append([_scalar(H[i], L[i]) for i in po_indices])
+            machine.load_inputs_broadcast(vector)
+            machine.load_state()
+            machine.eval()
+            po_trace.append(
+                [_scalar(*machine.observe_po(p)) for p in range(num_outputs)]
+            )
             if signal_trace is not None:
-                signal_trace.append([_scalar(H[i], L[i]) for i in range(n)])
-            state = [(H[d], L[d]) for _, d in flop_pairs]
+                signal_trace.append(
+                    [
+                        _scalar(*machine.read_signal(i))
+                        for i in range(compiled.num_signals)
+                    ]
+                )
+            machine.capture_state()
 
-        final_state = [_scalar(h, l) for h, l in state]
+        final_state = machine.export_state_scalar()
         return GoodTrace(
             po_values=po_trace, final_state=final_state, signal_values=signal_trace
         )

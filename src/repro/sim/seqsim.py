@@ -12,10 +12,15 @@ sequence is exhausted keep simulating padding vectors, but detections in
 the padding region are masked off (causality makes the padding harmless
 for earlier times).
 
+Both machines run on the selected :class:`~repro.sim.backend.SimBackend`;
+the faulty program is compiled once per ``(fault, batch size)`` and
+LRU-cached by the backend, so the thousands of Procedure 2 trials against
+one fault reuse it for free.
+
 This turns Procedure 2's ``ustart`` search and its vector-omission trials
 from per-candidate simulations into one batched pass per
 ``batch_width`` candidates — the optimization that makes the pure-Python
-reproduction tractable.
+reproduction tractable (and the vectorized backends fast).
 """
 
 from __future__ import annotations
@@ -24,8 +29,8 @@ from repro.circuit.netlist import Circuit
 from repro.core.sequence import TestSequence
 from repro.errors import SimulationError
 from repro.faults.model import Fault
+from repro.sim.backend import SimBackend, get_backend
 from repro.sim.compiled import CompiledCircuit
-from repro.sim.kernel import build_run_ops, eval_combinational, source_stem_patches
 
 DEFAULT_SEQ_BATCH_WIDTH = 128
 
@@ -37,19 +42,22 @@ class SequenceBatchSimulator:
         self,
         circuit: Circuit | CompiledCircuit,
         batch_width: int = DEFAULT_SEQ_BATCH_WIDTH,
+        backend: str | SimBackend | None = None,
     ) -> None:
-        if batch_width < 1:
-            raise SimulationError(f"batch width must be >= 1, got {batch_width}")
         if isinstance(circuit, CompiledCircuit):
             self._compiled = circuit
         else:
             self._compiled = CompiledCircuit(circuit)
-        self._batch_width = batch_width
-        self._good_ops = build_run_ops(self._compiled, None)
+        self._backend = get_backend(self._compiled, backend)
+        self._batch_width = self._backend.validate_batch_width(batch_width)
 
     @property
     def compiled(self) -> CompiledCircuit:
         return self._compiled
+
+    @property
+    def backend(self) -> SimBackend:
+        return self._backend
 
     def detects(self, fault: Fault, sequences: list[TestSequence]) -> list[bool]:
         """For each candidate sequence, does it detect ``fault``?"""
@@ -72,12 +80,9 @@ class SequenceBatchSimulator:
         if batch_size == 0:
             return []
         full = (1 << batch_size) - 1
-        plan = compiled.compile_plan([fault] * batch_size)
-        faulty_ops = build_run_ops(compiled, plan)
-        src_patches = source_stem_patches(compiled, plan)
-        dff_patches = sorted(plan.dff_pin.items())
-        po_patches = plan.po_pin
-        good_ops = self._good_ops
+        backend = self._backend
+        good = backend.batch(backend.program(None), batch_size)
+        faulty = backend.batch(backend.program((fault,) * batch_size), batch_size)
 
         lengths = [len(sequence) for sequence in batch]
         max_len = max(lengths)
@@ -90,67 +95,44 @@ class SequenceBatchSimulator:
                     mask |= 1 << slot
             alive_masks.append(mask)
         # Per-time, per-PI packed input words (padding with 0 past the end).
-        pi_words: list[list[tuple[int, int]]] = []
+        pi_words: list[tuple[list[int], list[int]]] = []
         for t in range(max_len):
-            row: list[tuple[int, int]] = []
+            ones_row: list[int] = []
+            zeros_row: list[int] = []
             for position in range(width):
                 ones = 0
                 for slot, sequence in enumerate(batch):
                     if t < lengths[slot] and sequence[t][position]:
                         ones |= 1 << slot
-                row.append((ones, full & ~ones))
-            pi_words.append(row)
+                ones_row.append(ones)
+                zeros_row.append(full & ~ones)
+            pi_words.append((ones_row, zeros_row))
 
-        n = compiled.num_signals
-        GH = [0] * n
-        GL = [0] * n
-        FH = [0] * n
-        FL = [0] * n
-        pi_indices = compiled.pi_indices
-        po_indices = compiled.po_indices
-        flop_pairs = compiled.flop_pairs
-        good_state: list[tuple[int, int]] = [(0, 0)] * len(flop_pairs)
-        faulty_state: list[tuple[int, int]] = [(0, 0)] * len(flop_pairs)
+        num_outputs = len(compiled.po_indices)
         pending = full
 
         for t in range(max_len):
-            words = pi_words[t]
-            for position, pi_index in enumerate(pi_indices):
-                ones, zeros = words[position]
-                GH[pi_index] = ones
-                GL[pi_index] = zeros
-                FH[pi_index] = ones
-                FL[pi_index] = zeros
-            for position, (q_index, _) in enumerate(flop_pairs):
-                GH[q_index], GL[q_index] = good_state[position]
-                FH[q_index], FL[q_index] = faulty_state[position]
-            for signal_index, sa1, sa0 in src_patches:
-                FH[signal_index] = (FH[signal_index] | sa1) & ~sa0
-                FL[signal_index] = (FL[signal_index] | sa0) & ~sa1
+            ones_row, zeros_row = pi_words[t]
+            good.load_inputs_packed(ones_row, zeros_row)
+            faulty.load_inputs_packed(ones_row, zeros_row)
+            good.load_state()
+            faulty.load_state()
+            faulty.apply_source_patches()
 
-            eval_combinational(good_ops, GH, GL)
-            eval_combinational(faulty_ops, FH, FL)
+            good.eval()
+            faulty.eval()
 
             detected_now = 0
-            for position, po_index in enumerate(po_indices):
-                fh = FH[po_index]
-                fl = FL[po_index]
-                patch = po_patches.get(position)
-                if patch is not None:
-                    sa1, sa0 = patch
-                    fh = (fh | sa1) & ~sa0
-                    fl = (fl | sa0) & ~sa1
-                detected_now |= (GH[po_index] & fl) | (GL[po_index] & fh)
+            for position in range(num_outputs):
+                gh, gl = good.observe_po(position)
+                fh, fl = faulty.observe_po(position)
+                detected_now |= (gh & fl) | (gl & fh)
             pending &= ~(detected_now & alive_masks[t])
             if pending == 0:
                 break
 
-            good_state = [(GH[d], GL[d]) for _, d in flop_pairs]
-            next_faulty = [(FH[d], FL[d]) for _, d in flop_pairs]
-            for position, (sa1, sa0) in dff_patches:
-                h, l = next_faulty[position]
-                next_faulty[position] = ((h | sa1) & ~sa0, (l | sa0) & ~sa1)
-            faulty_state = next_faulty
+            good.capture_state()
+            faulty.capture_state()
 
         detected = full & ~pending
         return [bool(detected >> slot & 1) for slot in range(batch_size)]

@@ -1,0 +1,220 @@
+"""Cross-backend parity: the numpy engine must be bit-identical to python.
+
+The ``python`` big-int kernel is the semantic reference (itself checked
+against the scalar :mod:`repro.sim.reference` simulator elsewhere); every
+other backend must produce *identical* detection times, traces and
+outcomes on the same workloads — not merely equivalent coverage.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.catalog import load_circuit, paper_t0_s27
+from repro.core.sequence import TestSequence
+from repro.errors import SimulationError
+from repro.faults.model import STEM, Fault, FaultSite
+from repro.faults.universe import FaultUniverse
+from repro.logic.values import ONE, X, ZERO
+from repro.sim.backend import available_backends, get_backend
+from repro.sim.compiled import CompiledCircuit
+from repro.sim.faultsim import FaultSimulator
+from repro.sim.logicsim import LogicSimulator
+from repro.sim.seqsim import SequenceBatchSimulator
+from repro.util.rng import SplitMix64
+
+pytest.importorskip("numpy")
+
+#: Catalog circuits small enough to sweep their full fault universe here.
+PARITY_CIRCUITS = ["s27", "syn298", "syn344", "syn382", "syn641"]
+
+
+def _random_sequence(circuit, length, seed=2024) -> TestSequence:
+    rng = SplitMix64(seed)
+    return TestSequence(
+        [
+            [rng.next_u64() & 1 for _ in range(circuit.num_inputs)]
+            for _ in range(length)
+        ]
+    )
+
+
+@pytest.fixture(scope="module", params=PARITY_CIRCUITS)
+def compiled(request) -> CompiledCircuit:
+    return CompiledCircuit(load_circuit(request.param))
+
+
+class TestNumpyBackendAvailable:
+    def test_registry_lists_numpy(self):
+        assert available_backends() == ["python", "numpy"]
+
+    def test_unknown_backend_rejected(self, compiled):
+        with pytest.raises(SimulationError, match="unknown simulation backend"):
+            get_backend(compiled, "cuda")
+
+    def test_backend_instances_memoized_per_circuit(self, compiled):
+        assert get_backend(compiled, "numpy") is get_backend(compiled, "numpy")
+        assert get_backend(compiled, "python") is not get_backend(
+            compiled, "numpy"
+        )
+
+
+class TestFaultSimParity:
+    def test_full_universe_detection_times_identical(self, compiled):
+        """The acceptance property: same udet for every catalog fault."""
+        universe = FaultUniverse(compiled.circuit)
+        faults = list(universe.faults())
+        sequence = _random_sequence(compiled.circuit, 48)
+        python = FaultSimulator(compiled, backend="python").run(sequence, faults)
+        numpy_ = FaultSimulator(compiled, backend="numpy").run(sequence, faults)
+        assert python.detection_time == numpy_.detection_time
+        assert python.num_detected > 0  # the comparison is not vacuous
+
+    def test_batch_wider_than_64_slots(self, compiled):
+        """Batches crossing uint64 word boundaries (and not word-aligned)."""
+        universe = FaultUniverse(compiled.circuit)
+        faults = list(universe.faults())
+        sequence = _random_sequence(compiled.circuit, 32)
+        reference = FaultSimulator(compiled, backend="python").run(
+            sequence, faults
+        )
+        for width in (65, 96, 127, 200):
+            result = FaultSimulator(
+                compiled, batch_width=width, backend="numpy"
+            ).run(sequence, faults)
+            assert result.detection_time == reference.detection_time
+
+    def test_pi_stem_fault(self, compiled):
+        """Faults on PI stems exercise the source-patch path."""
+        circuit = compiled.circuit
+        sequence = _random_sequence(circuit, 24)
+        for pi in circuit.inputs:
+            for stuck in (0, 1):
+                fault = Fault(site=FaultSite(signal=pi, kind=STEM), stuck_value=stuck)
+                python = FaultSimulator(compiled, backend="python").detects(
+                    sequence, fault
+                )
+                numpy_ = FaultSimulator(compiled, backend="numpy").detects(
+                    sequence, fault
+                )
+                assert python == numpy_
+
+    def test_session_parity_from_all_x_state(self, compiled):
+        """Incremental sessions advance both backends' machines from all-X
+        through several extensions with identical global detection times."""
+        universe = FaultUniverse(compiled.circuit)
+        faults = list(universe.faults())
+        sessions = {
+            name: FaultSimulator(compiled, backend=name).session(faults)
+            for name in ("python", "numpy")
+        }
+        for chunk_seed in (7, 8, 9):
+            extension = _random_sequence(compiled.circuit, 12, seed=chunk_seed)
+            detected = {
+                name: session.commit(extension)
+                for name, session in sessions.items()
+            }
+            assert detected["python"] == detected["numpy"]
+            assert (
+                sessions["python"].peek(extension)
+                == sessions["numpy"].peek(extension)
+            )
+        assert (
+            sessions["python"].detection_time
+            == sessions["numpy"].detection_time
+        )
+        assert set(sessions["python"].remaining_faults) == set(
+            sessions["numpy"].remaining_faults
+        )
+
+
+class TestLogicSimParity:
+    def test_traces_identical(self, compiled):
+        sequence = _random_sequence(compiled.circuit, 32)
+        python = LogicSimulator(compiled, backend="python").run(
+            sequence, record_signals=True
+        )
+        numpy_ = LogicSimulator(compiled, backend="numpy").run(
+            sequence, record_signals=True
+        )
+        assert python.po_values == numpy_.po_values
+        assert python.final_state == numpy_.final_state
+        assert python.signal_values == numpy_.signal_values
+
+    def test_explicit_initial_states(self, compiled):
+        """All-X, all-binary and mixed initial states round-trip the same."""
+        num_flops = len(compiled.flop_pairs)
+        sequence = _random_sequence(compiled.circuit, 16)
+        patterns = [
+            [X] * num_flops,
+            [ONE] * num_flops,
+            [ZERO if i % 2 else ONE for i in range(num_flops)],
+            [X if i % 3 == 0 else ZERO for i in range(num_flops)],
+        ]
+        for initial in patterns:
+            python = LogicSimulator(compiled, backend="python").run(
+                sequence, initial_state=initial
+            )
+            numpy_ = LogicSimulator(compiled, backend="numpy").run(
+                sequence, initial_state=initial
+            )
+            assert python.po_values == numpy_.po_values
+            assert python.final_state == numpy_.final_state
+
+
+class TestSeqSimParity:
+    def test_mixed_length_candidates(self, compiled):
+        universe = FaultUniverse(compiled.circuit)
+        faults = list(universe.faults())
+        candidates = [
+            _random_sequence(compiled.circuit, 3 + (j % 11), seed=100 + j)
+            for j in range(70)  # > 64: crosses a word boundary in one batch
+        ]
+        for fault in faults[:: max(1, len(faults) // 6)]:
+            python = SequenceBatchSimulator(
+                compiled, batch_width=70, backend="python"
+            ).detects(fault, candidates)
+            numpy_ = SequenceBatchSimulator(
+                compiled, batch_width=70, backend="numpy"
+            ).detects(fault, candidates)
+            assert python == numpy_
+
+
+class TestPaperWalkthroughOnNumpy:
+    def test_s27_profile_is_backend_independent(self):
+        """The paper's own worked example, replayed on the numpy engine."""
+        compiled = CompiledCircuit(load_circuit("s27"))
+        universe = FaultUniverse(compiled.circuit)
+        result = FaultSimulator(compiled, backend="numpy").run(
+            paper_t0_s27(), list(universe.faults())
+        )
+        assert result.num_detected == 32
+        from collections import Counter
+
+        assert dict(Counter(result.detection_time.values())) == {
+            1: 9, 2: 4, 4: 1, 5: 11, 6: 2, 8: 3, 9: 2,
+        }
+
+
+class TestBatchWidthValidation:
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    def test_invalid_width_rejected(self, compiled, backend):
+        with pytest.raises(SimulationError, match="batch width"):
+            FaultSimulator(compiled, batch_width=0, backend=backend)
+        with pytest.raises(SimulationError, match="batch width"):
+            SequenceBatchSimulator(compiled, batch_width=-3, backend=backend)
+
+    def test_word_width_metadata(self, compiled):
+        assert get_backend(compiled, "python").word_width is None
+        assert get_backend(compiled, "numpy").word_width == 64
+
+
+class TestProgramCache:
+    def test_programs_cached_per_fault_batch(self, compiled):
+        universe = FaultUniverse(compiled.circuit)
+        faults = tuple(universe.faults())[:8]
+        for name in ("python", "numpy"):
+            backend = get_backend(compiled, name)
+            assert backend.program(faults) is backend.program(faults)
+            assert backend.program(None) is backend.program(None)
+            assert backend.program(faults) is not backend.program(faults[:4])
