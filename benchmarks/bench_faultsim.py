@@ -4,27 +4,40 @@ Not a paper table, but the substrate whose speed bounds everything else;
 tracked so regressions in either backend are visible.  Reports
 gate-evaluations per second (``gates x faults x vectors / seconds``) in
 parallel-fault mode and checks that detection times stay bit-identical
-across backends on every measured workload.
+across backends *and* worker counts on every measured workload.
 
 Two entry points:
 
 * ``pytest benchmarks/bench_faultsim.py --benchmark-only`` — the
   pytest-benchmark harness, parametrized over backends;
-* ``python benchmarks/bench_faultsim.py [--smoke] [--output FILE]`` — a
-  standalone runner that writes a machine-readable ``BENCH_faultsim.json``
-  (used by CI as a throughput artifact).  The full profile includes the
-  largest catalog circuit, where the ``numpy`` backend must clear a 3x
-  speedup over ``python``; ``--smoke`` restricts to small circuits for
-  quick regression signal.
+* ``python benchmarks/bench_faultsim.py [--smoke] [--workers N ...]
+  [--output FILE]`` — a standalone runner that writes a machine-readable
+  ``BENCH_faultsim.json``.  CI runs the smoke profile and gates on the
+  committed baseline via ``benchmarks/check_bench_regression.py``; the
+  ``machine`` block (CPU count, Python version, platform) records where
+  a report was produced so baselines are comparable across runners.
+
+The ``--workers`` axis measures process sharding
+(:mod:`repro.sim.sharding`): each worker count is a separate measurement
+of the same workload, so the JSON records serial-vs-sharded scaling per
+backend.  The full profile includes the largest catalog circuit, where
+the ``numpy`` backend must clear a 3x speedup over ``python``; ``--smoke``
+restricts to small circuits for quick regression signal.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
+
+try:
+    import pytest
+except ImportError:  # pragma: no cover - script mode without pytest
+    pytest = None
 
 from repro.circuits.catalog import load_circuit
 from repro.core.sequence import TestSequence
@@ -32,6 +45,7 @@ from repro.faults.universe import FaultUniverse
 from repro.sim.backend import available_backends
 from repro.sim.compiled import CompiledCircuit
 from repro.sim.faultsim import FaultSimulator
+from repro.sim.sharding import make_fault_simulator
 from repro.util.rng import SplitMix64
 
 #: (circuit, max faults, vectors, python batch width, numpy batch width).
@@ -47,6 +61,9 @@ _FULL_WORKLOADS = _SMOKE_WORKLOADS + [
     ("syn35932", 2048, 12, 192, 2048),
 ]
 
+#: Worker counts measured by default: serial plus one sharded point.
+DEFAULT_WORKER_AXIS = (1, 4)
+
 
 def _stimulus(circuit, length):
     rng = SplitMix64(2024)
@@ -58,19 +75,46 @@ def _stimulus(circuit, length):
     )
 
 
-def _measure(compiled, faults, sequence, backend, batch_width, repeats=3):
-    """Best-of-N wall time and throughput for one backend/workload."""
-    simulator = FaultSimulator(compiled, batch_width=batch_width, backend=backend)
-    result = None
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        result = simulator.run(sequence, faults)
-        best = min(best, time.perf_counter() - start)
+def machine_block() -> dict:
+    """Where this report was produced — baselines are machine-relative."""
+    return {
+        "cpu_count": os.cpu_count(),
+        "python_version": platform.python_version(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+    }
+
+
+def _measure(compiled, faults, sequence, backend, batch_width, workers, repeats=3):
+    """Best-of-N wall time and throughput for one backend/workers point.
+
+    The sharded simulator's worker pool spins up lazily inside the first
+    repeat; best-of-N therefore reports warm-pool throughput, which is
+    what sustained workloads see.
+    """
+    simulator = make_fault_simulator(
+        compiled,
+        batch_width=batch_width,
+        backend=backend,
+        workers=workers,
+        # The bench exists to measure sharding, so never fall back for
+        # being "too small" — the smoke circuits are the small case.
+        min_shard_faults=1,
+    )
+    try:
+        result = None
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = simulator.run(sequence, faults)
+            best = min(best, time.perf_counter() - start)
+    finally:
+        simulator.close()
     gate_evals = len(compiled.ops) * len(faults) * len(sequence)
     return {
         "backend": backend,
         "batch_width": batch_width,
+        "workers": workers,
         "seconds": best,
         "gate_evals_per_second": gate_evals / best if best else 0.0,
         "detected": result.num_detected,
@@ -78,14 +122,21 @@ def _measure(compiled, faults, sequence, backend, batch_width, repeats=3):
     }
 
 
-def run_profile(smoke: bool, progress=print) -> dict:
-    """Run every workload on every backend; return the JSON-able report."""
+def run_profile(
+    smoke: bool,
+    workers_axis: tuple[int, ...] = DEFAULT_WORKER_AXIS,
+    progress=print,
+) -> dict:
+    """Run every workload on every backend x workers; return the report."""
     workloads = _SMOKE_WORKLOADS if smoke else _FULL_WORKLOADS
     backends = available_backends()
+    workers_axis = tuple(dict.fromkeys(workers_axis)) or (1,)
     report = {
         "profile": "smoke" if smoke else "full",
         "python_version": platform.python_version(),
+        "machine": machine_block(),
         "backends": backends,
+        "workers_axis": list(workers_axis),
         "workloads": [],
     }
     for name, max_faults, vectors, python_width, numpy_width in workloads:
@@ -103,25 +154,43 @@ def run_profile(smoke: bool, progress=print) -> dict:
         reference_times = None
         for backend in backends:
             width = numpy_width if backend == "numpy" else python_width
-            measured = _measure(compiled, faults, sequence, backend, width)
-            detection_times = measured.pop("detection_times")
-            if reference_times is None:
-                reference_times = detection_times
-            elif detection_times != reference_times:
-                raise AssertionError(
-                    f"{name}: {backend} detection times diverge from "
-                    f"{backends[0]} — backend parity violated"
+            entry["results"][backend] = {}
+            for workers in workers_axis:
+                measured = _measure(
+                    compiled, faults, sequence, backend, width, workers
                 )
-            entry["results"][backend] = measured
-            progress(
-                f"[{name}] {backend:>6}/{width:<4} "
-                f"{measured['seconds']:.3f}s  "
-                f"{measured['gate_evals_per_second'] / 1e6:.1f} Mgate-evals/s"
-            )
-        if "numpy" in entry["results"]:
+                detection_times = measured.pop("detection_times")
+                if reference_times is None:
+                    reference_times = detection_times
+                elif detection_times != reference_times:
+                    raise AssertionError(
+                        f"{name}: {backend}/workers={workers} detection times "
+                        f"diverge from {backends[0]}/workers="
+                        f"{workers_axis[0]} — parity violated"
+                    )
+                entry["results"][backend][str(workers)] = measured
+                progress(
+                    f"[{name}] {backend:>6}/w{workers} width={width:<4} "
+                    f"{measured['seconds']:.3f}s  "
+                    f"{measured['gate_evals_per_second'] / 1e6:.1f} Mgate-evals/s"
+                )
+            serial = entry["results"][backend].get("1")
+            if serial is not None:
+                for workers in workers_axis:
+                    if workers == 1:
+                        continue
+                    sharded = entry["results"][backend][str(workers)]
+                    speedup = serial["seconds"] / sharded["seconds"]
+                    sharded["speedup_vs_serial"] = speedup
+                    progress(
+                        f"[{name}] {backend} sharding speedup at "
+                        f"{workers} workers: {speedup:.2f}x"
+                    )
+        if "numpy" in entry["results"] and "python" in entry["results"]:
+            first = str(workers_axis[0])
             entry["numpy_speedup"] = (
-                entry["results"]["python"]["seconds"]
-                / entry["results"]["numpy"]["seconds"]
+                entry["results"]["python"][first]["seconds"]
+                / entry["results"]["numpy"][first]["seconds"]
             )
             progress(f"[{name}] numpy speedup: {entry['numpy_speedup']:.2f}x")
         report["workloads"].append(entry)
@@ -138,16 +207,53 @@ def main(argv: list[str] | None = None) -> int:
         help="small circuits only (CI regression signal)",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        nargs="+",
+        default=list(DEFAULT_WORKER_AXIS),
+        help=(
+            "worker counts to measure (default: %(default)s); 1 is the "
+            "serial engine, larger values measure process sharding"
+        ),
+    )
+    parser.add_argument(
         "--output",
         default="BENCH_faultsim.json",
         help="where to write the JSON report",
     )
+    parser.add_argument(
+        "--min-shard-speedup",
+        type=float,
+        default=None,
+        help=(
+            "fail unless the largest workload's best sharding speedup "
+            "reaches this factor (opt-in: speedup is hardware-dependent, "
+            "so only gate on machines with enough cores for the measured "
+            "worker counts)"
+        ),
+    )
     args = parser.parse_args(argv)
-    report = run_profile(smoke=args.smoke)
+    report = run_profile(smoke=args.smoke, workers_axis=tuple(args.workers))
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)
+        handle.write("\n")
     print(f"report written to {args.output}")
     largest = report["workloads"][-1]
+    if args.min_shard_speedup is not None:
+        best = max(
+            (
+                measured.get("speedup_vs_serial", 0.0)
+                for by_workers in largest["results"].values()
+                for measured in by_workers.values()
+            ),
+            default=0.0,
+        )
+        print(
+            f"largest circuit ({largest['circuit']}): best sharding speedup "
+            f"{best:.2f}x (target >= {args.min_shard_speedup}x)"
+        )
+        if best < args.min_shard_speedup:
+            return 1
     if not args.smoke and "numpy_speedup" in largest:
         speedup = largest["numpy_speedup"]
         print(
@@ -161,11 +267,6 @@ def main(argv: list[str] | None = None) -> int:
 # ----------------------------------------------------------------------
 # pytest-benchmark harness
 # ----------------------------------------------------------------------
-try:
-    import pytest
-except ImportError:  # pragma: no cover - script mode without pytest
-    pytest = None
-
 if pytest is not None:
 
     @pytest.mark.parametrize("backend", available_backends())

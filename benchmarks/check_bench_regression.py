@@ -1,0 +1,134 @@
+"""CI gate: compare a fresh fault-sim benchmark report against a baseline.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py \
+        --baseline BENCH_faultsim.json \
+        --candidate BENCH_faultsim.fresh.json \
+        [--tolerance 0.30]
+
+Walks every ``(circuit, backend, workers)`` measurement present in *both*
+reports and fails (exit 1) when the candidate's throughput
+(``gate_evals_per_second``) drops more than ``tolerance`` below the
+baseline's.  Faster-than-baseline results always pass — the gate guards
+against regressions, not improvements.
+
+Baselines are machine-relative: both reports carry a ``machine`` block
+(CPU count, Python version, platform), which is printed side by side so a
+failure on an unusually slow runner is easy to recognize.  Measurements
+present in only one report (a new circuit, a new worker count) are
+reported but never fail the gate, so extending the benchmark does not
+require regenerating the baseline in the same commit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: Fail when candidate throughput is below baseline * (1 - TOLERANCE).
+DEFAULT_TOLERANCE = 0.30
+
+
+def _load(path: str) -> dict:
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _measurements(report: dict) -> dict[tuple[str, str, str], dict]:
+    """Flatten a report into {(circuit, backend, workers): measurement}."""
+    flat: dict[tuple[str, str, str], dict] = {}
+    for workload in report.get("workloads", []):
+        circuit = workload["circuit"]
+        for backend, by_workers in workload.get("results", {}).items():
+            # Pre-workers-axis reports stored one measurement per backend.
+            if "gate_evals_per_second" in by_workers:
+                by_workers = {"1": by_workers}
+            for workers, measured in by_workers.items():
+                flat[(circuit, backend, workers)] = measured
+    return flat
+
+
+def _describe_machine(label: str, report: dict) -> str:
+    machine = report.get("machine", {})
+    return (
+        f"{label}: cpu_count={machine.get('cpu_count', '?')} "
+        f"python={machine.get('python_version', '?')} "
+        f"platform={machine.get('platform', '?')}"
+    )
+
+
+def compare(
+    baseline: dict, candidate: dict, tolerance: float, progress=print
+) -> list[tuple[str, str, str]]:
+    """Print a comparison table; return the regressed (c, b, w) keys."""
+    base = _measurements(baseline)
+    cand = _measurements(candidate)
+    progress(_describe_machine("baseline ", baseline))
+    progress(_describe_machine("candidate", candidate))
+    progress(
+        f"{'circuit':>10} {'backend':>7} {'w':>3} {'baseline':>12} "
+        f"{'candidate':>12} {'ratio':>6}  status"
+    )
+    regressions: list[tuple[str, str, str]] = []
+    for key in sorted(base):
+        circuit, backend, workers = key
+        base_rate = base[key]["gate_evals_per_second"]
+        if key not in cand:
+            progress(
+                f"{circuit:>10} {backend:>7} {workers:>3} "
+                f"{base_rate / 1e6:>10.1f}M {'—':>12} {'—':>6}  "
+                "missing from candidate (skipped)"
+            )
+            continue
+        cand_rate = cand[key]["gate_evals_per_second"]
+        ratio = cand_rate / base_rate if base_rate else float("inf")
+        regressed = ratio < (1.0 - tolerance)
+        status = "REGRESSED" if regressed else "ok"
+        progress(
+            f"{circuit:>10} {backend:>7} {workers:>3} "
+            f"{base_rate / 1e6:>10.1f}M {cand_rate / 1e6:>10.1f}M "
+            f"{ratio:>5.2f}x  {status}"
+        )
+        if regressed:
+            regressions.append(key)
+    for key in sorted(set(cand) - set(base)):
+        circuit, backend, workers = key
+        progress(
+            f"{circuit:>10} {backend:>7} {workers:>3} {'—':>12} "
+            f"{cand[key]['gate_evals_per_second'] / 1e6:>10.1f}M {'—':>6}  "
+            "new measurement (not gated)"
+        )
+    return regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when benchmark throughput regresses vs a baseline"
+    )
+    parser.add_argument("--baseline", required=True, help="committed baseline JSON")
+    parser.add_argument("--candidate", required=True, help="freshly measured JSON")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed fractional throughput drop (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error(f"tolerance must be in [0, 1), got {args.tolerance}")
+    regressions = compare(_load(args.baseline), _load(args.candidate), args.tolerance)
+    if regressions:
+        print(
+            f"FAIL: {len(regressions)} measurement(s) regressed more than "
+            f"{args.tolerance:.0%} vs {args.baseline}: "
+            + ", ".join("/".join(key) for key in regressions)
+        )
+        return 1
+    print(f"OK: no throughput regression beyond {args.tolerance:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,7 +15,10 @@ Public API quick reference::
     )
 
 Every simulator accepts ``backend="python"`` (default, dependency-free)
-or ``backend="numpy"`` (vectorized); results are bit-identical.
+or ``backend="numpy"`` (vectorized); results are bit-identical.  Fault
+simulation additionally scales across processes: ``make_fault_simulator``
+(and the ``workers=`` knob on :class:`SelectionConfig` / ``AtpgConfig``)
+shards large fault universes over a worker pool with identical results.
 """
 
 from repro.circuit import CircuitBuilder, Circuit, GateType, parse_bench, parse_bench_file
@@ -41,9 +44,11 @@ from repro.sim import (
     FaultSimulator,
     LogicSimulator,
     SequenceBatchSimulator,
+    ShardedFaultSimulator,
     SimBackend,
     available_backends,
     get_backend,
+    make_fault_simulator,
 )
 
 __version__ = "1.0.0"
@@ -78,6 +83,8 @@ __all__ = [
     "FaultSimulator",
     "LogicSimulator",
     "SequenceBatchSimulator",
+    "ShardedFaultSimulator",
+    "make_fault_simulator",
     "SimBackend",
     "available_backends",
     "get_backend",

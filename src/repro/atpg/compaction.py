@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from repro.core.sequence import TestSequence
 from repro.faults.model import Fault
 from repro.sim.compiled import CompiledCircuit
-from repro.sim.faultsim import FaultSimulator
+from repro.sim.sharding import make_fault_simulator
 from repro.util.rng import SplitMix64, derive_seed
 
 
@@ -44,57 +44,61 @@ def compact_sequence(
     seed: int = 12_1999,
     max_rounds: int = 2,
     backend: str | None = None,
+    workers: int = 1,
 ) -> tuple[TestSequence, CompactionStats]:
     """Shorten ``sequence`` while preserving coverage of ``faults``.
 
     ``faults`` is typically the collapsed universe; coverage preservation
     is judged on the set of faults detected, not on detection times.
     """
-    simulator = FaultSimulator(compiled, backend=backend)
-    simulations = 0
+    simulator = make_fault_simulator(compiled, backend=backend, workers=workers)
+    try:
+        simulations = 0
 
-    baseline = simulator.run(sequence, faults)
-    simulations += 1
-    target_detected = set(baseline.detection_time)
-    original_length = len(sequence)
+        baseline = simulator.run(sequence, faults)
+        simulations += 1
+        target_detected = set(baseline.detection_time)
+        original_length = len(sequence)
 
-    # Tail truncation: nothing after the last first-detection can add
-    # coverage, and removing it cannot remove coverage.
-    if baseline.detection_time:
-        last_useful = max(baseline.detection_time.values())
-        if last_useful + 1 < len(sequence):
-            sequence = sequence.subsequence(0, last_useful)
-    truncated_length = len(sequence)
+        # Tail truncation: nothing after the last first-detection can add
+        # coverage, and removing it cannot remove coverage.
+        if baseline.detection_time:
+            last_useful = max(baseline.detection_time.values())
+            if last_useful + 1 < len(sequence):
+                sequence = sequence.subsequence(0, last_useful)
+        truncated_length = len(sequence)
 
-    # Omission passes.
-    rng = SplitMix64(derive_seed(seed, len(sequence)))
-    accepted = 0
-    for _ in range(max_rounds):
-        if len(sequence) <= 1:
-            break
-        improved = False
-        order = list(range(len(sequence)))
-        rng.shuffle(order)
-        # Positions shift as vectors are removed; work on a mutable list
-        # of vectors and re-derive candidate sequences per attempt.
-        for position in order:
-            if position >= len(sequence) or len(sequence) <= 1:
-                continue
-            candidate = sequence.omit(position)
-            result = simulator.run(candidate, sorted(target_detected))
-            simulations += 1
-            if set(result.detection_time) >= target_detected:
-                sequence = candidate
-                accepted += 1
-                improved = True
-        if not improved:
-            break
+        # Omission passes.
+        rng = SplitMix64(derive_seed(seed, len(sequence)))
+        accepted = 0
+        for _ in range(max_rounds):
+            if len(sequence) <= 1:
+                break
+            improved = False
+            order = list(range(len(sequence)))
+            rng.shuffle(order)
+            # Positions shift as vectors are removed; work on a mutable list
+            # of vectors and re-derive candidate sequences per attempt.
+            for position in order:
+                if position >= len(sequence) or len(sequence) <= 1:
+                    continue
+                candidate = sequence.omit(position)
+                result = simulator.run(candidate, sorted(target_detected))
+                simulations += 1
+                if set(result.detection_time) >= target_detected:
+                    sequence = candidate
+                    accepted += 1
+                    improved = True
+            if not improved:
+                break
 
-    stats = CompactionStats(
-        original_length=original_length,
-        truncated_length=truncated_length,
-        final_length=len(sequence),
-        omissions_accepted=accepted,
-        simulations=simulations,
-    )
-    return sequence, stats
+        stats = CompactionStats(
+            original_length=original_length,
+            truncated_length=truncated_length,
+            final_length=len(sequence),
+            omissions_accepted=accepted,
+            simulations=simulations,
+        )
+        return sequence, stats
+    finally:
+        simulator.close()

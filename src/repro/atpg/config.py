@@ -35,6 +35,9 @@ class AtpgConfig:
         compaction_rounds: max full scan rounds of the omission compactor.
         backend: simulation backend name (see
             :func:`repro.sim.backend.available_backends`).
+        workers: worker processes for parallel-fault simulation (see
+            :mod:`repro.sim.sharding`); ``1`` is serial, ``0`` means one
+            per CPU.  Never changes results, only throughput.
     """
 
     seed: int = 20_1999
@@ -52,8 +55,11 @@ class AtpgConfig:
     compaction_method: str = "restoration"
     compaction_rounds: int = 2
     backend: str = DEFAULT_BACKEND
+    workers: int = 1
 
     def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0 (0 = one per CPU)")
         if self.max_length < 1:
             raise ValueError("max_length must be positive")
         if self.random_chunk < 1 or self.greedy_chunk < 1:

@@ -21,7 +21,7 @@ from repro.core.ops import concat
 from repro.core.sequence import TestSequence
 from repro.faults.universe import FaultUniverse
 from repro.sim.compiled import CompiledCircuit
-from repro.sim.faultsim import FaultSimulator
+from repro.sim.sharding import make_fault_simulator
 from repro.util.rng import SplitMix64, derive_seed
 
 #: Bit-probability mix for the weighted-random greedy candidates.
@@ -66,121 +66,131 @@ def generate_t0(
     )
     if universe is None:
         universe = FaultUniverse(compiled.circuit)
-    simulator = FaultSimulator(compiled, backend=config.backend)
-    width = compiled.num_inputs
-    all_faults = list(universe.faults())
-    session = simulator.session(all_faults)
-    sequence = TestSequence.empty(width)
-    result = AtpgResult(
-        circuit_name=compiled.circuit.name,
-        sequence=sequence,
-        total_faults=len(all_faults),
-        detected=0,
+    simulator = make_fault_simulator(
+        compiled, backend=config.backend, workers=config.workers
     )
-
-    def commit(extension: TestSequence) -> int:
-        nonlocal sequence
-        sequence = concat(sequence, extension)
-        return len(session.commit(extension))
-
-    # ------------------------------------------------------------------
-    # Phase 1: plain random extension.
-    # ------------------------------------------------------------------
-    rng = SplitMix64(derive_seed(config.seed, 0xA7B6))
-    unproductive = 0
-    while (
-        session.num_remaining
-        and unproductive < config.random_patience
-        and len(sequence) + config.random_chunk <= config.max_length
-    ):
-        gained = commit(random_sequence(rng, width, config.random_chunk))
-        result.detected_random += gained
-        unproductive = 0 if gained else unproductive + 1
-    result.phase_log.append(
-        f"random: len={len(sequence)} detected={result.detected_random}"
-    )
-
-    # ------------------------------------------------------------------
-    # Phase 2: greedy candidate selection with weighted randomness.
-    # ------------------------------------------------------------------
-    greedy_rng = SplitMix64(derive_seed(config.seed, 0x93ED))
-    unproductive = 0
-    while (
-        session.num_remaining
-        and unproductive < config.greedy_patience
-        and len(sequence) + config.greedy_chunk <= config.max_length
-    ):
-        best_gain = 0
-        best_extension: TestSequence | None = None
-        for candidate_index in range(config.greedy_candidates):
-            weight = _WEIGHTS[candidate_index % len(_WEIGHTS)]
-            extension = weighted_sequence(
-                greedy_rng, width, config.greedy_chunk, weight
-            )
-            gain = session.peek(extension)
-            if gain > best_gain:
-                best_gain = gain
-                best_extension = extension
-        if best_extension is None:
-            unproductive += 1
-            continue
-        result.detected_greedy += commit(best_extension)
-        unproductive = 0
-    result.phase_log.append(
-        f"greedy: len={len(sequence)} detected={result.detected_greedy}"
-    )
-
-    # ------------------------------------------------------------------
-    # Phase 3: genetic attack on the hardest remaining faults.
-    # Candidates are evaluated stand-alone (all-X start) by the GA, so a
-    # successful candidate is appended and the session advanced over it.
-    # ------------------------------------------------------------------
-    if session.num_remaining and config.genetic_targets > 0:
-        targets = sorted(session.remaining_faults)[: config.genetic_targets]
-        still_remaining = set(session.remaining_faults)
-        for salt, fault in enumerate(targets):
-            if fault not in still_remaining:
-                continue  # covered as a side effect of an earlier attack
-            if len(sequence) + 2 * config.genetic_sequence_length > config.max_length:
-                break
-            outcome = attack_fault(compiled, fault, config, salt=salt)
-            result.genetic_attempts += 1
-            if outcome.succeeded and outcome.sequence is not None:
-                result.detected_genetic += commit(outcome.sequence)
-                still_remaining = set(session.remaining_faults)
-        result.phase_log.append(
-            f"genetic: len={len(sequence)} detected={result.detected_genetic} "
-            f"attempts={result.genetic_attempts}"
+    try:
+        width = compiled.num_inputs
+        all_faults = list(universe.faults())
+        session = simulator.session(all_faults)
+        sequence = TestSequence.empty(width)
+        result = AtpgResult(
+            circuit_name=compiled.circuit.name,
+            sequence=sequence,
+            total_faults=len(all_faults),
+            detected=0,
         )
 
-    # ------------------------------------------------------------------
-    # Phase 4: static compaction (reference [12] role).
-    # ------------------------------------------------------------------
-    if len(sequence) and config.run_compaction:
-        if config.compaction_method == "restoration":
-            sequence, stats = restoration_compact(
-                compiled, sequence, all_faults, backend=config.backend
-            )
-            result.compaction = stats
+        def commit(extension: TestSequence) -> int:
+            nonlocal sequence
+            sequence = concat(sequence, extension)
+            return len(session.commit(extension))
+
+        # ------------------------------------------------------------------
+        # Phase 1: plain random extension.
+        # ------------------------------------------------------------------
+        rng = SplitMix64(derive_seed(config.seed, 0xA7B6))
+        unproductive = 0
+        while (
+            session.num_remaining
+            and unproductive < config.random_patience
+            and len(sequence) + config.random_chunk <= config.max_length
+        ):
+            gained = commit(random_sequence(rng, width, config.random_chunk))
+            result.detected_random += gained
+            unproductive = 0 if gained else unproductive + 1
+        result.phase_log.append(
+            f"random: len={len(sequence)} detected={result.detected_random}"
+        )
+
+        # ------------------------------------------------------------------
+        # Phase 2: greedy candidate selection with weighted randomness.
+        # ------------------------------------------------------------------
+        greedy_rng = SplitMix64(derive_seed(config.seed, 0x93ED))
+        unproductive = 0
+        while (
+            session.num_remaining
+            and unproductive < config.greedy_patience
+            and len(sequence) + config.greedy_chunk <= config.max_length
+        ):
+            best_gain = 0
+            best_extension: TestSequence | None = None
+            for candidate_index in range(config.greedy_candidates):
+                weight = _WEIGHTS[candidate_index % len(_WEIGHTS)]
+                extension = weighted_sequence(
+                    greedy_rng, width, config.greedy_chunk, weight
+                )
+                gain = session.peek(extension)
+                if gain > best_gain:
+                    best_gain = gain
+                    best_extension = extension
+            if best_extension is None:
+                unproductive += 1
+                continue
+            result.detected_greedy += commit(best_extension)
+            unproductive = 0
+        result.phase_log.append(
+            f"greedy: len={len(sequence)} detected={result.detected_greedy}"
+        )
+
+        # ------------------------------------------------------------------
+        # Phase 3: genetic attack on the hardest remaining faults.
+        # Candidates are evaluated stand-alone (all-X start) by the GA, so a
+        # successful candidate is appended and the session advanced over it.
+        # ------------------------------------------------------------------
+        if session.num_remaining and config.genetic_targets > 0:
+            targets = sorted(session.remaining_faults)[: config.genetic_targets]
+            still_remaining = set(session.remaining_faults)
+            for salt, fault in enumerate(targets):
+                if fault not in still_remaining:
+                    continue  # covered as a side effect of an earlier attack
+                if len(sequence) + 2 * config.genetic_sequence_length > config.max_length:
+                    break
+                outcome = attack_fault(compiled, fault, config, salt=salt)
+                result.genetic_attempts += 1
+                if outcome.succeeded and outcome.sequence is not None:
+                    result.detected_genetic += commit(outcome.sequence)
+                    still_remaining = set(session.remaining_faults)
             result.phase_log.append(
-                f"restoration: {stats.original_length} -> {stats.final_length} "
-                f"({stats.restoration_events} events)"
-            )
-        elif config.compaction_method == "omission":
-            sequence, stats = compact_sequence(
-                compiled,
-                sequence,
-                all_faults,
-                seed=derive_seed(config.seed, 0xC0DE),
-                max_rounds=config.compaction_rounds,
-                backend=config.backend,
-            )
-            result.compaction = stats
-            result.phase_log.append(
-                f"omission: {stats.original_length} -> {stats.final_length}"
+                f"genetic: len={len(sequence)} detected={result.detected_genetic} "
+                f"attempts={result.genetic_attempts}"
             )
 
-    final = simulator.run(sequence, all_faults)
-    result.sequence = sequence
-    result.detected = final.num_detected
-    return result
+        # ------------------------------------------------------------------
+        # Phase 4: static compaction (reference [12] role).
+        # ------------------------------------------------------------------
+        if len(sequence) and config.run_compaction:
+            if config.compaction_method == "restoration":
+                sequence, stats = restoration_compact(
+                    compiled,
+                    sequence,
+                    all_faults,
+                    backend=config.backend,
+                    workers=config.workers,
+                )
+                result.compaction = stats
+                result.phase_log.append(
+                    f"restoration: {stats.original_length} -> {stats.final_length} "
+                    f"({stats.restoration_events} events)"
+                )
+            elif config.compaction_method == "omission":
+                sequence, stats = compact_sequence(
+                    compiled,
+                    sequence,
+                    all_faults,
+                    seed=derive_seed(config.seed, 0xC0DE),
+                    max_rounds=config.compaction_rounds,
+                    backend=config.backend,
+                    workers=config.workers,
+                )
+                result.compaction = stats
+                result.phase_log.append(
+                    f"omission: {stats.original_length} -> {stats.final_length}"
+                )
+
+        final = simulator.run(sequence, all_faults)
+        result.sequence = sequence
+        result.detected = final.num_detected
+        return result
+    finally:
+        simulator.close()

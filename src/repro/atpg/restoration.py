@@ -25,7 +25,7 @@ from repro.core.sequence import TestSequence
 from repro.errors import AtpgError
 from repro.faults.model import Fault
 from repro.sim.compiled import CompiledCircuit
-from repro.sim.faultsim import FaultSimulator
+from repro.sim.sharding import make_fault_simulator
 from repro.sim.seqsim import SequenceBatchSimulator
 
 
@@ -59,62 +59,68 @@ def restoration_compact(
     faults: list[Fault],
     search_batch_width: int = 24,
     backend: str | None = None,
+    workers: int = 1,
 ) -> tuple[TestSequence, RestorationStats]:
     """Compact ``t0`` by vector restoration, preserving its coverage."""
-    fault_simulator = FaultSimulator(compiled, backend=backend)
-    sequence_simulator = SequenceBatchSimulator(
-        compiled, batch_width=search_batch_width, backend=backend
+    fault_simulator = make_fault_simulator(
+        compiled, backend=backend, workers=workers
     )
+    try:
+        sequence_simulator = SequenceBatchSimulator(
+            compiled, batch_width=search_batch_width, backend=backend
+        )
 
-    baseline = fault_simulator.run(t0, faults)
-    udet = dict(baseline.detection_time)
-    if not udet:
-        return TestSequence.empty(t0.width), RestorationStats(len(t0), 0, 0, 0)
+        baseline = fault_simulator.run(t0, faults)
+        udet = dict(baseline.detection_time)
+        if not udet:
+            return TestSequence.empty(t0.width), RestorationStats(len(t0), 0, 0, 0)
 
-    uncovered = sorted(udet, key=lambda f: (-udet[f], str(f)))
-    kept: set[int] = set()
-    events = 0
-    candidates_tried = 0
+        uncovered = sorted(udet, key=lambda f: (-udet[f], str(f)))
+        kept: set[int] = set()
+        events = 0
+        candidates_tried = 0
 
-    while uncovered:
-        target = uncovered[0]
-        end = udet[target]
-        # Window search: largest j in [0, end] such that kept + window
-        # detects the target.  j = 0 always works (full prefix intact).
-        found_j: int | None = None
-        next_j = end
-        while next_j >= 0 and found_j is None:
-            batch_js = list(range(next_j, max(-1, next_j - search_batch_width), -1))
-            candidates = [_candidate(t0, kept, j, end) for j in batch_js]
-            outcomes = sequence_simulator.detects(target, candidates)
-            candidates_tried += len(candidates)
-            for j, detected in zip(batch_js, outcomes):
-                if detected:
-                    found_j = j
-                    break
-            next_j = batch_js[-1] - 1
-        if found_j is None:
-            raise AtpgError(
-                f"restoration could not re-detect {target} even with the "
-                "full prefix restored — simulator inconsistency"
-            )
-        kept |= set(range(found_j, end + 1))
-        events += 1
+        while uncovered:
+            target = uncovered[0]
+            end = udet[target]
+            # Window search: largest j in [0, end] such that kept + window
+            # detects the target.  j = 0 always works (full prefix intact).
+            found_j: int | None = None
+            next_j = end
+            while next_j >= 0 and found_j is None:
+                batch_js = list(range(next_j, max(-1, next_j - search_batch_width), -1))
+                candidates = [_candidate(t0, kept, j, end) for j in batch_js]
+                outcomes = sequence_simulator.detects(target, candidates)
+                candidates_tried += len(candidates)
+                for j, detected in zip(batch_js, outcomes):
+                    if detected:
+                        found_j = j
+                        break
+                next_j = batch_js[-1] - 1
+            if found_j is None:
+                raise AtpgError(
+                    f"restoration could not re-detect {target} even with the "
+                    "full prefix restored — simulator inconsistency"
+                )
+            kept |= set(range(found_j, end + 1))
+            events += 1
 
-        current = TestSequence([t0[p] for p in sorted(kept)])
-        sim = fault_simulator.run(current, uncovered)
-        covered = set(sim.detection_time)
-        if target not in covered:
-            raise AtpgError(
-                f"restored window for {target} lost detection in re-simulation"
-            )
-        uncovered = [f for f in uncovered if f not in covered]
+            current = TestSequence([t0[p] for p in sorted(kept)])
+            sim = fault_simulator.run(current, uncovered)
+            covered = set(sim.detection_time)
+            if target not in covered:
+                raise AtpgError(
+                    f"restored window for {target} lost detection in re-simulation"
+                )
+            uncovered = [f for f in uncovered if f not in covered]
 
-    final = TestSequence([t0[p] for p in sorted(kept)])
-    stats = RestorationStats(
-        original_length=len(t0),
-        final_length=len(final),
-        restoration_events=events,
-        window_candidates=candidates_tried,
-    )
-    return final, stats
+        final = TestSequence([t0[p] for p in sorted(kept)])
+        stats = RestorationStats(
+            original_length=len(t0),
+            final_length=len(final),
+            restoration_events=events,
+            window_candidates=candidates_tried,
+        )
+        return final, stats
+    finally:
+        fault_simulator.close()

@@ -18,7 +18,7 @@ from repro.core.sequence import TestSequence
 from repro.errors import SelectionError
 from repro.faults.model import Fault
 from repro.sim.compiled import CompiledCircuit
-from repro.sim.faultsim import FaultSimulator
+from repro.sim.sharding import make_fault_simulator
 from repro.sim.seqsim import SequenceBatchSimulator
 
 
@@ -94,6 +94,7 @@ def partition_baseline(
     chunk_length: int,
     search_batch_width: int = 24,
     backend: str | None = None,
+    workers: int = 1,
 ) -> PartitionResult:
     """Partition ``t0`` into chunks of ``chunk_length``, extend for coverage.
 
@@ -103,73 +104,78 @@ def partition_baseline(
     """
     if chunk_length < 1:
         raise SelectionError(f"chunk length must be positive, got {chunk_length}")
-    fault_simulator = FaultSimulator(compiled, backend=backend)
-    sequence_simulator = SequenceBatchSimulator(
-        compiled, batch_width=search_batch_width, backend=backend
+    fault_simulator = make_fault_simulator(
+        compiled, backend=backend, workers=workers
     )
-    baseline = fault_simulator.run(t0, faults)
-    udet = dict(baseline.detection_time)
-
-    result = PartitionResult(chunk_length=chunk_length)
-    if not udet:
-        result.coverage_preserved = True
-        return result
-
-    # Nominal partition into contiguous chunks.
-    chunks: list[PartitionChunk] = []
-    position = 0
-    index = 0
-    while position < len(t0):
-        end = min(position + chunk_length - 1, len(t0) - 1)
-        chunks.append(
-            PartitionChunk(index=index, start=position, nominal_start=position, end=end)
+    try:
+        sequence_simulator = SequenceBatchSimulator(
+            compiled, batch_width=search_batch_width, backend=backend
         )
-        position = end + 1
-        index += 1
+        baseline = fault_simulator.run(t0, faults)
+        udet = dict(baseline.detection_time)
 
-    # Assign faults to the chunk containing their detection time, check
-    # chunk-local detection, extend backward where coverage is lost.
-    for chunk in chunks:
-        local_faults = [
-            fault for fault, time in udet.items() if chunk.nominal_start <= time <= chunk.end
-        ]
-        if not local_faults:
-            continue
-        chunk_seq = t0.subsequence(chunk.start, chunk.end)
-        detected = set(
-            fault_simulator.run(chunk_seq, local_faults).detection_time
-        )
-        missing = [fault for fault in local_faults if fault not in detected]
-        for fault in sorted(missing, key=lambda f: -udet[f]):
-            result.faults_requiring_extension += 1
-            new_start = _extend_for_fault(
-                sequence_simulator,
-                t0,
-                fault,
-                udet[fault],
-                chunk,
-                search_batch_width,
+        result = PartitionResult(chunk_length=chunk_length)
+        if not udet:
+            result.coverage_preserved = True
+            return result
+
+        # Nominal partition into contiguous chunks.
+        chunks: list[PartitionChunk] = []
+        position = 0
+        index = 0
+        while position < len(t0):
+            end = min(position + chunk_length - 1, len(t0) - 1)
+            chunks.append(
+                PartitionChunk(index=index, start=position, nominal_start=position, end=end)
             )
-            chunk.start = min(chunk.start, new_start)
+            position = end + 1
+            index += 1
 
-    result.chunks = chunks
+        # Assign faults to the chunk containing their detection time, check
+        # chunk-local detection, extend backward where coverage is lost.
+        for chunk in chunks:
+            local_faults = [
+                fault for fault, time in udet.items() if chunk.nominal_start <= time <= chunk.end
+            ]
+            if not local_faults:
+                continue
+            chunk_seq = t0.subsequence(chunk.start, chunk.end)
+            detected = set(
+                fault_simulator.run(chunk_seq, local_faults).detection_time
+            )
+            missing = [fault for fault in local_faults if fault not in detected]
+            for fault in sorted(missing, key=lambda f: -udet[f]):
+                result.faults_requiring_extension += 1
+                new_start = _extend_for_fault(
+                    sequence_simulator,
+                    t0,
+                    fault,
+                    udet[fault],
+                    chunk,
+                    search_batch_width,
+                )
+                chunk.start = min(chunk.start, new_start)
 
-    # Verify the contract with a final joint simulation.
-    remaining = set(udet)
-    for chunk in chunks:
-        if not remaining:
-            break
-        chunk_seq = t0.subsequence(chunk.start, chunk.end)
-        remaining -= set(
-            fault_simulator.run(chunk_seq, sorted(remaining)).detection_time
-        )
-    result.coverage_preserved = not remaining
-    if remaining:
-        raise SelectionError(
-            f"partition baseline lost {len(remaining)} faults — extension "
-            "search inconsistency"
-        )
-    return result
+        result.chunks = chunks
+
+        # Verify the contract with a final joint simulation.
+        remaining = set(udet)
+        for chunk in chunks:
+            if not remaining:
+                break
+            chunk_seq = t0.subsequence(chunk.start, chunk.end)
+            remaining -= set(
+                fault_simulator.run(chunk_seq, sorted(remaining)).detection_time
+            )
+        result.coverage_preserved = not remaining
+        if remaining:
+            raise SelectionError(
+                f"partition baseline lost {len(remaining)} faults — extension "
+                "search inconsistency"
+            )
+        return result
+    finally:
+        fault_simulator.close()
 
 
 def _extend_for_fault(

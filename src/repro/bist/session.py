@@ -34,8 +34,8 @@ from repro.errors import HardwareModelError
 from repro.faults.model import Fault
 from repro.logic.values import X
 from repro.sim.compiled import CompiledCircuit
-from repro.sim.faultsim import FaultSimulator
 from repro.sim.logicsim import LogicSimulator
+from repro.sim.sharding import make_fault_simulator
 from repro.sim.reference import ReferenceSimulator
 
 
@@ -90,6 +90,7 @@ class BistSession:
         config: ExpansionConfig,
         misr_length: int = 24,
         backend: str | None = None,
+        workers: int = 1,
     ) -> None:
         if not sequences:
             raise HardwareModelError("a BIST session needs at least one sequence")
@@ -103,11 +104,23 @@ class BistSession:
         self._capacity = max(len(s) for s in sequences)
         self._misr_length = misr_length
         self._logic = LogicSimulator(self._compiled, backend=backend)
-        self._fault_simulator = FaultSimulator(self._compiled, backend=backend)
+        self._fault_simulator = make_fault_simulator(
+            self._compiled, backend=backend, workers=workers
+        )
         # Per-sequence golden data: (expanded TestSequence, capture mask,
         # golden signature), computed once.
         self._golden: list[tuple[TestSequence, list[bool], int]] = []
         self._prepare_golden()
+
+    def close(self) -> None:
+        """Release the session's fault-simulation resources (worker pools)."""
+        self._fault_simulator.close()
+
+    def __enter__(self) -> "BistSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Construction-time golden run

@@ -54,7 +54,10 @@ def _cmd_info(args: argparse.Namespace) -> int:
 def _cmd_atpg(args: argparse.Namespace) -> int:
     circuit = load_circuit(args.circuit)
     config = AtpgConfig(
-        seed=args.seed, max_length=args.max_length, backend=args.backend
+        seed=args.seed,
+        max_length=args.max_length,
+        backend=args.backend,
+        workers=args.workers,
     )
     result = generate_t0(circuit, config)
     print(
@@ -75,7 +78,10 @@ def _get_t0(args: argparse.Namespace, circuit) -> object:
     if args.circuit == "s27" and not args.atpg_t0:
         return paper_t0_s27()
     config = AtpgConfig(
-        seed=args.seed, max_length=args.max_length, backend=args.backend
+        seed=args.seed,
+        max_length=args.max_length,
+        backend=args.backend,
+        workers=args.workers,
     )
     return generate_t0(circuit, config).sequence
 
@@ -88,6 +94,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         args.backend,
         expansion=ExpansionConfig(repetitions=args.n),
         seed=args.seed,
+        workers=args.workers,
     )
     run = scheme.run(t0, config)
     result = run.result
@@ -118,7 +125,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_tables(args: argparse.Namespace) -> int:
     n_values = tuple(args.n) if args.n else None
     result = run_suite(
-        args.suite, n_values=n_values, progress=print, backend=args.backend
+        args.suite,
+        n_values=n_values,
+        progress=print,
+        backend=args.backend,
+        workers=args.workers,
     )
     print()
     print(result.tables())
@@ -128,7 +139,9 @@ def _cmd_tables(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.harness.report import write_experiments_report
 
-    result = run_suite(args.suite, progress=print, backend=args.backend)
+    result = run_suite(
+        args.suite, progress=print, backend=args.backend, workers=args.workers
+    )
     write_experiments_report(result, args.output)
     print(f"report written to {args.output}")
     return 0
@@ -142,6 +155,7 @@ def _cmd_figure1(args: argparse.Namespace) -> int:
         args.backend,
         expansion=ExpansionConfig(repetitions=args.n),
         seed=args.seed,
+        workers=args.workers,
     )
     run = scheme.run(t0, config)
     print(render_figure1(run))
@@ -167,6 +181,17 @@ def build_parser() -> argparse.ArgumentParser:
                 "simulation backend (results are identical across "
                 "backends; 'numpy' is the vectorized engine, fastest on "
                 "large circuits with wide batches)"
+            ),
+        )
+        command.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            help=(
+                "worker processes for parallel-fault simulation "
+                "(1 = serial, 0 = one per CPU; results are identical for "
+                "any worker count, small fault universes always run "
+                "serially)"
             ),
         )
 

@@ -37,6 +37,10 @@ class SelectionConfig:
         backend: simulation backend name (see
             :func:`repro.sim.backend.available_backends`); detection
             results are bit-identical across backends, only speed differs.
+        workers: worker processes for parallel-fault simulation (see
+            :mod:`repro.sim.sharding`); ``1`` is serial, ``0`` means one
+            per CPU.  Like backends and batch widths, worker counts never
+            change results, only throughput.
     """
 
     expansion: ExpansionConfig = field(default_factory=ExpansionConfig)
@@ -46,6 +50,7 @@ class SelectionConfig:
     fault_batch_width: int = 192
     skip_omission: bool = False
     backend: str = DEFAULT_BACKEND
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.search_batch_width < 1:
@@ -54,6 +59,8 @@ class SelectionConfig:
             raise ValueError("omission_batch_width must be >= 1")
         if self.fault_batch_width < 1:
             raise ValueError("fault_batch_width must be >= 1")
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0 (0 = one per CPU)")
 
     @classmethod
     def for_backend(
@@ -62,6 +69,7 @@ class SelectionConfig:
         expansion: ExpansionConfig | None = None,
         seed: int = 1999,
         skip_omission: bool = False,
+        workers: int = 1,
     ) -> "SelectionConfig":
         """A config with batch widths tuned to ``backend``.
 
@@ -79,6 +87,7 @@ class SelectionConfig:
             fault_batch_width=fault,
             skip_omission=skip_omission,
             backend=backend,
+            workers=workers,
         )
 
     def with_repetitions(self, repetitions: int) -> "SelectionConfig":
@@ -97,4 +106,5 @@ class SelectionConfig:
             fault_batch_width=self.fault_batch_width,
             skip_omission=self.skip_omission,
             backend=self.backend,
+            workers=self.workers,
         )

@@ -19,7 +19,7 @@ from repro.core.ops import ExpansionConfig, expand
 from repro.core.procedure1 import SelectedSequence
 from repro.faults.model import Fault
 from repro.sim.compiled import CompiledCircuit
-from repro.sim.faultsim import FaultSimulator
+from repro.sim.sharding import make_fault_simulator
 
 
 @dataclass(frozen=True)
@@ -51,21 +51,25 @@ def coverage_matrix(
     expansion: ExpansionConfig,
     target_faults: list[Fault],
     backend: str | None = None,
+    workers: int = 1,
 ) -> CoverageDiagnostics:
     """Fault-simulate every expanded sequence against the full target set.
 
     Unlike Procedure 1 (which drops faults as they are covered), this
     simulates *all* target faults under every sequence, exposing overlap.
     """
-    simulator = FaultSimulator(compiled, backend=backend)
-    detected_by: dict[int, frozenset[Fault]] = {}
-    for entry in sequences:
-        expanded = expand(entry.sequence, expansion)
-        result = simulator.run(expanded, target_faults)
-        detected_by[entry.index] = frozenset(result.detection_time)
-    return CoverageDiagnostics(
-        detected_by=detected_by, target_faults=frozenset(target_faults)
-    )
+    simulator = make_fault_simulator(compiled, backend=backend, workers=workers)
+    try:
+        detected_by: dict[int, frozenset[Fault]] = {}
+        for entry in sequences:
+            expanded = expand(entry.sequence, expansion)
+            result = simulator.run(expanded, target_faults)
+            detected_by[entry.index] = frozenset(result.detection_time)
+        return CoverageDiagnostics(
+            detected_by=detected_by, target_faults=frozenset(target_faults)
+        )
+    finally:
+        simulator.close()
 
 
 def overlap_histogram(diagnostics: CoverageDiagnostics) -> dict[int, int]:

@@ -27,6 +27,7 @@ from repro.core.procedure1 import SelectedSequence, SelectionResult
 from repro.faults.model import Fault
 from repro.sim.compiled import CompiledCircuit
 from repro.sim.faultsim import FaultSimulator
+from repro.sim.sharding import make_fault_simulator
 
 
 @dataclass
@@ -111,43 +112,47 @@ def statically_compact(
     ``selection`` is modified in place (its sequence list shrinks) and also
     returned wrapped in a :class:`CompactionResult`.
     """
-    fault_simulator = FaultSimulator(
+    fault_simulator = make_fault_simulator(
         compiled,
         batch_width=selection.config.fault_batch_width,
         backend=selection.config.backend,
+        workers=selection.config.workers,
     )
-    passes: list[CompactionPassReport] = []
+    try:
+        passes: list[CompactionPassReport] = []
 
-    by_increasing_length = sorted(
-        selection.sequences, key=lambda s: (s.length, s.index)
-    )
-    passes.append(
-        _run_pass(fault_simulator, selection, by_increasing_length, "increasing length")
-    )
-
-    by_decreasing_length = sorted(
-        selection.sequences, key=lambda s: (-s.length, s.index)
-    )
-    passes.append(
-        _run_pass(fault_simulator, selection, by_decreasing_length, "decreasing length")
-    )
-
-    reverse_generation = sorted(selection.sequences, key=lambda s: -s.index)
-    passes.append(
-        _run_pass(fault_simulator, selection, reverse_generation, "reverse generation")
-    )
-
-    previous_counts = passes[-1].detection_counts
-    by_previous_detections = sorted(
-        selection.sequences,
-        key=lambda s: (-previous_counts.get(s.index, 0), s.index),
-    )
-    passes.append(
-        _run_pass(
-            fault_simulator,
-            selection,
-            by_previous_detections,
-            "decreasing previous detections",
+        by_increasing_length = sorted(
+            selection.sequences, key=lambda s: (s.length, s.index)
         )
-    )
-    return CompactionResult(selection=selection, passes=passes)
+        passes.append(
+            _run_pass(fault_simulator, selection, by_increasing_length, "increasing length")
+        )
+
+        by_decreasing_length = sorted(
+            selection.sequences, key=lambda s: (-s.length, s.index)
+        )
+        passes.append(
+            _run_pass(fault_simulator, selection, by_decreasing_length, "decreasing length")
+        )
+
+        reverse_generation = sorted(selection.sequences, key=lambda s: -s.index)
+        passes.append(
+            _run_pass(fault_simulator, selection, reverse_generation, "reverse generation")
+        )
+
+        previous_counts = passes[-1].detection_counts
+        by_previous_detections = sorted(
+            selection.sequences,
+            key=lambda s: (-previous_counts.get(s.index, 0), s.index),
+        )
+        passes.append(
+            _run_pass(
+                fault_simulator,
+                selection,
+                by_previous_detections,
+                "decreasing previous detections",
+            )
+        )
+        return CompactionResult(selection=selection, passes=passes)
+    finally:
+        fault_simulator.close()

@@ -15,13 +15,14 @@ from dataclasses import dataclass, field
 from repro.circuit.netlist import Circuit
 from repro.core.config import SelectionConfig
 from repro.core.ops import expand, expanded_length
-from repro.core.procedure2 import SubsequenceResult, build_subsequence_for_fault
+from repro.core.procedure2 import build_subsequence_for_fault
 from repro.core.sequence import TestSequence
 from repro.errors import SelectionError
 from repro.faults.model import Fault
 from repro.faults.universe import FaultUniverse
 from repro.sim.compiled import CompiledCircuit
 from repro.sim.faultsim import FaultSimulator
+from repro.sim.sharding import make_fault_simulator
 from repro.sim.seqsim import SequenceBatchSimulator
 
 
@@ -108,74 +109,80 @@ def select_subsequences(
     )
     if universe is None:
         universe = FaultUniverse(compiled.circuit)
-    fault_simulator = FaultSimulator(
-        compiled, batch_width=config.fault_batch_width, backend=config.backend
+    fault_simulator = make_fault_simulator(
+        compiled,
+        batch_width=config.fault_batch_width,
+        backend=config.backend,
+        workers=config.workers,
     )
-    sequence_simulator = SequenceBatchSimulator(
-        compiled, batch_width=config.omission_batch_width, backend=config.backend
-    )
-
-    if precomputed_udet is None:
-        udet = simulate_t0(fault_simulator, universe, t0)
-    else:
-        udet = dict(precomputed_udet)
-
-    result = SelectionResult(
-        circuit_name=compiled.circuit.name,
-        config=config,
-        t0_length=len(t0),
-        total_faults=len(universe),
-        detected_by_t0=len(udet),
-        udet=udet,
-    )
-    # Ftarg ordered: highest udet first; ties broken by universe id so the
-    # procedure is deterministic.
-    targets = sorted(
-        udet, key=lambda fault: (-udet[fault], universe.id_of(fault))
-    )
-    remaining: set[Fault] = set(targets)
-
-    iteration = 0
-    while remaining:
-        target = next(fault for fault in targets if fault in remaining)
-        try:
-            sub = build_subsequence_for_fault(
-                sequence_simulator,
-                t0,
-                target,
-                udet[target],
-                config,
-                fault_salt=universe.id_of(target),
-            )
-        except SelectionError:
-            if config.expansion.hold_cycles == 1:
-                # The guarantee holds for the paper's operator sets; a
-                # failure here means a simulator bug, not a hard fault.
-                raise
-            result.uncoverable.append(target)
-            remaining.discard(target)
-            continue
-        result.candidates_simulated += sub.candidates_simulated
-        expanded = expand(sub.subsequence, config.expansion)
-        sim = fault_simulator.run(expanded, [f for f in targets if f in remaining])
-        newly_detected = set(sim.detection_time)
-        if target not in newly_detected:
-            raise SelectionError(
-                f"{compiled.circuit.name}: expanded subsequence for {target} "
-                "does not detect its own target fault — simulator inconsistency"
-            )
-        result.sequences.append(
-            SelectedSequence(
-                index=iteration,
-                sequence=sub.subsequence,
-                target_fault=target,
-                ustart=sub.ustart,
-                udet=sub.udet,
-                window_length=sub.window_length,
-                omitted_vectors=sub.omitted_vectors,
-                faults_detected_when_added=len(newly_detected),
-            )
+    try:
+        sequence_simulator = SequenceBatchSimulator(
+            compiled, batch_width=config.omission_batch_width, backend=config.backend
         )
-        remaining -= newly_detected
-        iteration += 1
-    return result
+
+        if precomputed_udet is None:
+            udet = simulate_t0(fault_simulator, universe, t0)
+        else:
+            udet = dict(precomputed_udet)
+
+        result = SelectionResult(
+            circuit_name=compiled.circuit.name,
+            config=config,
+            t0_length=len(t0),
+            total_faults=len(universe),
+            detected_by_t0=len(udet),
+            udet=udet,
+        )
+        # Ftarg ordered: highest udet first; ties broken by universe id so the
+        # procedure is deterministic.
+        targets = sorted(
+            udet, key=lambda fault: (-udet[fault], universe.id_of(fault))
+        )
+        remaining: set[Fault] = set(targets)
+
+        iteration = 0
+        while remaining:
+            target = next(fault for fault in targets if fault in remaining)
+            try:
+                sub = build_subsequence_for_fault(
+                    sequence_simulator,
+                    t0,
+                    target,
+                    udet[target],
+                    config,
+                    fault_salt=universe.id_of(target),
+                )
+            except SelectionError:
+                if config.expansion.hold_cycles == 1:
+                    # The guarantee holds for the paper's operator sets; a
+                    # failure here means a simulator bug, not a hard fault.
+                    raise
+                result.uncoverable.append(target)
+                remaining.discard(target)
+                continue
+            result.candidates_simulated += sub.candidates_simulated
+            expanded = expand(sub.subsequence, config.expansion)
+            sim = fault_simulator.run(expanded, [f for f in targets if f in remaining])
+            newly_detected = set(sim.detection_time)
+            if target not in newly_detected:
+                raise SelectionError(
+                    f"{compiled.circuit.name}: expanded subsequence for {target} "
+                    "does not detect its own target fault — simulator inconsistency"
+                )
+            result.sequences.append(
+                SelectedSequence(
+                    index=iteration,
+                    sequence=sub.subsequence,
+                    target_fault=target,
+                    ustart=sub.ustart,
+                    udet=sub.udet,
+                    window_length=sub.window_length,
+                    omitted_vectors=sub.omitted_vectors,
+                    faults_detected_when_added=len(newly_detected),
+                )
+            )
+            remaining -= newly_detected
+            iteration += 1
+        return result
+    finally:
+        fault_simulator.close()

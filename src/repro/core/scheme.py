@@ -28,6 +28,7 @@ from repro.faults.model import Fault
 from repro.faults.universe import FaultUniverse
 from repro.sim.compiled import CompiledCircuit
 from repro.sim.faultsim import FaultSimulator
+from repro.sim.sharding import make_fault_simulator
 from repro.util.timing import Stopwatch
 
 
@@ -121,71 +122,75 @@ class LoadAndExpandScheme:
     def run(self, t0: TestSequence, config: SelectionConfig | None = None) -> SchemeRun:
         """Run selection + compaction + verification for ``t0``."""
         config = config or SelectionConfig()
-        fault_simulator = FaultSimulator(
+        fault_simulator = make_fault_simulator(
             self._compiled,
             batch_width=config.fault_batch_width,
             backend=config.backend,
+            workers=config.workers,
         )
 
-        t0_watch = Stopwatch().start()
-        udet = simulate_t0(fault_simulator, self._universe, t0)
-        t0_seconds = t0_watch.stop()
+        try:
+            t0_watch = Stopwatch().start()
+            udet = simulate_t0(fault_simulator, self._universe, t0)
+            t0_seconds = t0_watch.stop()
 
-        proc1_watch = Stopwatch().start()
-        selection = select_subsequences(
-            self._compiled,
-            t0,
-            config=config,
-            universe=self._universe,
-            precomputed_udet=udet,
-        )
-        proc1_seconds = proc1_watch.stop()
-
-        before_num = selection.num_sequences
-        before_total = selection.total_length
-        before_max = selection.max_length
-        sequences_before = list(selection.sequences)
-
-        comp_watch = Stopwatch().start()
-        compaction = statically_compact(self._compiled, selection)
-        comp_seconds = comp_watch.stop()
-
-        detected = self._detected_by_sequences(fault_simulator, selection, udet)
-        coverage_preserved = detected == set(udet)
-        unexplained = set(udet) - detected - set(selection.uncoverable)
-        if unexplained:
-            missing = sorted(unexplained)[:5]
-            raise SelectionError(
-                f"{self._compiled.circuit.name}: scheme lost coverage of "
-                f"{len(unexplained)} faults, e.g. {missing}"
+            proc1_watch = Stopwatch().start()
+            selection = select_subsequences(
+                self._compiled,
+                t0,
+                config=config,
+                universe=self._universe,
+                precomputed_udet=udet,
             )
+            proc1_seconds = proc1_watch.stop()
 
-        result = SchemeResult(
-            circuit_name=self._compiled.circuit.name,
-            config=config,
-            total_faults=len(self._universe),
-            detected_by_t0=len(udet),
-            t0_length=len(t0),
-            num_sequences_before=before_num,
-            total_length_before=before_total,
-            max_length_before=before_max,
-            num_sequences_after=selection.num_sequences,
-            total_length_after=selection.total_length,
-            max_length_after=selection.max_length,
-            applied_test_length=selection.applied_test_length,
-            coverage_preserved=coverage_preserved,
-            detected_by_scheme=len(detected),
-            t0_simulation_seconds=t0_seconds,
-            procedure1_seconds=proc1_seconds,
-            compaction_seconds=comp_seconds,
-        )
-        return SchemeRun(
-            result=result,
-            selection=selection,
-            compaction=compaction,
-            udet=udet,
-            sequences_before_compaction=sequences_before,
-        )
+            before_num = selection.num_sequences
+            before_total = selection.total_length
+            before_max = selection.max_length
+            sequences_before = list(selection.sequences)
+
+            comp_watch = Stopwatch().start()
+            compaction = statically_compact(self._compiled, selection)
+            comp_seconds = comp_watch.stop()
+
+            detected = self._detected_by_sequences(fault_simulator, selection, udet)
+            coverage_preserved = detected == set(udet)
+            unexplained = set(udet) - detected - set(selection.uncoverable)
+            if unexplained:
+                missing = sorted(unexplained)[:5]
+                raise SelectionError(
+                    f"{self._compiled.circuit.name}: scheme lost coverage of "
+                    f"{len(unexplained)} faults, e.g. {missing}"
+                )
+
+            result = SchemeResult(
+                circuit_name=self._compiled.circuit.name,
+                config=config,
+                total_faults=len(self._universe),
+                detected_by_t0=len(udet),
+                t0_length=len(t0),
+                num_sequences_before=before_num,
+                total_length_before=before_total,
+                max_length_before=before_max,
+                num_sequences_after=selection.num_sequences,
+                total_length_after=selection.total_length,
+                max_length_after=selection.max_length,
+                applied_test_length=selection.applied_test_length,
+                coverage_preserved=coverage_preserved,
+                detected_by_scheme=len(detected),
+                t0_simulation_seconds=t0_seconds,
+                procedure1_seconds=proc1_seconds,
+                compaction_seconds=comp_seconds,
+            )
+            return SchemeRun(
+                result=result,
+                selection=selection,
+                compaction=compaction,
+                udet=udet,
+                sequences_before_compaction=sequences_before,
+            )
+        finally:
+            fault_simulator.close()
 
     def _detected_by_sequences(
         self,

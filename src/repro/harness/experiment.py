@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-from repro.atpg.config import AtpgConfig
 from repro.atpg.engine import AtpgResult, generate_t0
 from repro.circuits.catalog import load_circuit, paper_t0_s27
 from repro.core.config import SelectionConfig
@@ -73,7 +72,9 @@ class ExperimentRecord:
 
 
 def prepare_experiment(
-    spec: SuiteSpec, backend: str | None = None
+    spec: SuiteSpec,
+    backend: str | None = None,
+    workers: int | None = None,
 ) -> CircuitExperiment:
     """Load the circuit and obtain its ``T0``."""
     circuit = load_circuit(spec.circuit)
@@ -88,10 +89,16 @@ def prepare_experiment(
             t0_source="paper",
             atpg_result=None,
         )
-    atpg_config = (
-        replace(spec.atpg, backend=backend) if backend is not None else spec.atpg
-    )
-    cache_key = (spec.circuit, atpg_config)
+    overrides = {}
+    if backend is not None:
+        overrides["backend"] = backend
+    if workers is not None:
+        overrides["workers"] = workers
+    atpg_config = replace(spec.atpg, **overrides) if overrides else spec.atpg
+    # workers only changes throughput, never the generated sequence, so
+    # normalize it out of the cache key: a workers=4 sweep after a
+    # workers=1 sweep reuses the identical T0.
+    cache_key = (spec.circuit, replace(atpg_config, workers=1))
     if cache_key not in _T0_CACHE:
         _T0_CACHE[cache_key] = generate_t0(
             compiled, atpg_config, universe=universe
@@ -112,9 +119,10 @@ def run_circuit_experiment(
     n_values: tuple[int, ...] | None = None,
     selection_seed: int = 1999,
     backend: str | None = None,
+    workers: int | None = None,
 ) -> ExperimentRecord:
     """Run the full n-sweep for one suite entry."""
-    experiment = prepare_experiment(spec, backend=backend)
+    experiment = prepare_experiment(spec, backend=backend, workers=workers)
     record = ExperimentRecord(experiment=experiment)
     scheme = LoadAndExpandScheme(experiment.compiled)
     for n in n_values or spec.n_values:
@@ -122,6 +130,7 @@ def run_circuit_experiment(
             backend or DEFAULT_BACKEND,
             expansion=ExpansionConfig(repetitions=n),
             seed=selection_seed,
+            workers=workers if workers is not None else 1,
         )
         record.runs[n] = scheme.run(experiment.t0, config)
     return record

@@ -33,19 +33,23 @@ def run_suite(
     n_values: tuple[int, ...] | None = None,
     progress=None,
     backend: str | None = None,
+    workers: int | None = None,
 ) -> SuiteResult:
     """Run every experiment in a suite.
 
     ``progress`` is an optional callable taking a status string; the CLI
-    passes ``print``.  ``backend`` selects the simulation backend for
-    every experiment (results are backend-independent).
+    passes ``print``.  ``backend`` selects the simulation backend and
+    ``workers`` the fault-simulation process count for every experiment
+    (results are backend- and worker-independent).
     """
     specs: tuple[SuiteSpec, ...] = resolve_suite(suite_name)
     result = SuiteResult(suite_name=suite_name or "quick")
     for spec in specs:
         if progress is not None:
             progress(f"[{spec.circuit}] generating T0 and running n-sweep ...")
-        record = run_circuit_experiment(spec, n_values=n_values, backend=backend)
+        record = run_circuit_experiment(
+            spec, n_values=n_values, backend=backend, workers=workers
+        )
         result.records.append(record)
         if progress is not None:
             best = record.best_run.result

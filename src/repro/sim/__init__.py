@@ -9,6 +9,9 @@
 * :mod:`repro.sim.logicsim` — fault-free 3-valued sequential simulation.
 * :mod:`repro.sim.faultsim` — bit-parallel parallel-fault simulation
   (one input sequence, many faults) with fault dropping.
+* :mod:`repro.sim.sharding` — process-sharded fault simulation: chunked
+  work-stealing across worker processes behind the same simulator API
+  (:func:`make_fault_simulator` is the ``workers=`` seam).
 * :mod:`repro.sim.seqsim` — bit-parallel parallel-sequence simulation
   (one fault, many candidate input sequences), the Procedure 2 engine.
 * :mod:`repro.sim.reference` — slow, obviously-correct per-fault scalar
@@ -26,6 +29,11 @@ from repro.sim.backend import (
 from repro.sim.compiled import CompiledCircuit
 from repro.sim.logicsim import LogicSimulator, GoodTrace
 from repro.sim.faultsim import FaultSimulator, FaultSimResult
+from repro.sim.sharding import (
+    ShardedFaultSimSession,
+    ShardedFaultSimulator,
+    make_fault_simulator,
+)
 from repro.sim.seqsim import SequenceBatchSimulator
 from repro.sim.detection import DetectionRecord
 
@@ -41,6 +49,9 @@ __all__ = [
     "GoodTrace",
     "FaultSimulator",
     "FaultSimResult",
+    "ShardedFaultSimSession",
+    "ShardedFaultSimulator",
+    "make_fault_simulator",
     "SequenceBatchSimulator",
     "DetectionRecord",
 ]

@@ -64,7 +64,6 @@ from repro.sim.compiled import (
     OP_NOT,
     OP_OR,
     OP_XNOR,
-    OP_XOR,
 )
 from repro.sim.kernel import merge_stem_patches, source_stem_patches
 

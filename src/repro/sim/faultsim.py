@@ -92,6 +92,22 @@ class FaultSimulator:
     def batch_width(self) -> int:
         return self._batch_width
 
+    def close(self) -> None:
+        """Release simulator resources.
+
+        A no-op here; the process-sharded subclass
+        (:class:`repro.sim.sharding.ShardedFaultSimulator`) terminates its
+        worker pool.  Present on the base class so consumers built against
+        :func:`repro.sim.sharding.make_fault_simulator` can close
+        unconditionally.
+        """
+
+    def __enter__(self) -> "FaultSimulator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # ------------------------------------------------------------------
     # One-shot API (all-X initial state)
     # ------------------------------------------------------------------

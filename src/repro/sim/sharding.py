@@ -1,0 +1,451 @@
+"""Process-sharded parallel-fault simulation.
+
+The bit-parallel :class:`~repro.sim.faultsim.FaultSimulator` is already
+fault-parallel *within* one process (one fault per slot of the ``(H, L)``
+words); this module adds the second axis: the fault universe is partitioned
+into chunks and the chunks are simulated by a pool of worker processes,
+each owning its own backend instance over its own compiled copy of the
+circuit.
+
+The design follows three rules:
+
+* **Pickle once per worker.**  The circuit, the backend name, the batch
+  width and the full fault list ship to each worker exactly once, at pool
+  initialization (spawn-safe: the initializer and the task function are
+  module-level, and everything crossing the boundary is plain data).
+  Tasks reference faults by index into that list (the pool is rebound if a
+  caller switches to faults outside it), so the per-task payload is the
+  input sequence, the observation plan and a tuple of ints.
+* **Merge plain ints.**  Workers return per-slot first-detection times and
+  (for sessions) packed flop states — the same backend-independent Python
+  integers the serial simulator uses — so merging is dictionary updates
+  and results are bit-identical to a serial run by construction.
+* **Steal work.**  Chunks are oversplit (``oversplit`` chunks per worker,
+  fed through ``imap_unordered`` one at a time), so a skewed chunk — e.g.
+  a run of hard faults that never early-exit — does not leave the other
+  workers idle.
+
+Sharding only pays off once the universe is large enough to amortize the
+inter-process traffic; below :data:`SERIAL_FALLBACK_FAULTS` (or whatever
+``min_shard_faults`` is set to) every entry point silently runs the serial
+engine instead, so a ``workers=8`` config is safe for s27-sized circuits.
+
+The public entry point for consumers is :func:`make_fault_simulator`,
+which returns a plain :class:`FaultSimulator` for ``workers <= 1`` and a
+:class:`ShardedFaultSimulator` otherwise; the sharded class is a drop-in
+subclass (same ``run`` / ``detects`` / ``session`` API), so Procedure 1/2,
+the ATPG engine, the baselines and the harness opt in purely through the
+``workers`` knob on their configs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from collections.abc import Sequence
+
+from repro.circuit.netlist import Circuit
+from repro.core.sequence import TestSequence
+from repro.errors import SimulationError
+from repro.faults.model import Fault
+from repro.sim.backend import SimBackend
+from repro.sim.compiled import CompiledCircuit
+from repro.sim.detection import FaultSimResult
+from repro.sim.faultsim import (
+    DEFAULT_BATCH_WIDTH,
+    FaultSimSession,
+    FaultSimulator,
+    ObservationRow,
+    build_observation_plan,
+)
+
+#: Below this many faults a sharded simulator runs serially: the cost of
+#: shipping the sequence + observation plan to the pool and collecting the
+#: results exceeds the simulation itself on small universes.
+SERIAL_FALLBACK_FAULTS = 512
+
+#: Target chunks per worker.  Oversplitting is what makes the pool
+#: work-stealing: a worker that drew an easy chunk (early exits everywhere)
+#: pulls the next one from the shared queue instead of idling.
+DEFAULT_OVERSPLIT = 4
+
+
+def default_workers() -> int:
+    """A reasonable worker count for this machine (``os.cpu_count()``)."""
+    return max(1, os.cpu_count() or 1)
+
+
+def plan_chunks(
+    num_faults: int,
+    workers: int,
+    batch_width: int,
+    oversplit: int = DEFAULT_OVERSPLIT,
+) -> list[tuple[int, int]]:
+    """Partition ``range(num_faults)`` into contiguous ``(start, end)`` chunks.
+
+    Aims for ``workers * oversplit`` chunks, with two floors that keep the
+    per-chunk backend passes efficient:
+
+    * a chunk is never narrower than one full backend pass
+      (``batch_width`` slots) unless even ``workers`` plain chunks would
+      be — oversplitting below a full pass trades vectorization for
+      stealing granularity, a bad deal for the wide-batch numpy engine;
+    * chunks wider than one pass are rounded up to whole multiples of
+      ``batch_width`` so only each chunk's final pass can be ragged.
+
+    Work stealing therefore emerges exactly in the regime sharding is for
+    (universes well past ``workers * batch_width`` slots).  Never returns
+    empty chunks, so a universe smaller than the worker count simply
+    yields fewer chunks than workers.
+    """
+    if num_faults <= 0:
+        return []
+    workers = max(1, workers)
+    target = workers * max(1, oversplit)
+    size = -(-num_faults // target)  # ceil
+    per_worker = -(-num_faults // workers)
+    size = max(size, min(batch_width, per_worker))
+    if size > batch_width:
+        size = -(-size // batch_width) * batch_width
+    return [
+        (start, min(start + size, num_faults))
+        for start in range(0, num_faults, size)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Worker-process side.  Module-level (spawn-picklable) state and
+# functions; each worker process holds exactly one simulator.
+# ----------------------------------------------------------------------
+_WORKER: dict = {}
+
+
+def _worker_init(
+    circuit: Circuit,
+    backend_name: str,
+    batch_width: int,
+    faults: list[Fault],
+) -> None:
+    """Pool initializer: build this worker's own simulator once."""
+    compiled = CompiledCircuit(circuit)
+    _WORKER["simulator"] = FaultSimulator(
+        compiled, batch_width=batch_width, backend=backend_name
+    )
+    _WORKER["faults"] = faults
+
+
+def _worker_run_chunk(task: tuple) -> tuple[int, list[int | None], list[int] | None]:
+    """Simulate one chunk of faults; return (chunk id, times, final states).
+
+    ``indices`` reference the fault list shipped at pool init (the parent
+    rebinds the pool whenever it is asked about faults outside that list),
+    so the per-task payload stays plain ints.
+    """
+    chunk_id, indices, sequence, observation_plan, initial_states, collect = task
+    simulator: FaultSimulator = _WORKER["simulator"]
+    universe: list[Fault] = _WORKER["faults"]
+    faults = [universe[index] for index in indices]
+    width = simulator.batch_width
+    times: list[int | None] = []
+    finals: list[int] | None = [] if collect else None
+    for start in range(0, len(faults), width):
+        batch = faults[start : start + width]
+        initial = (
+            initial_states[start : start + width]
+            if initial_states is not None
+            else None
+        )
+        batch_times, batch_finals = simulator._run_batch(
+            sequence,
+            batch,
+            observation_plan,
+            initial_states=initial,
+            collect_final_states=collect,
+        )
+        times.extend(batch_times)
+        if collect and finals is not None and batch_finals is not None:
+            finals.extend(batch_finals)
+    return chunk_id, times, finals
+
+
+def _start_method() -> str:
+    """The multiprocessing start method for shard pools.
+
+    Honors ``REPRO_SHARDING_START_METHOD`` (``fork`` / ``spawn`` /
+    ``forkserver``); otherwise prefers ``fork`` where available (cheap,
+    and the worker payload is inherited rather than pickled) and falls
+    back to ``spawn`` — for which this module is fully pickle-safe.
+    """
+    override = os.environ.get("REPRO_SHARDING_START_METHOD")
+    if override:
+        if override not in multiprocessing.get_all_start_methods():
+            raise SimulationError(
+                f"REPRO_SHARDING_START_METHOD={override!r} is not supported "
+                f"here; available: {multiprocessing.get_all_start_methods()}"
+            )
+        return override
+    if "fork" in multiprocessing.get_all_start_methods():
+        return "fork"
+    return "spawn"
+
+
+class _ShardPool:
+    """A process pool bound to one (circuit, backend, batch width, faults).
+
+    Thin wrapper so the simulator can rebind pools when asked to simulate
+    a fault list that is not covered by the current one.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        backend_name: str,
+        batch_width: int,
+        faults: list[Fault],
+        workers: int,
+    ) -> None:
+        self.faults = list(faults)
+        self.index_of: dict[Fault, int] = {
+            fault: index for index, fault in enumerate(self.faults)
+        }
+        context = multiprocessing.get_context(_start_method())
+        self._pool = context.Pool(
+            processes=workers,
+            initializer=_worker_init,
+            initargs=(circuit, backend_name, batch_width, self.faults),
+        )
+
+    def run_tasks(self, tasks: list[tuple]) -> list[tuple]:
+        """Run chunk tasks with work stealing; order of results is arbitrary."""
+        return list(self._pool.imap_unordered(_worker_run_chunk, tasks, chunksize=1))
+
+    def covers(self, faults: Sequence[Fault]) -> bool:
+        """Whether every fault can be referenced by index in this pool."""
+        index_of = self.index_of
+        return all(fault in index_of for fault in faults)
+
+    def close(self) -> None:
+        self._pool.terminate()
+        self._pool.join()
+
+
+class ShardedFaultSimulator(FaultSimulator):
+    """A :class:`FaultSimulator` that fans fault chunks out to processes.
+
+    Drop-in: ``run`` / ``session`` shard across ``workers`` processes when
+    the fault list is large enough, and fall back to the inherited serial
+    engine otherwise (including ``detects``, which is always a single
+    fault and therefore always serial).  Detection times and session
+    states are bit-identical to the serial simulator for any worker
+    count — the parity suite enforces this.
+
+    The worker pool is created lazily on the first sharded call and kept
+    for the simulator's lifetime; call :meth:`close` (or use the instance
+    as a context manager) to release the processes deterministically.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit | CompiledCircuit,
+        batch_width: int = DEFAULT_BATCH_WIDTH,
+        backend: str | SimBackend | None = None,
+        workers: int | None = None,
+        min_shard_faults: int = SERIAL_FALLBACK_FAULTS,
+        oversplit: int = DEFAULT_OVERSPLIT,
+    ) -> None:
+        super().__init__(circuit, batch_width=batch_width, backend=backend)
+        if workers is None:
+            workers = default_workers()
+        if workers < 1:
+            raise SimulationError(f"workers must be >= 1, got {workers}")
+        self._workers = workers
+        self._min_shard_faults = max(1, min_shard_faults)
+        self._oversplit = max(1, oversplit)
+        self._pool: _ShardPool | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    def close(self) -> None:
+        """Terminate the worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # Sharded entry points
+    # ------------------------------------------------------------------
+    def run(self, sequence: TestSequence, faults: list[Fault]) -> FaultSimResult:
+        if not self.should_shard(len(faults)) or len(sequence) == 0:
+            return super().run(sequence, faults)
+        result = FaultSimResult(
+            sequence_length=len(sequence), total_faults=len(faults)
+        )
+        observation_plan = self._observation_plan(sequence, None)
+        times = self._run_sharded(sequence, faults, observation_plan)
+        for fault, time in zip(faults, times):
+            if time is not None:
+                result.detection_time[fault] = time
+        return result
+
+    def session(self, faults: list[Fault]) -> FaultSimSession:
+        if not self.should_shard(len(faults)):
+            return FaultSimSession(self, faults)
+        return ShardedFaultSimSession(self, faults)
+
+    def should_shard(self, num_faults: int) -> bool:
+        """Whether a fault list of this size goes to the pool."""
+        return self._workers > 1 and num_faults >= self._min_shard_faults
+
+    # ------------------------------------------------------------------
+    # Internals (also used by ShardedFaultSimSession)
+    # ------------------------------------------------------------------
+    def _ensure_pool(self, faults: list[Fault]) -> _ShardPool:
+        """The current pool, rebound if it cannot index ``faults``.
+
+        Rebinding re-ships the fault list and restarts the workers, so it
+        only happens when a caller switches to a fault set that is not a
+        subset of the one the pool was built for (sessions and Procedure
+        1's shrinking target sets stay on the index path).
+        """
+        pool = self._pool
+        if pool is not None and pool.covers(faults):
+            return pool
+        if pool is not None:
+            pool.close()
+        self._pool = _ShardPool(
+            self._compiled.circuit,
+            self._backend.name,
+            self._batch_width,
+            faults,
+            self._workers,
+        )
+        return self._pool
+
+    def _run_sharded(
+        self,
+        sequence: TestSequence,
+        faults: list[Fault],
+        observation_plan: list[ObservationRow],
+        initial_states: list[int] | None = None,
+        collect_final_states: bool = False,
+    ) -> list[int | None] | tuple[list[int | None], list[int]]:
+        """Fan ``faults`` out in chunks; merge into fault-list order."""
+        pool = self._ensure_pool(faults)
+        chunks = plan_chunks(
+            len(faults), self._workers, self._batch_width, self._oversplit
+        )
+        tasks = []
+        for chunk_id, (start, end) in enumerate(chunks):
+            indices = tuple(pool.index_of[fault] for fault in faults[start:end])
+            initial = (
+                initial_states[start:end] if initial_states is not None else None
+            )
+            tasks.append(
+                (
+                    chunk_id,
+                    indices,
+                    sequence,
+                    observation_plan,
+                    initial,
+                    collect_final_states,
+                )
+            )
+        times: list[int | None] = [None] * len(faults)
+        finals: list[int] = [0] * len(faults) if collect_final_states else []
+        for chunk_id, chunk_times, chunk_finals in pool.run_tasks(tasks):
+            start, end = chunks[chunk_id]
+            times[start:end] = chunk_times
+            if collect_final_states and chunk_finals is not None:
+                finals[start:end] = chunk_finals
+        if collect_final_states:
+            return times, finals
+        return times
+
+
+class ShardedFaultSimSession(FaultSimSession):
+    """A :class:`FaultSimSession` whose advances run on the shard pool.
+
+    Bookkeeping (good-machine state, per-fault packed states, detection
+    times) lives in the parent process exactly as in the serial session;
+    only the faulty-machine batches travel.  Once fault dropping shrinks
+    the remaining set below the sharding threshold, advances fall back to
+    the inherited serial path automatically.
+    """
+
+    def __init__(
+        self, simulator: ShardedFaultSimulator, faults: list[Fault]
+    ) -> None:
+        super().__init__(simulator, faults)
+        self._sharded = simulator
+        # Bind the pool to the full universe up front: every later peek /
+        # commit works on a subset, so chunks stay on the index path.
+        simulator._ensure_pool(faults)
+
+    def _advance(self, extension, commit):
+        faults = list(self._fault_states)
+        if len(extension) == 0 or not self._sharded.should_shard(len(faults)):
+            return super()._advance(extension, commit)
+        simulator = self._sharded
+        good = simulator._logic.run(extension, initial_state=self._good_state)
+        observation_plan = build_observation_plan(good)
+        initial = [self._fault_states[fault] for fault in faults]
+        outcome = simulator._run_sharded(
+            extension,
+            faults,
+            observation_plan,
+            initial_states=initial,
+            collect_final_states=commit,
+        )
+        if commit:
+            times, packed = outcome
+        else:
+            times, packed = outcome, None
+        detected: dict[Fault, int] = {}
+        final_states: dict[Fault, int] | None = {} if commit else None
+        for position, (fault, time) in enumerate(zip(faults, times)):
+            if time is not None:
+                detected[fault] = self._elapsed + time
+            elif commit and packed is not None and final_states is not None:
+                final_states[fault] = packed[position]
+        good_final = good.final_state if commit else None
+        return detected, final_states, good_final
+
+
+def make_fault_simulator(
+    circuit: Circuit | CompiledCircuit,
+    batch_width: int = DEFAULT_BATCH_WIDTH,
+    backend: str | SimBackend | None = None,
+    workers: int = 1,
+    min_shard_faults: int = SERIAL_FALLBACK_FAULTS,
+    oversplit: int = DEFAULT_OVERSPLIT,
+) -> FaultSimulator:
+    """The ``workers=`` seam used by every fault-simulation consumer.
+
+    ``workers <= 1`` returns the plain serial :class:`FaultSimulator`;
+    anything larger returns a :class:`ShardedFaultSimulator` (which still
+    runs small universes serially — see :data:`SERIAL_FALLBACK_FAULTS`).
+    ``workers=0`` / ``workers=None`` mean "one per CPU".
+    """
+    if workers is None or workers == 0:
+        workers = default_workers()
+    if workers <= 1:
+        return FaultSimulator(circuit, batch_width=batch_width, backend=backend)
+    return ShardedFaultSimulator(
+        circuit,
+        batch_width=batch_width,
+        backend=backend,
+        workers=workers,
+        min_shard_faults=min_shard_faults,
+        oversplit=oversplit,
+    )

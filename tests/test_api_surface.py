@@ -32,6 +32,15 @@ class TestPublicApi:
             load_circuit,
         )
 
+        entry_points = (
+            CircuitBuilder,
+            ExpansionConfig,
+            FaultSimulator,
+            LoadAndExpandScheme,
+            SelectionConfig,
+            TestSequence,
+        )
+        assert all(isinstance(obj, type) for obj in entry_points)
         assert callable(expand)
         assert callable(load_circuit)
 

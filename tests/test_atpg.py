@@ -18,7 +18,6 @@ from repro.atpg.random_gen import (
 )
 from repro.atpg.restoration import restoration_compact
 from repro.core.sequence import TestSequence
-from repro.faults.universe import FaultUniverse
 from repro.sim.compiled import CompiledCircuit
 from repro.sim.faultsim import FaultSimulator
 from repro.util.rng import SplitMix64

@@ -9,8 +9,6 @@ from repro.core.ops import ExpansionConfig, expand
 from repro.core.postprocess import statically_compact
 from repro.core.procedure1 import select_subsequences, simulate_t0
 from repro.core.procedure2 import build_subsequence_for_fault
-from repro.core.sequence import TestSequence
-from repro.faults.universe import FaultUniverse
 from repro.sim.compiled import CompiledCircuit
 from repro.sim.faultsim import FaultSimulator
 from repro.sim.seqsim import SequenceBatchSimulator

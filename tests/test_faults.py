@@ -8,7 +8,6 @@ from repro.circuit.builder import CircuitBuilder
 from repro.faults.collapse import collapse_faults
 from repro.faults.model import BRANCH, STEM, Fault, FaultSite
 from repro.faults.sites import enumerate_faults, enumerate_sites
-from repro.faults.universe import FaultUniverse
 
 
 class TestModel:

@@ -13,7 +13,7 @@ import pytest
 from repro.circuit.builder import CircuitBuilder
 from repro.circuit.types import GateType
 from repro.core.sequence import TestSequence
-from repro.faults.model import BRANCH, Fault, FaultSite
+from repro.faults.model import BRANCH
 from repro.faults.sites import enumerate_faults
 from repro.sim.faultsim import FaultSimulator
 from repro.sim.reference import ReferenceSimulator
