@@ -1,0 +1,271 @@
+"""Throughput benchmark of Procedure 2's candidate-detection pipeline.
+
+Measures **candidates per second** through
+:class:`~repro.sim.seqsim.SequenceBatchSimulator` on the two candidate
+shapes Procedure 2 produces:
+
+* **window search** — ``expand(T0[u, udet])`` for ``u = udet .. 0``
+  (phase 1's ``ustart`` scan);
+* **vector omission** — ``expand(T'.omit(i))`` for every position of a
+  selected window (phase 2's trials).
+
+Each workload runs on every backend, for both the **packed** pipeline
+(NumPy-packed candidate columns derived from the shared base, fused
+``detect_step``, full-width padded batches) and the preserved **legacy**
+pipeline (per-candidate Python repacking, per-PO observation, per-batch
+program compiles — the pre-packed-pipeline behavior), across a small
+batch-width axis.  Detection outcomes are asserted identical across every
+measured combination, so the bench doubles as a parity check.
+
+Two entry points:
+
+* ``python benchmarks/bench_seqsim.py [--smoke] [--output FILE]`` — the
+  standalone runner writing machine-readable ``BENCH_seqsim.json``.  CI
+  runs the smoke profile and gates on the committed baseline via
+  ``benchmarks/check_bench_regression.py`` (same >30% rule as the
+  fault-sim gate).
+* ``--min-packed-speedup X`` — additionally fail unless the packed
+  pipeline clears ``X`` times the legacy pipeline's throughput on the
+  numpy backend of *every* measured workload with at least 1000 gates
+  (the ISSUE-3 acceptance criterion: >=3x on a >=1k-gate circuit; both
+  ``syn5378`` and ``syn35932`` are gated in the full profile).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.circuits.catalog import load_circuit
+from repro.core.ops import ExpansionConfig
+from repro.core.sequence import TestSequence
+from repro.faults.universe import FaultUniverse
+from repro.sim.backend import available_backends
+from repro.sim.compiled import CompiledCircuit
+from repro.sim.faultsim import FaultSimulator
+from repro.sim.seqsim import SequenceBatchSimulator
+from repro.util.rng import SplitMix64
+
+from bench_faultsim import machine_block
+
+#: (circuit, T0 length, expansion repetitions n).  T0 lengths grow with
+#: the circuit so window searches produce realistically full batches.
+_SMOKE_WORKLOADS = [
+    ("syn298", 48, 2),
+    ("syn641", 48, 2),
+]
+_FULL_WORKLOADS = _SMOKE_WORKLOADS + [
+    ("syn1423", 64, 2),
+    ("syn5378", 96, 2),
+    # 16k gates: past the paired-axis auto crossover, where the numpy
+    # backend overtakes python on candidate throughput (the measurement
+    # behind AUTO_PAIRED_GATE_THRESHOLD).
+    ("syn35932", 24, 2),
+]
+
+#: Batch widths measured per backend: the big-int kernel near its sweet
+#: spot, the vectorized engine additionally at the wide batches it is for
+#: (the numpy-tuned SelectionConfig widths are 128/256).
+_WIDTH_AXIS = {
+    "python": (96,),
+    "numpy": (128, 256),
+}
+
+#: Pipelines measured (see :mod:`repro.sim.seqsim`).
+_PIPELINES = ("packed", "legacy")
+
+
+def _stimulus(circuit, length):
+    rng = SplitMix64(3025)
+    return TestSequence(
+        [
+            [rng.next_u64() & 1 for _ in range(circuit.num_inputs)]
+            for _ in range(length)
+        ]
+    )
+
+
+def _workload_plan(compiled, t0, targets):
+    """The fixed candidate workload: spans and omission bases per fault."""
+    plan = []
+    for fault, udet in targets:
+        spans = [(u, udet) for u in range(udet, -1, -1)]
+        base = t0.subsequence(max(0, udet - 31), udet)
+        omissions = list(range(len(base)))
+        plan.append((fault, spans, base, omissions))
+    return plan
+
+
+def _run_plan(simulator, plan, t0, expansion):
+    """Drive the full workload once; return (candidates, outcomes)."""
+    candidates = 0
+    outcomes = []
+    for fault, spans, base, omissions in plan:
+        outcomes.append(simulator.detects_windows(fault, t0, spans, expansion))
+        outcomes.append(
+            simulator.detects_omissions(fault, base, omissions, expansion)
+        )
+        candidates += len(spans) + len(omissions)
+    return candidates, outcomes
+
+
+def _measure(compiled, plan, t0, expansion, backend, pipeline, width, repeats=3):
+    simulator = SequenceBatchSimulator(
+        compiled, batch_width=width, backend=backend, pipeline=pipeline
+    )
+    best = float("inf")
+    candidates = 0
+    outcomes = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        candidates, outcomes = _run_plan(simulator, plan, t0, expansion)
+        best = min(best, time.perf_counter() - start)
+    return {
+        "backend": backend,
+        "pipeline": pipeline,
+        "batch_width": width,
+        "seconds": best,
+        "candidates": candidates,
+        "candidates_per_second": candidates / best if best else 0.0,
+    }, outcomes
+
+
+def run_profile(smoke: bool, targets_per_circuit: int = 2, progress=print) -> dict:
+    """Run every workload on every backend x pipeline x width."""
+    workloads = _SMOKE_WORKLOADS if smoke else _FULL_WORKLOADS
+    backends = available_backends()
+    report = {
+        "profile": "smoke" if smoke else "full",
+        "benchmark": "seqsim",
+        "machine": machine_block(),
+        "backends": backends,
+        "pipelines": list(_PIPELINES),
+        "workloads": [],
+    }
+    for name, t0_len, repetitions in workloads:
+        expansion = ExpansionConfig(repetitions=repetitions)
+        compiled = CompiledCircuit(load_circuit(name))
+        universe = FaultUniverse(compiled.circuit)
+        t0 = _stimulus(compiled.circuit, t0_len)
+        baseline = FaultSimulator(compiled).run(t0, list(universe.faults()))
+        detection = baseline.detection_time
+        # The hardest detected faults give the longest (most realistic)
+        # window searches, mirroring Procedure 1's target order.
+        targets = sorted(
+            detection.items(), key=lambda item: (-item[1], str(item[0]))
+        )[:targets_per_circuit]
+        if not targets:
+            raise AssertionError(f"{name}: stimulus detects no faults")
+        plan = _workload_plan(compiled, t0, targets)
+        entry = {
+            "circuit": name,
+            "gates": len(compiled.ops),
+            "t0_length": t0_len,
+            "repetitions": repetitions,
+            "target_udets": [udet for _, udet in targets],
+            "results": {},
+        }
+        reference_outcomes = None
+        for backend in backends:
+            entry["results"][backend] = {}
+            for pipeline in _PIPELINES:
+                for width in _WIDTH_AXIS.get(backend, (96,)):
+                    measured, outcomes = _measure(
+                        compiled, plan, t0, expansion, backend, pipeline, width
+                    )
+                    if reference_outcomes is None:
+                        reference_outcomes = outcomes
+                    elif outcomes != reference_outcomes:
+                        raise AssertionError(
+                            f"{name}: {backend}/{pipeline}/w{width} outcomes "
+                            "diverge — parity violated"
+                        )
+                    label = f"{pipeline}-w{width}"
+                    entry["results"][backend][label] = measured
+                    progress(
+                        f"[{name}] {backend:>6}/{pipeline:<6} width={width:<4}"
+                        f" {measured['seconds']:.3f}s  "
+                        f"{measured['candidates_per_second']:.0f} cand/s"
+                    )
+            by_label = entry["results"][backend]
+            speedups = [
+                by_label[f"packed-w{width}"]["candidates_per_second"]
+                / by_label[f"legacy-w{width}"]["candidates_per_second"]
+                for width in _WIDTH_AXIS.get(backend, (96,))
+                if by_label.get(f"legacy-w{width}", {}).get(
+                    "candidates_per_second"
+                )
+            ]
+            if speedups:
+                best = max(speedups)
+                entry[f"{backend}_packed_speedup"] = best
+                progress(
+                    f"[{name}] {backend} packed-vs-legacy speedup: {best:.2f}x"
+                )
+        report["workloads"].append(entry)
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Procedure-2 candidate-detection throughput benchmark"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small circuits only (CI regression signal)",
+    )
+    parser.add_argument(
+        "--targets",
+        type=int,
+        default=2,
+        help="target faults per circuit (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_seqsim.json",
+        help="where to write the JSON report",
+    )
+    parser.add_argument(
+        "--min-packed-speedup",
+        type=float,
+        default=None,
+        help=(
+            "fail unless the packed pipeline reaches this multiple of the "
+            "legacy pipeline's throughput on the numpy backend of every "
+            "measured workload with >= 1000 gates"
+        ),
+    )
+    args = parser.parse_args(argv)
+    report = run_profile(smoke=args.smoke, targets_per_circuit=args.targets)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"report written to {args.output}")
+    if args.min_packed_speedup is not None:
+        gated = [w for w in report["workloads"] if w["gates"] >= 1000]
+        if not gated:
+            print(
+                "no workload with >= 1000 gates measured; "
+                "--min-packed-speedup requires the full profile"
+            )
+            return 1
+        failed = False
+        for workload in gated:
+            speedup = workload.get("numpy_packed_speedup", 0.0)
+            ok = speedup >= args.min_packed_speedup
+            failed = failed or not ok
+            print(
+                f"{workload['circuit']} ({workload['gates']} gates): packed "
+                f"speedup {speedup:.2f}x (target >= "
+                f"{args.min_packed_speedup}x) {'ok' if ok else 'FAIL'}"
+            )
+        if failed:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,4 +1,4 @@
-"""CI gate: compare a fresh fault-sim benchmark report against a baseline.
+"""CI gate: compare a fresh benchmark report against a committed baseline.
 
 Usage::
 
@@ -7,11 +7,15 @@ Usage::
         --candidate BENCH_faultsim.fresh.json \
         [--tolerance 0.30]
 
-Walks every ``(circuit, backend, workers)`` measurement present in *both*
-reports and fails (exit 1) when the candidate's throughput
-(``gate_evals_per_second``) drops more than ``tolerance`` below the
-baseline's.  Faster-than-baseline results always pass — the gate guards
-against regressions, not improvements.
+Works on any report following the shared benchmark JSON shape
+(``workloads[] -> results[backend][axis] -> measurement``): both
+``bench_faultsim.py`` (throughput key ``gate_evals_per_second``, axis =
+worker count) and ``bench_seqsim.py`` (throughput key
+``candidates_per_second``, axis = pipeline/batch-width label).  Walks
+every ``(circuit, backend, axis)`` measurement present in *both* reports
+and fails (exit 1) when the candidate's throughput drops more than
+``tolerance`` below the baseline's.  Faster-than-baseline results always
+pass — the gate guards against regressions, not improvements.
 
 Baselines are machine-relative: both reports carry a ``machine`` block
 (CPU count, Python version, platform), which is printed side by side so a
@@ -30,23 +34,35 @@ import sys
 #: Fail when candidate throughput is below baseline * (1 - TOLERANCE).
 DEFAULT_TOLERANCE = 0.30
 
+#: Throughput keys, by report flavor (fault-sim, seqsim).  A measurement
+#: carries exactly one of these.
+_RATE_KEYS = ("gate_evals_per_second", "candidates_per_second")
+
 
 def _load(path: str) -> dict:
     with open(path, encoding="utf-8") as handle:
         return json.load(handle)
 
 
+def _rate(measured: dict) -> float:
+    """The measurement's throughput, whichever flavor it is."""
+    for key in _RATE_KEYS:
+        if key in measured:
+            return measured[key]
+    raise KeyError(f"no throughput key in measurement: {sorted(measured)}")
+
+
 def _measurements(report: dict) -> dict[tuple[str, str, str], dict]:
-    """Flatten a report into {(circuit, backend, workers): measurement}."""
+    """Flatten a report into {(circuit, backend, axis): measurement}."""
     flat: dict[tuple[str, str, str], dict] = {}
     for workload in report.get("workloads", []):
         circuit = workload["circuit"]
-        for backend, by_workers in workload.get("results", {}).items():
+        for backend, by_axis in workload.get("results", {}).items():
             # Pre-workers-axis reports stored one measurement per backend.
-            if "gate_evals_per_second" in by_workers:
-                by_workers = {"1": by_workers}
-            for workers, measured in by_workers.items():
-                flat[(circuit, backend, workers)] = measured
+            if any(key in by_axis for key in _RATE_KEYS):
+                by_axis = {"1": by_axis}
+            for axis, measured in by_axis.items():
+                flat[(circuit, backend, axis)] = measured
     return flat
 
 
@@ -68,36 +84,36 @@ def compare(
     progress(_describe_machine("baseline ", baseline))
     progress(_describe_machine("candidate", candidate))
     progress(
-        f"{'circuit':>10} {'backend':>7} {'w':>3} {'baseline':>12} "
+        f"{'circuit':>10} {'backend':>7} {'axis':>12} {'baseline':>12} "
         f"{'candidate':>12} {'ratio':>6}  status"
     )
     regressions: list[tuple[str, str, str]] = []
     for key in sorted(base):
-        circuit, backend, workers = key
-        base_rate = base[key]["gate_evals_per_second"]
+        circuit, backend, axis = key
+        base_rate = _rate(base[key])
         if key not in cand:
             progress(
-                f"{circuit:>10} {backend:>7} {workers:>3} "
-                f"{base_rate / 1e6:>10.1f}M {'—':>12} {'—':>6}  "
+                f"{circuit:>10} {backend:>7} {axis:>12} "
+                f"{base_rate:>12.3g} {'—':>12} {'—':>6}  "
                 "missing from candidate (skipped)"
             )
             continue
-        cand_rate = cand[key]["gate_evals_per_second"]
+        cand_rate = _rate(cand[key])
         ratio = cand_rate / base_rate if base_rate else float("inf")
         regressed = ratio < (1.0 - tolerance)
         status = "REGRESSED" if regressed else "ok"
         progress(
-            f"{circuit:>10} {backend:>7} {workers:>3} "
-            f"{base_rate / 1e6:>10.1f}M {cand_rate / 1e6:>10.1f}M "
+            f"{circuit:>10} {backend:>7} {axis:>12} "
+            f"{base_rate:>12.3g} {cand_rate:>12.3g} "
             f"{ratio:>5.2f}x  {status}"
         )
         if regressed:
             regressions.append(key)
     for key in sorted(set(cand) - set(base)):
-        circuit, backend, workers = key
+        circuit, backend, axis = key
         progress(
-            f"{circuit:>10} {backend:>7} {workers:>3} {'—':>12} "
-            f"{cand[key]['gate_evals_per_second'] / 1e6:>10.1f}M {'—':>6}  "
+            f"{circuit:>10} {backend:>7} {axis:>12} {'—':>12} "
+            f"{_rate(cand[key]):>12.3g} {'—':>6}  "
             "new measurement (not gated)"
         )
     return regressions
@@ -118,7 +134,17 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if not 0.0 <= args.tolerance < 1.0:
         parser.error(f"tolerance must be in [0, 1), got {args.tolerance}")
-    regressions = compare(_load(args.baseline), _load(args.candidate), args.tolerance)
+    baseline = _load(args.baseline)
+    candidate = _load(args.candidate)
+    if not set(_measurements(baseline)) & set(_measurements(candidate)):
+        # A gate that compares nothing passes nothing: mismatched report
+        # flavors or renamed axes must fail loudly, not exit 0.
+        print(
+            "FAIL: baseline and candidate share no measurement keys — "
+            "wrong report pairing or renamed circuits/backends/axes?"
+        )
+        return 1
+    regressions = compare(baseline, candidate, args.tolerance)
     if regressions:
         print(
             f"FAIL: {len(regressions)} measurement(s) regressed more than "

@@ -34,7 +34,8 @@ class AtpgConfig:
             (try-delete-resimulate; thorough but quadratic).
         compaction_rounds: max full scan rounds of the omission compactor.
         backend: simulation backend name (see
-            :func:`repro.sim.backend.available_backends`).
+            :func:`repro.sim.backend.available_backends`), or ``"auto"``
+            to pick python vs numpy per circuit size and batch width.
         workers: worker processes for parallel-fault simulation (see
             :mod:`repro.sim.sharding`); ``1`` is serial, ``0`` means one
             per CPU.  Never changes results, only throughput.

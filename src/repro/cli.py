@@ -23,7 +23,7 @@ from repro.core.ops import ExpansionConfig
 from repro.core.scheme import LoadAndExpandScheme
 from repro.harness.figures import render_figure1
 from repro.harness.runner import run_suite
-from repro.sim.backend import DEFAULT_BACKEND, available_backends
+from repro.sim.backend import AUTO_BACKEND, DEFAULT_BACKEND, available_backends
 from repro.util.text import format_table
 
 
@@ -175,12 +175,13 @@ def build_parser() -> argparse.ArgumentParser:
     def add_backend_flag(command: argparse.ArgumentParser) -> None:
         command.add_argument(
             "--backend",
-            choices=available_backends(),
+            choices=available_backends() + [AUTO_BACKEND],
             default=DEFAULT_BACKEND,
             help=(
                 "simulation backend (results are identical across "
                 "backends; 'numpy' is the vectorized engine, fastest on "
-                "large circuits with wide batches)"
+                "large circuits with wide batches; 'auto' picks python "
+                "vs numpy per circuit size and batch width)"
             ),
         )
         command.add_argument(

@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.ops import ExpansionConfig
-from repro.sim.backend import DEFAULT_BACKEND
+from repro.sim.backend import AUTO_BACKEND, DEFAULT_BACKEND, available_backends
 
 #: Batch widths tuned per backend: (search, omission, fault).  The big-int
 #: kernel peaks near a couple hundred slots; the vectorized numpy engine
@@ -35,8 +35,10 @@ class SelectionConfig:
         skip_omission: disable the vector-omission phase of Procedure 2
             (ablation switch; the paper always runs it).
         backend: simulation backend name (see
-            :func:`repro.sim.backend.available_backends`); detection
-            results are bit-identical across backends, only speed differs.
+            :func:`repro.sim.backend.available_backends`), or ``"auto"``
+            to pick python vs numpy per circuit size and batch width;
+            detection results are bit-identical across backends, only
+            speed differs.
         workers: worker processes for parallel-fault simulation (see
             :mod:`repro.sim.sharding`); ``1`` is serial, ``0`` means one
             per CPU.  Like backends and batch widths, worker counts never
@@ -74,10 +76,19 @@ class SelectionConfig:
         """A config with batch widths tuned to ``backend``.
 
         Detection results are identical for any widths; this only picks
-        the throughput sweet spot of the selected engine.
+        the throughput sweet spot of the selected engine.  For
+        ``backend="auto"`` the widths follow the best engine the adaptive
+        selector could resolve to (``numpy`` when importable) and act as
+        *caps*: each simulator resolves python vs numpy from its circuit
+        and axis, and clamps the width back to the big-int sweet spot
+        whenever python wins (see
+        :func:`repro.sim.backend.resolve_auto`).
         """
+        width_key = backend
+        if backend == AUTO_BACKEND:
+            width_key = "numpy" if "numpy" in available_backends() else "python"
         search, omission, fault = _BACKEND_BATCH_WIDTHS.get(
-            backend, _BACKEND_BATCH_WIDTHS[DEFAULT_BACKEND]
+            width_key, _BACKEND_BATCH_WIDTHS[DEFAULT_BACKEND]
         )
         return cls(
             expansion=expansion or ExpansionConfig(),

@@ -16,7 +16,15 @@ Given a fault ``f`` detected by ``T0`` at time ``udet(f)``:
 Both phases batch their candidate sequences through
 :class:`~repro.sim.seqsim.SequenceBatchSimulator`; a batch of ``W``
 candidates costs about as much as simulating only the longest one, which
-is what makes this pure-Python reproduction feasible.
+is what makes this pure-Python reproduction feasible.  Candidates are
+*described*, not materialized: windows go through
+:meth:`~repro.sim.seqsim.SequenceBatchSimulator.detects_windows` and
+omission trials through
+:meth:`~repro.sim.seqsim.SequenceBatchSimulator.detects_omissions`, so
+the simulator derives every expanded candidate's packed input columns
+from one shared packing of the base sequence (see
+:mod:`repro.sim.seqsim`) instead of re-packing ``8 n |T'|`` vectors per
+candidate.
 """
 
 from __future__ import annotations
@@ -24,7 +32,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.config import SelectionConfig
-from repro.core.ops import expand
 from repro.core.sequence import TestSequence
 from repro.errors import SelectionError
 from repro.faults.model import Fault
@@ -74,10 +81,10 @@ def build_subsequence_for_fault(
         batch_starts = list(
             range(next_u, max(-1, next_u - config.search_batch_width), -1)
         )
-        windows = [t0.subsequence(u, udet) for u in batch_starts]
-        expanded = [expand(window, expansion) for window in windows]
-        outcomes = simulator.detects(fault, expanded)
-        candidates_simulated += len(expanded)
+        outcomes = simulator.detects_windows(
+            fault, t0, [(u, udet) for u in batch_starts], expansion
+        )
+        candidates_simulated += len(batch_starts)
         for u, detected in zip(batch_starts, outcomes):
             if detected:
                 ustart = u
@@ -105,11 +112,10 @@ def build_subsequence_for_fault(
             accepted_index: int | None = None
             for start in range(0, len(order), config.omission_batch_width):
                 chunk = order[start : start + config.omission_batch_width]
-                candidates = [
-                    expand(subsequence.omit(index), expansion) for index in chunk
-                ]
-                outcomes = simulator.detects(fault, candidates)
-                candidates_simulated += len(candidates)
+                outcomes = simulator.detects_omissions(
+                    fault, subsequence, chunk, expansion
+                )
+                candidates_simulated += len(chunk)
                 for index, detected in zip(chunk, outcomes):
                     if detected:
                         accepted_index = index

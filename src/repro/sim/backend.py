@@ -48,6 +48,28 @@ from repro.sim.compiled import CompiledCircuit
 #: Default backend used when a consumer does not select one explicitly.
 DEFAULT_BACKEND = "python"
 
+#: Selector name for adaptive per-circuit/per-batch backend resolution.
+AUTO_BACKEND = "auto"
+
+#: ``backend="auto"`` picks the vectorized engine at or above this gate
+#: count; below it the big-int kernel's lower per-pass overhead wins.
+AUTO_GATE_THRESHOLD = 1000
+
+#: Crossover for the *paired-batch* candidate axis
+#: (:class:`~repro.sim.seqsim.SequenceBatchSimulator`).  It runs two
+#: machines per slot at moderate widths and is dispatch-bound on the
+#: vectorized engine, so numpy only wins on much larger circuits than on
+#: the fault axis (`benchmarks/bench_seqsim.py`: python leads through
+#: syn5378's 2.8k gates, numpy leads at syn35932's 16k).
+AUTO_PAIRED_GATE_THRESHOLD = 8000
+
+#: Batch widths ``"auto"`` clamps to when it resolves the big-int kernel:
+#: python throughput peaks near these slot counts (fault axis / paired
+#: candidate axis), so an auto consumer handed numpy-tuned wide batches
+#: narrows them instead of dragging huge ints past the sweet spot.
+AUTO_PYTHON_FAULT_WIDTH = 192
+AUTO_PYTHON_PAIRED_WIDTH = 96
+
 #: Max entries kept in each backend's per-fault-batch program cache.
 PROGRAM_CACHE_SIZE = 256
 
@@ -133,6 +155,22 @@ class SimBatch(ABC):
     @abstractmethod
     def load_inputs_packed(self, ones: Sequence[int], zeros: Sequence[int]) -> None:
         """Drive each PI with per-slot values given as (ones, zeros) masks."""
+
+    def load_inputs_words(self, ones_words, zeros_words) -> None:
+        """Drive each PI from ``(num_pis, words)`` little-endian ``uint64``
+        matrices (row ``p`` packs PI ``p``'s per-slot values, 64 slots per
+        word).
+
+        This is the zero-copy ingestion path for NumPy-packed candidate
+        columns (:mod:`repro.sim.seqsim`).  The default converts each row
+        back to a Python-int mask and defers to
+        :meth:`load_inputs_packed`; array-native backends override it with
+        a direct scatter.
+        """
+        self.load_inputs_packed(
+            [int.from_bytes(row.tobytes(), "little") for row in ones_words],
+            [int.from_bytes(row.tobytes(), "little") for row in zeros_words],
+        )
 
     @abstractmethod
     def load_state(self) -> None:
@@ -260,6 +298,30 @@ class SimBackend(ABC):
     def batch(self, program: SimProgram, batch_size: int) -> SimBatch:
         """Open a fresh batch of ``batch_size`` all-X machines."""
 
+    def detect_step(self, good: SimBatch, faulty: SimBatch, alive_mask: int) -> int:
+        """Paired-batch detection: slots where ``faulty`` contradicts ``good``.
+
+        Both batches must have been evaluated for the same time step with
+        identical per-slot inputs; slot ``s`` of ``good`` runs the
+        fault-free machine of candidate ``s`` and slot ``s`` of ``faulty``
+        the faulted one.  A slot detects when some PO is binary in both
+        machines with opposite values — ``(Hg & Lf) | (Lg & Hf)`` per PO,
+        OR-reduced across all POs — masked by ``alive_mask`` (slots whose
+        candidate sequence still covers this time step).
+
+        This default walks :meth:`SimBatch.observe_po` per PO and is the
+        semantic reference; backends override it with a fused pass over
+        all POs at once.
+        """
+        if alive_mask == 0:
+            return 0
+        detected = 0
+        for position in range(len(self._compiled.po_indices)):
+            gh, gl = good.observe_po(position)
+            fh, fl = faulty.observe_po(position)
+            detected |= (gh & fl) | (gl & fh)
+        return detected & alive_mask
+
 
 # ----------------------------------------------------------------------
 # Registry
@@ -301,16 +363,75 @@ def available_backends() -> list[str]:
     return names
 
 
+def resolve_backend_name(
+    compiled: CompiledCircuit,
+    backend: str | None,
+    paired: bool = False,
+) -> str:
+    """Resolve a backend *name* selector, expanding :data:`AUTO_BACKEND`.
+
+    ``"auto"`` picks the engine the benchmarks show fastest for this
+    circuit, per axis.  Fault axis (one machine per slot): ``numpy``
+    (when importable) at or above :data:`AUTO_GATE_THRESHOLD` gates,
+    ``python`` otherwise.  With ``paired=True`` (the candidate axis,
+    which runs a good and a faulty machine per slot): ``numpy`` only at
+    or above :data:`AUTO_PAIRED_GATE_THRESHOLD` gates.  The choice is
+    deterministic in ``(circuit, paired)``, so sharded workers resolving
+    independently agree with their parent.  Results are bit-identical
+    either way; only throughput differs.
+    """
+    name = backend or DEFAULT_BACKEND
+    if name != AUTO_BACKEND:
+        return name
+    try:
+        _load_numpy_backend()
+    except SimulationError:
+        return "python"
+    threshold = AUTO_PAIRED_GATE_THRESHOLD if paired else AUTO_GATE_THRESHOLD
+    return "numpy" if len(compiled.ops) >= threshold else "python"
+
+
+def resolve_auto(
+    compiled: CompiledCircuit,
+    backend: "str | SimBackend | None",
+    batch_width: int,
+    paired: bool = False,
+) -> "tuple[str | SimBackend | None, int]":
+    """Adaptive backend *and batch width* resolution for a simulator.
+
+    Non-``"auto"`` selectors (names, instances, ``None``) pass through
+    with the requested width untouched.  ``"auto"`` resolves the engine
+    via :func:`resolve_backend_name` and, when that lands on the big-int
+    kernel, clamps the batch width down to the kernel's measured sweet
+    spot (:data:`AUTO_PYTHON_FAULT_WIDTH` /
+    :data:`AUTO_PYTHON_PAIRED_WIDTH`) — batch widths never change
+    results, so an auto consumer configured with numpy-tuned wide
+    batches gets the python-tuned shape instead of oversized ints.
+    """
+    if not isinstance(backend, str) or backend != AUTO_BACKEND:
+        return backend, batch_width
+    name = resolve_backend_name(compiled, backend, paired)
+    if name == "python":
+        sweet_spot = (
+            AUTO_PYTHON_PAIRED_WIDTH if paired else AUTO_PYTHON_FAULT_WIDTH
+        )
+        batch_width = min(batch_width, sweet_spot) if batch_width > 0 else batch_width
+    return name, batch_width
+
+
 def get_backend(
-    compiled: CompiledCircuit, backend: "str | SimBackend | None" = None
+    compiled: CompiledCircuit,
+    backend: "str | SimBackend | None" = None,
 ) -> SimBackend:
     """Resolve a ``backend=`` selector against a compiled circuit.
 
-    Accepts a registry name, an existing :class:`SimBackend` instance
-    (which must be bound to the same compiled circuit), or ``None`` for
-    :data:`DEFAULT_BACKEND`.  Instances are memoized on the compiled
-    circuit so every consumer of the same circuit shares one backend —
-    and therefore one program cache.
+    Accepts a registry name (including ``"auto"``, resolved by gate count
+    via :func:`resolve_backend_name`; batch-shape-aware consumers go
+    through :func:`resolve_auto` first), an existing :class:`SimBackend`
+    instance (which must be bound to the same compiled circuit), or
+    ``None`` for :data:`DEFAULT_BACKEND`.  Instances are memoized on the
+    compiled circuit so every consumer of the same circuit shares one
+    backend — and therefore one program cache.
     """
     if isinstance(backend, SimBackend):
         if backend.compiled is not compiled:
@@ -318,7 +439,7 @@ def get_backend(
                 "backend instance is bound to a different compiled circuit"
             )
         return backend
-    name = backend or DEFAULT_BACKEND
+    name = resolve_backend_name(compiled, backend)
     loader = _REGISTRY.get(name)
     if loader is None:
         raise SimulationError(

@@ -10,21 +10,28 @@ Storage
 
 Schedule
     The circuit is levelized once per backend (level of a gate = 1 + max
-    level of its inputs; PIs and flop outputs are level 0).  Within a
-    level no gate reads another's output, so evaluation order inside a
-    level is free, and gates are fused into a handful of vectorized passes
-    per level:
+    level of its inputs; PIs and flop outputs are level 0), and the levels
+    are then fused into *slots*: a small level whose outputs are not read
+    by the next level's fan-in is deferred and merged into a later slot,
+    so thin schedule tails collapse into fewer, wider passes (see
+    :meth:`NumpyBackend._levelize`).  Within a slot no gate reads
+    another's output, so evaluation order inside a slot is free, and gates
+    are fused into a handful of vectorized passes per slot:
 
     * **and-family** — AND, OR, NAND and NOR all normalize to
       ``X = V[i...] & ...``, ``Y = V[j...] | ...`` with input and output
       inversions folded into the gathered row indices (De Morgan as index
       arithmetic); NOT and BUF are the arity-1 degenerate cases.  One pass
-      per level per arity covers all six opcodes.
+      per slot per arity covers all six opcodes.
     * **xor-family** — XOR and XNOR share one muxing pass, with XNOR's
       output inversion folded into its scatter indices.
 
     Gathers go through ``ndarray.take(..., out=...)`` into preallocated
-    scratch buffers, so the hot loop does almost no allocation.
+    scratch buffers, so the hot loop does almost no allocation.  Batches
+    that fit a single ``uint64`` word (``words == 1``) run the same passes
+    over 1-D views of the rails, skipping the 2-D gather/scatter
+    machinery's per-call overhead — the shape Procedure 2's narrow
+    omission batches produce.
 
 Fault injection
     A compiled program keeps the static schedule untouched and adds
@@ -78,6 +85,13 @@ _PASS_MASK_ROWS = 2
 #: Same-arity groups at least this large keep their own pass; smaller
 #: groups of a level merge into one padded mixed-arity pass.
 _MIN_UNIFORM_GROUP = 48
+
+#: Levels with at most this many gates are deferred and fused into a
+#: later slot when the next level's fan-in allows (i.e. does not read any
+#: deferred output).  Deep circuits taper into long chains of tiny
+#: levels; fusing them cuts per-pass numpy dispatch overhead without
+#: changing evaluation semantics.
+_FUSE_DEFER_MAX = 32
 
 #: Opcodes that normalize into the and-family pass (NOT/BUF are the
 #: arity-1 cases of NOR/AND respectively).
@@ -182,6 +196,18 @@ class NumpyBatch(SimBatch):
         self._buf = [
             np.empty((scratch, words), dtype=np.uint64) for _ in range(4)
         ]
+        # Single-word specialization: with words == 1 the rails are a
+        # plain vector, so every pass runs on 1-D views of the rails and
+        # scratch buffers (and slices the (g, 1) patch matrices down to
+        # vectors), skipping the 2-D machinery's per-call shape handling.
+        if words == 1:
+            self._rails = self._V.reshape(-1)
+            self._scratch = [buffer.reshape(-1) for buffer in self._buf]
+            self._mask_apply = _apply_pin_mask_1d
+        else:
+            self._rails = self._V
+            self._scratch = self._buf
+            self._mask_apply = _apply_pin_mask
         npi = len(backend.pi_h_rows)
         self._pi_rows_h = np.zeros((npi, words), dtype=np.uint64)
         self._pi_rows_l = np.zeros((npi, words), dtype=np.uint64)
@@ -211,6 +237,13 @@ class NumpyBatch(SimBatch):
         self._V[backend.pi_h_rows] = _masks_to_matrix(ones, self._words)
         self._V[backend.pi_l_rows] = _masks_to_matrix(zeros, self._words)
 
+    def load_inputs_words(self, ones_words, zeros_words) -> None:
+        # Native ingestion of pre-packed (num_pis, words) uint64 columns:
+        # one fancy-index scatter per rail, no Python-int round trip.
+        backend = self._backend
+        self._V[backend.pi_h_rows] = ones_words
+        self._V[backend.pi_l_rows] = zeros_words
+
     def load_state(self) -> None:
         backend = self._backend
         self._V[backend.q_h_rows] = self._SH
@@ -224,40 +257,47 @@ class NumpyBatch(SimBatch):
     # Evaluation
     # ------------------------------------------------------------------
     def eval(self) -> None:
+        run_pass = self._run_pass
         fixups_by_level = self._program.fixups_by_level
         if not fixups_by_level:
             for passes in self._backend.level_passes:
                 for entry in passes:
-                    self._run_pass(entry)
+                    run_pass(entry)
             return
-        for level, passes in enumerate(self._backend.level_passes, start=1):
+        for slot, passes in enumerate(self._backend.level_passes):
             for entry in passes:
-                self._run_pass(entry)
-            for entry in fixups_by_level.get(level, ()):
-                self._run_pass(entry)
+                run_pass(entry)
+            for entry in fixups_by_level.get(slot, ()):
+                run_pass(entry)
 
     def _run_pass(self, entry: tuple) -> None:
-        V = self._V
-        buf0, buf1, buf2, buf3 = self._buf
+        # `_rails`/`_scratch`/`_mask_apply` are the 2-D arrays for
+        # multi-word batches and their 1-D views for words == 1 (where
+        # the patch matrices are also sliced down to vectors); the pass
+        # bodies are shape-agnostic (`take(..., axis=0)` on a 1-D array
+        # gathers elements).
+        V = self._rails
+        buf0, buf1, buf2, buf3 = self._scratch
+        apply_mask = self._mask_apply
         kind = entry[0]
         if kind == _PASS_AND_FAMILY:
             _, cols_and, masks_and, out_and, cols_or, masks_or, out_or = entry
             g = len(out_and)
             acc_and = V.take(cols_and[0], axis=0, out=buf0[:g])
             if masks_and[0] is not None:
-                _apply_pin_mask(acc_and, masks_and[0])
+                apply_mask(acc_and, masks_and[0])
             for col, mask in zip(cols_and[1:], masks_and[1:]):
                 operand = V.take(col, axis=0, out=buf1[:g])
                 if mask is not None:
-                    _apply_pin_mask(operand, mask)
+                    apply_mask(operand, mask)
                 np.bitwise_and(acc_and, operand, out=acc_and)
             acc_or = V.take(cols_or[0], axis=0, out=buf2[:g])
             if masks_or[0] is not None:
-                _apply_pin_mask(acc_or, masks_or[0])
+                apply_mask(acc_or, masks_or[0])
             for col, mask in zip(cols_or[1:], masks_or[1:]):
                 operand = V.take(col, axis=0, out=buf3[:g])
                 if mask is not None:
-                    _apply_pin_mask(operand, mask)
+                    apply_mask(operand, mask)
                 np.bitwise_or(acc_or, operand, out=acc_or)
             V[out_and] = acc_and
             V[out_or] = acc_or
@@ -266,19 +306,19 @@ class NumpyBatch(SimBatch):
             g = len(out_h)
             h = V.take(h_cols[0], axis=0, out=buf0[:g])
             if h_masks[0] is not None:
-                _apply_pin_mask(h, h_masks[0])
+                apply_mask(h, h_masks[0])
             l = V.take(l_cols[0], axis=0, out=buf1[:g])
             if l_masks[0] is not None:
-                _apply_pin_mask(l, l_masks[0])
+                apply_mask(l, l_masks[0])
             for h_col, h_mask, l_col, l_mask in zip(
                 h_cols[1:], h_masks[1:], l_cols[1:], l_masks[1:]
             ):
                 hk = V.take(h_col, axis=0, out=buf2[:g])
                 if h_mask is not None:
-                    _apply_pin_mask(hk, h_mask)
+                    apply_mask(hk, h_mask)
                 lk = V.take(l_col, axis=0, out=buf3[:g])
                 if l_mask is not None:
-                    _apply_pin_mask(lk, l_mask)
+                    apply_mask(lk, l_mask)
                 h, l = (h & lk) | (l & hk), (h & hk) | (l & lk)
             V[out_h] = h
             V[out_l] = l
@@ -286,12 +326,11 @@ class NumpyBatch(SimBatch):
             self._run_mask_rows(entry)
 
     def _run_mask_rows(self, entry: tuple) -> None:
-        V = self._V
+        V = self._rails
         _, rows, force, keep = entry
         g = len(rows)
-        values = V.take(rows, axis=0, out=self._buf[0][:g])
-        np.bitwise_or(values, force, out=values)
-        np.bitwise_and(values, keep, out=values)
+        values = V.take(rows, axis=0, out=self._scratch[0][:g])
+        self._mask_apply(values, (force, keep))
         V[rows] = values
 
     # ------------------------------------------------------------------
@@ -377,7 +416,7 @@ class NumpyBackend(SimBackend):
     name = "numpy"
     word_width = WORD_BITS
 
-    def __init__(self, compiled) -> None:
+    def __init__(self, compiled, fuse_levels: bool = True) -> None:
         super().__init__(compiled)
         pi_idx = np.asarray(compiled.pi_indices, dtype=np.intp)
         self.pi_h_rows = 2 * pi_idx
@@ -388,30 +427,73 @@ class NumpyBackend(SimBackend):
         self.q_l_rows = 2 * q_idx + 1
         self.d_h_rows = 2 * d_idx
         self.d_l_rows = 2 * d_idx + 1
-        self.op_level: list[int] = []
+        po_idx = np.asarray(compiled.po_indices, dtype=np.intp)
+        self.po_h_rows = 2 * po_idx
+        self.po_l_rows = 2 * po_idx + 1
+        self.fuse_levels = fuse_levels
+        #: Emission slot of each op: its value is final once the slot's
+        #: static passes have run, and nothing emitted at or before that
+        #: slot reads it.  Patched re-evaluations key on this.
+        self.op_slot: list[int] = [0] * len(compiled.ops)
         self.level_passes: list[list[tuple]] = []
         self.max_group = 0
-        self._signal_level: dict[int, int] = {}
+        self._signal_slot: dict[int, int] = {}
         self._levelize()
 
     # ------------------------------------------------------------------
     # Static schedule
     # ------------------------------------------------------------------
     def _levelize(self) -> None:
+        """Levelize the ops, fuse small adjacent levels into shared slots.
+
+        Classic ASAP levels first.  Then levels are emitted as *slots*
+        (the unit :meth:`NumpyBatch.eval` iterates): a level of at most
+        :data:`_FUSE_DEFER_MAX` gates is not emitted immediately but
+        deferred into the next level's pool — legal because within one
+        slot no gate may read another's output, and a deferred gate's
+        output is, by construction, read only by gates that have not been
+        emitted yet.  When a later level *does* read a deferred output
+        ("fan-in disallows"), the pending gates it reads are flushed into
+        their own slot first, preserving producer-before-consumer order.
+        The net effect is that thin schedule tails collapse into fewer,
+        wider fused passes.
+        """
         compiled = self._compiled
+        ops = compiled.ops
         level = [0] * compiled.num_signals
         by_level: dict[int, list[int]] = {}
-        for position, (_, out, ins) in enumerate(compiled.ops):
+        for position, (_, out, ins) in enumerate(ops):
             lvl = 1 + max(level[k] for k in ins)
             level[out] = lvl
-            self.op_level.append(lvl)
-            self._signal_level[out] = lvl
             by_level.setdefault(lvl, []).append(position)
-        for lvl in range(1, max(by_level, default=0) + 1):
-            passes = self._build_passes(
-                [(position, None) for position in by_level.get(lvl, [])]
+        depth = max(by_level, default=0)
+
+        slots: list[list[int]] = []
+        pending: list[int] = []
+        for lvl in range(1, depth + 1):
+            level_ops = by_level.get(lvl, [])
+            if pending:
+                reads = {k for p in level_ops for k in ops[p][2]}
+                forced = [p for p in pending if ops[p][1] in reads]
+                if forced:
+                    slots.append(forced)
+                    pending = [p for p in pending if ops[p][1] not in reads]
+            pool = pending + level_ops
+            if self.fuse_levels and lvl < depth and len(pool) <= _FUSE_DEFER_MAX:
+                pending = pool
+                continue
+            slots.append(pool)
+            pending = []
+        if pending:
+            slots.append(pending)
+
+        for slot, pool in enumerate(slots):
+            for position in pool:
+                self.op_slot[position] = slot
+                self._signal_slot[ops[position][1]] = slot
+            self.level_passes.append(
+                self._build_passes([(position, None) for position in pool])
             )
-            self.level_passes.append(passes)
 
     def _build_passes(
         self, entries: list[tuple[int, dict | None]], words: int | None = None
@@ -628,7 +710,7 @@ class NumpyBackend(SimBackend):
                 _mask_to_words(sa0, words),
             )
         for position, patches in pin_patches_by_position.items():
-            patched_by_level.setdefault(self.op_level[position], []).append(
+            patched_by_level.setdefault(self.op_slot[position], []).append(
                 (position, patches)
             )
         max_group_before = self.max_group
@@ -646,7 +728,7 @@ class NumpyBackend(SimBackend):
         stems = merge_stem_patches(plan, lambda index: index >= num_sources)
         stem_rows_by_level: dict[int, list[tuple[int, np.ndarray, np.ndarray]]] = {}
         for signal_index, (sa1, sa0) in sorted(stems.items()):
-            level = self._signal_level[signal_index]
+            level = self._signal_slot[signal_index]
             sa1_words = _mask_to_words(sa1, words)
             sa0_words = _mask_to_words(sa0, words)
             stem_rows_by_level.setdefault(level, []).extend(
@@ -687,12 +769,46 @@ class NumpyBackend(SimBackend):
             )
         return NumpyBatch(self, program, batch_size)
 
+    def detect_step(
+        self, good: SimBatch, faulty: SimBatch, alive_mask: int
+    ) -> int:
+        """Fused paired-batch detection: one array pass over all POs.
+
+        Gathers every PO's rails from both batches at once, applies the
+        programs' PO pin patches to the (copied) gathered rows, and
+        OR-reduces the per-PO contradiction words — no per-position
+        ``observe_po`` round trips and no Python-int mask arithmetic until
+        the final reduced word row.
+        """
+        if alive_mask == 0:
+            return 0
+        assert isinstance(good, NumpyBatch) and isinstance(faulty, NumpyBatch)
+        gh = good._V[self.po_h_rows]
+        gl = good._V[self.po_l_rows]
+        fh = faulty._V[self.po_h_rows]
+        fl = faulty._V[self.po_l_rows]
+        for position, (sa1, sa0) in good._program.po_patches.items():
+            gh[position] = (gh[position] | sa1) & ~sa0
+            gl[position] = (gl[position] | sa0) & ~sa1
+        for position, (sa1, sa0) in faulty._program.po_patches.items():
+            fh[position] = (fh[position] | sa1) & ~sa0
+            fl[position] = (fl[position] | sa0) & ~sa1
+        detected = np.bitwise_or.reduce((gh & fl) | (gl & fh), axis=0)
+        return _words_to_mask(detected) & alive_mask
+
 
 def _apply_pin_mask(values: np.ndarray, mask: tuple) -> None:
     """In-place ``values = (values | force) & keep``."""
     force, keep = mask
     np.bitwise_or(values, force, out=values)
     np.bitwise_and(values, keep, out=values)
+
+
+def _apply_pin_mask_1d(values: np.ndarray, mask: tuple) -> None:
+    """1-D variant: slice the ``(g, 1)`` patch matrices down to vectors."""
+    force, keep = mask
+    np.bitwise_or(values, force[:, 0], out=values)
+    np.bitwise_and(values, keep[:, 0], out=values)
 
 
 def _pin_masks(

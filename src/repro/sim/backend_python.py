@@ -23,6 +23,7 @@ from repro.sim.backend import (
 from repro.sim.kernel import (
     RunOp,
     build_run_ops,
+    detect_pair_mask,
     eval_combinational,
     source_stem_patches,
 )
@@ -180,3 +181,28 @@ class PythonBackend(SimBackend):
     def batch(self, program: SimProgram, batch_size: int) -> PythonBatch:
         assert isinstance(program, PythonProgram)
         return PythonBatch(self._compiled, program, batch_size)
+
+    def detect_step(
+        self, good: SimBatch, faulty: SimBatch, alive_mask: int
+    ) -> int:
+        """Reference paired-batch detection over the big-int rails.
+
+        Semantically identical to the :class:`SimBackend` default, but
+        reads the rails directly through the flat kernel loop instead of
+        one ``observe_po`` round trip per PO.
+        """
+        if alive_mask == 0:
+            return 0
+        assert isinstance(good, PythonBatch) and isinstance(faulty, PythonBatch)
+        return (
+            detect_pair_mask(
+                self._compiled.po_indices,
+                good._H,
+                good._L,
+                faulty._H,
+                faulty._L,
+                good._program.po_patches,
+                faulty._program.po_patches,
+            )
+            & alive_mask
+        )

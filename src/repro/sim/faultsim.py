@@ -33,7 +33,7 @@ from repro.circuit.netlist import Circuit
 from repro.core.sequence import TestSequence
 from repro.faults.model import Fault
 from repro.logic.values import ONE, X, ZERO, Ternary
-from repro.sim.backend import SimBackend, get_backend
+from repro.sim.backend import SimBackend, get_backend, resolve_auto
 from repro.sim.compiled import CompiledCircuit
 from repro.sim.detection import FaultSimResult
 from repro.sim.logicsim import GoodTrace, LogicSimulator
@@ -72,6 +72,9 @@ class FaultSimulator:
             self._compiled = circuit
         else:
             self._compiled = CompiledCircuit(circuit)
+        # "auto" adapts both the engine (by gate count) and, when the
+        # big-int kernel wins, the batch width (down to its sweet spot).
+        backend, batch_width = resolve_auto(self._compiled, backend, batch_width)
         self._backend = get_backend(self._compiled, backend)
         self._batch_width = self._backend.validate_batch_width(batch_width)
         # The fault-free machine is a single scalar slot; the big-int

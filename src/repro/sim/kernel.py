@@ -96,6 +96,44 @@ def source_stem_patches(
     return [(index, sa1, sa0) for index, (sa1, sa0) in merged.items()]
 
 
+def detect_pair_mask(
+    po_indices: list[int],
+    good_H: list[int],
+    good_L: list[int],
+    faulty_H: list[int],
+    faulty_L: list[int],
+    good_po_patches: dict[int, tuple[int, int]],
+    faulty_po_patches: dict[int, tuple[int, int]],
+) -> int:
+    """Slots where a faulty machine's POs contradict the paired good machine.
+
+    One flat pass over all POs of two evaluated batches: slot ``s`` is set
+    when some PO is binary in both machines with opposite values
+    (``(Hg & Lf) | (Lg & Hf)``).  PO pin patches (``index -> (sa1, sa0)``,
+    by PO position) are applied to the observed values exactly as
+    :meth:`~repro.sim.backend.SimBatch.observe_po` does.  This is the
+    big-int inner loop of the paired-batch ``detect_step`` operation.
+    """
+    detected = 0
+    for position, po_index in enumerate(po_indices):
+        gh = good_H[po_index]
+        gl = good_L[po_index]
+        patch = good_po_patches.get(position)
+        if patch is not None:
+            sa1, sa0 = patch
+            gh = (gh | sa1) & ~sa0
+            gl = (gl | sa0) & ~sa1
+        fh = faulty_H[po_index]
+        fl = faulty_L[po_index]
+        patch = faulty_po_patches.get(position)
+        if patch is not None:
+            sa1, sa0 = patch
+            fh = (fh | sa1) & ~sa0
+            fl = (fl | sa0) & ~sa1
+        detected |= (gh & fl) | (gl & fh)
+    return detected
+
+
 def eval_combinational(run_ops: list[RunOp], H: list[int], L: list[int]) -> None:
     """Evaluate all ops in order, updating ``H``/``L`` in place."""
     for code, out, ins, gate_patch, stem_patch in run_ops:

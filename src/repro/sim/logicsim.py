@@ -15,7 +15,7 @@ from repro.circuit.netlist import Circuit
 from repro.core.sequence import TestSequence
 from repro.errors import SimulationError
 from repro.logic.values import ONE, X, ZERO, Ternary
-from repro.sim.backend import SimBackend, get_backend
+from repro.sim.backend import AUTO_BACKEND, SimBackend, get_backend
 from repro.sim.compiled import CompiledCircuit
 
 
@@ -58,6 +58,11 @@ class LogicSimulator:
             self._compiled = circuit
         else:
             self._compiled = CompiledCircuit(circuit)
+        if backend == AUTO_BACKEND:
+            # Fault-free simulation runs a single slot; the big-int
+            # kernel is the fastest engine for that shape on any circuit
+            # (1-slot vectorized passes are pure dispatch overhead).
+            backend = "python"
         self._backend = get_backend(self._compiled, backend)
         self._program = self._backend.program(None)
 

@@ -12,10 +12,36 @@ sequence is exhausted keep simulating padding vectors, but detections in
 the padding region are masked off (causality makes the padding harmless
 for earlier times).
 
-Both machines run on the selected :class:`~repro.sim.backend.SimBackend`;
-the faulty program is compiled once per ``(fault, batch size)`` and
-LRU-cached by the backend, so the thousands of Procedure 2 trials against
-one fault reuse it for free.
+The hot path is a **packed pipeline**:
+
+* Candidate input columns are packed with NumPy (when importable) in
+  chunks of :data:`PACK_CHUNK_STEPS` time steps — one ``packbits`` pass
+  per chunk instead of a per-time/per-PI/per-slot Python triple loop —
+  and flow into the batches through
+  :meth:`~repro.sim.backend.SimBatch.load_inputs_words` (a zero-copy
+  scatter on the numpy backend).
+* Procedure 2's candidates are never materialized at all:
+  :meth:`SequenceBatchSimulator.detects_windows` and
+  :meth:`~SequenceBatchSimulator.detects_omissions` describe them as
+  index lists into a shared base sequence, and the packer derives every
+  expanded candidate column from **one** packed copy of the base plus its
+  three per-vector transforms (complement, shift, complement+shift) —
+  the expansion operators only reorder time and toggle those transforms.
+* Detection is one fused
+  :meth:`~repro.sim.backend.SimBackend.detect_step` pass across all POs
+  per time step (no per-PO ``observe_po`` round trips).
+* Partial batches are padded up a halving ladder of stable widths
+  (``batch_width``, ``batch_width/2``, ...), so the backend's program LRU
+  serves a handful of cached programs per fault for the whole search
+  instead of recompiling for every trailing short batch — and callers
+  that chunk below ``batch_width`` (Procedure 2's search phase under an
+  omission-sized simulator) are not padded up to double their width.
+
+Both machines run on the selected :class:`~repro.sim.backend.SimBackend`.
+``pipeline="legacy"`` preserves the historical per-candidate repacking
+loop (per-PO observation, per-``(fault, batch size)`` programs) as a
+measurable reference — `benchmarks/bench_seqsim.py` tracks the packed
+pipeline's speedup over it.
 
 This turns Procedure 2's ``ustart`` search and its vector-omission trials
 from per-candidate simulations into one batched pass per
@@ -25,14 +51,253 @@ reproduction tractable (and the vectorized backends fast).
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
+try:  # The packed pipeline vectorizes with numpy; a pure-Python
+    import numpy as np  # fallback keeps the engine dependency-free.
+except ImportError:  # pragma: no cover - numpy ships in CI
+    np = None
+
 from repro.circuit.netlist import Circuit
+from repro.core.ops import ExpansionConfig, expand
 from repro.core.sequence import TestSequence
 from repro.errors import SimulationError
 from repro.faults.model import Fault
-from repro.sim.backend import SimBackend, get_backend
+from repro.sim.backend import SimBackend, get_backend, resolve_auto
 from repro.sim.compiled import CompiledCircuit
 
 DEFAULT_SEQ_BATCH_WIDTH = 128
+
+#: Time steps packed per chunk.  Chunking bounds the packer's working-set
+#: (``chunk x num_inputs x batch_width`` bits) and keeps early exits from
+#: packing columns that are never simulated.
+PACK_CHUNK_STEPS = 128
+
+
+# ----------------------------------------------------------------------
+# Candidate column packers
+# ----------------------------------------------------------------------
+class _PythonColumns:
+    """Reference packer: Python-int columns, one mask per (time, PI).
+
+    Used when numpy is unavailable; semantically identical to the NumPy
+    packer (the packed words are the same integers).  Columns are packed
+    lazily per step, so the simulation loop's early exits never pay for
+    time steps that are never simulated.
+    """
+
+    __slots__ = (
+        "lengths",
+        "max_len",
+        "alive_masks",
+        "batch_width",
+        "_batch",
+        "_width",
+        "_full",
+    )
+
+    def __init__(
+        self, batch: list[TestSequence], width: int, batch_width: int
+    ) -> None:
+        self.lengths = [len(sequence) for sequence in batch]
+        self.max_len = max(self.lengths, default=0)
+        self.batch_width = batch_width
+        self._batch = batch
+        self._width = width
+        self._full = (1 << batch_width) - 1
+        self.alive_masks = []
+        for t in range(self.max_len):
+            mask = 0
+            for slot, length in enumerate(self.lengths):
+                if t < length:
+                    mask |= 1 << slot
+            self.alive_masks.append(mask)
+
+    def load_step(self, t: int, good, faulty) -> None:
+        full = self._full
+        lengths = self.lengths
+        ones_row: list[int] = []
+        zeros_row: list[int] = []
+        for position in range(self._width):
+            ones = 0
+            for slot, sequence in enumerate(self._batch):
+                if t < lengths[slot] and sequence[t][position]:
+                    ones |= 1 << slot
+            ones_row.append(ones)
+            zeros_row.append(full & ~ones)
+        good.load_inputs_packed(ones_row, zeros_row)
+        faulty.load_inputs_packed(ones_row, zeros_row)
+
+
+class _NumpyColumns:
+    """NumPy packer: per-chunk ``packbits`` of candidate bit planes.
+
+    ``bits_for_chunk(t0, t1)`` supplies the raw candidate bits as a
+    ``(num_candidates, t1 - t0, width)`` uint8 array; this class owns
+    slot-padding to the batch width, the 64-slot word packing, the
+    ``zeros = full & ~ones`` complement (padding slots are driven 0, as
+    the historical packer did), and per-time alive masks.
+    """
+
+    __slots__ = (
+        "lengths",
+        "max_len",
+        "alive_masks",
+        "batch_width",
+        "_bits_for_chunk",
+        "_width",
+        "_padded_slots",
+        "_full_words",
+        "_chunk_start",
+        "_chunk_end",
+        "_chunk_ones",
+        "_chunk_zeros",
+    )
+
+    def __init__(
+        self,
+        bits_for_chunk,
+        lengths: list[int],
+        width: int,
+        batch_width: int,
+    ) -> None:
+        self.lengths = lengths
+        self.max_len = max(lengths, default=0)
+        self.batch_width = batch_width
+        self._bits_for_chunk = bits_for_chunk
+        self._width = width
+        words = (batch_width + 63) // 64
+        self._padded_slots = words * 64
+        full = (1 << batch_width) - 1
+        self._full_words = np.frombuffer(
+            full.to_bytes(words * 8, "little"), dtype=np.uint64
+        )
+        if self.max_len:
+            alive = np.zeros((self.max_len, self._padded_slots), dtype=np.uint8)
+            alive[:, : len(lengths)] = (
+                np.arange(self.max_len)[:, None]
+                < np.asarray(lengths, dtype=np.intp)[None, :]
+            )
+            packed = np.packbits(alive, axis=-1, bitorder="little")
+            self.alive_masks = [
+                int.from_bytes(row.tobytes(), "little") for row in packed
+            ]
+        else:
+            self.alive_masks = []
+        self._chunk_start = 0
+        self._chunk_end = 0
+        self._chunk_ones = None
+        self._chunk_zeros = None
+
+    def _pack_chunk(self, t: int) -> None:
+        t0 = t
+        t1 = min(t + PACK_CHUNK_STEPS, self.max_len)
+        bits = self._bits_for_chunk(t0, t1)
+        planes = np.zeros(
+            (t1 - t0, self._width, self._padded_slots), dtype=np.uint8
+        )
+        planes[:, :, : bits.shape[0]] = bits.transpose(1, 2, 0)
+        ones = np.packbits(planes, axis=-1, bitorder="little").view(np.uint64)
+        self._chunk_ones = ones
+        self._chunk_zeros = ~ones & self._full_words
+        self._chunk_start = t0
+        self._chunk_end = t1
+
+    def load_step(self, t: int, good, faulty) -> None:
+        if not self._chunk_start <= t < self._chunk_end or self._chunk_ones is None:
+            self._pack_chunk(t)
+        offset = t - self._chunk_start
+        ones = self._chunk_ones[offset]
+        zeros = self._chunk_zeros[offset]
+        good.load_inputs_words(ones, zeros)
+        faulty.load_inputs_words(ones, zeros)
+
+
+def _explicit_bits(batch: list[TestSequence], max_len: int, width: int):
+    """Chunk supplier over materialized candidate sequences."""
+    bits = np.zeros((len(batch), max_len, width), dtype=np.uint8)
+    for slot, sequence in enumerate(batch):
+        if len(sequence):
+            bits[slot, : len(sequence)] = np.asarray(
+                sequence.vectors(), dtype=np.uint8
+            )
+    return lambda t0, t1: bits[:, t0:t1]
+
+
+def _expansion_time_map(indices, config: ExpansionConfig):
+    """Expanded-time maps of ``expand(base[indices], config)``.
+
+    Returns ``(src, comp, shift)`` arrays over the expanded time axis:
+    the vector applied at expanded time ``t`` is base vector ``src[t]``
+    complemented iff ``comp[t]`` and circularly left-shifted iff
+    ``shift[t]`` (the two per-vector transforms commute).  Mirrors
+    :func:`repro.core.ops.expand` stage by stage: hold repeats each index,
+    repetition tiles the whole map, and each enabled operator appends a
+    transformed copy (complement/shift toggling its flag, reversal
+    reversing time).
+    """
+    src = np.repeat(indices, config.hold_cycles)
+    src = np.tile(src, config.repetitions)
+    comp = np.zeros(len(src), dtype=np.uint8)
+    shift = np.zeros(len(src), dtype=np.uint8)
+    if config.use_complement:
+        src = np.concatenate([src, src])
+        comp = np.concatenate([comp, 1 - comp])
+        shift = np.concatenate([shift, shift])
+    if config.use_shift:
+        src = np.concatenate([src, src])
+        comp = np.concatenate([comp, comp])
+        shift = np.concatenate([shift, 1 - shift])
+    if config.use_reverse:
+        src = np.concatenate([src, src[::-1]])
+        comp = np.concatenate([comp, comp[::-1]])
+        shift = np.concatenate([shift, shift[::-1]])
+    return src, comp, shift
+
+
+def _derived_packer(
+    base: TestSequence,
+    index_lists: list,
+    expansion: ExpansionConfig,
+    width: int,
+    batch_width: int,
+) -> _NumpyColumns:
+    """Packer whose candidates are ``expand(base[indices], expansion)``.
+
+    The base sequence is converted to bits once; its four per-vector
+    variants (identity, complement, shift, complement+shift) form a
+    ``(4, len(base), width)`` table, and every candidate column is a
+    gather ``table[transform[slot, t], src[slot, t]]`` — no expanded
+    sequence is ever materialized.
+    """
+    if len(base):
+        base_bits = np.asarray(base.vectors(), dtype=np.uint8)
+    else:
+        base_bits = np.zeros((0, width), dtype=np.uint8)
+    shifted = np.roll(base_bits, -1, axis=1)
+    table = np.stack([base_bits, 1 - base_bits, shifted, 1 - shifted])
+
+    lengths: list[int] = []
+    maps = []
+    for indices in index_lists:
+        src, comp, shift = _expansion_time_map(
+            np.asarray(indices, dtype=np.intp), expansion
+        )
+        maps.append((src, comp + 2 * shift))
+        lengths.append(len(src))
+    max_len = max(lengths, default=0)
+    # Compact index dtypes: a wide batch over a long T0 keeps these
+    # matrices at (batch_width x expanded_len) elements.
+    src_matrix = np.zeros((len(index_lists), max_len), dtype=np.int32)
+    tfm_matrix = np.zeros((len(index_lists), max_len), dtype=np.int8)
+    for slot, (src, tfm) in enumerate(maps):
+        src_matrix[slot, : len(src)] = src
+        tfm_matrix[slot, : len(tfm)] = tfm
+
+    def bits_for_chunk(t0: int, t1: int):
+        return table[tfm_matrix[:, t0:t1], src_matrix[:, t0:t1]]
+
+    return _NumpyColumns(bits_for_chunk, lengths, width, batch_width)
 
 
 class SequenceBatchSimulator:
@@ -43,13 +308,25 @@ class SequenceBatchSimulator:
         circuit: Circuit | CompiledCircuit,
         batch_width: int = DEFAULT_SEQ_BATCH_WIDTH,
         backend: str | SimBackend | None = None,
+        pipeline: str = "packed",
     ) -> None:
         if isinstance(circuit, CompiledCircuit):
             self._compiled = circuit
         else:
             self._compiled = CompiledCircuit(circuit)
+        # "auto" adapts both the engine (paired-axis gate threshold) and,
+        # when the big-int kernel wins, the batch width (its sweet spot).
+        backend, batch_width = resolve_auto(
+            self._compiled, backend, batch_width, paired=True
+        )
         self._backend = get_backend(self._compiled, backend)
         self._batch_width = self._backend.validate_batch_width(batch_width)
+        if pipeline not in ("packed", "legacy"):
+            raise SimulationError(
+                f"unknown seqsim pipeline {pipeline!r}; "
+                "expected 'packed' or 'legacy'"
+            )
+        self._pipeline = pipeline
 
     @property
     def compiled(self) -> CompiledCircuit:
@@ -59,23 +336,197 @@ class SequenceBatchSimulator:
     def backend(self) -> SimBackend:
         return self._backend
 
+    @property
+    def batch_width(self) -> int:
+        return self._batch_width
+
+    # ------------------------------------------------------------------
+    # Public detection APIs
+    # ------------------------------------------------------------------
     def detects(self, fault: Fault, sequences: list[TestSequence]) -> list[bool]:
         """For each candidate sequence, does it detect ``fault``?"""
-        outcomes: list[bool] = []
-        for start in range(0, len(sequences), self._batch_width):
-            outcomes.extend(
-                self._run_batch(fault, sequences[start : start + self._batch_width])
-            )
-        return outcomes
-
-    def _run_batch(self, fault: Fault, batch: list[TestSequence]) -> list[bool]:
-        compiled = self._compiled
-        width = compiled.num_inputs
-        for sequence in batch:
+        width = self._compiled.num_inputs
+        for sequence in sequences:
             if len(sequence) and sequence.width != width:
                 raise SimulationError(
                     f"candidate width {sequence.width} != circuit inputs {width}"
                 )
+        outcomes: list[bool] = []
+        for start in range(0, len(sequences), self._batch_width):
+            batch = sequences[start : start + self._batch_width]
+            if self._pipeline == "legacy":
+                outcomes.extend(self._run_batch_legacy(fault, batch))
+            else:
+                outcomes.extend(
+                    self._run_packed(fault, self._pack_explicit(batch))
+                )
+        return outcomes
+
+    def detects_windows(
+        self,
+        fault: Fault,
+        base: TestSequence,
+        spans: list[tuple[int, int]],
+        expansion: ExpansionConfig,
+    ) -> list[bool]:
+        """Does ``expand(base[start..end], expansion)`` detect ``fault``?
+
+        One outcome per ``(start, end)`` (inclusive) span — Procedure 2's
+        window-search candidates, derived from the shared base without
+        materializing any expanded sequence.
+        """
+        for start, end in spans:
+            if start < 0 or end >= len(base) or start > end:
+                raise SimulationError(
+                    f"window [{start}, {end}] out of range for base of "
+                    f"length {len(base)}"
+                )
+        return self._detects_derived(
+            fault, base, [range(start, end + 1) for start, end in spans], expansion
+        )
+
+    def detects_omissions(
+        self,
+        fault: Fault,
+        base: TestSequence,
+        omit_indices: Sequence[int],
+        expansion: ExpansionConfig,
+    ) -> list[bool]:
+        """Does ``expand(base.omit(index), expansion)`` detect ``fault``?
+
+        One outcome per omitted index — Procedure 2's vector-omission
+        candidates, derived from the shared base.
+        """
+        length = len(base)
+        for index in omit_indices:
+            if not 0 <= index < length:
+                raise SimulationError(
+                    f"omit index {index} out of range for base of length {length}"
+                )
+        index_lists = [
+            [j for j in range(length) if j != index] for index in omit_indices
+        ]
+        return self._detects_derived(fault, base, index_lists, expansion)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _detects_derived(
+        self,
+        fault: Fault,
+        base: TestSequence,
+        index_lists: list,
+        expansion: ExpansionConfig,
+    ) -> list[bool]:
+        width = self._compiled.num_inputs
+        if len(base) and base.width != width:
+            raise SimulationError(
+                f"base width {base.width} != circuit inputs {width}"
+            )
+        if np is None or self._pipeline == "legacy":
+            # Fallback: materialize the expanded candidates.
+            return self.detects(
+                fault,
+                [
+                    expand(TestSequence([base[j] for j in indices]), expansion)
+                    for indices in index_lists
+                ],
+            )
+        outcomes: list[bool] = []
+        for start in range(0, len(index_lists), self._batch_width):
+            chunk = index_lists[start : start + self._batch_width]
+            packer = _derived_packer(
+                base, chunk, expansion, width, self._pad_width(len(chunk))
+            )
+            outcomes.extend(self._run_packed(fault, packer))
+        return outcomes
+
+    def _pack_explicit(self, batch: list[TestSequence]):
+        width = self._compiled.num_inputs
+        pad_width = self._pad_width(len(batch))
+        if np is None:
+            return _PythonColumns(batch, width, pad_width)
+        max_len = max((len(sequence) for sequence in batch), default=0)
+        return _NumpyColumns(
+            _explicit_bits(batch, max_len, width),
+            [len(sequence) for sequence in batch],
+            width,
+            pad_width,
+        )
+
+    def _pad_width(self, count: int) -> int:
+        """Slot width a ``count``-candidate batch is padded to.
+
+        The smallest rung of the halving ladder ``batch_width``,
+        ``batch_width/2``, ``batch_width/4``, ... that holds ``count``.
+        Stable rungs keep the backend program LRU at a handful of entries
+        per fault (no per-trailing-size recompiles) without padding far
+        past the real batch — e.g. Procedure 2's search batches (half the
+        omission width) pad to their own rung, not to double the slots.
+        """
+        width = self._batch_width
+        while width // 2 >= count:
+            width //= 2
+        return width
+
+    def _run_packed(self, fault: Fault, packer) -> list[bool]:
+        """Drive one packed candidate batch; return per-slot outcomes.
+
+        The batch is opened at the packer's padded width (see
+        :meth:`_pad_width`) — dead slots beyond the real candidates are
+        driven with constant 0 and masked out of ``alive`` — so the
+        backend LRU serves a small set of cached programs per fault for
+        the whole search.
+        """
+        count = len(packer.lengths)
+        if count == 0:
+            return []
+        backend = self._backend
+        batch_width = packer.batch_width
+        good = backend.batch(backend.program(None), batch_width)
+        faulty = backend.batch(
+            backend.program((fault,) * batch_width), batch_width
+        )
+        alive_masks = packer.alive_masks
+        pending = (1 << count) - 1
+
+        for t in range(packer.max_len):
+            live = alive_masks[t] & pending
+            if live == 0:
+                # Alive masks shrink monotonically (candidates only end),
+                # so no pending slot can ever detect from here on.
+                break
+            packer.load_step(t, good, faulty)
+            good.load_state()
+            faulty.load_state()
+            faulty.apply_source_patches()
+
+            good.eval()
+            faulty.eval()
+
+            detected_now = backend.detect_step(good, faulty, live)
+            if detected_now:
+                pending &= ~detected_now
+                if pending == 0:
+                    break
+
+            good.capture_state()
+            faulty.capture_state()
+
+        detected = (1 << count) - 1 & ~pending
+        return [bool(detected >> slot & 1) for slot in range(count)]
+
+    def _run_batch_legacy(
+        self, fault: Fault, batch: list[TestSequence]
+    ) -> list[bool]:
+        """The pre-packed-pipeline loop, preserved as a benchmark reference.
+
+        Per-candidate Python repacking, per-PO ``observe_po`` comparisons
+        and per-``(fault, batch size)`` programs — the baseline
+        `benchmarks/bench_seqsim.py` measures the packed pipeline against.
+        """
+        compiled = self._compiled
+        width = compiled.num_inputs
         batch_size = len(batch)
         if batch_size == 0:
             return []

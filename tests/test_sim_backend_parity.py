@@ -16,7 +16,12 @@ from repro.errors import SimulationError
 from repro.faults.model import STEM, Fault, FaultSite
 from repro.faults.universe import FaultUniverse
 from repro.logic.values import ONE, X, ZERO
-from repro.sim.backend import available_backends, get_backend
+from repro.sim.backend import (
+    SimBackend,
+    available_backends,
+    get_backend,
+    resolve_backend_name,
+)
 from repro.sim.compiled import CompiledCircuit
 from repro.sim.faultsim import FaultSimulator
 from repro.sim.logicsim import LogicSimulator
@@ -178,6 +183,242 @@ class TestSeqSimParity:
                 compiled, batch_width=70, backend="numpy"
             ).detects(fault, candidates)
             assert python == numpy_
+
+
+def _detect_step_trace(compiled, backend, fault, sequences, batch_size):
+    """Replay the paired-batch loop, returning every detect_step mask.
+
+    Exercises the backend's fused ``detect_step`` exactly as the packed
+    seqsim pipeline drives it (identical per-slot inputs in both
+    machines), without seqsim's own batching/early-exit policy on top.
+    """
+    width = compiled.num_inputs
+    good = backend.batch(backend.program(None), batch_size)
+    faulty = backend.batch(backend.program((fault,) * batch_size), batch_size)
+    lengths = [len(sequence) for sequence in sequences]
+    full = (1 << batch_size) - 1
+    masks = []
+    for t in range(max(lengths)):
+        ones = []
+        zeros = []
+        for position in range(width):
+            word = 0
+            for slot, sequence in enumerate(sequences):
+                if t < lengths[slot] and sequence[t][position]:
+                    word |= 1 << slot
+            ones.append(word)
+            zeros.append(full & ~word)
+        alive = 0
+        for slot, length in enumerate(lengths):
+            if t < length:
+                alive |= 1 << slot
+        good.load_inputs_packed(ones, zeros)
+        faulty.load_inputs_packed(ones, zeros)
+        good.load_state()
+        faulty.load_state()
+        faulty.apply_source_patches()
+        good.eval()
+        faulty.eval()
+        masks.append(backend.detect_step(good, faulty, alive))
+        good.capture_state()
+        faulty.capture_state()
+    return masks
+
+
+class TestDetectStep:
+    """Cross-backend parity of the fused paired-batch detection pass."""
+
+    #: Batch sizes straddling the numpy backend's word boundary: 3 drives
+    #: the single-word (1-D) machinery, 70 the multi-word path.
+    BATCH_SIZES = (3, 70)
+
+    def test_masks_identical_across_backends(self, compiled):
+        universe = FaultUniverse(compiled.circuit)
+        faults = list(universe.faults())
+        for batch_size in self.BATCH_SIZES:
+            candidates = [
+                _random_sequence(compiled.circuit, 2 + (j % 7), seed=300 + j)
+                for j in range(batch_size)
+            ]
+            for fault in faults[:: max(1, len(faults) // 4)]:
+                python = _detect_step_trace(
+                    compiled,
+                    get_backend(compiled, "python"),
+                    fault,
+                    candidates,
+                    batch_size,
+                )
+                numpy_ = _detect_step_trace(
+                    compiled,
+                    get_backend(compiled, "numpy"),
+                    fault,
+                    candidates,
+                    batch_size,
+                )
+                assert python == numpy_, str(fault)
+
+    def test_fused_pass_matches_reference_observe_po_loop(self, compiled):
+        """Each backend's override equals the SimBackend default."""
+        universe = FaultUniverse(compiled.circuit)
+        fault = list(universe.faults())[1]
+        for name in ("python", "numpy"):
+            backend = get_backend(compiled, name)
+            for batch_size in self.BATCH_SIZES:
+                candidates = [
+                    _random_sequence(compiled.circuit, 5, seed=400 + j)
+                    for j in range(batch_size)
+                ]
+                fused = _detect_step_trace(
+                    compiled, backend, fault, candidates, batch_size
+                )
+                native = type(backend).detect_step
+                try:
+                    # Force the inherited reference implementation.
+                    type(backend).detect_step = SimBackend.detect_step
+                    reference = _detect_step_trace(
+                        compiled, backend, fault, candidates, batch_size
+                    )
+                finally:
+                    type(backend).detect_step = native
+                assert fused == reference, name
+
+    def test_po_branch_fault_patches_applied(self, compiled):
+        """Faults on PO branch pins exercise detect_step's patch path."""
+        universe = FaultUniverse(compiled.circuit)
+        po_faults = [
+            fault
+            for fault in universe.faults()
+            if fault.site.kind != STEM and fault.site.load_kind == "po"
+        ]
+        candidates = [
+            _random_sequence(compiled.circuit, 6, seed=500 + j) for j in range(9)
+        ]
+        for fault in po_faults[:4]:
+            python = _detect_step_trace(
+                compiled, get_backend(compiled, "python"), fault, candidates, 9
+            )
+            numpy_ = _detect_step_trace(
+                compiled, get_backend(compiled, "numpy"), fault, candidates, 9
+            )
+            assert python == numpy_, str(fault)
+            assert any(python), f"{fault} never detected — vacuous comparison"
+
+
+class TestLevelFusion:
+    """The fused numpy schedule must be bit-identical to the unfused one."""
+
+    def test_fused_vs_unfused_detection_times(self, compiled):
+        from repro.sim.backend_numpy import NumpyBackend
+
+        fused = NumpyBackend(compiled)
+        unfused = NumpyBackend(compiled, fuse_levels=False)
+        assert sum(len(p) for p in fused.level_passes) <= sum(
+            len(p) for p in unfused.level_passes
+        )
+        universe = FaultUniverse(compiled.circuit)
+        faults = list(universe.faults())
+        sequence = _random_sequence(compiled.circuit, 40, seed=77)
+        times_fused = FaultSimulator(compiled, backend=fused).run(
+            sequence, faults
+        )
+        times_unfused = FaultSimulator(compiled, backend=unfused).run(
+            sequence, faults
+        )
+        assert times_fused.detection_time == times_unfused.detection_time
+
+    def test_fused_vs_unfused_traces(self, compiled):
+        from repro.sim.backend_numpy import NumpyBackend
+
+        fused = LogicSimulator(compiled, backend=NumpyBackend(compiled)).run(
+            _random_sequence(compiled.circuit, 24, seed=78), record_signals=True
+        )
+        unfused = LogicSimulator(
+            compiled, backend=NumpyBackend(compiled, fuse_levels=False)
+        ).run(
+            _random_sequence(compiled.circuit, 24, seed=78), record_signals=True
+        )
+        assert fused.po_values == unfused.po_values
+        assert fused.signal_values == unfused.signal_values
+        assert fused.final_state == unfused.final_state
+
+
+class TestAutoBackend:
+    """backend="auto" resolves adaptively and never changes results."""
+
+    def test_resolution_heuristic(self):
+        small = CompiledCircuit(load_circuit("s27"))
+        large = CompiledCircuit(load_circuit("syn1423"))
+        assert resolve_backend_name(small, "auto") == "python"
+        assert resolve_backend_name(large, "auto") == "python"  # 657 gates
+        huge = CompiledCircuit(load_circuit("syn5378"))  # 2779 gates
+        assert resolve_backend_name(huge, "auto") == "numpy"
+        assert resolve_backend_name(small, "python") == "python"
+        assert resolve_backend_name(small, None) == "python"
+
+    def test_paired_resolution_has_its_own_crossover(self):
+        """The candidate axis crosses over far later than the fault axis."""
+        from types import SimpleNamespace
+
+        huge = CompiledCircuit(load_circuit("syn5378"))  # 2779 gates
+        # Fault axis: numpy; paired candidate axis: still python.
+        assert resolve_backend_name(huge, "auto") == "numpy"
+        assert resolve_backend_name(huge, "auto", paired=True) == "python"
+        # Above the paired threshold (syn35932-class) numpy wins.
+        giant = SimpleNamespace(ops=[None] * 16_000)
+        assert resolve_backend_name(giant, "auto", paired=True) == "numpy"
+
+    def test_auto_clamps_python_batch_widths_to_sweet_spot(self):
+        """Auto on the big-int kernel narrows numpy-tuned wide batches."""
+        small = CompiledCircuit(load_circuit("syn298"))
+        fault_sim = FaultSimulator(small, batch_width=1024, backend="auto")
+        assert fault_sim.backend.name == "python"
+        assert fault_sim.batch_width == 192
+        seq_sim = SequenceBatchSimulator(small, batch_width=256, backend="auto")
+        assert seq_sim.backend.name == "python"
+        assert seq_sim.batch_width == 96
+        # Narrower-than-sweet-spot requests pass through untouched.
+        assert FaultSimulator(small, batch_width=8, backend="auto").batch_width == 8
+        # When numpy wins, the requested width is kept.
+        huge = CompiledCircuit(load_circuit("syn5378"))
+        wide = FaultSimulator(huge, batch_width=1024, backend="auto")
+        assert wide.backend.name == "numpy"
+        assert wide.batch_width == 1024
+        # Explicit backends never clamp.
+        explicit = FaultSimulator(small, batch_width=1024, backend="python")
+        assert explicit.batch_width == 1024
+
+    def test_scalar_logic_simulation_stays_on_big_int_kernel(self):
+        huge = CompiledCircuit(load_circuit("syn5378"))
+        assert LogicSimulator(huge, backend="auto").backend.name == "python"
+
+    def test_get_backend_resolves_auto_to_registry_instance(self, compiled):
+        resolved = get_backend(compiled, "auto")
+        assert resolved is get_backend(compiled, resolved.name)
+
+    def test_auto_bit_identical_to_both_backends(self, compiled):
+        """The adaptive property: auto == python == numpy, bit for bit."""
+        universe = FaultUniverse(compiled.circuit)
+        faults = list(universe.faults())
+        sequence = _random_sequence(compiled.circuit, 32, seed=600)
+        runs = {
+            name: FaultSimulator(compiled, backend=name).run(sequence, faults)
+            for name in ("python", "numpy", "auto")
+        }
+        assert runs["auto"].detection_time == runs["python"].detection_time
+        assert runs["auto"].detection_time == runs["numpy"].detection_time
+
+        candidates = [
+            _random_sequence(compiled.circuit, 3 + (j % 9), seed=700 + j)
+            for j in range(40)
+        ]
+        for fault in faults[:: max(1, len(faults) // 3)]:
+            outcomes = {
+                name: SequenceBatchSimulator(
+                    compiled, batch_width=40, backend=name
+                ).detects(fault, candidates)
+                for name in ("python", "numpy", "auto")
+            }
+            assert outcomes["auto"] == outcomes["python"] == outcomes["numpy"]
 
 
 class TestPaperWalkthroughOnNumpy:
