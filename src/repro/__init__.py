@@ -15,10 +15,12 @@ Public API quick reference::
     )
 
 Every simulator accepts ``backend="python"`` (default, dependency-free)
-or ``backend="numpy"`` (vectorized); results are bit-identical.  Fault
-simulation additionally scales across processes: ``make_fault_simulator``
-(and the ``workers=`` knob on :class:`SelectionConfig` / ``AtpgConfig``)
-shards large fault universes over a worker pool with identical results.
+or ``backend="numpy"`` (vectorized); results are bit-identical.  Both hot
+axes additionally scale across processes with identical results:
+``make_fault_simulator`` shards large fault universes and
+``make_sequence_simulator`` shards Procedure 2's candidate scans, over
+one persistent per-session worker pool — the ``workers=`` knob on
+:class:`SelectionConfig` / ``AtpgConfig`` drives both.
 """
 
 from repro.circuit import CircuitBuilder, Circuit, GateType, parse_bench, parse_bench_file
@@ -45,10 +47,13 @@ from repro.sim import (
     LogicSimulator,
     SequenceBatchSimulator,
     ShardedFaultSimulator,
+    ShardedSequenceBatchSimulator,
     SimBackend,
     available_backends,
+    close_worker_pools,
     get_backend,
     make_fault_simulator,
+    make_sequence_simulator,
 )
 
 __version__ = "1.0.0"
@@ -84,7 +89,10 @@ __all__ = [
     "LogicSimulator",
     "SequenceBatchSimulator",
     "ShardedFaultSimulator",
+    "ShardedSequenceBatchSimulator",
     "make_fault_simulator",
+    "make_sequence_simulator",
+    "close_worker_pools",
     "SimBackend",
     "available_backends",
     "get_backend",

@@ -36,9 +36,13 @@ class AtpgConfig:
         backend: simulation backend name (see
             :func:`repro.sim.backend.available_backends`), or ``"auto"``
             to pick python vs numpy per circuit size and batch width.
-        workers: worker processes for parallel-fault simulation (see
-            :mod:`repro.sim.sharding`); ``1`` is serial, ``0`` means one
-            per CPU.  Never changes results, only throughput.
+        workers: worker processes for process-sharded fault simulation
+            (:mod:`repro.sim.sharding`), borrowing the session's
+            persistent worker pool; ``1`` is serial, ``0`` means one per
+            CPU.  Never changes results, only throughput.  (The
+            restoration compactor's candidate scans stay serial: each
+            scan batch holds at most ``search_batch_width`` candidates,
+            below the candidate axis's one-pass sharding floor.)
     """
 
     seed: int = 20_1999

@@ -25,8 +25,8 @@ from repro.core.sequence import TestSequence
 from repro.errors import AtpgError
 from repro.faults.model import Fault
 from repro.sim.compiled import CompiledCircuit
+from repro.sim.seqshard import make_sequence_simulator
 from repro.sim.sharding import make_fault_simulator
-from repro.sim.seqsim import SequenceBatchSimulator
 
 
 @dataclass(frozen=True)
@@ -65,11 +65,10 @@ def restoration_compact(
     fault_simulator = make_fault_simulator(
         compiled, backend=backend, workers=workers
     )
+    sequence_simulator = make_sequence_simulator(
+        compiled, batch_width=search_batch_width, backend=backend, workers=workers
+    )
     try:
-        sequence_simulator = SequenceBatchSimulator(
-            compiled, batch_width=search_batch_width, backend=backend
-        )
-
         baseline = fault_simulator.run(t0, faults)
         udet = dict(baseline.detection_time)
         if not udet:
@@ -123,4 +122,5 @@ def restoration_compact(
         )
         return final, stats
     finally:
+        sequence_simulator.close()
         fault_simulator.close()

@@ -14,12 +14,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.ops import ExpansionConfig
 from repro.core.sequence import TestSequence
 from repro.errors import SelectionError
 from repro.faults.model import Fault
 from repro.sim.compiled import CompiledCircuit
-from repro.sim.sharding import make_fault_simulator
+from repro.sim.seqshard import make_sequence_simulator
 from repro.sim.seqsim import SequenceBatchSimulator
+from repro.sim.sharding import make_fault_simulator
 
 
 @dataclass(frozen=True)
@@ -107,10 +109,10 @@ def partition_baseline(
     fault_simulator = make_fault_simulator(
         compiled, backend=backend, workers=workers
     )
+    sequence_simulator = make_sequence_simulator(
+        compiled, batch_width=search_batch_width, backend=backend, workers=workers
+    )
     try:
-        sequence_simulator = SequenceBatchSimulator(
-            compiled, batch_width=search_batch_width, backend=backend
-        )
         baseline = fault_simulator.run(t0, faults)
         udet = dict(baseline.detection_time)
 
@@ -175,7 +177,15 @@ def partition_baseline(
             )
         return result
     finally:
+        sequence_simulator.close()
         fault_simulator.close()
+
+
+#: The identity expansion: partitioning applies chunks verbatim, so its
+#: window search runs Procedure 2's derived-window pipeline unexpanded.
+_IDENTITY_EXPANSION = ExpansionConfig(
+    repetitions=1, use_complement=False, use_shift=False, use_reverse=False
+)
 
 
 def _extend_for_fault(
@@ -187,17 +197,19 @@ def _extend_for_fault(
     batch_width: int,
 ) -> int:
     """Largest start ``j <= chunk.start`` such that ``T0[j, chunk.end]``
-    detects ``fault`` (guaranteed at ``j = 0``)."""
-    next_j = chunk.start
-    while next_j >= 0:
-        batch = list(range(next_j, max(-1, next_j - batch_width), -1))
-        candidates = [t0.subsequence(j, chunk.end) for j in batch]
-        outcomes = sequence_simulator.detects(fault, candidates)
-        for j, detected in zip(batch, outcomes):
-            if detected:
-                return j
-        next_j = batch[-1] - 1
-    raise SelectionError(
-        f"chunk extension failed for {fault} (udet={detection_time}); "
-        "the full prefix must detect it"
+    detects ``fault`` (guaranteed at ``j = 0``).
+
+    One first-hit window scan: candidates are described as ``(j, end)``
+    spans of ``T0`` (never materialized) and a sharded simulator spreads
+    the scan across workers with first-hit cancellation.
+    """
+    spans = [(j, chunk.end) for j in range(chunk.start, -1, -1)]
+    position, _evaluated = sequence_simulator.first_detecting_window(
+        fault, t0, spans, _IDENTITY_EXPANSION, chunk=batch_width
     )
+    if position is None:
+        raise SelectionError(
+            f"chunk extension failed for {fault} (udet={detection_time}); "
+            "the full prefix must detect it"
+        )
+    return chunk.start - position

@@ -189,10 +189,12 @@ def build_parser() -> argparse.ArgumentParser:
             type=int,
             default=1,
             help=(
-                "worker processes for parallel-fault simulation "
-                "(1 = serial, 0 = one per CPU; results are identical for "
-                "any worker count, small fault universes always run "
-                "serially)"
+                "worker processes for process-sharded simulation on both "
+                "hot axes: parallel-fault simulation and Procedure 2's "
+                "candidate detection (1 = serial, 0 = one per CPU; both "
+                "axes share one persistent pool, results are identical "
+                "for any worker count, and small fault universes or "
+                "candidate sets always run serially)"
             ),
         )
 

@@ -39,10 +39,14 @@ class SelectionConfig:
             to pick python vs numpy per circuit size and batch width;
             detection results are bit-identical across backends, only
             speed differs.
-        workers: worker processes for parallel-fault simulation (see
-            :mod:`repro.sim.sharding`); ``1`` is serial, ``0`` means one
-            per CPU.  Like backends and batch widths, worker counts never
-            change results, only throughput.
+        workers: worker processes for process-sharded simulation on
+            *both* hot axes — parallel-fault simulation
+            (:mod:`repro.sim.sharding`) and Procedure 2's candidate
+            detection (:mod:`repro.sim.seqshard`), which share one
+            persistent worker pool per session.  ``1`` is serial, ``0``
+            means one per CPU.  Like backends and batch widths, worker
+            counts never change results, only throughput (small fault
+            universes and candidate sets always run serially).
     """
 
     expansion: ExpansionConfig = field(default_factory=ExpansionConfig)

@@ -22,8 +22,8 @@ from repro.faults.model import Fault
 from repro.faults.universe import FaultUniverse
 from repro.sim.compiled import CompiledCircuit
 from repro.sim.faultsim import FaultSimulator
+from repro.sim.seqshard import make_sequence_simulator
 from repro.sim.sharding import make_fault_simulator
-from repro.sim.seqsim import SequenceBatchSimulator
 
 
 @dataclass
@@ -115,11 +115,13 @@ def select_subsequences(
         backend=config.backend,
         workers=config.workers,
     )
+    sequence_simulator = make_sequence_simulator(
+        compiled,
+        batch_width=config.omission_batch_width,
+        backend=config.backend,
+        workers=config.workers,
+    )
     try:
-        sequence_simulator = SequenceBatchSimulator(
-            compiled, batch_width=config.omission_batch_width, backend=config.backend
-        )
-
         if precomputed_udet is None:
             udet = simulate_t0(fault_simulator, universe, t0)
         else:
@@ -185,4 +187,5 @@ def select_subsequences(
             iteration += 1
         return result
     finally:
+        sequence_simulator.close()
         fault_simulator.close()

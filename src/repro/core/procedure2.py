@@ -13,18 +13,26 @@ Given a fault ``f`` detected by ``T0`` at time ``udet(f)``:
    still detects ``f``, restarting the scan after every accepted omission
    (paper Procedure 2 steps 4-9).
 
-Both phases batch their candidate sequences through
-:class:`~repro.sim.seqsim.SequenceBatchSimulator`; a batch of ``W``
-candidates costs about as much as simulating only the longest one, which
-is what makes this pure-Python reproduction feasible.  Candidates are
-*described*, not materialized: windows go through
-:meth:`~repro.sim.seqsim.SequenceBatchSimulator.detects_windows` and
-omission trials through
-:meth:`~repro.sim.seqsim.SequenceBatchSimulator.detects_omissions`, so
-the simulator derives every expanded candidate's packed input columns
-from one shared packing of the base sequence (see
-:mod:`repro.sim.seqsim`) instead of re-packing ``8 n |T'|`` vectors per
-candidate.
+Both phases hand their *entire* candidate scan to the simulator's
+first-hit APIs
+(:meth:`~repro.sim.seqsim.SequenceBatchSimulator.first_detecting_window`
+/ :meth:`~repro.sim.seqsim.SequenceBatchSimulator.first_detecting_omission`):
+a serial simulator runs the historical chunked scan (whole batches of
+``search_batch_width`` / ``omission_batch_width`` candidates until the
+first hit — a batch of ``W`` candidates costs about as much as simulating
+only the longest one, which is what makes this pure-Python reproduction
+feasible), while a sharded simulator
+(:class:`~repro.sim.seqshard.ShardedSequenceBatchSimulator`) fans the
+scan across worker processes with first-hit cancellation.  Either way the
+winner is the first detecting candidate in scan order and the evaluated
+count follows the serial formula, so the selected subsequences and the
+reported statistics are identical for any ``workers=`` setting.
+
+Candidates are *described*, not materialized: windows are ``(start,
+end)`` spans and omission trials index lists into a shared base, so the
+simulator derives every expanded candidate's packed input columns from
+one shared packing of the base sequence (see :mod:`repro.sim.seqsim`)
+instead of re-packing ``8 n |T'|`` vectors per candidate.
 """
 
 from __future__ import annotations
@@ -75,21 +83,15 @@ def build_subsequence_for_fault(
     # ------------------------------------------------------------------
     # Phase 1: window search for ustart.
     # ------------------------------------------------------------------
-    ustart: int | None = None
-    next_u = udet
-    while next_u >= 0 and ustart is None:
-        batch_starts = list(
-            range(next_u, max(-1, next_u - config.search_batch_width), -1)
-        )
-        outcomes = simulator.detects_windows(
-            fault, t0, [(u, udet) for u in batch_starts], expansion
-        )
-        candidates_simulated += len(batch_starts)
-        for u, detected in zip(batch_starts, outcomes):
-            if detected:
-                ustart = u
-                break
-        next_u = batch_starts[-1] - 1
+    # The whole descending scan is one first-hit call; the simulator
+    # chunks it by search_batch_width (serial) or shards it with
+    # cancellation (workers > 1) — same winner, same evaluated count.
+    spans = [(u, udet) for u in range(udet, -1, -1)]
+    position, evaluated = simulator.first_detecting_window(
+        fault, t0, spans, expansion, chunk=config.search_batch_width
+    )
+    candidates_simulated += evaluated
+    ustart = udet - position if position is not None else None
     if ustart is None:
         # Cannot happen for a fault with a valid udet (see module docstring);
         # guard anyway so a simulator bug surfaces loudly.
@@ -109,22 +111,17 @@ def build_subsequence_for_fault(
         while len(subsequence) > 1:
             order = list(range(len(subsequence)))
             rng.shuffle(order)
-            accepted_index: int | None = None
-            for start in range(0, len(order), config.omission_batch_width):
-                chunk = order[start : start + config.omission_batch_width]
-                outcomes = simulator.detects_omissions(
-                    fault, subsequence, chunk, expansion
-                )
-                candidates_simulated += len(chunk)
-                for index, detected in zip(chunk, outcomes):
-                    if detected:
-                        accepted_index = index
-                        break
-                if accepted_index is not None:
-                    break
-            if accepted_index is None:
+            position, evaluated = simulator.first_detecting_omission(
+                fault,
+                subsequence,
+                order,
+                expansion,
+                chunk=config.omission_batch_width,
+            )
+            candidates_simulated += evaluated
+            if position is None:
                 break
-            subsequence = subsequence.omit(accepted_index)
+            subsequence = subsequence.omit(order[position])
             omitted += 1
 
     return SubsequenceResult(

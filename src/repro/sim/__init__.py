@@ -9,11 +9,18 @@
 * :mod:`repro.sim.logicsim` — fault-free 3-valued sequential simulation.
 * :mod:`repro.sim.faultsim` — bit-parallel parallel-fault simulation
   (one input sequence, many faults) with fault dropping.
+* :mod:`repro.sim.workerpool` — the persistent per-session worker pool
+  both sharded axes borrow (one spawn + one circuit pickle per worker
+  per context, shared first-hit cancellation slot).
 * :mod:`repro.sim.sharding` — process-sharded fault simulation: chunked
   work-stealing across worker processes behind the same simulator API
   (:func:`make_fault_simulator` is the ``workers=`` seam).
 * :mod:`repro.sim.seqsim` — bit-parallel parallel-sequence simulation
   (one fault, many candidate input sequences), the Procedure 2 engine.
+* :mod:`repro.sim.seqshard` — process-sharded candidate detection:
+  Procedure 2's window/omission scans chunked over the shared pool with
+  shared-memory base/result buffers (:func:`make_sequence_simulator` is
+  the candidate-axis ``workers=`` seam).
 * :mod:`repro.sim.reference` — slow, obviously-correct per-fault scalar
   simulator used to cross-check the fast engines in the tests.
 """
@@ -35,6 +42,11 @@ from repro.sim.sharding import (
     make_fault_simulator,
 )
 from repro.sim.seqsim import SequenceBatchSimulator
+from repro.sim.seqshard import (
+    ShardedSequenceBatchSimulator,
+    make_sequence_simulator,
+)
+from repro.sim.workerpool import WorkerPool, close_worker_pools, get_worker_pool
 from repro.sim.detection import DetectionRecord
 
 __all__ = [
@@ -53,5 +65,10 @@ __all__ = [
     "ShardedFaultSimulator",
     "make_fault_simulator",
     "SequenceBatchSimulator",
+    "ShardedSequenceBatchSimulator",
+    "make_sequence_simulator",
+    "WorkerPool",
+    "get_worker_pool",
+    "close_worker_pools",
     "DetectionRecord",
 ]

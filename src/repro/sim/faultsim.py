@@ -99,9 +99,9 @@ class FaultSimulator:
         """Release simulator resources.
 
         A no-op here; the process-sharded subclass
-        (:class:`repro.sim.sharding.ShardedFaultSimulator`) terminates its
-        worker pool.  Present on the base class so consumers built against
-        :func:`repro.sim.sharding.make_fault_simulator` can close
+        (:class:`repro.sim.sharding.ShardedFaultSimulator`) retires its
+        worker-pool context.  Present on the base class so consumers built
+        against :func:`repro.sim.sharding.make_fault_simulator` can close
         unconditionally.
         """
 

@@ -1,0 +1,654 @@
+"""Process-sharded parallel-sequence (candidate-axis) simulation.
+
+:mod:`repro.sim.sharding` shards the *fault* axis; this module shards the
+other hot axis: Procedure 2's candidate sets.  A
+:class:`ShardedSequenceBatchSimulator` splits the candidate lists behind
+``detects`` / ``detects_windows`` / ``detects_omissions`` into chunked,
+work-stealing tasks on the session's persistent
+:class:`~repro.sim.workerpool.WorkerPool` — the same pool the fault axis
+borrows, so Procedure 1's fault universes and Procedure 2's candidate
+populations interleave on one warm set of processes.
+
+Three mechanisms keep the IPC off the hot path:
+
+* **Context publication.**  The circuit, resolved backend name, batch
+  width and pipeline are published once as a pool context; each worker
+  builds its own serial :class:`~repro.sim.seqsim.SequenceBatchSimulator`
+  from them.  Tasks then carry a context id plus per-call data.
+* **Shared-memory buffers.**  On the packed/numpy pipeline the base
+  sequence crosses the boundary as its bit matrix
+  (:func:`~repro.sim.seqsim.base_bits_of`) in a
+  ``multiprocessing.shared_memory`` segment: workers attach (LRU-cached
+  by name) and derive every expanded candidate from the mapped bits —
+  window spans and omission indices travel as tuples of ints.  Detection
+  outcomes flow back through a persistent shared result buffer (one byte
+  per candidate) instead of pickled lists.  Both buffers degrade
+  gracefully: when shared memory or numpy is unavailable — or
+  ``REPRO_SEQSHARD_NO_SHM`` is set — bases ship pickled and outcomes
+  return pickled, with identical results.
+* **First-hit cancellation.**  Procedure 2's scans only need the *first*
+  detecting candidate.  :meth:`first_detecting_window` /
+  :meth:`first_detecting_omission` dispatch all chunks at once and share
+  the pool's ``first_hit`` value: a worker that finds a detection
+  publishes its global candidate index, and every worker abandons
+  sub-batches that can no longer beat the current minimum.  The merged
+  answer is the minimum detecting index — exactly what the serial scan
+  returns — and the reported evaluated-candidate count is recomputed
+  from the serial formula, so results and statistics are bit-identical
+  for any worker count.
+
+The cost model dictates the chunk shape: a candidate batch costs about as
+much as simulating its *longest* member (bit-parallel slots ride along),
+so a chunk narrower than one full backend pass multiplies total steps
+without shrinking the critical path.  Chunks therefore follow the fault
+axis's batch-width-floored plan
+(:func:`repro.sim.sharding.plan_chunks`), sharding wins appear once a
+scan spans several serial passes (candidates well past ``batch_width`` —
+exactly the s5378/s35932-class scans), and the serial-fallback floor
+scales with the batch width (:data:`SERIAL_FALLBACK_CANDIDATES` or one
+full pass, whichever is larger, unless ``min_shard_candidates``
+overrides it explicitly).  First-hit scans are the exception: their
+serial cost is the ramp of whole chunks up to the winner, so fanning the
+scan out pays whenever the winner sits deep.
+
+The consumer seam is :func:`make_sequence_simulator`, mirroring
+:func:`~repro.sim.sharding.make_fault_simulator`: Procedure 1/2,
+restoration and the partitioning baseline opt in purely through the
+``workers`` knob already on their configs.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from collections.abc import Sequence
+
+try:  # numpy enables the shared-memory bit-matrix path.
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy ships in CI
+    np = None
+
+try:
+    from multiprocessing import shared_memory
+except ImportError:  # pragma: no cover - platform without shm
+    shared_memory = None
+
+from repro.circuit.netlist import Circuit
+from repro.core.ops import ExpansionConfig
+from repro.core.sequence import TestSequence
+from repro.errors import SimulationError
+from repro.faults.model import Fault
+from repro.sim.backend import SimBackend
+from repro.sim.compiled import CompiledCircuit
+from repro.sim.seqsim import (
+    DEFAULT_SEQ_BATCH_WIDTH,
+    SequenceBatchSimulator,
+    base_bits_of,
+    omission_index_lists,
+)
+from repro.sim.sharding import plan_chunks
+from repro.sim.workerpool import (
+    PoolContext,
+    default_workers,
+    get_worker_pool,
+    worker_attach_shm,
+    worker_state,
+)
+
+#: Baseline serial-fallback floor for the candidate axis.  The effective
+#: default floor is ``max(SERIAL_FALLBACK_CANDIDATES, batch_width)``: a
+#: scan that fits one bit-parallel pass costs about one longest-candidate
+#: simulation either way, so there is nothing for a second process to
+#: take off the critical path.
+SERIAL_FALLBACK_CANDIDATES = 64
+
+#: Target chunks per worker (work stealing, as on the fault axis).
+DEFAULT_OVERSPLIT = 4
+
+#: Set (to any non-empty value) to disable the shared-memory buffers and
+#: force the pickle fallback — the parity escape hatch the tests use.
+NO_SHM_ENV = "REPRO_SEQSHARD_NO_SHM"
+
+#: Published bases kept alive per simulator.  Procedure 2 alternates
+#: between one window base (``T0``) and a shrinking omission base, so two
+#: entries make re-publication rare.
+_PARENT_BASE_CACHE = 2
+
+#: Minimum byte size of the persistent result buffer (grow-only).
+_RESULT_BUFFER_FLOOR = 1024
+
+
+def shm_available() -> bool:
+    """Whether the shared-memory buffer path is usable here."""
+    return (
+        shared_memory is not None
+        and np is not None
+        and not os.environ.get(NO_SHM_ENV)
+    )
+
+
+def plan_candidate_chunks(
+    num_candidates: int,
+    workers: int,
+    batch_width: int,
+    oversplit: int = DEFAULT_OVERSPLIT,
+) -> list[tuple[int, int]]:
+    """Contiguous candidate chunks — the fault axis's batch-width plan.
+
+    A candidate batch costs about as much as its longest member, almost
+    independently of how many slots ride along (passes are per-step
+    dispatch-dominated on both backends), so chunks below one full
+    ``batch_width`` pass add total steps without shortening the critical
+    path; :func:`repro.sim.sharding.plan_chunks` already encodes exactly
+    that floor plus the whole-pass rounding and oversplit stealing.
+    """
+    return plan_chunks(num_candidates, workers, batch_width, oversplit)
+
+
+# ----------------------------------------------------------------------
+# Worker-process side.  Module-level (spawn-picklable) context builder
+# and task functions, dispatched by the shared pool.
+# ----------------------------------------------------------------------
+def build_seq_context(spec: tuple) -> dict:
+    """Build this worker's serial simulator for one published context."""
+    _, circuit, backend_name, batch_width, pipeline = spec
+    compiled = CompiledCircuit(circuit)
+    return {
+        "simulator": SequenceBatchSimulator(
+            compiled,
+            batch_width=batch_width,
+            backend=backend_name,
+            pipeline=pipeline,
+        )
+    }
+
+
+def _worker_base_bits(base_ref: tuple):
+    """Resolve a base reference to its bit matrix (shm or raw bytes)."""
+    kind = base_ref[0]
+    if kind == "shm":
+        _, name, length, width = base_ref
+        segment = worker_attach_shm(name)
+        return np.ndarray((length, width), dtype=np.uint8, buffer=segment.buf)
+    if kind == "bytes":
+        _, payload, length, width = base_ref
+        return np.frombuffer(payload, dtype=np.uint8).reshape(length, width)
+    raise SimulationError(f"unknown base reference kind {kind!r}")
+
+
+def _chunk_outcomes(
+    simulator: SequenceBatchSimulator,
+    fault: Fault,
+    base_ref: tuple | None,
+    kind: str,
+    items: list,
+    expansion: ExpansionConfig | None,
+) -> list[bool]:
+    """Detection outcomes for one chunk of candidates, by workload kind."""
+    if kind == "explicit":
+        return simulator.detects(fault, items)
+    if base_ref is not None and base_ref[0] == "seq":
+        base = base_ref[1]
+        if kind == "windows":
+            return simulator.detects_windows(fault, base, items, expansion)
+        return simulator.detects_omissions(fault, base, items, expansion)
+    bits = _worker_base_bits(base_ref)
+    if kind == "windows":
+        index_lists = [range(start, end + 1) for start, end in items]
+    else:
+        index_lists = omission_index_lists(bits.shape[0], items)
+    return simulator._detects_derived_bits(fault, bits, index_lists, expansion)
+
+
+def _run_seq_chunk(task: tuple) -> tuple[int, list[bool] | None]:
+    """Evaluate one candidate chunk; outcomes go to shm or come back pickled."""
+    (
+        context_id,
+        chunk_id,
+        fault,
+        base_ref,
+        kind,
+        items,
+        global_start,
+        expansion,
+        result_ref,
+    ) = task
+    state = worker_state()
+    simulator = state["contexts"][context_id]["simulator"]
+    outcomes = _chunk_outcomes(simulator, fault, base_ref, kind, items, expansion)
+    if result_ref is None:
+        return chunk_id, outcomes
+    _, name, _total = result_ref
+    segment = worker_attach_shm(name)
+    segment.buf[global_start : global_start + len(outcomes)] = bytes(
+        bytearray(outcomes)
+    )
+    return chunk_id, None
+
+
+def _run_seq_chunk_first_hit(task: tuple) -> tuple[int, int | None]:
+    """First-hit variant: stop early once no remaining candidate can win.
+
+    Scans the chunk in ``step``-sized sub-batches.  Between sub-batches
+    the worker consults the pool's shared ``first_hit`` value: if the
+    published minimum already precedes everything left in this chunk, the
+    rest is abandoned — it cannot change the (deterministic) answer,
+    which is the global minimum detecting index.
+    """
+    (
+        context_id,
+        chunk_id,
+        fault,
+        base_ref,
+        kind,
+        items,
+        global_start,
+        expansion,
+        step,
+    ) = task
+    state = worker_state()
+    simulator = state["contexts"][context_id]["simulator"]
+    first_hit = state["first_hit"]
+    for start in range(0, len(items), step):
+        # Locked read: a torn 64-bit load (32-bit platforms) could
+        # fabricate a small index and wrongly abandon the true minimum.
+        with first_hit.get_lock():
+            best_so_far = first_hit.value
+        if best_so_far <= global_start + start:
+            break
+        part = items[start : start + step]
+        outcomes = _chunk_outcomes(simulator, fault, base_ref, kind, part, expansion)
+        for offset, detected in enumerate(outcomes):
+            if detected:
+                found = global_start + start + offset
+                with first_hit.get_lock():
+                    if found < first_hit.value:
+                        first_hit.value = found
+                return chunk_id, found
+    return chunk_id, None
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+class ShardedSequenceBatchSimulator(SequenceBatchSimulator):
+    """A :class:`SequenceBatchSimulator` that shards the candidate axis.
+
+    Drop-in: every detection API shards across ``workers`` processes when
+    the candidate list is large enough and falls back to the inherited
+    serial engine otherwise.  Outcomes are bit-identical to serial for
+    any worker count — candidate slots are independent machines and
+    batching is order-preserving, so partitioning the list cannot change
+    results; the parity suite enforces it.
+
+    The simulator borrows the session's persistent worker pool; circuit
+    pickling happens once per worker when the context is first published,
+    and the packed base columns / detection masks travel through shared
+    memory when available.  :meth:`close` retires the context and unlinks
+    the buffers; the pool itself stays warm.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit | CompiledCircuit,
+        batch_width: int = DEFAULT_SEQ_BATCH_WIDTH,
+        backend: str | SimBackend | None = None,
+        pipeline: str = "packed",
+        workers: int | None = None,
+        min_shard_candidates: int | None = None,
+        oversplit: int = DEFAULT_OVERSPLIT,
+    ) -> None:
+        super().__init__(
+            circuit, batch_width=batch_width, backend=backend, pipeline=pipeline
+        )
+        if workers is None:
+            workers = default_workers()
+        if workers < 1:
+            raise SimulationError(f"workers must be >= 1, got {workers}")
+        self._workers = workers
+        if min_shard_candidates is None:
+            # One bit-parallel pass costs ~one longest-candidate run no
+            # matter how many slots it carries: scans inside a single
+            # pass have nothing to parallelize (see the module docstring).
+            min_shard_candidates = max(
+                SERIAL_FALLBACK_CANDIDATES, self._batch_width + 1
+            )
+        self._min_shard_candidates = max(1, min_shard_candidates)
+        self._oversplit = max(1, oversplit)
+        self._context: PoolContext | None = None
+        # id(base) -> (base, segment, ref): the strong base reference
+        # keeps the id stable for the cache's lifetime.
+        self._base_cache: OrderedDict[int, tuple] = OrderedDict()
+        self._result_segment = None
+        self._result_capacity = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    def should_shard(self, num_candidates: int) -> bool:
+        """Whether a candidate list of this size goes to the pool."""
+        return self._workers > 1 and num_candidates >= self._min_shard_candidates
+
+    def close(self, _deferred: bool = False) -> None:
+        """Retire the pool context and unlink shared buffers (idempotent).
+
+        The worker pool is session-owned and stays warm; see
+        :func:`repro.sim.workerpool.close_worker_pools`.
+        """
+        if self._context is not None:
+            self._context.retire(deferred=_deferred)
+            self._context = None
+        while self._base_cache:
+            _, (_base, segment, _ref) = self._base_cache.popitem(last=False)
+            _unlink_segment(segment)
+        _unlink_segment(self._result_segment)
+        self._result_segment = None
+        self._result_capacity = 0
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            # Deferred: a finalizer may run on any thread mid-dispatch,
+            # where a barrier broadcast on the shared pool is unsafe.
+            self.close(_deferred=True)
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # Sharded detection APIs
+    # ------------------------------------------------------------------
+    def detects(self, fault: Fault, sequences: list[TestSequence]) -> list[bool]:
+        if not self.should_shard(len(sequences)):
+            return super().detects(fault, sequences)
+        width = self._compiled.num_inputs
+        for sequence in sequences:
+            if len(sequence) and sequence.width != width:
+                raise SimulationError(
+                    f"candidate width {sequence.width} != circuit inputs {width}"
+                )
+        return self._run_sharded(fault, None, "explicit", list(sequences), None)
+
+    def detects_windows(
+        self,
+        fault: Fault,
+        base: TestSequence,
+        spans: list[tuple[int, int]],
+        expansion: ExpansionConfig,
+    ) -> list[bool]:
+        if not self.should_shard(len(spans)):
+            return super().detects_windows(fault, base, spans, expansion)
+        self._validate_spans(base, spans)
+        self._validate_base_width(base)
+        return self._run_sharded(
+            fault, base, "windows", [tuple(span) for span in spans], expansion
+        )
+
+    def detects_omissions(
+        self,
+        fault: Fault,
+        base: TestSequence,
+        omit_indices: Sequence[int],
+        expansion: ExpansionConfig,
+    ) -> list[bool]:
+        if not self.should_shard(len(omit_indices)):
+            return super().detects_omissions(fault, base, omit_indices, expansion)
+        self._validate_omissions(base, omit_indices)
+        self._validate_base_width(base)
+        return self._run_sharded(
+            fault, base, "omissions", list(omit_indices), expansion
+        )
+
+    def first_detecting_window(
+        self,
+        fault: Fault,
+        base: TestSequence,
+        spans: list[tuple[int, int]],
+        expansion: ExpansionConfig,
+        chunk: int | None = None,
+    ) -> tuple[int | None, int]:
+        if not self.should_shard(len(spans)):
+            return super().first_detecting_window(fault, base, spans, expansion, chunk)
+        self._validate_spans(base, spans)
+        self._validate_base_width(base)
+        candidates = [tuple(span) for span in spans]
+        return self._first_hit_sharded(
+            fault, base, "windows", candidates, expansion, chunk
+        )
+
+    def first_detecting_omission(
+        self,
+        fault: Fault,
+        base: TestSequence,
+        omit_indices: Sequence[int],
+        expansion: ExpansionConfig,
+        chunk: int | None = None,
+    ) -> tuple[int | None, int]:
+        if not self.should_shard(len(omit_indices)):
+            return super().first_detecting_omission(
+                fault, base, omit_indices, expansion, chunk
+            )
+        self._validate_omissions(base, omit_indices)
+        self._validate_base_width(base)
+        return self._first_hit_sharded(
+            fault, base, "omissions", list(omit_indices), expansion, chunk
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _validate_base_width(self, base: TestSequence) -> None:
+        width = self._compiled.num_inputs
+        if len(base) and base.width != width:
+            raise SimulationError(
+                f"base width {base.width} != circuit inputs {width}"
+            )
+
+    def _ensure_context(self) -> PoolContext:
+        """The published context, rebound if the session pool changed."""
+        pool = get_worker_pool(self._workers)
+        context = self._context
+        if context is not None and context.pool is pool and not pool.closed:
+            return context
+        if context is not None:
+            context.retire()
+        spec = (
+            "seq",
+            self._compiled.circuit,
+            self._backend.name,
+            self._batch_width,
+            self._pipeline,
+        )
+        self._context = PoolContext(pool, pool.register_context(spec))
+        return self._context
+
+    def _use_derived_bits(self) -> bool:
+        """Whether bases cross the boundary as bit matrices.
+
+        Requires numpy and the packed pipeline on the parent; the workers
+        run the same resolved configuration, so the capability matches.
+        """
+        return np is not None and self._pipeline == "packed"
+
+    def _base_ref(self, base: TestSequence) -> tuple:
+        """Publish (or reuse) the cross-process reference for ``base``.
+
+        Packed/numpy: the base's bit matrix, in a shared-memory segment
+        when available (cached per base object — Procedure 2 reuses one
+        window base across its whole scan) or as raw bytes otherwise.
+        Legacy/no-numpy: the pickled sequence itself.
+        """
+        if not self._use_derived_bits():
+            return ("seq", base)
+        key = id(base)
+        cached = self._base_cache.get(key)
+        if cached is not None and cached[0] is base:
+            self._base_cache.move_to_end(key)
+            return cached[2]
+        bits = np.ascontiguousarray(base_bits_of(base, self._compiled.num_inputs))
+        segment = None
+        if shm_available() and bits.size:
+            segment = shared_memory.SharedMemory(create=True, size=bits.nbytes)
+            np.ndarray(bits.shape, dtype=np.uint8, buffer=segment.buf)[:] = bits
+            ref = ("shm", segment.name, bits.shape[0], bits.shape[1])
+        else:
+            ref = ("bytes", bits.tobytes(), bits.shape[0], bits.shape[1])
+        self._base_cache[key] = (base, segment, ref)
+        while len(self._base_cache) > _PARENT_BASE_CACHE:
+            _, (_base, stale, _ref) = self._base_cache.popitem(last=False)
+            _unlink_segment(stale)
+        return ref
+
+    def _result_ref(self, total: int) -> tuple | None:
+        """The shared result buffer reference (grow-only), or None."""
+        if not shm_available() or total <= 0:
+            return None
+        if self._result_segment is None or self._result_capacity < total:
+            _unlink_segment(self._result_segment)
+            capacity = max(total, _RESULT_BUFFER_FLOOR)
+            self._result_segment = shared_memory.SharedMemory(
+                create=True, size=capacity
+            )
+            self._result_capacity = capacity
+        return ("shm", self._result_segment.name, total)
+
+    def _run_sharded(
+        self,
+        fault: Fault,
+        base: TestSequence | None,
+        kind: str,
+        items: list,
+        expansion: ExpansionConfig | None,
+    ) -> list[bool]:
+        """Fan candidate chunks out; merge outcomes into candidate order."""
+        context = self._ensure_context()
+        chunks = plan_candidate_chunks(
+            len(items), self._workers, self._batch_width, self._oversplit
+        )
+        base_ref = self._base_ref(base) if base is not None else None
+        result_ref = self._result_ref(len(items))
+        tasks = [
+            (
+                context.context_id,
+                chunk_id,
+                fault,
+                base_ref,
+                kind,
+                items[start:end],
+                start,
+                expansion,
+                result_ref,
+            )
+            for chunk_id, (start, end) in enumerate(chunks)
+        ]
+        results = context.pool.run_tasks(_run_seq_chunk, tasks)
+        if result_ref is not None:
+            buffer = self._result_segment.buf
+            return [bool(buffer[position]) for position in range(len(items))]
+        outcomes: list[bool] = [False] * len(items)
+        for chunk_id, chunk_outcomes in results:
+            start, end = chunks[chunk_id]
+            outcomes[start:end] = chunk_outcomes
+        return outcomes
+
+    def _first_hit_sharded(
+        self,
+        fault: Fault,
+        base: TestSequence,
+        kind: str,
+        items: list,
+        expansion: ExpansionConfig,
+        chunk: int | None,
+    ) -> tuple[int | None, int]:
+        """Cancellable scan for the minimum detecting candidate index.
+
+        Deterministic by construction: every chunk that could contain a
+        smaller index than the current best keeps running, so the merged
+        minimum equals the serial scan's first hit; chunks wholly past
+        the best abandon early.  The evaluated-candidate count is
+        recomputed from the serial chunked-scan formula so Procedure 2's
+        statistics match ``workers=1`` exactly.
+        """
+        serial_chunk = self._first_hit_chunk(chunk)
+        context = self._ensure_context()
+        # First-hit chunks follow the caller's serial chunk width (the
+        # cancellation granularity), not the batch width: a scan usually
+        # resolves long before its deepest chunks run, and abandoning a
+        # narrow chunk wastes less than abandoning a full-width one.
+        chunks = plan_candidate_chunks(
+            len(items), self._workers, serial_chunk, self._oversplit
+        )
+        base_ref = self._base_ref(base)
+        step = serial_chunk
+        context.pool.reset_first_hit()
+        tasks = [
+            (
+                context.context_id,
+                chunk_id,
+                fault,
+                base_ref,
+                kind,
+                items[start:end],
+                start,
+                expansion,
+                step,
+            )
+            for chunk_id, (start, end) in enumerate(chunks)
+        ]
+        results = context.pool.run_tasks(_run_seq_chunk_first_hit, tasks)
+        winner = min(
+            (found for _, found in results if found is not None),
+            default=None,
+        )
+        if winner is None:
+            return None, len(items)
+        evaluated = min(len(items), (winner // serial_chunk + 1) * serial_chunk)
+        return winner, evaluated
+
+
+def _unlink_segment(segment) -> None:
+    """Close and unlink a parent-owned shared-memory segment (tolerant)."""
+    if segment is None:
+        return
+    try:
+        segment.close()
+        segment.unlink()
+    except (FileNotFoundError, BufferError):  # pragma: no cover - teardown race
+        pass
+
+
+def make_sequence_simulator(
+    circuit: Circuit | CompiledCircuit,
+    batch_width: int = DEFAULT_SEQ_BATCH_WIDTH,
+    backend: str | SimBackend | None = None,
+    pipeline: str = "packed",
+    workers: int = 1,
+    min_shard_candidates: int | None = None,
+    oversplit: int = DEFAULT_OVERSPLIT,
+) -> SequenceBatchSimulator:
+    """The ``workers=`` seam for every candidate-simulation consumer.
+
+    ``workers <= 1`` returns the plain serial
+    :class:`SequenceBatchSimulator`; anything larger a
+    :class:`ShardedSequenceBatchSimulator` (which still runs candidate
+    sets that fit one bit-parallel pass serially — see
+    :data:`SERIAL_FALLBACK_CANDIDATES`).  ``workers=0`` /
+    ``workers=None`` mean "one per CPU".
+    """
+    if workers is None or workers == 0:
+        workers = default_workers()
+    if workers <= 1:
+        return SequenceBatchSimulator(
+            circuit, batch_width=batch_width, backend=backend, pipeline=pipeline
+        )
+    return ShardedSequenceBatchSimulator(
+        circuit,
+        batch_width=batch_width,
+        backend=backend,
+        pipeline=pipeline,
+        workers=workers,
+        min_shard_candidates=min_shard_candidates,
+        oversplit=oversplit,
+    )

@@ -255,8 +255,27 @@ def _expansion_time_map(indices, config: ExpansionConfig):
     return src, comp, shift
 
 
+def omission_index_lists(length: int, omit_indices: Sequence[int]) -> list:
+    """Index lists describing ``base.omit(index)`` for each omitted index."""
+    return [[j for j in range(length) if j != index] for index in omit_indices]
+
+
+def base_bits_of(base: TestSequence, width: int):
+    """``base`` as a ``(len(base), width)`` uint8 bit matrix.
+
+    The interchange format of the derived-candidate pipeline: the packer
+    consumes it directly, and the candidate-axis sharder
+    (:mod:`repro.sim.seqshard`) publishes exactly this matrix through a
+    shared-memory buffer so workers attach instead of unpickling the
+    base per task.
+    """
+    if len(base):
+        return np.asarray(base.vectors(), dtype=np.uint8)
+    return np.zeros((0, width), dtype=np.uint8)
+
+
 def _derived_packer(
-    base: TestSequence,
+    base_bits,
     index_lists: list,
     expansion: ExpansionConfig,
     width: int,
@@ -264,16 +283,12 @@ def _derived_packer(
 ) -> _NumpyColumns:
     """Packer whose candidates are ``expand(base[indices], expansion)``.
 
-    The base sequence is converted to bits once; its four per-vector
-    variants (identity, complement, shift, complement+shift) form a
-    ``(4, len(base), width)`` table, and every candidate column is a
-    gather ``table[transform[slot, t], src[slot, t]]`` — no expanded
-    sequence is ever materialized.
+    ``base_bits`` is the base sequence as bits (:func:`base_bits_of`);
+    its four per-vector variants (identity, complement, shift,
+    complement+shift) form a ``(4, len(base), width)`` table, and every
+    candidate column is a gather ``table[transform[slot, t],
+    src[slot, t]]`` — no expanded sequence is ever materialized.
     """
-    if len(base):
-        base_bits = np.asarray(base.vectors(), dtype=np.uint8)
-    else:
-        base_bits = np.zeros((0, width), dtype=np.uint8)
     shifted = np.roll(base_bits, -1, axis=1)
     table = np.stack([base_bits, 1 - base_bits, shifted, 1 - shifted])
 
@@ -340,6 +355,27 @@ class SequenceBatchSimulator:
     def batch_width(self) -> int:
         return self._batch_width
 
+    @property
+    def pipeline(self) -> str:
+        return self._pipeline
+
+    def close(self) -> None:
+        """Release simulator resources.
+
+        A no-op here; the process-sharded subclass
+        (:class:`repro.sim.seqshard.ShardedSequenceBatchSimulator`)
+        retires its worker-pool context and shared-memory buffers.
+        Present on the base class so consumers built against
+        :func:`repro.sim.seqshard.make_sequence_simulator` can close
+        unconditionally.
+        """
+
+    def __enter__(self) -> "SequenceBatchSimulator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # ------------------------------------------------------------------
     # Public detection APIs
     # ------------------------------------------------------------------
@@ -375,12 +411,7 @@ class SequenceBatchSimulator:
         window-search candidates, derived from the shared base without
         materializing any expanded sequence.
         """
-        for start, end in spans:
-            if start < 0 or end >= len(base) or start > end:
-                raise SimulationError(
-                    f"window [{start}, {end}] out of range for base of "
-                    f"length {len(base)}"
-                )
+        self._validate_spans(base, spans)
         return self._detects_derived(
             fault, base, [range(start, end + 1) for start, end in spans], expansion
         )
@@ -397,20 +428,115 @@ class SequenceBatchSimulator:
         One outcome per omitted index — Procedure 2's vector-omission
         candidates, derived from the shared base.
         """
+        self._validate_omissions(base, omit_indices)
+        index_lists = omission_index_lists(len(base), omit_indices)
+        return self._detects_derived(fault, base, index_lists, expansion)
+
+    # ------------------------------------------------------------------
+    # First-hit scans (Procedure 2's inner loops)
+    # ------------------------------------------------------------------
+    def first_detecting_window(
+        self,
+        fault: Fault,
+        base: TestSequence,
+        spans: list[tuple[int, int]],
+        expansion: ExpansionConfig,
+        chunk: int | None = None,
+    ) -> tuple[int | None, int]:
+        """Position of the first detecting span, scanning in list order.
+
+        Returns ``(position, evaluated)``: ``position`` indexes ``spans``
+        (``None`` when nothing detects) and ``evaluated`` is the number
+        of candidates simulated under the serial chunked scan — whole
+        chunks of ``chunk`` candidates (default ``batch_width``) up to
+        and including the winning chunk.  The sharded subclass returns
+        the identical pair for any worker count: the winner is the
+        *minimum* detecting position (what a serial scan finds first)
+        and ``evaluated`` is recomputed from the same formula, so
+        Procedure 2's statistics never depend on ``workers``.
+        """
+        self._validate_spans(base, spans)
+        return self._first_hit_serial(
+            fault,
+            base,
+            list(spans),
+            expansion,
+            chunk,
+            lambda part: self.detects_windows(fault, base, part, expansion),
+        )
+
+    def first_detecting_omission(
+        self,
+        fault: Fault,
+        base: TestSequence,
+        omit_indices: Sequence[int],
+        expansion: ExpansionConfig,
+        chunk: int | None = None,
+    ) -> tuple[int | None, int]:
+        """Position of the first detecting omission, scanning in order.
+
+        Same contract as :meth:`first_detecting_window`, over
+        ``expand(base.omit(index), expansion)`` candidates.
+        """
+        self._validate_omissions(base, omit_indices)
+        return self._first_hit_serial(
+            fault,
+            base,
+            list(omit_indices),
+            expansion,
+            chunk,
+            lambda part: self.detects_omissions(fault, base, part, expansion),
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _validate_spans(
+        self, base: TestSequence, spans: list[tuple[int, int]]
+    ) -> None:
+        for start, end in spans:
+            if start < 0 or end >= len(base) or start > end:
+                raise SimulationError(
+                    f"window [{start}, {end}] out of range for base of "
+                    f"length {len(base)}"
+                )
+
+    def _validate_omissions(
+        self, base: TestSequence, omit_indices: Sequence[int]
+    ) -> None:
         length = len(base)
         for index in omit_indices:
             if not 0 <= index < length:
                 raise SimulationError(
                     f"omit index {index} out of range for base of length {length}"
                 )
-        index_lists = [
-            [j for j in range(length) if j != index] for index in omit_indices
-        ]
-        return self._detects_derived(fault, base, index_lists, expansion)
 
-    # ------------------------------------------------------------------
-    # Internals
-    # ------------------------------------------------------------------
+    def _first_hit_chunk(self, chunk: int | None) -> int:
+        if chunk is None:
+            return self._batch_width
+        if chunk < 1:
+            raise SimulationError(f"first-hit chunk must be >= 1, got {chunk}")
+        return chunk
+
+    def _first_hit_serial(
+        self,
+        fault: Fault,
+        base: TestSequence,
+        items: list,
+        expansion: ExpansionConfig,
+        chunk: int | None,
+        run_part,
+    ) -> tuple[int | None, int]:
+        """The reference first-hit scan: whole chunks, stop at first hit."""
+        chunk = self._first_hit_chunk(chunk)
+        for start in range(0, len(items), chunk):
+            part = items[start : start + chunk]
+            outcomes = run_part(part)
+            for offset, detected in enumerate(outcomes):
+                if detected:
+                    return start + offset, start + len(part)
+        return None, len(items)
+
     def _detects_derived(
         self,
         fault: Fault,
@@ -432,11 +558,30 @@ class SequenceBatchSimulator:
                     for indices in index_lists
                 ],
             )
+        return self._detects_derived_bits(
+            fault, base_bits_of(base, width), index_lists, expansion
+        )
+
+    def _detects_derived_bits(
+        self,
+        fault: Fault,
+        base_bits,
+        index_lists: list,
+        expansion: ExpansionConfig,
+    ) -> list[bool]:
+        """Packed derived detection over a base already converted to bits.
+
+        The entry point the candidate-axis shard workers use: they attach
+        the published base-bits buffer and call this directly, skipping
+        any per-task base reconstruction.  Requires numpy and the packed
+        pipeline (the parent falls back to pickled bases otherwise).
+        """
+        width = self._compiled.num_inputs
         outcomes: list[bool] = []
         for start in range(0, len(index_lists), self._batch_width):
             chunk = index_lists[start : start + self._batch_width]
             packer = _derived_packer(
-                base, chunk, expansion, width, self._pad_width(len(chunk))
+                base_bits, chunk, expansion, width, self._pad_width(len(chunk))
             )
             outcomes.extend(self._run_packed(fault, packer))
         return outcomes

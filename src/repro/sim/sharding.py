@@ -10,12 +10,16 @@ circuit.
 The design follows three rules:
 
 * **Pickle once per worker.**  The circuit, the backend name, the batch
-  width and the full fault list ship to each worker exactly once, at pool
-  initialization (spawn-safe: the initializer and the task function are
-  module-level, and everything crossing the boundary is plain data).
-  Tasks reference faults by index into that list (the pool is rebound if a
-  caller switches to faults outside it), so the per-task payload is the
-  input sequence, the observation plan and a tuple of ints.
+  width and the full fault list are published to the session's shared
+  :class:`~repro.sim.workerpool.WorkerPool` as a *context*: each worker
+  receives the spec exactly once and builds its own simulator from it.
+  The pool itself persists across simulators (Procedure 1, Procedure 2,
+  compaction and restoration all borrow the same processes), so spawn
+  cost is paid once per session and the circuit once per worker per
+  fault list.  Tasks reference faults by index into the published list
+  (the context is rebound if a caller switches to faults outside it), so
+  the per-task payload is the input sequence, the observation plan and a
+  tuple of ints.
 * **Merge plain ints.**  Workers return per-slot first-detection times and
   (for sessions) packed flop states — the same backend-independent Python
   integers the serial simulator uses — so merging is dictionary updates
@@ -35,13 +39,12 @@ which returns a plain :class:`FaultSimulator` for ``workers <= 1`` and a
 :class:`ShardedFaultSimulator` otherwise; the sharded class is a drop-in
 subclass (same ``run`` / ``detects`` / ``session`` API), so Procedure 1/2,
 the ATPG engine, the baselines and the harness opt in purely through the
-``workers`` knob on their configs.
+``workers`` knob on their configs.  The candidate axis of Procedure 2 is
+sharded by the sibling :mod:`repro.sim.seqshard` over the same pool.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import os
 from collections.abc import Sequence
 
 from repro.circuit.netlist import Circuit
@@ -58,6 +61,12 @@ from repro.sim.faultsim import (
     ObservationRow,
     build_observation_plan,
 )
+from repro.sim.workerpool import (
+    PoolContext,
+    default_workers,
+    get_worker_pool,
+    worker_state,
+)
 
 #: Below this many faults a sharded simulator runs serially: the cost of
 #: shipping the sequence + observation plan to the pool and collecting the
@@ -69,10 +78,15 @@ SERIAL_FALLBACK_FAULTS = 512
 #: pulls the next one from the shared queue instead of idling.
 DEFAULT_OVERSPLIT = 4
 
-
-def default_workers() -> int:
-    """A reasonable worker count for this machine (``os.cpu_count()``)."""
-    return max(1, os.cpu_count() or 1)
+__all__ = [
+    "SERIAL_FALLBACK_FAULTS",
+    "DEFAULT_OVERSPLIT",
+    "default_workers",
+    "plan_chunks",
+    "ShardedFaultSimulator",
+    "ShardedFaultSimSession",
+    "make_fault_simulator",
+]
 
 
 def plan_chunks(
@@ -114,36 +128,42 @@ def plan_chunks(
 
 
 # ----------------------------------------------------------------------
-# Worker-process side.  Module-level (spawn-picklable) state and
-# functions; each worker process holds exactly one simulator.
+# Worker-process side: fault-context builder and chunk task, both
+# module-level (spawn-picklable) and dispatched by the shared pool.
 # ----------------------------------------------------------------------
-_WORKER: dict = {}
-
-
-def _worker_init(
-    circuit: Circuit,
-    backend_name: str,
-    batch_width: int,
-    faults: list[Fault],
-) -> None:
-    """Pool initializer: build this worker's own simulator once."""
+def build_fault_context(spec: tuple) -> dict:
+    """Build this worker's simulator for one published fault context."""
+    _, circuit, backend_name, batch_width, faults = spec
     compiled = CompiledCircuit(circuit)
-    _WORKER["simulator"] = FaultSimulator(
-        compiled, batch_width=batch_width, backend=backend_name
-    )
-    _WORKER["faults"] = faults
+    return {
+        "simulator": FaultSimulator(
+            compiled, batch_width=batch_width, backend=backend_name
+        ),
+        "faults": faults,
+    }
 
 
-def _worker_run_chunk(task: tuple) -> tuple[int, list[int | None], list[int] | None]:
+def _run_fault_chunk(
+    task: tuple,
+) -> tuple[int, list[int | None], list[int] | None]:
     """Simulate one chunk of faults; return (chunk id, times, final states).
 
-    ``indices`` reference the fault list shipped at pool init (the parent
-    rebinds the pool whenever it is asked about faults outside that list),
-    so the per-task payload stays plain ints.
+    ``indices`` reference the fault list published with the context (the
+    parent rebinds the context whenever it is asked about faults outside
+    that list), so the per-task payload stays plain ints.
     """
-    chunk_id, indices, sequence, observation_plan, initial_states, collect = task
-    simulator: FaultSimulator = _WORKER["simulator"]
-    universe: list[Fault] = _WORKER["faults"]
+    (
+        context_id,
+        chunk_id,
+        indices,
+        sequence,
+        observation_plan,
+        initial_states,
+        collect,
+    ) = task
+    context = worker_state()["contexts"][context_id]
+    simulator: FaultSimulator = context["simulator"]
+    universe: list[Fault] = context["faults"]
     faults = [universe[index] for index in indices]
     width = simulator.batch_width
     times: list[int | None] = []
@@ -168,65 +188,22 @@ def _worker_run_chunk(task: tuple) -> tuple[int, list[int | None], list[int] | N
     return chunk_id, times, finals
 
 
-def _start_method() -> str:
-    """The multiprocessing start method for shard pools.
+class _FaultContext:
+    """Parent-side handle: a registered fault context plus its index map."""
 
-    Honors ``REPRO_SHARDING_START_METHOD`` (``fork`` / ``spawn`` /
-    ``forkserver``); otherwise prefers ``fork`` where available (cheap,
-    and the worker payload is inherited rather than pickled) and falls
-    back to ``spawn`` — for which this module is fully pickle-safe.
-    """
-    override = os.environ.get("REPRO_SHARDING_START_METHOD")
-    if override:
-        if override not in multiprocessing.get_all_start_methods():
-            raise SimulationError(
-                f"REPRO_SHARDING_START_METHOD={override!r} is not supported "
-                f"here; available: {multiprocessing.get_all_start_methods()}"
-            )
-        return override
-    if "fork" in multiprocessing.get_all_start_methods():
-        return "fork"
-    return "spawn"
+    __slots__ = ("handle", "faults", "index_of")
 
-
-class _ShardPool:
-    """A process pool bound to one (circuit, backend, batch width, faults).
-
-    Thin wrapper so the simulator can rebind pools when asked to simulate
-    a fault list that is not covered by the current one.
-    """
-
-    def __init__(
-        self,
-        circuit: Circuit,
-        backend_name: str,
-        batch_width: int,
-        faults: list[Fault],
-        workers: int,
-    ) -> None:
+    def __init__(self, pool, context_id: int, faults: Sequence[Fault]) -> None:
+        self.handle = PoolContext(pool, context_id)
         self.faults = list(faults)
         self.index_of: dict[Fault, int] = {
             fault: index for index, fault in enumerate(self.faults)
         }
-        context = multiprocessing.get_context(_start_method())
-        self._pool = context.Pool(
-            processes=workers,
-            initializer=_worker_init,
-            initargs=(circuit, backend_name, batch_width, self.faults),
-        )
-
-    def run_tasks(self, tasks: list[tuple]) -> list[tuple]:
-        """Run chunk tasks with work stealing; order of results is arbitrary."""
-        return list(self._pool.imap_unordered(_worker_run_chunk, tasks, chunksize=1))
 
     def covers(self, faults: Sequence[Fault]) -> bool:
-        """Whether every fault can be referenced by index in this pool."""
+        """Whether every fault can be referenced by index in this context."""
         index_of = self.index_of
         return all(fault in index_of for fault in faults)
-
-    def close(self) -> None:
-        self._pool.terminate()
-        self._pool.join()
 
 
 class ShardedFaultSimulator(FaultSimulator):
@@ -239,9 +216,11 @@ class ShardedFaultSimulator(FaultSimulator):
     states are bit-identical to the serial simulator for any worker
     count — the parity suite enforces this.
 
-    The worker pool is created lazily on the first sharded call and kept
-    for the simulator's lifetime; call :meth:`close` (or use the instance
-    as a context manager) to release the processes deterministically.
+    The simulator borrows the session's persistent
+    :class:`~repro.sim.workerpool.WorkerPool` on the first sharded call
+    and publishes its circuit/fault payload as a pool context;
+    :meth:`close` (or the context manager) retires the context, while the
+    pool itself stays warm for the next simulator.
     """
 
     def __init__(
@@ -261,7 +240,7 @@ class ShardedFaultSimulator(FaultSimulator):
         self._workers = workers
         self._min_shard_faults = max(1, min_shard_faults)
         self._oversplit = max(1, oversplit)
-        self._pool: _ShardPool | None = None
+        self._context: _FaultContext | None = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -270,15 +249,21 @@ class ShardedFaultSimulator(FaultSimulator):
     def workers(self) -> int:
         return self._workers
 
-    def close(self) -> None:
-        """Terminate the worker pool (idempotent)."""
-        if self._pool is not None:
-            self._pool.close()
-            self._pool = None
+    def close(self, _deferred: bool = False) -> None:
+        """Retire this simulator's pool context (idempotent).
+
+        The underlying worker pool is session-owned and stays warm; see
+        :func:`repro.sim.workerpool.close_worker_pools` for final teardown.
+        """
+        if self._context is not None:
+            self._context.handle.retire(deferred=_deferred)
+            self._context = None
 
     def __del__(self) -> None:  # pragma: no cover - GC timing dependent
         try:
-            self.close()
+            # Deferred: a finalizer may run on any thread mid-dispatch,
+            # where a barrier broadcast on the shared pool is unsafe.
+            self.close(_deferred=True)
         except Exception:
             pass
 
@@ -310,27 +295,33 @@ class ShardedFaultSimulator(FaultSimulator):
     # ------------------------------------------------------------------
     # Internals (also used by ShardedFaultSimSession)
     # ------------------------------------------------------------------
-    def _ensure_pool(self, faults: list[Fault]) -> _ShardPool:
-        """The current pool, rebound if it cannot index ``faults``.
+    def _ensure_context(self, faults: list[Fault]) -> _FaultContext:
+        """The current fault context, rebound if it cannot index ``faults``.
 
-        Rebinding re-ships the fault list and restarts the workers, so it
-        only happens when a caller switches to a fault set that is not a
-        subset of the one the pool was built for (sessions and Procedure
-        1's shrinking target sets stay on the index path).
+        Rebinding re-publishes the fault list to the (persistent) pool,
+        so it only happens when a caller switches to a fault set that is
+        not a subset of the one the context was built for (sessions and
+        Procedure 1's shrinking target sets stay on the index path).
         """
-        pool = self._pool
-        if pool is not None and pool.covers(faults):
-            return pool
-        if pool is not None:
-            pool.close()
-        self._pool = _ShardPool(
+        pool = get_worker_pool(self._workers)
+        context = self._context
+        if (
+            context is not None
+            and context.handle.pool is pool
+            and context.covers(faults)
+        ):
+            return context
+        if context is not None:
+            context.handle.retire()
+        spec = (
+            "fault",
             self._compiled.circuit,
             self._backend.name,
             self._batch_width,
-            faults,
-            self._workers,
+            list(faults),
         )
-        return self._pool
+        self._context = _FaultContext(pool, pool.register_context(spec), faults)
+        return self._context
 
     def _run_sharded(
         self,
@@ -341,18 +332,19 @@ class ShardedFaultSimulator(FaultSimulator):
         collect_final_states: bool = False,
     ) -> list[int | None] | tuple[list[int | None], list[int]]:
         """Fan ``faults`` out in chunks; merge into fault-list order."""
-        pool = self._ensure_pool(faults)
+        context = self._ensure_context(faults)
         chunks = plan_chunks(
             len(faults), self._workers, self._batch_width, self._oversplit
         )
         tasks = []
         for chunk_id, (start, end) in enumerate(chunks):
-            indices = tuple(pool.index_of[fault] for fault in faults[start:end])
+            indices = tuple(context.index_of[fault] for fault in faults[start:end])
             initial = (
                 initial_states[start:end] if initial_states is not None else None
             )
             tasks.append(
                 (
+                    context.handle.context_id,
                     chunk_id,
                     indices,
                     sequence,
@@ -363,7 +355,8 @@ class ShardedFaultSimulator(FaultSimulator):
             )
         times: list[int | None] = [None] * len(faults)
         finals: list[int] = [0] * len(faults) if collect_final_states else []
-        for chunk_id, chunk_times, chunk_finals in pool.run_tasks(tasks):
+        outcomes = context.handle.pool.run_tasks(_run_fault_chunk, tasks)
+        for chunk_id, chunk_times, chunk_finals in outcomes:
             start, end = chunks[chunk_id]
             times[start:end] = chunk_times
             if collect_final_states and chunk_finals is not None:
@@ -388,9 +381,9 @@ class ShardedFaultSimSession(FaultSimSession):
     ) -> None:
         super().__init__(simulator, faults)
         self._sharded = simulator
-        # Bind the pool to the full universe up front: every later peek /
-        # commit works on a subset, so chunks stay on the index path.
-        simulator._ensure_pool(faults)
+        # Bind the context to the full universe up front: every later peek
+        # / commit works on a subset, so chunks stay on the index path.
+        simulator._ensure_context(faults)
 
     def _advance(self, extension, commit):
         faults = list(self._fault_states)

@@ -1,0 +1,356 @@
+"""The persistent worker pool shared by every process-sharded simulator.
+
+Before this module existed, each :class:`~repro.sim.sharding.ShardedFaultSimulator`
+owned its own ``multiprocessing.Pool``: every simulator construction paid
+the full spawn cost (process startup, module imports under ``spawn``) and
+re-pickled the circuit, even though Procedure 1, Procedure 2, compaction
+and restoration all run over the *same* circuit within one session.  This
+module hoists pool ownership out of the simulators:
+
+* **One pool per (worker count, start method), per process.**
+  :func:`get_worker_pool` returns a process-global :class:`WorkerPool`
+  that is created lazily on first use and lives until
+  :func:`close_worker_pools` (registered ``atexit``).  Simulators *borrow*
+  the pool; their ``close()`` releases only their own state.
+* **Contexts instead of initializers.**  A simulator publishes its
+  payload (circuit, backend name, batch width, fault list, ...) as a
+  *context*: :meth:`WorkerPool.register_context` broadcasts the spec to
+  every worker exactly once (a barrier inside the install task guarantees
+  each worker takes exactly one copy), and each worker builds its
+  simulator from the spec and caches it by context id.  Tasks then carry
+  just the context id plus per-call data, so the heavy payload crosses
+  the process boundary once per worker per simulator — not once per
+  simulator construction, and never per task.
+* **A shared first-hit rendezvous.**  ``first_hit`` is one
+  ``multiprocessing.Value`` per pool holding the smallest detecting
+  candidate index found so far (:data:`FIRST_HIT_SENTINEL` = none yet).
+  The candidate-axis sharder (:mod:`repro.sim.seqshard`) uses it to
+  cancel chunks that can no longer influence a deterministic
+  first-detection answer.  The parent resets it between dispatches
+  (dispatches never overlap — the parent is single-threaded).
+
+Everything crossing the boundary is plain picklable data and every
+worker-side function is module-level, so the design is spawn-safe;
+``REPRO_SHARDING_START_METHOD`` overrides the default start method
+(``fork`` where available, else ``spawn``).
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+from collections import OrderedDict
+
+from repro.errors import SimulationError
+
+#: ``first_hit`` value meaning "no detecting candidate found yet".
+FIRST_HIT_SENTINEL = 1 << 62
+
+#: Ceiling on how long a context broadcast waits for every worker to
+#: rendezvous.  A worker that died would otherwise hang the barrier (and
+#: the parent) forever; a broken barrier surfaces as an error instead.
+BROADCAST_TIMEOUT_S = 300.0
+
+
+def default_workers() -> int:
+    """A reasonable worker count for this machine (``os.cpu_count()``)."""
+    return max(1, os.cpu_count() or 1)
+
+
+def resolve_start_method() -> str:
+    """The multiprocessing start method for shard pools.
+
+    Honors ``REPRO_SHARDING_START_METHOD`` (``fork`` / ``spawn`` /
+    ``forkserver``); otherwise prefers ``fork`` where available (cheap,
+    and the worker payload is inherited rather than pickled) and falls
+    back to ``spawn`` — for which this module is fully pickle-safe.
+    """
+    override = os.environ.get("REPRO_SHARDING_START_METHOD")
+    if override:
+        if override not in multiprocessing.get_all_start_methods():
+            raise SimulationError(
+                f"REPRO_SHARDING_START_METHOD={override!r} is not supported "
+                f"here; available: {multiprocessing.get_all_start_methods()}"
+            )
+        return override
+    if "fork" in multiprocessing.get_all_start_methods():
+        return "fork"
+    return "spawn"
+
+
+# ----------------------------------------------------------------------
+# Worker-process side.  Module-level (spawn-picklable) state and
+# functions; each worker holds its built contexts and a small cache of
+# attached shared-memory segments.
+# ----------------------------------------------------------------------
+_WORKER: dict = {}
+
+#: Attached shared-memory segments a worker keeps open (LRU by name).
+#: Small: at any moment the candidate axis references at most one result
+#: buffer and a couple of published base sequences.
+_WORKER_SHM_CAP = 6
+
+
+def worker_state() -> dict:
+    """This worker process's state dict (contexts, first-hit, shm cache)."""
+    return _WORKER
+
+
+def _worker_init(barrier, first_hit) -> None:
+    _WORKER["barrier"] = barrier
+    _WORKER["first_hit"] = first_hit
+    _WORKER["contexts"] = {}
+    _WORKER["shm"] = OrderedDict()
+
+
+def _build_context(spec: tuple) -> object:
+    """Build a worker-side context from its published spec.
+
+    Specs are tagged tuples; the owning module supplies the builder.
+    Imported lazily so a spawn-started worker only loads the axis it
+    actually serves.
+    """
+    kind = spec[0]
+    if kind == "fault":
+        from repro.sim.sharding import build_fault_context
+
+        return build_fault_context(spec)
+    if kind == "seq":
+        from repro.sim.seqshard import build_seq_context
+
+        return build_seq_context(spec)
+    raise SimulationError(f"unknown worker context kind {kind!r}")
+
+
+def _worker_install(payload: tuple) -> int:
+    """Install one context in this worker (broadcast task).
+
+    The barrier makes the broadcast exact: all ``workers`` install tasks
+    must be in flight simultaneously before any completes, so no worker
+    can take a second copy while another has none.
+    """
+    context_id, spec = payload
+    _WORKER["barrier"].wait(BROADCAST_TIMEOUT_S)
+    _WORKER["contexts"][context_id] = _build_context(spec)
+    return context_id
+
+
+def _worker_retire(context_id: int) -> int:
+    """Drop one context in this worker (broadcast task)."""
+    _WORKER["barrier"].wait(BROADCAST_TIMEOUT_S)
+    _WORKER["contexts"].pop(context_id, None)
+    return context_id
+
+
+def worker_attach_shm(name: str):
+    """Attach (or reuse) a shared-memory segment by name, LRU-cached.
+
+    Attachments register with the parent's resource tracker (an
+    idempotent set-add); the parent's eventual ``unlink`` performs the
+    single matching unregister, so the tracker ends every name balanced
+    and never warns at shutdown.
+    """
+    from multiprocessing import shared_memory
+
+    cache: OrderedDict = _WORKER["shm"]
+    segment = cache.get(name)
+    if segment is None:
+        segment = shared_memory.SharedMemory(name=name)
+        cache[name] = segment
+        while len(cache) > _WORKER_SHM_CAP:
+            _, stale = cache.popitem(last=False)
+            try:
+                stale.close()
+            except BufferError:  # pragma: no cover - view still exported
+                pass
+    else:
+        cache.move_to_end(name)
+    return segment
+
+
+def _ensure_resource_tracker() -> None:
+    """Start the shared-memory resource tracker before forking workers.
+
+    Workers attach shared-memory segments, which registers the names with
+    the resource tracker.  A ``fork``-context worker created *before* the
+    tracker exists would lazily spawn its own private tracker on first
+    attach — one that never sees the parent's balancing ``unlink`` and
+    therefore warns about "leaked" segments at shutdown.  Starting the
+    tracker before the fork makes every process share one tracker, whose
+    register/unregister stream balances exactly (worker registrations are
+    idempotent set-adds; the parent's unlink performs the single remove).
+    """
+    try:
+        from multiprocessing import resource_tracker
+    except ImportError:  # pragma: no cover - platform without the tracker
+        return
+    resource_tracker.ensure_running()
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+class WorkerPool:
+    """A persistent process pool hosting contexts for many simulators.
+
+    Simulators do not construct this directly — they call
+    :func:`get_worker_pool` and register a context.  ``run_tasks`` feeds
+    chunk tasks through ``imap_unordered(chunksize=1)``, which is what
+    makes the chunk plans work-stealing.
+    """
+
+    def __init__(self, workers: int, start_method: str) -> None:
+        if workers < 2:
+            raise SimulationError(
+                f"a worker pool needs at least 2 processes, got {workers}"
+            )
+        self._workers = workers
+        self._start_method = start_method
+        _ensure_resource_tracker()
+        context = multiprocessing.get_context(start_method)
+        self._barrier = context.Barrier(workers)
+        self._first_hit = context.Value("q", FIRST_HIT_SENTINEL)
+        self._pool = context.Pool(
+            processes=workers,
+            initializer=_worker_init,
+            initargs=(self._barrier, self._first_hit),
+        )
+        self._next_context_id = 0
+        self._deferred_retires: list[int] = []
+        self._closed = False
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    @property
+    def start_method(self) -> str:
+        return self._start_method
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------------------
+    # Contexts
+    # ------------------------------------------------------------------
+    def register_context(self, spec: tuple) -> int:
+        """Broadcast ``spec`` to every worker; return its context id."""
+        if self._closed:
+            raise SimulationError("worker pool is closed")
+        self._flush_deferred_retires()
+        context_id = self._next_context_id
+        self._next_context_id += 1
+        self._pool.map(
+            _worker_install, [(context_id, spec)] * self._workers, chunksize=1
+        )
+        return context_id
+
+    def retire_context(self, context_id: int) -> None:
+        """Broadcast removal of a context (frees worker memory)."""
+        if self._closed:
+            return
+        self._pool.map(_worker_retire, [context_id] * self._workers, chunksize=1)
+
+    def defer_retire(self, context_id: int) -> None:
+        """Queue a retire without touching the pool (GC-safe).
+
+        ``__del__`` may fire on any thread at any allocation point —
+        including mid-dispatch on this very pool — where a barrier
+        broadcast would interleave with in-flight tasks and corrupt the
+        exactly-once-per-worker install guarantee.  Deferred retires are
+        flushed at the next owning-thread dispatch; until then the stale
+        worker-side context merely holds memory.
+        """
+        self._deferred_retires.append(context_id)
+
+    def _flush_deferred_retires(self) -> None:
+        while self._deferred_retires and not self._closed:
+            self.retire_context(self._deferred_retires.pop())
+
+    # ------------------------------------------------------------------
+    # Tasks
+    # ------------------------------------------------------------------
+    def run_tasks(self, function, tasks: list[tuple]) -> list:
+        """Run chunk tasks with work stealing; result order is arbitrary."""
+        self._flush_deferred_retires()
+        return list(self._pool.imap_unordered(function, tasks, chunksize=1))
+
+    # ------------------------------------------------------------------
+    # First-hit rendezvous
+    # ------------------------------------------------------------------
+    def reset_first_hit(self) -> None:
+        """Arm the shared first-hit slot before a cancellable dispatch."""
+        with self._first_hit.get_lock():
+            self._first_hit.value = FIRST_HIT_SENTINEL
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Terminate the worker processes (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.terminate()
+        self._pool.join()
+
+
+class PoolContext:
+    """Parent-side handle for one registered context (retire exactly once)."""
+
+    __slots__ = ("pool", "context_id", "_retired")
+
+    def __init__(self, pool: WorkerPool, context_id: int) -> None:
+        self.pool = pool
+        self.context_id = context_id
+        self._retired = False
+
+    def retire(self, deferred: bool = False) -> None:
+        """Release the context: broadcast now, or queue it (``deferred``).
+
+        Pass ``deferred=True`` from finalizers — a broadcast from a GC
+        callback can interleave with an in-flight dispatch on the shared
+        pool (see :meth:`WorkerPool.defer_retire`).
+        """
+        if self._retired:
+            return
+        self._retired = True
+        try:
+            if deferred:
+                self.pool.defer_retire(self.context_id)
+            else:
+                self.pool.retire_context(self.context_id)
+        except Exception:  # pragma: no cover - pool torn down concurrently
+            pass
+
+
+_POOLS: dict[tuple[int, str], WorkerPool] = {}
+
+
+def get_worker_pool(workers: int) -> WorkerPool:
+    """The session's shared pool for ``workers`` processes.
+
+    Keyed by (worker count, resolved start method), created lazily and
+    reused by every sharded simulator until :func:`close_worker_pools` —
+    so spawn cost and per-worker circuit pickling are paid once per
+    session, not once per simulator.
+    """
+    method = resolve_start_method()
+    key = (workers, method)
+    pool = _POOLS.get(key)
+    if pool is None or pool.closed:
+        pool = WorkerPool(workers, method)
+        _POOLS[key] = pool
+    return pool
+
+
+def close_worker_pools() -> None:
+    """Terminate every session pool (registered ``atexit``)."""
+    for pool in list(_POOLS.values()):
+        pool.close()
+    _POOLS.clear()
+
+
+atexit.register(close_worker_pools)

@@ -1,0 +1,371 @@
+"""Sharded-vs-serial parity for process-sharded candidate detection.
+
+The contract of :mod:`repro.sim.seqshard` mirrors the fault axis's: the
+worker count is a pure throughput knob.  Detection outcomes, first-hit
+winners *and* the evaluated-candidate statistics must be bit-identical
+to the serial :class:`~repro.sim.seqsim.SequenceBatchSimulator` for
+every backend, worker count, transport (shared memory vs pickle
+fallback) and start method.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.catalog import load_circuit
+from repro.core.config import SelectionConfig
+from repro.core.ops import ExpansionConfig
+from repro.core.procedure2 import build_subsequence_for_fault
+from repro.core.sequence import TestSequence
+from repro.errors import SimulationError
+from repro.faults.universe import FaultUniverse
+from repro.sim.backend import available_backends
+from repro.sim.compiled import CompiledCircuit
+from repro.sim.faultsim import FaultSimulator
+from repro.sim.seqshard import (
+    NO_SHM_ENV,
+    SERIAL_FALLBACK_CANDIDATES,
+    ShardedSequenceBatchSimulator,
+    make_sequence_simulator,
+    plan_candidate_chunks,
+)
+from repro.sim.seqsim import SequenceBatchSimulator
+from repro.sim.sharding import ShardedFaultSimulator, plan_chunks
+from repro.sim.workerpool import get_worker_pool
+from repro.util.rng import SplitMix64
+
+EXPANSION = ExpansionConfig(repetitions=2)
+
+
+def _stimulus(circuit, length, seed=2026):
+    rng = SplitMix64(seed)
+    return TestSequence(
+        [
+            [rng.next_u64() & 1 for _ in range(circuit.num_inputs)]
+            for _ in range(length)
+        ]
+    )
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """One syn298 fault with a deep detection time, plus candidate sets."""
+    circuit = load_circuit("syn298")
+    compiled = CompiledCircuit(circuit)
+    t0 = _stimulus(circuit, 32)
+    universe = FaultUniverse(circuit)
+    detection = FaultSimulator(compiled).run(t0, list(universe.faults()))
+    fault, udet = max(
+        detection.detection_time.items(), key=lambda item: (item[1], str(item[0]))
+    )
+    undetected = [f for f in universe.faults() if f not in detection.detection_time]
+    spans = [(u, udet) for u in range(udet, -1, -1)]
+    base = t0.subsequence(0, udet)
+    omissions = list(range(len(base)))
+    return compiled, t0, fault, udet, spans, base, omissions, undetected
+
+
+@pytest.fixture(scope="module")
+def serial_reference(workload):
+    """Serial outcomes per backend, computed once."""
+    compiled, t0, fault, _udet, spans, base, omissions, _ = workload
+    reference = {}
+    for backend in available_backends():
+        serial = SequenceBatchSimulator(compiled, batch_width=16, backend=backend)
+        reference[backend] = {
+            "windows": serial.detects_windows(fault, t0, spans, EXPANSION),
+            "omissions": serial.detects_omissions(fault, base, omissions, EXPANSION),
+            "first_window": serial.first_detecting_window(
+                fault, t0, spans, EXPANSION, chunk=8
+            ),
+            "first_omission": serial.first_detecting_omission(
+                fault, base, omissions, EXPANSION, chunk=8
+            ),
+        }
+    return reference
+
+
+class TestPlanCandidateChunks:
+    def test_delegates_to_fault_axis_plan(self):
+        assert plan_candidate_chunks(500, 4, 96) == plan_chunks(500, 4, 96)
+
+    def test_covers_every_candidate_exactly_once(self):
+        for num, workers, width in [(7, 4, 96), (385, 4, 96), (1000, 3, 128)]:
+            chunks = plan_candidate_chunks(num, workers, width)
+            assert chunks[0][0] == 0
+            assert chunks[-1][1] == num
+            for (_, prev_end), (start, end) in zip(chunks, chunks[1:]):
+                assert start == prev_end
+                assert end > start
+
+    def test_empty(self):
+        assert plan_candidate_chunks(0, 4, 96) == []
+
+
+class TestFactory:
+    def test_workers_one_is_plain_serial(self, workload):
+        compiled = workload[0]
+        simulator = make_sequence_simulator(compiled, workers=1)
+        assert type(simulator) is SequenceBatchSimulator
+        simulator.close()  # no-op on the serial class
+
+    def test_workers_many_is_sharded(self, workload):
+        compiled = workload[0]
+        with make_sequence_simulator(compiled, workers=2) as simulator:
+            assert isinstance(simulator, ShardedSequenceBatchSimulator)
+            assert simulator.workers == 2
+
+    def test_default_floor_scales_with_batch_width(self, workload):
+        compiled = workload[0]
+        with ShardedSequenceBatchSimulator(
+            compiled, batch_width=96, workers=2
+        ) as simulator:
+            # One bit-parallel pass has nothing to parallelize.
+            assert not simulator.should_shard(96)
+            assert simulator.should_shard(97)
+        with ShardedSequenceBatchSimulator(
+            compiled, batch_width=8, workers=2
+        ) as simulator:
+            assert not simulator.should_shard(SERIAL_FALLBACK_CANDIDATES - 1)
+            assert simulator.should_shard(SERIAL_FALLBACK_CANDIDATES)
+
+    def test_invalid_worker_count_rejected(self, workload):
+        compiled = workload[0]
+        with pytest.raises(SimulationError):
+            ShardedSequenceBatchSimulator(compiled, workers=-2)
+
+    def test_small_sets_run_serially(self, workload):
+        compiled, t0, fault, udet, *_ = workload
+        with ShardedSequenceBatchSimulator(compiled, workers=4) as simulator:
+            # Below the floor nothing touches the pool: no context exists
+            # after the call.
+            outcome = simulator.detects_windows(fault, t0, [(udet, udet)], EXPANSION)
+            assert outcome in ([True], [False])
+            assert simulator._context is None
+
+
+@pytest.mark.parametrize("backend", available_backends())
+@pytest.mark.parametrize("workers", [2, 4])
+class TestShardedParity:
+    def test_windows_omissions_and_first_hits(
+        self, workload, serial_reference, backend, workers
+    ):
+        compiled, t0, fault, _udet, spans, base, omissions, _ = workload
+        reference = serial_reference[backend]
+        with ShardedSequenceBatchSimulator(
+            compiled,
+            batch_width=16,
+            backend=backend,
+            workers=workers,
+            min_shard_candidates=1,
+        ) as simulator:
+            assert simulator.should_shard(len(spans))
+            assert (
+                simulator.detects_windows(fault, t0, spans, EXPANSION)
+                == reference["windows"]
+            )
+            assert (
+                simulator.detects_omissions(fault, base, omissions, EXPANSION)
+                == reference["omissions"]
+            )
+            # First-hit: same winner and the same evaluated count (the
+            # serial chunked-scan formula), for any worker count.
+            assert (
+                simulator.first_detecting_window(fault, t0, spans, EXPANSION, chunk=8)
+                == reference["first_window"]
+            )
+            assert (
+                simulator.first_detecting_omission(
+                    fault, base, omissions, EXPANSION, chunk=8
+                )
+                == reference["first_omission"]
+            )
+
+    def test_explicit_candidates(self, workload, serial_reference, backend, workers):
+        compiled, t0, fault, udet, *_ = workload
+        candidates = [t0.subsequence(u, udet) for u in range(udet, -1, -1)] + [t0]
+        serial = SequenceBatchSimulator(
+            compiled, batch_width=16, backend=backend
+        ).detects(fault, candidates)
+        with ShardedSequenceBatchSimulator(
+            compiled,
+            batch_width=16,
+            backend=backend,
+            workers=workers,
+            min_shard_candidates=1,
+        ) as simulator:
+            assert simulator.detects(fault, candidates) == serial
+
+
+class TestFirstHitEdgeCases:
+    def test_no_winner_evaluates_everything(self, workload):
+        compiled, t0, _fault, _udet, spans, *_rest, undetected = workload
+        assert undetected, "syn298 stimulus should leave some faults undetected"
+        # A fault t0 misses may still be caught by an *expanded* window,
+        # so scan for one whose whole window search comes up empty.
+        identity = ExpansionConfig(
+            repetitions=1, use_complement=False, use_shift=False, use_reverse=False
+        )
+        serial = SequenceBatchSimulator(compiled, batch_width=16)
+
+        def never_detects(fault):
+            outcome = serial.first_detecting_window(
+                fault, t0, spans, identity, chunk=8
+            )
+            return outcome == (None, len(spans))
+
+        ghost = next((fault for fault in undetected if never_detects(fault)), None)
+        assert ghost is not None, "expected an expanded-window-proof fault"
+        with ShardedSequenceBatchSimulator(
+            compiled, batch_width=16, workers=2, min_shard_candidates=1
+        ) as simulator:
+            outcome = simulator.first_detecting_window(
+                ghost, t0, spans, identity, chunk=8
+            )
+            assert outcome == (None, len(spans))
+
+    def test_chunk_width_variants_agree_on_winner(self, workload):
+        compiled, t0, fault, _udet, spans, *_ = workload
+        serial = SequenceBatchSimulator(compiled, batch_width=16)
+        with ShardedSequenceBatchSimulator(
+            compiled, batch_width=16, workers=2, min_shard_candidates=1
+        ) as simulator:
+            for chunk in (1, 3, 16, None):
+                expected = serial.first_detecting_window(
+                    fault, t0, spans, EXPANSION, chunk=chunk
+                )
+                observed = simulator.first_detecting_window(
+                    fault, t0, spans, EXPANSION, chunk=chunk
+                )
+                assert observed == expected, f"chunk={chunk}"
+
+
+class TestTransports:
+    def test_pickle_fallback_matches_shm(self, workload, monkeypatch):
+        compiled, t0, fault, _udet, spans, base, omissions, _ = workload
+        with ShardedSequenceBatchSimulator(
+            compiled, batch_width=16, workers=2, min_shard_candidates=1
+        ) as simulator:
+            shm_windows = simulator.detects_windows(fault, t0, spans, EXPANSION)
+            shm_omissions = simulator.detects_omissions(
+                fault, base, omissions, EXPANSION
+            )
+        monkeypatch.setenv(NO_SHM_ENV, "1")
+        with ShardedSequenceBatchSimulator(
+            compiled, batch_width=16, workers=2, min_shard_candidates=1
+        ) as simulator:
+            assert (
+                simulator.detects_windows(fault, t0, spans, EXPANSION) == shm_windows
+            )
+            assert (
+                simulator.detects_omissions(fault, base, omissions, EXPANSION)
+                == shm_omissions
+            )
+
+    def test_legacy_pipeline_ships_pickled_bases(self, workload):
+        """The legacy pipeline shards too — through the pickle path."""
+        compiled, t0, fault, _udet, spans, *_ = workload
+        serial = SequenceBatchSimulator(
+            compiled, batch_width=16, pipeline="legacy"
+        ).detects_windows(fault, t0, spans, EXPANSION)
+        with ShardedSequenceBatchSimulator(
+            compiled,
+            batch_width=16,
+            pipeline="legacy",
+            workers=2,
+            min_shard_candidates=1,
+        ) as simulator:
+            assert simulator.detects_windows(fault, t0, spans, EXPANSION) == serial
+
+    def test_spawn_start_method_parity(self, workload, monkeypatch):
+        """The design must survive spawn (nothing inherited)."""
+        compiled, t0, fault, _udet, spans, *_ = workload
+        serial = SequenceBatchSimulator(compiled, batch_width=16).detects_windows(
+            fault, t0, spans, EXPANSION
+        )
+        monkeypatch.setenv("REPRO_SHARDING_START_METHOD", "spawn")
+        with ShardedSequenceBatchSimulator(
+            compiled, batch_width=16, workers=2, min_shard_candidates=1
+        ) as simulator:
+            assert simulator.detects_windows(fault, t0, spans, EXPANSION) == serial
+
+
+class TestSharedPool:
+    def test_both_axes_borrow_one_pool(self, workload):
+        """Fault- and candidate-axis simulators reuse the same processes."""
+        compiled, t0, fault, _udet, spans, *_ = workload
+        faults = list(FaultUniverse(compiled.circuit).faults())
+        pool = get_worker_pool(2)
+        with ShardedFaultSimulator(
+            compiled, workers=2, min_shard_faults=1
+        ) as fault_sim, ShardedSequenceBatchSimulator(
+            compiled, batch_width=16, workers=2, min_shard_candidates=1
+        ) as seq_sim:
+            fault_sim.run(t0, faults)
+            seq_sim.detects_windows(fault, t0, spans, EXPANSION)
+            assert fault_sim._context.handle.pool is pool
+            assert seq_sim._context.pool is pool
+        # Closing the simulators retires their contexts but keeps the
+        # session pool warm for the next borrower.
+        assert not pool.closed
+        assert get_worker_pool(2) is pool
+
+    def test_finalizer_defers_retire_to_next_dispatch(self, workload):
+        """__del__ must not broadcast on the shared pool; the retire is
+        queued and flushed at the next owning-thread dispatch."""
+        compiled, t0, fault, _udet, spans, *_ = workload
+        simulator = ShardedSequenceBatchSimulator(
+            compiled, batch_width=16, workers=2, min_shard_candidates=1
+        )
+        expected = simulator.detects_windows(fault, t0, spans, EXPANSION)
+        pool = simulator._context.pool
+        context_id = simulator._context.context_id
+        simulator.__del__()
+        assert context_id in pool._deferred_retires
+        # The next simulator's dispatch flushes the queue and still
+        # computes correct results.
+        with ShardedSequenceBatchSimulator(
+            compiled, batch_width=16, workers=2, min_shard_candidates=1
+        ) as fresh:
+            assert fresh.detects_windows(fault, t0, spans, EXPANSION) == expected
+        assert pool._deferred_retires == []
+
+    def test_context_republished_after_close(self, workload):
+        compiled, t0, fault, _udet, spans, *_ = workload
+        with ShardedSequenceBatchSimulator(
+            compiled, batch_width=16, workers=2, min_shard_candidates=1
+        ) as simulator:
+            first = simulator.detects_windows(fault, t0, spans, EXPANSION)
+            simulator.close()
+            assert simulator._context is None
+            # A further call transparently republishes the context.
+            assert simulator.detects_windows(fault, t0, spans, EXPANSION) == first
+
+
+class TestProcedure2EndToEnd:
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_subsequence_identical_to_serial(self, workload, workers):
+        """Procedure 2 output — sequence, ustart and the evaluated-candidate
+        statistic — must not depend on the worker count."""
+        compiled, t0, fault, udet, *_ = workload
+        config = SelectionConfig(
+            expansion=ExpansionConfig(repetitions=1),
+            seed=17,
+            search_batch_width=8,
+            omission_batch_width=12,
+        )
+        serial = build_subsequence_for_fault(
+            SequenceBatchSimulator(compiled, batch_width=12),
+            t0,
+            fault,
+            udet,
+            config,
+            fault_salt=3,
+        )
+        with ShardedSequenceBatchSimulator(
+            compiled, batch_width=12, workers=workers, min_shard_candidates=1
+        ) as simulator:
+            sharded = build_subsequence_for_fault(
+                simulator, t0, fault, udet, config, fault_salt=3
+            )
+        assert sharded == serial
