@@ -17,10 +17,24 @@ repacking, per-PO observation, per-batch program compiles), across a
 small batch-width axis.  The ``--workers`` axis additionally measures
 **candidate-axis process sharding**
 (:mod:`repro.sim.seqshard`): the same workload fanned across a
-persistent worker pool with shared-memory base/result buffers.
+persistent worker pool with shared-memory base/result buffers.  On the
+sharding-scale workloads every sharded point is measured under both
+**chunk-boundary modes** of the :class:`~repro.sim.scanplan.ScanPlan`
+IR — cost-balanced (``packed-w*-p*``, the default) and count-based
+(``packed-w*-p*-count``) — and the workload entry records each plan's
+chunk statistics (``chunk_plans``: chunk count, cost imbalance) so the
+boundary shapes are visible next to the throughput they produced.
 Detection outcomes are asserted identical across every measured
-combination — backends, pipelines, widths *and* worker counts — so the
-bench doubles as a parity check.
+combination — backends, pipelines, widths, worker counts *and* chunking
+modes — so the bench doubles as a parity check.
+
+Each workload entry also records the session's good-machine trace-cache
+counters (``trace_cache``): across all measured points and repeats, the
+fault-free trace of the stimulus is simulated exactly once and every
+distinct candidate base is packed to bit columns exactly once
+(``trace_misses == 1``, ``bits_misses == distinct_bases`` — asserted,
+not just reported), demonstrating the once-per-(circuit, sequence)
+contract of :mod:`repro.sim.trace`.
 
 Two entry points:
 
@@ -53,39 +67,63 @@ from repro.faults.universe import FaultUniverse
 from repro.sim.backend import available_backends
 from repro.sim.compiled import CompiledCircuit
 from repro.sim.faultsim import FaultSimulator
+from repro.sim.scanplan import CHUNKING_MODES, WindowRampPlan
 from repro.sim.seqshard import make_sequence_simulator
+from repro.sim.trace import SEQUENCE_CACHE_CAPACITY, get_trace_cache
 from repro.util.rng import SplitMix64
 
 from bench_faultsim import machine_block
 
+try:
+    import numpy  # noqa: F401  (the packed pipeline's bit-column cache)
+
+    _HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - numpy ships in CI
+    _HAVE_NUMPY = False
+
 #: (label, circuit, T0 length, expansion repetitions n, pipelines,
-#: omission window).  T0 lengths grow with the circuit so window
+#: omission window, shape, batch-width override).  T0 lengths grow with
+#: the circuit so window
 #: searches produce realistically full batches.  Workloads that track
 #: the packed-vs-legacy speedup measure both pipelines over the
 #: historical 32-vector omission base; the sharding-scale workloads
-#: measure packed only (the legacy pipeline is the historical reference,
-#: not a sharding target) and omit over the full ``T0[0, udet]`` prefix —
-#: candidate counts well past one batch width, the regime where the
-#: candidate axis actually fans out (a scan inside one bit-parallel pass
-#: costs ~one longest-candidate run regardless of slot count).
+#: (shape "mixed" with omission window None, or "ramp") measure packed
+#: only (the legacy pipeline is the historical reference, not a sharding
+#: target) and span candidate counts well past one batch width, the
+#: regime where the candidate axis actually fans out (a scan inside one
+#: bit-parallel pass costs ~one longest-candidate run regardless of slot
+#: count).  Shape "ramp" drops the omission rounds entirely: a pure
+#: window ramp is the workload whose per-candidate cost grows linearly,
+#: i.e. the shape cost-balanced chunking exists for — it is measured
+#: under both chunking modes side by side.  The ramp stage pins its
+#: batch width (last field) well below the span count: chunk boundaries
+#: are floored at one batch-width pass, so at the tuned widths a
+#: few-hundred-span smoke ramp would be floor-dominated and both
+#: planners would emit identical chunks — a narrower pass width is what
+#: lets the boundary shapes (and their imbalance) actually differ at
+#: smoke scale.
 _SMOKE_WORKLOADS = [
-    ("syn298", "syn298", 48, 2, ("packed", "legacy"), 32),
-    ("syn641", "syn641", 48, 2, ("packed", "legacy"), 32),
+    ("syn298", "syn298", 48, 2, ("packed", "legacy"), 32, "mixed", None),
+    ("syn641", "syn641", 48, 2, ("packed", "legacy"), 32, "mixed", None),
     # The sharding smoke stage: ~380-candidate window scans and
     # full-prefix omission rounds — 4 full 96-slot passes per scan, the
     # multi-pass regime where candidate sharding reaches ~linear scaling
     # (total-CPU overhead vs serial is ~1.0x here).
-    ("syn1423", "syn1423", 384, 2, ("packed",), None),
+    ("syn1423", "syn1423", 384, 2, ("packed",), None, "mixed", None),
+    # Pure window ramps on the same circuit: the cost-vs-count chunking
+    # comparison stage (count-equal chunks put ~2x the mean simulated
+    # steps in the deep-end chunk; cost-balanced chunks stay near 1x).
+    ("syn1423-ramp", "syn1423", 320, 2, ("packed",), None, "ramp", 32),
 ]
 _FULL_WORKLOADS = _SMOKE_WORKLOADS + [
-    ("syn5378", "syn5378", 96, 2, ("packed", "legacy"), 32),
+    ("syn5378", "syn5378", 96, 2, ("packed", "legacy"), 32, "mixed", None),
     # s5378-scale candidate universe (the ROADMAP "larger workloads"
     # data point): the syn1423 sharding shape on a 2.8k-gate circuit.
-    ("syn5378-xl", "syn5378", 256, 2, ("packed",), None),
+    ("syn5378-xl", "syn5378", 256, 2, ("packed",), None, "mixed", None),
     # 16k gates: past the paired-axis auto crossover, where the numpy
     # backend overtakes python on candidate throughput (the measurement
     # behind AUTO_PAIRED_GATE_THRESHOLD).
-    ("syn35932", "syn35932", 24, 2, ("packed", "legacy"), 32),
+    ("syn35932", "syn35932", 24, 2, ("packed", "legacy"), 32, "mixed", None),
 ]
 
 #: Batch widths measured per backend: the big-int kernel near its sweet
@@ -111,15 +149,20 @@ def _stimulus(circuit, length):
     )
 
 
-def _workload_plan(compiled, t0, targets, omit_window):
+def _workload_plan(compiled, t0, targets, omit_window, shape):
     """The fixed candidate workload: spans and omission bases per fault.
 
     ``omit_window`` bounds the omission base (``None`` = the full
-    ``T0[0, udet]`` prefix, the sharding-scale shape).
+    ``T0[0, udet]`` prefix, the sharding-scale shape).  Shape ``"ramp"``
+    drops the omission rounds: pure window ramps, the linear-cost shape
+    the chunking comparison measures.
     """
     plan = []
     for fault, udet in targets:
         spans = [(u, udet) for u in range(udet, -1, -1)]
+        if shape == "ramp":
+            plan.append((fault, spans, None, []))
+            continue
         start = 0 if omit_window is None else max(0, udet - omit_window + 1)
         base = t0.subsequence(start, udet)
         omissions = list(range(len(base)))
@@ -133,17 +176,27 @@ def _run_plan(simulator, plan, t0, expansion):
     outcomes = []
     for fault, spans, base, omissions in plan:
         outcomes.append(simulator.detects_windows(fault, t0, spans, expansion))
-        outcomes.append(
-            simulator.detects_omissions(fault, base, omissions, expansion)
-        )
+        if base is not None:
+            outcomes.append(
+                simulator.detects_omissions(fault, base, omissions, expansion)
+            )
         candidates += len(spans) + len(omissions)
     return candidates, outcomes
 
 
 def _measure(
-    compiled, plan, t0, expansion, backend, pipeline, width, workers, repeats=3
+    compiled,
+    plan,
+    t0,
+    expansion,
+    backend,
+    pipeline,
+    width,
+    workers,
+    chunking="cost",
+    repeats=3,
 ):
-    """Best-of-N throughput for one backend/pipeline/width/workers point.
+    """Best-of-N throughput for one measured point.
 
     The shared worker pool spins up lazily inside the first repeat, so
     best-of-N reports warm-pool throughput — what sustained Procedure 2
@@ -157,6 +210,7 @@ def _measure(
         pipeline=pipeline,
         workers=workers,
         min_shard_candidates=1,
+        chunking=chunking,
     )
     try:
         best = float("inf")
@@ -173,6 +227,7 @@ def _measure(
         "pipeline": pipeline,
         "batch_width": width,
         "workers": workers,
+        "chunking": chunking,
         "seconds": best,
         "candidates": candidates,
         "candidates_per_second": candidates / best if best else 0.0,
@@ -197,9 +252,20 @@ def run_profile(
         "workers_axis": list(workers_axis),
         "workloads": [],
     }
-    for label, name, t0_len, repetitions, pipelines, omit_window in workloads:
+    for (
+        label,
+        name,
+        t0_len,
+        repetitions,
+        pipelines,
+        omit_window,
+        shape,
+        width_override,
+    ) in workloads:
         expansion = ExpansionConfig(repetitions=repetitions)
         compiled = CompiledCircuit(load_circuit(name))
+        trace_cache = get_trace_cache(compiled)
+        trace_cache.reset_stats()
         universe = FaultUniverse(compiled.circuit)
         t0 = _stimulus(compiled.circuit, t0_len)
         baseline = FaultSimulator(compiled).run(t0, list(universe.faults()))
@@ -211,12 +277,13 @@ def run_profile(
         )[:targets_per_circuit]
         if not targets:
             raise AssertionError(f"{label}: stimulus detects no faults")
-        plan = _workload_plan(compiled, t0, targets, omit_window)
+        plan = _workload_plan(compiled, t0, targets, omit_window, shape)
         entry = {
             "circuit": label,
             "gates": len(compiled.ops),
             "t0_length": t0_len,
             "repetitions": repetitions,
+            "shape": shape,
             # Full-prefix workloads are the sharding-scale shape the
             # --min-shard-speedup gate targets; the 32-vector ones exist
             # for the packed-vs-legacy tracking and force-shard scans far
@@ -225,39 +292,73 @@ def run_profile(
             "target_udets": [udet for _, udet in targets],
             "results": {},
         }
+        if entry["sharding_scale"]:
+            # The chunk shapes behind the sharded points: the first
+            # target's window ramp cut by both planners at the widest
+            # measured pool (imbalance ~1.0 = perfectly even budgets).
+            stats_width = (
+                width_override
+                if width_override
+                else _WIDTH_AXIS.get(backends[0], (96,))[0]
+            )
+            stats_workers = max(workers_axis) if max(workers_axis) > 1 else 4
+            ramp_plan = WindowRampPlan(t0, plan[0][1], expansion)
+            entry["chunk_plans"] = {
+                mode: ramp_plan.chunk_stats(
+                    stats_workers, stats_width, chunking=mode
+                )
+                for mode in CHUNKING_MODES
+            }
         reference_outcomes = None
 
-        def measure_point(backend, pipeline, width, workers):
+        def measure_point(backend, pipeline, width, workers, chunking="cost"):
             nonlocal reference_outcomes
             measured, outcomes = _measure(
-                compiled, plan, t0, expansion, backend, pipeline, width, workers
+                compiled,
+                plan,
+                t0,
+                expansion,
+                backend,
+                pipeline,
+                width,
+                workers,
+                chunking,
             )
             if reference_outcomes is None:
                 reference_outcomes = outcomes
             elif outcomes != reference_outcomes:
                 raise AssertionError(
-                    f"{label}: {backend}/{pipeline}/w{width}/p{workers} "
-                    "outcomes diverge — parity violated"
+                    f"{label}: {backend}/{pipeline}/w{width}/p{workers}"
+                    f"/{chunking} outcomes diverge — parity violated"
                 )
             axis = f"{pipeline}-w{width}"
             if workers != 1:
                 axis += f"-p{workers}"
+            if chunking != "cost":
+                axis += f"-{chunking}"
             entry["results"][backend][axis] = measured
             progress(
                 f"[{label}] {backend:>6}/{pipeline:<6} width={width:<4}"
-                f"p{workers} {measured['seconds']:.3f}s  "
+                f"p{workers}/{chunking} {measured['seconds']:.3f}s  "
                 f"{measured['candidates_per_second']:.0f} cand/s"
             )
             return measured
 
         for backend in backends:
             entry["results"][backend] = {}
-            widths = _WIDTH_AXIS.get(backend, (96,))
+            widths = (
+                (width_override,)
+                if width_override
+                else _WIDTH_AXIS.get(backend, (96,))
+            )
             for pipeline in pipelines:
                 for width in widths:
                     measure_point(backend, pipeline, width, 1)
             # The sharding axis: packed pipeline at the backend's first
-            # (tuned) width for each non-serial worker count.
+            # (tuned) width for each non-serial worker count — under
+            # both chunking modes on the sharding-scale workloads, so
+            # cost-balanced and count-based boundaries are reported side
+            # by side over identical work.
             for workers in workers_axis:
                 if workers == 1:
                     continue
@@ -267,8 +368,20 @@ def run_profile(
                 measured["speedup_vs_serial"] = speedup
                 progress(
                     f"[{label}] {backend} candidate sharding speedup at "
-                    f"{workers} workers: {speedup:.2f}x"
+                    f"{workers} workers: {speedup:.2f}x (cost chunks)"
                 )
+                if entry["sharding_scale"]:
+                    counted = measure_point(
+                        backend, "packed", widths[0], workers, chunking="count"
+                    )
+                    counted["speedup_vs_serial"] = (
+                        serial["seconds"] / counted["seconds"]
+                    )
+                    progress(
+                        f"[{label}] {backend} candidate sharding speedup at "
+                        f"{workers} workers: "
+                        f"{counted['speedup_vs_serial']:.2f}x (count chunks)"
+                    )
             by_label = entry["results"][backend]
             speedups = [
                 by_label[f"packed-w{width}"]["candidates_per_second"]
@@ -284,6 +397,39 @@ def run_profile(
                 progress(
                     f"[{label}] {backend} packed-vs-legacy speedup: {best:.2f}x"
                 )
+        distinct_bases = {t0}
+        for _fault, _spans, base, _omissions in plan:
+            if base is not None:
+                distinct_bases.add(base)
+        stats = trace_cache.stats()
+        entry["trace_cache"] = dict(stats, distinct_bases=len(distinct_bases))
+        progress(
+            f"[{label}] trace cache: {stats['trace_misses']} good-machine "
+            f"sim(s), {stats['bits_misses']} base packing(s) for "
+            f"{len(distinct_bases)} distinct base(s) across all points "
+            f"({stats['trace_hits']} trace hits, {stats['bits_hits']} "
+            "bits hits)"
+        )
+        # The once-per-(circuit, sequence) contract, enforced: across
+        # every backend/pipeline/width/workers/chunking point and every
+        # repeat, the stimulus trace was simulated exactly once...
+        if stats["trace_misses"] != 1:
+            raise AssertionError(
+                f"{label}: expected exactly 1 good-machine simulation, "
+                f"recorded {stats['trace_misses']}"
+            )
+        # ...and (with the packed/numpy pipeline available, while the
+        # distinct bases fit the cache) every base was packed exactly once.
+        if (
+            _HAVE_NUMPY
+            and "packed" in pipelines
+            and len(distinct_bases) < SEQUENCE_CACHE_CAPACITY
+            and stats["bits_misses"] != len(distinct_bases)
+        ):
+            raise AssertionError(
+                f"{label}: expected {len(distinct_bases)} base packings, "
+                f"recorded {stats['bits_misses']}"
+            )
         report["workloads"].append(entry)
     return report
 

@@ -43,15 +43,22 @@ from repro.core import (
 from repro.errors import ReproError
 from repro.faults import Fault, FaultSite, FaultUniverse, collapse_faults
 from repro.sim import (
+    ExplicitPlan,
     FaultSimulator,
+    GoodTraceCache,
     LogicSimulator,
+    OmissionPlan,
+    ScanPlan,
     SequenceBatchSimulator,
     ShardedFaultSimulator,
     ShardedSequenceBatchSimulator,
     SimBackend,
+    WindowRampPlan,
     available_backends,
+    close_trace_caches,
     close_worker_pools,
     get_backend,
+    get_trace_cache,
     make_fault_simulator,
     make_sequence_simulator,
 )
@@ -90,6 +97,13 @@ __all__ = [
     "SequenceBatchSimulator",
     "ShardedFaultSimulator",
     "ShardedSequenceBatchSimulator",
+    "ScanPlan",
+    "WindowRampPlan",
+    "OmissionPlan",
+    "ExplicitPlan",
+    "GoodTraceCache",
+    "get_trace_cache",
+    "close_trace_caches",
     "make_fault_simulator",
     "make_sequence_simulator",
     "close_worker_pools",

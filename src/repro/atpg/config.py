@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.sim.backend import DEFAULT_BACKEND
+from repro.sim.scanplan import CHUNKING_MODES, DEFAULT_CHUNKING
 
 
 @dataclass(frozen=True)
@@ -43,6 +44,11 @@ class AtpgConfig:
             restoration compactor's candidate scans stay serial: each
             scan batch holds at most ``search_batch_width`` candidates,
             below the candidate axis's one-pass sharding floor.)
+        chunking: worker-chunk boundary mode for any sharded candidate
+            scan (``"cost"`` / ``"count"``, see
+            :mod:`repro.sim.scanplan`); forwarded to the restoration
+            compactor's sequence simulator.  Pure throughput knob —
+            results are bit-identical either way.
     """
 
     seed: int = 20_1999
@@ -61,10 +67,16 @@ class AtpgConfig:
     compaction_rounds: int = 2
     backend: str = DEFAULT_BACKEND
     workers: int = 1
+    chunking: str = DEFAULT_CHUNKING
 
     def __post_init__(self) -> None:
         if self.workers < 0:
             raise ValueError("workers must be >= 0 (0 = one per CPU)")
+        if self.chunking not in CHUNKING_MODES:
+            raise ValueError(
+                f"chunking must be one of {CHUNKING_MODES}, got "
+                f"{self.chunking!r}"
+            )
         if self.max_length < 1:
             raise ValueError("max_length must be positive")
         if self.random_chunk < 1 or self.greedy_chunk < 1:

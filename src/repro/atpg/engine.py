@@ -167,6 +167,7 @@ def generate_t0(
                     all_faults,
                     backend=config.backend,
                     workers=config.workers,
+                    chunking=config.chunking,
                 )
                 result.compaction = stats
                 result.phase_log.append(

@@ -25,6 +25,7 @@ from repro.core.sequence import TestSequence
 from repro.errors import AtpgError
 from repro.faults.model import Fault
 from repro.sim.compiled import CompiledCircuit
+from repro.sim.scanplan import DEFAULT_CHUNKING
 from repro.sim.seqshard import make_sequence_simulator
 from repro.sim.sharding import make_fault_simulator
 
@@ -60,13 +61,18 @@ def restoration_compact(
     search_batch_width: int = 24,
     backend: str | None = None,
     workers: int = 1,
+    chunking: str = DEFAULT_CHUNKING,
 ) -> tuple[TestSequence, RestorationStats]:
     """Compact ``t0`` by vector restoration, preserving its coverage."""
     fault_simulator = make_fault_simulator(
         compiled, backend=backend, workers=workers
     )
     sequence_simulator = make_sequence_simulator(
-        compiled, batch_width=search_batch_width, backend=backend, workers=workers
+        compiled,
+        batch_width=search_batch_width,
+        backend=backend,
+        workers=workers,
+        chunking=chunking,
     )
     try:
         baseline = fault_simulator.run(t0, faults)

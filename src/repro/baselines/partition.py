@@ -19,6 +19,7 @@ from repro.core.sequence import TestSequence
 from repro.errors import SelectionError
 from repro.faults.model import Fault
 from repro.sim.compiled import CompiledCircuit
+from repro.sim.scanplan import DEFAULT_CHUNKING, WindowRampPlan
 from repro.sim.seqshard import make_sequence_simulator
 from repro.sim.seqsim import SequenceBatchSimulator
 from repro.sim.sharding import make_fault_simulator
@@ -74,6 +75,10 @@ class PartitionResult:
     chunks: list[PartitionChunk] = field(default_factory=list)
     coverage_preserved: bool = False
     faults_requiring_extension: int = 0
+    #: Window candidates simulated by the extension searches — the same
+    #: first-hit evaluated-count statistic Procedure 2 reports, so the
+    #: baselines' search effort is comparable to the scheme's.
+    candidates_simulated: int = 0
 
     @property
     def total_loaded_length(self) -> int:
@@ -97,6 +102,7 @@ def partition_baseline(
     search_batch_width: int = 24,
     backend: str | None = None,
     workers: int = 1,
+    chunking: str = DEFAULT_CHUNKING,
 ) -> PartitionResult:
     """Partition ``t0`` into chunks of ``chunk_length``, extend for coverage.
 
@@ -110,7 +116,11 @@ def partition_baseline(
         compiled, backend=backend, workers=workers
     )
     sequence_simulator = make_sequence_simulator(
-        compiled, batch_width=search_batch_width, backend=backend, workers=workers
+        compiled,
+        batch_width=search_batch_width,
+        backend=backend,
+        workers=workers,
+        chunking=chunking,
     )
     try:
         baseline = fault_simulator.run(t0, faults)
@@ -148,7 +158,7 @@ def partition_baseline(
             missing = [fault for fault in local_faults if fault not in detected]
             for fault in sorted(missing, key=lambda f: -udet[f]):
                 result.faults_requiring_extension += 1
-                new_start = _extend_for_fault(
+                new_start, evaluated = _extend_for_fault(
                     sequence_simulator,
                     t0,
                     fault,
@@ -156,6 +166,7 @@ def partition_baseline(
                     chunk,
                     search_batch_width,
                 )
+                result.candidates_simulated += evaluated
                 chunk.start = min(chunk.start, new_start)
 
         result.chunks = chunks
@@ -195,21 +206,25 @@ def _extend_for_fault(
     detection_time: int,
     chunk: PartitionChunk,
     batch_width: int,
-) -> int:
+) -> tuple[int, int]:
     """Largest start ``j <= chunk.start`` such that ``T0[j, chunk.end]``
-    detects ``fault`` (guaranteed at ``j = 0``).
+    detects ``fault`` (guaranteed at ``j = 0``), plus the number of
+    window candidates the scan evaluated (the serial chunked-scan
+    formula — worker- and chunking-independent, like Procedure 2's).
 
-    One first-hit window scan: candidates are described as ``(j, end)``
-    spans of ``T0`` (never materialized) and a sharded simulator spreads
-    the scan across workers with first-hit cancellation.
+    One first-hit scan over a :class:`WindowRampPlan`: candidates are
+    described as ``(j, end)`` spans of ``T0`` (never materialized) and a
+    sharded simulator spreads the plan across workers with first-hit
+    cancellation at cost-balanced boundaries.
     """
     spans = [(j, chunk.end) for j in range(chunk.start, -1, -1)]
-    position, _evaluated = sequence_simulator.first_detecting_window(
-        fault, t0, spans, _IDENTITY_EXPANSION, chunk=batch_width
+    plan = WindowRampPlan(t0, spans, _IDENTITY_EXPANSION)
+    position, evaluated = sequence_simulator.first_hit(
+        fault, plan, chunk=batch_width
     )
     if position is None:
         raise SelectionError(
             f"chunk extension failed for {fault} (udet={detection_time}); "
             "the full prefix must detect it"
         )
-    return chunk.start - position
+    return chunk.start - position, evaluated

@@ -24,6 +24,7 @@ from repro.core.scheme import LoadAndExpandScheme
 from repro.harness.figures import render_figure1
 from repro.harness.runner import run_suite
 from repro.sim.backend import AUTO_BACKEND, DEFAULT_BACKEND, available_backends
+from repro.sim.scanplan import CHUNKING_MODES, DEFAULT_CHUNKING
 from repro.util.text import format_table
 
 
@@ -58,6 +59,7 @@ def _cmd_atpg(args: argparse.Namespace) -> int:
         max_length=args.max_length,
         backend=args.backend,
         workers=args.workers,
+        chunking=args.chunking,
     )
     result = generate_t0(circuit, config)
     print(
@@ -82,6 +84,7 @@ def _get_t0(args: argparse.Namespace, circuit) -> object:
         max_length=args.max_length,
         backend=args.backend,
         workers=args.workers,
+        chunking=args.chunking,
     )
     return generate_t0(circuit, config).sequence
 
@@ -95,6 +98,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         expansion=ExpansionConfig(repetitions=args.n),
         seed=args.seed,
         workers=args.workers,
+        chunking=args.chunking,
     )
     run = scheme.run(t0, config)
     result = run.result
@@ -156,6 +160,7 @@ def _cmd_figure1(args: argparse.Namespace) -> int:
         expansion=ExpansionConfig(repetitions=args.n),
         seed=args.seed,
         workers=args.workers,
+        chunking=args.chunking,
     )
     run = scheme.run(t0, config)
     print(render_figure1(run))
@@ -195,6 +200,18 @@ def build_parser() -> argparse.ArgumentParser:
                 "axes share one persistent pool, results are identical "
                 "for any worker count, and small fault universes or "
                 "candidate sets always run serially)"
+            ),
+        )
+        command.add_argument(
+            "--chunking",
+            choices=list(CHUNKING_MODES),
+            default=DEFAULT_CHUNKING,
+            help=(
+                "worker-chunk boundaries for sharded candidate scans: "
+                "'cost' balances simulated-step budgets (the right shape "
+                "for Procedure 2's window ramps), 'count' is the "
+                "historical equal-candidate plan; results are identical "
+                "either way"
             ),
         )
 

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 
 from repro.core.ops import ExpansionConfig
 from repro.sim.backend import AUTO_BACKEND, DEFAULT_BACKEND, available_backends
+from repro.sim.scanplan import CHUNKING_MODES, DEFAULT_CHUNKING
 
 #: Batch widths tuned per backend: (search, omission, fault).  The big-int
 #: kernel peaks near a couple hundred slots; the vectorized numpy engine
@@ -47,6 +48,13 @@ class SelectionConfig:
             means one per CPU.  Like backends and batch widths, worker
             counts never change results, only throughput (small fault
             universes and candidate sets always run serially).
+        chunking: how a sharded candidate scan is cut into worker
+            chunks — ``"cost"`` (default: equal simulated-step budgets
+            per chunk, balancing Procedure 2's linearly-growing window
+            ramps) or ``"count"`` (the historical equal-candidate plan).
+            See :mod:`repro.sim.scanplan`.  Pure throughput knob:
+            selected subsequences and ``candidates_simulated`` are
+            bit-identical either way, for any worker count.
     """
 
     expansion: ExpansionConfig = field(default_factory=ExpansionConfig)
@@ -57,6 +65,7 @@ class SelectionConfig:
     skip_omission: bool = False
     backend: str = DEFAULT_BACKEND
     workers: int = 1
+    chunking: str = DEFAULT_CHUNKING
 
     def __post_init__(self) -> None:
         if self.search_batch_width < 1:
@@ -67,6 +76,11 @@ class SelectionConfig:
             raise ValueError("fault_batch_width must be >= 1")
         if self.workers < 0:
             raise ValueError("workers must be >= 0 (0 = one per CPU)")
+        if self.chunking not in CHUNKING_MODES:
+            raise ValueError(
+                f"chunking must be one of {CHUNKING_MODES}, got "
+                f"{self.chunking!r}"
+            )
 
     @classmethod
     def for_backend(
@@ -76,6 +90,7 @@ class SelectionConfig:
         seed: int = 1999,
         skip_omission: bool = False,
         workers: int = 1,
+        chunking: str = DEFAULT_CHUNKING,
     ) -> "SelectionConfig":
         """A config with batch widths tuned to ``backend``.
 
@@ -103,6 +118,7 @@ class SelectionConfig:
             skip_omission=skip_omission,
             backend=backend,
             workers=workers,
+            chunking=chunking,
         )
 
     def with_repetitions(self, repetitions: int) -> "SelectionConfig":
@@ -122,4 +138,5 @@ class SelectionConfig:
             skip_omission=self.skip_omission,
             backend=self.backend,
             workers=self.workers,
+            chunking=self.chunking,
         )

@@ -120,6 +120,7 @@ def select_subsequences(
         batch_width=config.omission_batch_width,
         backend=config.backend,
         workers=config.workers,
+        chunking=config.chunking,
     )
     try:
         if precomputed_udet is None:

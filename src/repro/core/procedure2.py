@@ -13,26 +13,31 @@ Given a fault ``f`` detected by ``T0`` at time ``udet(f)``:
    still detects ``f``, restarting the scan after every accepted omission
    (paper Procedure 2 steps 4-9).
 
-Both phases hand their *entire* candidate scan to the simulator's
-first-hit APIs
-(:meth:`~repro.sim.seqsim.SequenceBatchSimulator.first_detecting_window`
-/ :meth:`~repro.sim.seqsim.SequenceBatchSimulator.first_detecting_omission`):
-a serial simulator runs the historical chunked scan (whole batches of
+Both phases describe their *entire* candidate scan as a
+:class:`~repro.sim.scanplan.ScanPlan` — a
+:class:`~repro.sim.scanplan.WindowRampPlan` for the descending ``ustart``
+ramp, an :class:`~repro.sim.scanplan.OmissionPlan` per omission round —
+and hand it to the simulator's
+:meth:`~repro.sim.seqsim.SequenceBatchSimulator.first_hit` executor: a
+serial simulator runs the historical chunked scan (whole batches of
 ``search_batch_width`` / ``omission_batch_width`` candidates until the
 first hit — a batch of ``W`` candidates costs about as much as simulating
 only the longest one, which is what makes this pure-Python reproduction
 feasible), while a sharded simulator
 (:class:`~repro.sim.seqshard.ShardedSequenceBatchSimulator`) fans the
-scan across worker processes with first-hit cancellation.  Either way the
+same plan across worker processes with first-hit cancellation, cutting
+it at cost-balanced (or count-based) chunk boundaries.  Either way the
 winner is the first detecting candidate in scan order and the evaluated
 count follows the serial formula, so the selected subsequences and the
-reported statistics are identical for any ``workers=`` setting.
+reported statistics are identical for any ``workers=`` and ``chunking=``
+setting.
 
 Candidates are *described*, not materialized: windows are ``(start,
 end)`` spans and omission trials index lists into a shared base, so the
 simulator derives every expanded candidate's packed input columns from
-one shared packing of the base sequence (see :mod:`repro.sim.seqsim`)
-instead of re-packing ``8 n |T'|`` vectors per candidate.
+one shared packing of the base sequence (cached per session in
+:mod:`repro.sim.trace`) instead of re-packing ``8 n |T'|`` vectors per
+candidate.
 """
 
 from __future__ import annotations
@@ -43,6 +48,7 @@ from repro.core.config import SelectionConfig
 from repro.core.sequence import TestSequence
 from repro.errors import SelectionError
 from repro.faults.model import Fault
+from repro.sim.scanplan import OmissionPlan, WindowRampPlan
 from repro.sim.seqsim import SequenceBatchSimulator
 from repro.util.rng import SplitMix64, derive_seed
 
@@ -83,12 +89,14 @@ def build_subsequence_for_fault(
     # ------------------------------------------------------------------
     # Phase 1: window search for ustart.
     # ------------------------------------------------------------------
-    # The whole descending scan is one first-hit call; the simulator
-    # chunks it by search_batch_width (serial) or shards it with
-    # cancellation (workers > 1) — same winner, same evaluated count.
+    # The whole descending scan is one plan handed to the first-hit
+    # executor; the simulator chunks it by search_batch_width (serial)
+    # or shards it with cancellation at the plan's cost-balanced
+    # boundaries (workers > 1) — same winner, same evaluated count.
     spans = [(u, udet) for u in range(udet, -1, -1)]
-    position, evaluated = simulator.first_detecting_window(
-        fault, t0, spans, expansion, chunk=config.search_batch_width
+    window_plan = WindowRampPlan(t0, spans, expansion)
+    position, evaluated = simulator.first_hit(
+        fault, window_plan, chunk=config.search_batch_width
     )
     candidates_simulated += evaluated
     ustart = udet - position if position is not None else None
@@ -111,11 +119,9 @@ def build_subsequence_for_fault(
         while len(subsequence) > 1:
             order = list(range(len(subsequence)))
             rng.shuffle(order)
-            position, evaluated = simulator.first_detecting_omission(
+            position, evaluated = simulator.first_hit(
                 fault,
-                subsequence,
-                order,
-                expansion,
+                OmissionPlan(subsequence, order, expansion),
                 chunk=config.omission_batch_width,
             )
             candidates_simulated += evaluated

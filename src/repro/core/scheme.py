@@ -9,6 +9,13 @@ of the paper runs its experiments:
 4. verify the full-coverage invariant: the union of faults detected by
    the expanded final sequences equals the faults detected by ``T0``.
 
+All steps share one :class:`~repro.sim.trace.GoodTraceCache` keyed on
+the scheme's compiled circuit, so the fault-free trace of ``T0`` (and of
+each expanded selection) is simulated once for the whole run — step 1
+computes it, Procedure 1's ``precomputed_udet`` path and the
+verification sweep reuse it.  :class:`SchemeRun` records the cache's
+hit/miss counters for observability.
+
 The returned :class:`SchemeResult` carries every column of the paper's
 Tables 3, 4 and 5 for one ``(circuit, n)`` run.
 """
@@ -100,6 +107,9 @@ class SchemeRun:
     compaction: CompactionResult
     udet: dict[Fault, int]
     sequences_before_compaction: list = None
+    #: Good-machine trace cache counters at the end of the run (misses ==
+    #: fault-free simulations actually executed for this circuit).
+    trace_stats: dict = None
 
 
 class LoadAndExpandScheme:
@@ -188,6 +198,7 @@ class LoadAndExpandScheme:
                 compaction=compaction,
                 udet=udet,
                 sequences_before_compaction=sequences_before,
+                trace_stats=fault_simulator.trace_cache.stats(),
             )
         finally:
             fault_simulator.close()

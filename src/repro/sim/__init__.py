@@ -9,6 +9,14 @@
 * :mod:`repro.sim.logicsim` — fault-free 3-valued sequential simulation.
 * :mod:`repro.sim.faultsim` — bit-parallel parallel-fault simulation
   (one input sequence, many faults) with fault dropping.
+* :mod:`repro.sim.scanplan` — the :class:`ScanPlan` IR every candidate
+  scan is described as (window ramps, omission rounds, explicit lists),
+  with per-candidate cost and cost-balanced / count-based chunk
+  boundaries shared by the serial and sharded executors.
+* :mod:`repro.sim.trace` — the per-session good-machine trace cache:
+  fault-free traces, observation plans and packed base bit columns
+  computed once per (circuit, sequence) and published over shared
+  memory for the sharded axes (:func:`get_trace_cache`).
 * :mod:`repro.sim.workerpool` — the persistent per-session worker pool
   both sharded axes borrow (one spawn + one circuit pickle per worker
   per context, shared first-hit cancellation slot).
@@ -41,15 +49,33 @@ from repro.sim.sharding import (
     ShardedFaultSimulator,
     make_fault_simulator,
 )
+from repro.sim.scanplan import (
+    ExplicitPlan,
+    OmissionPlan,
+    ScanPlan,
+    WindowRampPlan,
+)
 from repro.sim.seqsim import SequenceBatchSimulator
 from repro.sim.seqshard import (
     ShardedSequenceBatchSimulator,
     make_sequence_simulator,
 )
+from repro.sim.trace import (
+    GoodTraceCache,
+    close_trace_caches,
+    get_trace_cache,
+)
 from repro.sim.workerpool import WorkerPool, close_worker_pools, get_worker_pool
 from repro.sim.detection import DetectionRecord
 
 __all__ = [
+    "ScanPlan",
+    "WindowRampPlan",
+    "OmissionPlan",
+    "ExplicitPlan",
+    "GoodTraceCache",
+    "get_trace_cache",
+    "close_trace_caches",
     "CompiledCircuit",
     "DEFAULT_BACKEND",
     "SimBackend",

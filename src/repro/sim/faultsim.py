@@ -32,31 +32,21 @@ from __future__ import annotations
 from repro.circuit.netlist import Circuit
 from repro.core.sequence import TestSequence
 from repro.faults.model import Fault
-from repro.logic.values import ONE, X, ZERO, Ternary
+from repro.logic.values import X, Ternary
 from repro.sim.backend import SimBackend, get_backend, resolve_auto
 from repro.sim.compiled import CompiledCircuit
 from repro.sim.detection import FaultSimResult
-from repro.sim.logicsim import GoodTrace, LogicSimulator
+from repro.sim.logicsim import LogicSimulator
+
+# The observation-plan machinery lives with the good-machine trace cache
+# (:mod:`repro.sim.trace`); re-exported here for its historical importers.
+from repro.sim.trace import (  # noqa: F401  (re-export)
+    ObservationRow,
+    build_observation_plan,
+    get_trace_cache,
+)
 
 DEFAULT_BATCH_WIDTH = 192
-
-#: One time step of an observation plan: ``(po_position, good_value)`` for
-#: every PO that is binary in the fault-free machine at that step.
-ObservationRow = list[tuple[int, int]]
-
-
-def build_observation_plan(trace: GoodTrace) -> list[ObservationRow]:
-    """Per time step, the binary fault-free PO values to compare against."""
-    plan: list[ObservationRow] = []
-    for row in trace.po_values:
-        step: ObservationRow = []
-        for position, value in enumerate(row):
-            if value is ONE:
-                step.append((position, 1))
-            elif value is ZERO:
-                step.append((position, 0))
-        plan.append(step)
-    return plan
 
 
 class FaultSimulator:
@@ -80,7 +70,12 @@ class FaultSimulator:
         # The fault-free machine is a single scalar slot; the big-int
         # kernel is the fastest engine for that shape regardless of the
         # batch backend, and sharing it keeps observation plans trivially
-        # identical across backends.
+        # identical across backends.  One-shot (all-X) traces come from
+        # the session-wide cache — simulated once per (circuit, sequence)
+        # no matter how many simulators or dispatches ask; the private
+        # LogicSimulator serves sessions, whose good machine starts from
+        # an evolving state.
+        self._trace_cache = get_trace_cache(self._compiled)
         self._logic = LogicSimulator(self._compiled)
 
     @property
@@ -150,11 +145,19 @@ class FaultSimulator:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    @property
+    def trace_cache(self):
+        """The session's :class:`~repro.sim.trace.GoodTraceCache`."""
+        return self._trace_cache
+
     def _observation_plan(
         self,
         sequence: TestSequence,
         good_initial_state: list[Ternary] | None,
     ) -> list[ObservationRow]:
+        if good_initial_state is None:
+            # All-X start: the run-invariant trace, cached per session.
+            return self._trace_cache.observation_plan(sequence)
         good = self._logic.run(sequence, initial_state=good_initial_state)
         return build_observation_plan(good)
 

@@ -1,0 +1,353 @@
+"""The ScanPlan IR: one description of a candidate scan for every executor.
+
+Procedure 2's inner loop is millions of *candidate scans* — "which of
+these derived sequences detects fault ``f``, and which one first?".
+Before this module, the description of such a scan was smeared across
+four layers: Procedure 2 built span/index lists, :mod:`repro.sim.seqsim`
+re-derived chunk boundaries for its serial first-hit loop,
+:mod:`repro.sim.seqshard` planned worker chunks by candidate *count*,
+and the partitioning baseline rebuilt the same window ramp with its own
+identity expansion.  A :class:`ScanPlan` now carries the whole scan —
+the candidate payload, the shared base, the expansion operator and a
+per-candidate **cost** — and both the serial and the sharded executors
+consume the same object, so results are bit-identical by construction
+for any worker count and either chunking mode.
+
+Cost model
+----------
+
+A bit-parallel candidate batch costs about as much as simulating its
+*longest* member: slots ride along for free, passes are per-time-step
+dispatch-dominated on both backends.  The cost of a candidate is
+therefore its **expanded length** — for a window ``[s, e]`` under
+expansion config ``x`` that is ``(e - s + 1) * x.length_multiplier``
+time steps.  Procedure 2's window ramps are extreme: the scan
+``ustart = udet .. 0`` grows linearly, so the last count-equal chunk of
+a ramp holds ~2x the simulated steps of the first.  Count-based chunks
+(the fault axis's plan, where every fault costs the same) therefore
+skew worker load on ramps; :func:`plan_cost_chunks` instead cuts the
+candidate list at equal simulated-step budgets, still floored at
+``batch_width`` candidates so no chunk drops below one bit-parallel
+pass.
+
+Chunk boundaries never influence *results* on either axis — outcomes
+merge by candidate index, first-hit winners are the global minimum
+detecting index, and first-hit evaluated counts are recomputed from the
+serial chunked-scan formula — so ``chunking="cost"`` vs ``"count"`` is a
+pure throughput knob, enforced by the parity suite
+(``tests/test_sim_scanplan.py``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.ops import ExpansionConfig
+from repro.core.sequence import TestSequence
+from repro.errors import SimulationError
+
+#: Chunk-boundary modes understood by :meth:`ScanPlan.chunks`.
+CHUNKING_MODES = ("cost", "count")
+
+#: Default chunking mode: cost-balanced boundaries (equal simulated-step
+#: budgets).  For uniform-cost plans this degenerates to the count plan.
+DEFAULT_CHUNKING = "cost"
+
+#: Target chunks per worker (work stealing; see ``plan_count_chunks``).
+DEFAULT_OVERSPLIT = 4
+
+
+def validate_chunking(chunking: str) -> str:
+    """Reject unknown chunking modes early, at config/construction time."""
+    if chunking not in CHUNKING_MODES:
+        raise SimulationError(
+            f"unknown chunking mode {chunking!r}; expected one of "
+            f"{CHUNKING_MODES}"
+        )
+    return chunking
+
+
+# ----------------------------------------------------------------------
+# Chunk planners
+# ----------------------------------------------------------------------
+def plan_count_chunks(
+    num_items: int,
+    workers: int,
+    batch_width: int,
+    oversplit: int = DEFAULT_OVERSPLIT,
+) -> list[tuple[int, int]]:
+    """Partition ``range(num_items)`` into contiguous ``(start, end)`` chunks.
+
+    The historical count-based plan (previously
+    ``repro.sim.sharding.plan_chunks``): aims for ``workers * oversplit``
+    chunks with two floors that keep per-chunk backend passes efficient —
+
+    * a chunk is never narrower than one full backend pass
+      (``batch_width`` slots) unless even ``workers`` plain chunks would
+      be — oversplitting below a full pass trades vectorization for
+      stealing granularity, a bad deal for the wide-batch numpy engine;
+    * chunks wider than one pass are rounded up to whole multiples of
+      ``batch_width`` so only each chunk's final pass can be ragged.
+
+    Never returns empty chunks, so a work list smaller than the worker
+    count simply yields fewer chunks than workers.
+    """
+    if num_items <= 0:
+        return []
+    workers = max(1, workers)
+    target = workers * max(1, oversplit)
+    size = -(-num_items // target)  # ceil
+    per_worker = -(-num_items // workers)
+    size = max(size, min(batch_width, per_worker))
+    if size > batch_width:
+        size = -(-size // batch_width) * batch_width
+    return [
+        (start, min(start + size, num_items))
+        for start in range(0, num_items, size)
+    ]
+
+
+def plan_cost_chunks(
+    costs: Sequence[int],
+    workers: int,
+    batch_width: int,
+    oversplit: int = DEFAULT_OVERSPLIT,
+) -> list[tuple[int, int]]:
+    """Cost-balanced contiguous chunks: equal simulated-step budgets.
+
+    Greedily cuts the candidate list so every chunk carries about
+    ``remaining_cost / remaining_chunks`` simulated steps (the budget is
+    re-derived per cut, so one expensive candidate cannot starve the
+    tail into slivers).  The count plan's two floors are preserved: a
+    chunk never holds fewer than ``batch_width`` candidates (unless even
+    ``workers`` plain chunks would — no chunk drops below one
+    bit-parallel pass), and chunks wider than one pass snap up to whole
+    ``batch_width`` multiples so only each chunk's final pass is ragged.
+
+    With uniform costs the boundaries coincide with
+    :func:`plan_count_chunks` up to rounding; on Procedure 2's window
+    ramps (cost linear in position) the expensive end of the ramp gets
+    proportionally fewer candidates per chunk, which is what balances
+    worker wall-clock.
+    """
+    num_items = len(costs)
+    if num_items <= 0:
+        return []
+    workers = max(1, workers)
+    target = workers * max(1, oversplit)
+    floor = min(batch_width, -(-num_items // workers))
+    chunks: list[tuple[int, int]] = []
+    remaining_cost = sum(costs)
+    start = 0
+    while start < num_items:
+        remaining_chunks = max(1, target - len(chunks))
+        budget = remaining_cost / remaining_chunks
+        end = start
+        acc = 0
+        while end < num_items and (end - start < floor or acc < budget):
+            acc += costs[end]
+            end += 1
+        size = end - start
+        if size > batch_width:
+            # Snap to whole passes; only the chunk's last pass is ragged.
+            size = -(-size // batch_width) * batch_width
+            end = min(start + size, num_items)
+            acc = sum(costs[start:end])
+        chunks.append((start, end))
+        remaining_cost -= acc
+        start = end
+    return chunks
+
+
+# ----------------------------------------------------------------------
+# The plan IR
+# ----------------------------------------------------------------------
+class ScanPlan:
+    """One candidate scan: payload, base, expansion and per-candidate cost.
+
+    Subclasses fix ``kind`` (the executor dispatch tag, also the tag the
+    sharded task tuples carry) and implement :meth:`costs` (simulated
+    steps per candidate) plus :meth:`slice` (a sub-plan over a contiguous
+    candidate range — what the serial chunked first-hit scan and the
+    sharded chunk tasks consume).
+
+    Plans validate their payload against the base at construction, so a
+    malformed scan fails before any simulator work; the executor still
+    checks the base's *width* against its circuit (a plan is
+    circuit-independent).
+    """
+
+    __slots__ = ("items", "base", "expansion")
+
+    kind = "abstract"
+
+    def __init__(
+        self,
+        items: list,
+        base: TestSequence | None,
+        expansion: ExpansionConfig | None,
+    ) -> None:
+        self.items = items
+        self.base = base
+        self.expansion = expansion
+
+    @property
+    def num_candidates(self) -> int:
+        return len(self.items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def costs(self) -> list[int]:
+        """Simulated-step cost per candidate (its expanded length)."""
+        raise NotImplementedError
+
+    def total_cost(self) -> int:
+        return sum(self.costs())
+
+    def slice(self, start: int, end: int) -> "ScanPlan":
+        """The sub-plan over candidates ``start:end`` (same base/expansion)."""
+        clone = type(self).__new__(type(self))
+        ScanPlan.__init__(clone, self.items[start:end], self.base, self.expansion)
+        return clone
+
+    def chunks(
+        self,
+        workers: int,
+        batch_width: int,
+        oversplit: int = DEFAULT_OVERSPLIT,
+        chunking: str = DEFAULT_CHUNKING,
+    ) -> list[tuple[int, int]]:
+        """Contiguous ``(start, end)`` chunk boundaries for distribution.
+
+        ``chunking="cost"`` balances simulated-step budgets
+        (:func:`plan_cost_chunks`); ``"count"`` is the historical
+        candidate-count plan (:func:`plan_count_chunks`).  Boundaries are
+        a pure throughput choice — results are identical either way.
+        """
+        validate_chunking(chunking)
+        if chunking == "cost":
+            return plan_cost_chunks(self.costs(), workers, batch_width, oversplit)
+        return plan_count_chunks(len(self.items), workers, batch_width, oversplit)
+
+    def chunk_stats(
+        self,
+        workers: int,
+        batch_width: int,
+        oversplit: int = DEFAULT_OVERSPLIT,
+        chunking: str = DEFAULT_CHUNKING,
+    ) -> dict:
+        """Observability: chunk count and cost spread of a plan's chunks.
+
+        ``cost_imbalance`` is ``max_chunk_cost / mean_chunk_cost`` — 1.0
+        is a perfectly balanced plan; count-based chunking of a window
+        ramp approaches ~2x.  Recorded per workload by
+        ``benchmarks/bench_seqsim.py``.
+        """
+        boundaries = self.chunks(workers, batch_width, oversplit, chunking)
+        costs = self.costs()
+        chunk_costs = [sum(costs[start:end]) for start, end in boundaries]
+        total = sum(chunk_costs)
+        mean = total / len(chunk_costs) if chunk_costs else 0.0
+        return {
+            "chunking": chunking,
+            "num_chunks": len(boundaries),
+            "total_cost": total,
+            "max_chunk_cost": max(chunk_costs, default=0),
+            "min_chunk_cost": min(chunk_costs, default=0),
+            "cost_imbalance": (max(chunk_costs) / mean) if mean else 0.0,
+        }
+
+
+class WindowRampPlan(ScanPlan):
+    """Spans ``(start, end)`` of a base: ``expand(base[start..end], x)``.
+
+    Procedure 2's phase-1 ``ustart`` ramp and the partitioning baseline's
+    extension search (identity expansion).  Cost grows linearly with the
+    window length — the shape cost-balanced chunking exists for.
+    """
+
+    __slots__ = ()
+
+    kind = "windows"
+
+    def __init__(
+        self,
+        base: TestSequence,
+        spans: Sequence[tuple[int, int]],
+        expansion: ExpansionConfig,
+    ) -> None:
+        spans = [tuple(span) for span in spans]
+        length = len(base)
+        for start, end in spans:
+            if start < 0 or end >= length or start > end:
+                raise SimulationError(
+                    f"window [{start}, {end}] out of range for base of "
+                    f"length {length}"
+                )
+        super().__init__(spans, base, expansion)
+
+    def costs(self) -> list[int]:
+        multiplier = self.expansion.length_multiplier
+        return [(end - start + 1) * multiplier for start, end in self.items]
+
+    def index_lists(self) -> list:
+        """Each span as an index list into the base (the packer's input)."""
+        return [range(start, end + 1) for start, end in self.items]
+
+
+class OmissionPlan(ScanPlan):
+    """Single-vector omissions: ``expand(base.omit(index), x)``.
+
+    Procedure 2's phase-2 trials.  Uniform cost (every candidate is one
+    vector shorter than the base), so cost and count chunking coincide up
+    to rounding.
+    """
+
+    __slots__ = ()
+
+    kind = "omissions"
+
+    def __init__(
+        self,
+        base: TestSequence,
+        omit_indices: Sequence[int],
+        expansion: ExpansionConfig,
+    ) -> None:
+        omit_indices = [int(index) for index in omit_indices]
+        length = len(base)
+        for index in omit_indices:
+            if not 0 <= index < length:
+                raise SimulationError(
+                    f"omit index {index} out of range for base of length "
+                    f"{length}"
+                )
+        super().__init__(omit_indices, base, expansion)
+
+    def costs(self) -> list[int]:
+        cost = max(0, len(self.base) - 1) * self.expansion.length_multiplier
+        return [cost] * len(self.items)
+
+    def index_lists(self) -> list:
+        length = len(self.base)
+        return [
+            [j for j in range(length) if j != index] for index in self.items
+        ]
+
+
+class ExplicitPlan(ScanPlan):
+    """Materialized candidate sequences (no shared base, no expansion).
+
+    The restoration compactor's kept-set candidates and the generic
+    ``detects`` API.  Cost is each candidate's own length.
+    """
+
+    __slots__ = ()
+
+    kind = "explicit"
+
+    def __init__(self, sequences: Sequence[TestSequence]) -> None:
+        super().__init__(list(sequences), None, None)
+
+    def costs(self) -> list[int]:
+        return [len(sequence) for sequence in self.items]

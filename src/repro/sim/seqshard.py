@@ -17,15 +17,18 @@ Three mechanisms keep the IPC off the hot path:
   from them.  Tasks then carry a context id plus per-call data.
 * **Shared-memory buffers.**  On the packed/numpy pipeline the base
   sequence crosses the boundary as its bit matrix
-  (:func:`~repro.sim.seqsim.base_bits_of`) in a
-  ``multiprocessing.shared_memory`` segment: workers attach (LRU-cached
-  by name) and derive every expanded candidate from the mapped bits —
-  window spans and omission indices travel as tuples of ints.  Detection
-  outcomes flow back through a persistent shared result buffer (one byte
-  per candidate) instead of pickled lists.  Both buffers degrade
-  gracefully: when shared memory or numpy is unavailable — or
-  ``REPRO_SEQSHARD_NO_SHM`` is set — bases ship pickled and outcomes
-  return pickled, with identical results.
+  (:func:`~repro.sim.trace.base_bits_of`), published by the session's
+  :class:`~repro.sim.trace.GoodTraceCache` in a
+  ``multiprocessing.shared_memory`` segment — one segment per (circuit,
+  sequence) per session, shared with the serial pipeline's packers, so
+  the sharder no longer rebuilds packed base columns per context.
+  Workers attach (LRU-cached by name) and derive every expanded
+  candidate from the mapped bits — window spans and omission indices
+  travel as tuples of ints.  Detection outcomes flow back through a
+  persistent shared result buffer (one byte per candidate) instead of
+  pickled lists.  Both buffers degrade gracefully: when shared memory or
+  numpy is unavailable — or ``REPRO_SEQSHARD_NO_SHM`` is set — bases
+  ship pickled and outcomes return pickled, with identical results.
 * **First-hit cancellation.**  Procedure 2's scans only need the *first*
   detecting candidate.  :meth:`first_detecting_window` /
   :meth:`first_detecting_omission` dispatch all chunks at once and share
@@ -40,16 +43,19 @@ Three mechanisms keep the IPC off the hot path:
 The cost model dictates the chunk shape: a candidate batch costs about as
 much as simulating its *longest* member (bit-parallel slots ride along),
 so a chunk narrower than one full backend pass multiplies total steps
-without shrinking the critical path.  Chunks therefore follow the fault
-axis's batch-width-floored plan
-(:func:`repro.sim.sharding.plan_chunks`), sharding wins appear once a
-scan spans several serial passes (candidates well past ``batch_width`` —
-exactly the s5378/s35932-class scans), and the serial-fallback floor
-scales with the batch width (:data:`SERIAL_FALLBACK_CANDIDATES` or one
-full pass, whichever is larger, unless ``min_shard_candidates``
-overrides it explicitly).  First-hit scans are the exception: their
-serial cost is the ramp of whole chunks up to the winner, so fanning the
-scan out pays whenever the winner sits deep.
+without shrinking the critical path.  Chunk boundaries come from the
+:class:`~repro.sim.scanplan.ScanPlan` the caller hands in — cost-balanced
+by default (equal simulated-step budgets, the right shape for Procedure
+2's linearly-growing window ramps) or candidate-count-based
+(``chunking="count"``, the historical fault-axis plan), both floored at
+one full ``batch_width`` pass.  Sharding wins appear once a scan spans
+several serial passes (candidates well past ``batch_width`` — exactly
+the s5378/s35932-class scans), and the serial-fallback floor scales with
+the batch width (:data:`SERIAL_FALLBACK_CANDIDATES` or one full pass,
+whichever is larger, unless ``min_shard_candidates`` overrides it
+explicitly).  First-hit scans are the exception: their serial cost is
+the ramp of whole chunks up to the winner, so fanning the scan out pays
+whenever the winner sits deep.
 
 The consumer seam is :func:`make_sequence_simulator`, mirroring
 :func:`~repro.sim.sharding.make_fault_simulator`: Procedure 1/2,
@@ -58,10 +64,6 @@ restoration and the partitioning baseline opt in purely through the
 """
 
 from __future__ import annotations
-
-import os
-from collections import OrderedDict
-from collections.abc import Sequence
 
 try:  # numpy enables the shared-memory bit-matrix path.
     import numpy as np
@@ -80,13 +82,26 @@ from repro.errors import SimulationError
 from repro.faults.model import Fault
 from repro.sim.backend import SimBackend
 from repro.sim.compiled import CompiledCircuit
+from repro.sim.scanplan import (
+    DEFAULT_CHUNKING,
+    ScanPlan,
+    plan_count_chunks,
+    validate_chunking,
+)
 from repro.sim.seqsim import (
     DEFAULT_SEQ_BATCH_WIDTH,
     SequenceBatchSimulator,
-    base_bits_of,
     omission_index_lists,
 )
-from repro.sim.sharding import plan_chunks
+
+# The shm escape hatch and teardown helpers live with the trace cache
+# (one definition for both publishers); re-exported here for the
+# historical importers (NO_SHM_ENV is this module's documented knob).
+from repro.sim.trace import (  # noqa: F401  (re-export)
+    NO_SHM_ENV,
+    _unlink_segment,
+    shm_available,
+)
 from repro.sim.workerpool import (
     PoolContext,
     default_workers,
@@ -105,26 +120,8 @@ SERIAL_FALLBACK_CANDIDATES = 64
 #: Target chunks per worker (work stealing, as on the fault axis).
 DEFAULT_OVERSPLIT = 4
 
-#: Set (to any non-empty value) to disable the shared-memory buffers and
-#: force the pickle fallback — the parity escape hatch the tests use.
-NO_SHM_ENV = "REPRO_SEQSHARD_NO_SHM"
-
-#: Published bases kept alive per simulator.  Procedure 2 alternates
-#: between one window base (``T0``) and a shrinking omission base, so two
-#: entries make re-publication rare.
-_PARENT_BASE_CACHE = 2
-
 #: Minimum byte size of the persistent result buffer (grow-only).
 _RESULT_BUFFER_FLOOR = 1024
-
-
-def shm_available() -> bool:
-    """Whether the shared-memory buffer path is usable here."""
-    return (
-        shared_memory is not None
-        and np is not None
-        and not os.environ.get(NO_SHM_ENV)
-    )
 
 
 def plan_candidate_chunks(
@@ -133,16 +130,15 @@ def plan_candidate_chunks(
     batch_width: int,
     oversplit: int = DEFAULT_OVERSPLIT,
 ) -> list[tuple[int, int]]:
-    """Contiguous candidate chunks — the fault axis's batch-width plan.
+    """Contiguous count-based candidate chunks (back-compat shim).
 
-    A candidate batch costs about as much as its longest member, almost
-    independently of how many slots ride along (passes are per-step
-    dispatch-dominated on both backends), so chunks below one full
-    ``batch_width`` pass add total steps without shortening the critical
-    path; :func:`repro.sim.sharding.plan_chunks` already encodes exactly
-    that floor plus the whole-pass rounding and oversplit stealing.
+    Chunk boundaries now come from :meth:`repro.sim.scanplan.ScanPlan.chunks`
+    (cost-balanced by default); this helper remains for callers that
+    want the historical candidate-count plan without building a plan
+    object.  It delegates to the shared
+    :func:`repro.sim.scanplan.plan_count_chunks` planner.
     """
-    return plan_chunks(num_candidates, workers, batch_width, oversplit)
+    return plan_count_chunks(num_candidates, workers, batch_width, oversplit)
 
 
 # ----------------------------------------------------------------------
@@ -283,9 +279,11 @@ class ShardedSequenceBatchSimulator(SequenceBatchSimulator):
 
     The simulator borrows the session's persistent worker pool; circuit
     pickling happens once per worker when the context is first published,
-    and the packed base columns / detection masks travel through shared
-    memory when available.  :meth:`close` retires the context and unlinks
-    the buffers; the pool itself stays warm.
+    and the packed base columns (published by the session's
+    :class:`~repro.sim.trace.GoodTraceCache`) / detection masks travel
+    through shared memory when available.  :meth:`close` retires the
+    context and unlinks the result buffer; the pool and the trace
+    cache's base segments stay warm for the next borrower.
     """
 
     def __init__(
@@ -297,6 +295,7 @@ class ShardedSequenceBatchSimulator(SequenceBatchSimulator):
         workers: int | None = None,
         min_shard_candidates: int | None = None,
         oversplit: int = DEFAULT_OVERSPLIT,
+        chunking: str = DEFAULT_CHUNKING,
     ) -> None:
         super().__init__(
             circuit, batch_width=batch_width, backend=backend, pipeline=pipeline
@@ -315,10 +314,8 @@ class ShardedSequenceBatchSimulator(SequenceBatchSimulator):
             )
         self._min_shard_candidates = max(1, min_shard_candidates)
         self._oversplit = max(1, oversplit)
+        self._chunking = validate_chunking(chunking)
         self._context: PoolContext | None = None
-        # id(base) -> (base, segment, ref): the strong base reference
-        # keeps the id stable for the cache's lifetime.
-        self._base_cache: OrderedDict[int, tuple] = OrderedDict()
         self._result_segment = None
         self._result_capacity = 0
 
@@ -329,22 +326,25 @@ class ShardedSequenceBatchSimulator(SequenceBatchSimulator):
     def workers(self) -> int:
         return self._workers
 
+    @property
+    def chunking(self) -> str:
+        return self._chunking
+
     def should_shard(self, num_candidates: int) -> bool:
         """Whether a candidate list of this size goes to the pool."""
         return self._workers > 1 and num_candidates >= self._min_shard_candidates
 
     def close(self, _deferred: bool = False) -> None:
-        """Retire the pool context and unlink shared buffers (idempotent).
+        """Retire the pool context and unlink the result buffer (idempotent).
 
-        The worker pool is session-owned and stays warm; see
-        :func:`repro.sim.workerpool.close_worker_pools`.
+        The worker pool is session-owned and stays warm; base-bit
+        segments are owned by the session's trace cache
+        (:func:`repro.sim.trace.close_trace_caches` is their final
+        teardown); see :func:`repro.sim.workerpool.close_worker_pools`.
         """
         if self._context is not None:
             self._context.retire(deferred=_deferred)
             self._context = None
-        while self._base_cache:
-            _, (_base, segment, _ref) = self._base_cache.popitem(last=False)
-            _unlink_segment(segment)
         _unlink_segment(self._result_segment)
         self._result_segment = None
         self._result_capacity = 0
@@ -358,93 +358,39 @@ class ShardedSequenceBatchSimulator(SequenceBatchSimulator):
             pass
 
     # ------------------------------------------------------------------
-    # Sharded detection APIs
+    # Sharded plan executors (the public detection APIs inherit from the
+    # serial class and funnel through these two overrides)
     # ------------------------------------------------------------------
-    def detects(self, fault: Fault, sequences: list[TestSequence]) -> list[bool]:
-        if not self.should_shard(len(sequences)):
-            return super().detects(fault, sequences)
-        width = self._compiled.num_inputs
-        for sequence in sequences:
-            if len(sequence) and sequence.width != width:
-                raise SimulationError(
-                    f"candidate width {sequence.width} != circuit inputs {width}"
-                )
-        return self._run_sharded(fault, None, "explicit", list(sequences), None)
+    def scan(self, fault: Fault, plan: ScanPlan) -> list[bool]:
+        if not self.should_shard(len(plan)):
+            return super().scan(fault, plan)
+        self._validate_plan(plan)
+        return self._run_sharded(fault, plan)
 
-    def detects_windows(
-        self,
-        fault: Fault,
-        base: TestSequence,
-        spans: list[tuple[int, int]],
-        expansion: ExpansionConfig,
-    ) -> list[bool]:
-        if not self.should_shard(len(spans)):
-            return super().detects_windows(fault, base, spans, expansion)
-        self._validate_spans(base, spans)
-        self._validate_base_width(base)
-        return self._run_sharded(
-            fault, base, "windows", [tuple(span) for span in spans], expansion
-        )
-
-    def detects_omissions(
-        self,
-        fault: Fault,
-        base: TestSequence,
-        omit_indices: Sequence[int],
-        expansion: ExpansionConfig,
-    ) -> list[bool]:
-        if not self.should_shard(len(omit_indices)):
-            return super().detects_omissions(fault, base, omit_indices, expansion)
-        self._validate_omissions(base, omit_indices)
-        self._validate_base_width(base)
-        return self._run_sharded(
-            fault, base, "omissions", list(omit_indices), expansion
-        )
-
-    def first_detecting_window(
-        self,
-        fault: Fault,
-        base: TestSequence,
-        spans: list[tuple[int, int]],
-        expansion: ExpansionConfig,
-        chunk: int | None = None,
+    def first_hit(
+        self, fault: Fault, plan: ScanPlan, chunk: int | None = None
     ) -> tuple[int | None, int]:
-        if not self.should_shard(len(spans)):
-            return super().first_detecting_window(fault, base, spans, expansion, chunk)
-        self._validate_spans(base, spans)
-        self._validate_base_width(base)
-        candidates = [tuple(span) for span in spans]
-        return self._first_hit_sharded(
-            fault, base, "windows", candidates, expansion, chunk
-        )
-
-    def first_detecting_omission(
-        self,
-        fault: Fault,
-        base: TestSequence,
-        omit_indices: Sequence[int],
-        expansion: ExpansionConfig,
-        chunk: int | None = None,
-    ) -> tuple[int | None, int]:
-        if not self.should_shard(len(omit_indices)):
-            return super().first_detecting_omission(
-                fault, base, omit_indices, expansion, chunk
-            )
-        self._validate_omissions(base, omit_indices)
-        self._validate_base_width(base)
-        return self._first_hit_sharded(
-            fault, base, "omissions", list(omit_indices), expansion, chunk
-        )
+        if not self.should_shard(len(plan)):
+            return super().first_hit(fault, plan, chunk)
+        self._validate_plan(plan)
+        return self._first_hit_sharded(fault, plan, chunk)
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _validate_base_width(self, base: TestSequence) -> None:
+    def _validate_plan(self, plan: ScanPlan) -> None:
         width = self._compiled.num_inputs
-        if len(base) and base.width != width:
-            raise SimulationError(
-                f"base width {base.width} != circuit inputs {width}"
-            )
+        if plan.base is not None:
+            if len(plan.base) and plan.base.width != width:
+                raise SimulationError(
+                    f"base width {plan.base.width} != circuit inputs {width}"
+                )
+            return
+        for sequence in plan.items:
+            if len(sequence) and sequence.width != width:
+                raise SimulationError(
+                    f"candidate width {sequence.width} != circuit inputs {width}"
+                )
 
     def _ensure_context(self) -> PoolContext:
         """The published context, rebound if the session pool changed."""
@@ -473,33 +419,18 @@ class ShardedSequenceBatchSimulator(SequenceBatchSimulator):
         return np is not None and self._pipeline == "packed"
 
     def _base_ref(self, base: TestSequence) -> tuple:
-        """Publish (or reuse) the cross-process reference for ``base``.
+        """The cross-process reference for ``base``.
 
-        Packed/numpy: the base's bit matrix, in a shared-memory segment
-        when available (cached per base object — Procedure 2 reuses one
-        window base across its whole scan) or as raw bytes otherwise.
+        Packed/numpy: the base's bit matrix from the session's
+        :class:`~repro.sim.trace.GoodTraceCache` — one shared-memory
+        segment per (circuit, sequence) per session, shared with the
+        serial packers and every other sharded simulator of this
+        circuit (raw bytes when shared memory is unavailable).
         Legacy/no-numpy: the pickled sequence itself.
         """
         if not self._use_derived_bits():
             return ("seq", base)
-        key = id(base)
-        cached = self._base_cache.get(key)
-        if cached is not None and cached[0] is base:
-            self._base_cache.move_to_end(key)
-            return cached[2]
-        bits = np.ascontiguousarray(base_bits_of(base, self._compiled.num_inputs))
-        segment = None
-        if shm_available() and bits.size:
-            segment = shared_memory.SharedMemory(create=True, size=bits.nbytes)
-            np.ndarray(bits.shape, dtype=np.uint8, buffer=segment.buf)[:] = bits
-            ref = ("shm", segment.name, bits.shape[0], bits.shape[1])
-        else:
-            ref = ("bytes", bits.tobytes(), bits.shape[0], bits.shape[1])
-        self._base_cache[key] = (base, segment, ref)
-        while len(self._base_cache) > _PARENT_BASE_CACHE:
-            _, (_base, stale, _ref) = self._base_cache.popitem(last=False)
-            _unlink_segment(stale)
-        return ref
+        return self._trace_cache.bits_ref(base)
 
     def _result_ref(self, total: int) -> tuple | None:
         """The shared result buffer reference (grow-only), or None."""
@@ -514,31 +445,24 @@ class ShardedSequenceBatchSimulator(SequenceBatchSimulator):
             self._result_capacity = capacity
         return ("shm", self._result_segment.name, total)
 
-    def _run_sharded(
-        self,
-        fault: Fault,
-        base: TestSequence | None,
-        kind: str,
-        items: list,
-        expansion: ExpansionConfig | None,
-    ) -> list[bool]:
-        """Fan candidate chunks out; merge outcomes into candidate order."""
+    def _run_sharded(self, fault: Fault, plan: ScanPlan) -> list[bool]:
+        """Fan a plan's chunks out; merge outcomes into candidate order."""
         context = self._ensure_context()
-        chunks = plan_candidate_chunks(
-            len(items), self._workers, self._batch_width, self._oversplit
+        chunks = plan.chunks(
+            self._workers, self._batch_width, self._oversplit, self._chunking
         )
-        base_ref = self._base_ref(base) if base is not None else None
-        result_ref = self._result_ref(len(items))
+        base_ref = self._base_ref(plan.base) if plan.base is not None else None
+        result_ref = self._result_ref(len(plan))
         tasks = [
             (
                 context.context_id,
                 chunk_id,
                 fault,
                 base_ref,
-                kind,
-                items[start:end],
+                plan.kind,
+                plan.items[start:end],
                 start,
-                expansion,
+                plan.expansion,
                 result_ref,
             )
             for chunk_id, (start, end) in enumerate(chunks)
@@ -546,8 +470,8 @@ class ShardedSequenceBatchSimulator(SequenceBatchSimulator):
         results = context.pool.run_tasks(_run_seq_chunk, tasks)
         if result_ref is not None:
             buffer = self._result_segment.buf
-            return [bool(buffer[position]) for position in range(len(items))]
-        outcomes: list[bool] = [False] * len(items)
+            return [bool(buffer[position]) for position in range(len(plan))]
+        outcomes: list[bool] = [False] * len(plan)
         for chunk_id, chunk_outcomes in results:
             start, end = chunks[chunk_id]
             outcomes[start:end] = chunk_outcomes
@@ -556,10 +480,7 @@ class ShardedSequenceBatchSimulator(SequenceBatchSimulator):
     def _first_hit_sharded(
         self,
         fault: Fault,
-        base: TestSequence,
-        kind: str,
-        items: list,
-        expansion: ExpansionConfig,
+        plan: ScanPlan,
         chunk: int | None,
     ) -> tuple[int | None, int]:
         """Cancellable scan for the minimum detecting candidate index.
@@ -569,18 +490,20 @@ class ShardedSequenceBatchSimulator(SequenceBatchSimulator):
         minimum equals the serial scan's first hit; chunks wholly past
         the best abandon early.  The evaluated-candidate count is
         recomputed from the serial chunked-scan formula so Procedure 2's
-        statistics match ``workers=1`` exactly.
+        statistics match ``workers=1`` exactly — for either chunking
+        mode, whose boundaries only shape the worker tasks.
         """
         serial_chunk = self._first_hit_chunk(chunk)
         context = self._ensure_context()
-        # First-hit chunks follow the caller's serial chunk width (the
-        # cancellation granularity), not the batch width: a scan usually
-        # resolves long before its deepest chunks run, and abandoning a
-        # narrow chunk wastes less than abandoning a full-width one.
-        chunks = plan_candidate_chunks(
-            len(items), self._workers, serial_chunk, self._oversplit
+        # First-hit chunks are floored at the caller's serial chunk width
+        # (the cancellation granularity), not the batch width: a scan
+        # usually resolves long before its deepest chunks run, and
+        # abandoning a narrow chunk wastes less than abandoning a
+        # full-width one.
+        chunks = plan.chunks(
+            self._workers, serial_chunk, self._oversplit, self._chunking
         )
-        base_ref = self._base_ref(base)
+        base_ref = self._base_ref(plan.base) if plan.base is not None else None
         step = serial_chunk
         context.pool.reset_first_hit()
         tasks = [
@@ -589,10 +512,10 @@ class ShardedSequenceBatchSimulator(SequenceBatchSimulator):
                 chunk_id,
                 fault,
                 base_ref,
-                kind,
-                items[start:end],
+                plan.kind,
+                plan.items[start:end],
                 start,
-                expansion,
+                plan.expansion,
                 step,
             )
             for chunk_id, (start, end) in enumerate(chunks)
@@ -603,20 +526,9 @@ class ShardedSequenceBatchSimulator(SequenceBatchSimulator):
             default=None,
         )
         if winner is None:
-            return None, len(items)
-        evaluated = min(len(items), (winner // serial_chunk + 1) * serial_chunk)
+            return None, len(plan)
+        evaluated = min(len(plan), (winner // serial_chunk + 1) * serial_chunk)
         return winner, evaluated
-
-
-def _unlink_segment(segment) -> None:
-    """Close and unlink a parent-owned shared-memory segment (tolerant)."""
-    if segment is None:
-        return
-    try:
-        segment.close()
-        segment.unlink()
-    except (FileNotFoundError, BufferError):  # pragma: no cover - teardown race
-        pass
 
 
 def make_sequence_simulator(
@@ -627,6 +539,7 @@ def make_sequence_simulator(
     workers: int = 1,
     min_shard_candidates: int | None = None,
     oversplit: int = DEFAULT_OVERSPLIT,
+    chunking: str = DEFAULT_CHUNKING,
 ) -> SequenceBatchSimulator:
     """The ``workers=`` seam for every candidate-simulation consumer.
 
@@ -635,11 +548,16 @@ def make_sequence_simulator(
     :class:`ShardedSequenceBatchSimulator` (which still runs candidate
     sets that fit one bit-parallel pass serially — see
     :data:`SERIAL_FALLBACK_CANDIDATES`).  ``workers=0`` /
-    ``workers=None`` mean "one per CPU".
+    ``workers=None`` mean "one per CPU".  ``chunking`` selects how a
+    sharded simulator cuts a scan into worker chunks — ``"cost"``
+    (equal simulated-step budgets, the default) or ``"count"`` (the
+    historical equal-candidate plan); results are bit-identical either
+    way, so like ``workers`` it is a pure throughput knob.
     """
     if workers is None or workers == 0:
         workers = default_workers()
     if workers <= 1:
+        validate_chunking(chunking)
         return SequenceBatchSimulator(
             circuit, batch_width=batch_width, backend=backend, pipeline=pipeline
         )
@@ -651,4 +569,5 @@ def make_sequence_simulator(
         workers=workers,
         min_shard_candidates=min_shard_candidates,
         oversplit=oversplit,
+        chunking=chunking,
     )

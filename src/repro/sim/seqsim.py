@@ -20,13 +20,16 @@ The hot path is a **packed pipeline**:
   and flow into the batches through
   :meth:`~repro.sim.backend.SimBatch.load_inputs_words` (a zero-copy
   scatter on the numpy backend).
-* Procedure 2's candidates are never materialized at all:
-  :meth:`SequenceBatchSimulator.detects_windows` and
-  :meth:`~SequenceBatchSimulator.detects_omissions` describe them as
-  index lists into a shared base sequence, and the packer derives every
-  expanded candidate column from **one** packed copy of the base plus its
-  three per-vector transforms (complement, shift, complement+shift) —
-  the expansion operators only reorder time and toggle those transforms.
+* Procedure 2's candidates are never materialized at all: a
+  :class:`~repro.sim.scanplan.ScanPlan` (window spans or omission
+  indices into a shared base sequence) describes them, and the packer
+  derives every expanded candidate column from **one** packed copy of
+  the base plus its three per-vector transforms (complement, shift,
+  complement+shift) — the expansion operators only reorder time and
+  toggle those transforms.  The packed base columns come from the
+  session's :class:`~repro.sim.trace.GoodTraceCache`, so a base reused
+  across scans (Procedure 2 scans ``T0`` once per target fault) is
+  packed once per session, not once per call.
 * Detection is one fused
   :meth:`~repro.sim.backend.SimBackend.detect_step` pass across all POs
   per time step (no per-PO ``observe_po`` round trips).
@@ -65,6 +68,13 @@ from repro.errors import SimulationError
 from repro.faults.model import Fault
 from repro.sim.backend import SimBackend, get_backend, resolve_auto
 from repro.sim.compiled import CompiledCircuit
+from repro.sim.scanplan import (
+    ExplicitPlan,
+    OmissionPlan,
+    ScanPlan,
+    WindowRampPlan,
+)
+from repro.sim.trace import get_trace_cache
 
 DEFAULT_SEQ_BATCH_WIDTH = 128
 
@@ -260,20 +270,6 @@ def omission_index_lists(length: int, omit_indices: Sequence[int]) -> list:
     return [[j for j in range(length) if j != index] for index in omit_indices]
 
 
-def base_bits_of(base: TestSequence, width: int):
-    """``base`` as a ``(len(base), width)`` uint8 bit matrix.
-
-    The interchange format of the derived-candidate pipeline: the packer
-    consumes it directly, and the candidate-axis sharder
-    (:mod:`repro.sim.seqshard`) publishes exactly this matrix through a
-    shared-memory buffer so workers attach instead of unpickling the
-    base per task.
-    """
-    if len(base):
-        return np.asarray(base.vectors(), dtype=np.uint8)
-    return np.zeros((0, width), dtype=np.uint8)
-
-
 def _derived_packer(
     base_bits,
     index_lists: list,
@@ -283,7 +279,8 @@ def _derived_packer(
 ) -> _NumpyColumns:
     """Packer whose candidates are ``expand(base[indices], expansion)``.
 
-    ``base_bits`` is the base sequence as bits (:func:`base_bits_of`);
+    ``base_bits`` is the base sequence as bits
+    (:func:`repro.sim.trace.base_bits_of`);
     its four per-vector variants (identity, complement, shift,
     complement+shift) form a ``(4, len(base), width)`` table, and every
     candidate column is a gather ``table[transform[slot, t],
@@ -342,6 +339,10 @@ class SequenceBatchSimulator:
                 "expected 'packed' or 'legacy'"
             )
         self._pipeline = pipeline
+        # The session-wide good-machine cache: packed base columns for
+        # the derived-candidate pipeline come from here, so a base
+        # reused across scans is converted to bits once per session.
+        self._trace_cache = get_trace_cache(self._compiled)
 
     @property
     def compiled(self) -> CompiledCircuit:
@@ -377,10 +378,124 @@ class SequenceBatchSimulator:
         self.close()
 
     # ------------------------------------------------------------------
-    # Public detection APIs
+    # Plan-consuming APIs (the ScanPlan IR's serial executor)
+    # ------------------------------------------------------------------
+    def scan(self, fault: Fault, plan: ScanPlan) -> list[bool]:
+        """Detection outcomes for every candidate a :class:`ScanPlan` holds.
+
+        The single entry point every scan — explicit candidate lists,
+        window ramps, omission rounds — funnels through; the sharded
+        subclass overrides it to fan the same plan across workers with
+        bit-identical outcomes.
+        """
+        if plan.kind == "explicit":
+            return self._scan_explicit(fault, plan.items)
+        return self._scan_derived(fault, plan)
+
+    def first_hit(
+        self, fault: Fault, plan: ScanPlan, chunk: int | None = None
+    ) -> tuple[int | None, int]:
+        """Position of the first detecting candidate, scanning in plan order.
+
+        Returns ``(position, evaluated)``: ``position`` indexes the
+        plan's candidates (``None`` when nothing detects) and
+        ``evaluated`` is the number of candidates simulated under the
+        reference serial chunked scan — whole chunks of ``chunk``
+        candidates (default ``batch_width``) up to and including the
+        winning chunk.  The sharded subclass returns the identical pair
+        for any worker count and chunking mode: the winner is the
+        *minimum* detecting position (what a serial scan finds first)
+        and ``evaluated`` is recomputed from this same formula, so
+        Procedure 2's statistics never depend on ``workers``.
+        """
+        chunk = self._first_hit_chunk(chunk)
+        for start in range(0, len(plan), chunk):
+            part = plan.slice(start, start + chunk)
+            outcomes = self.scan(fault, part)
+            for offset, detected in enumerate(outcomes):
+                if detected:
+                    return start + offset, start + len(part)
+        return None, len(plan)
+
+    # ------------------------------------------------------------------
+    # Public detection APIs (thin wrappers that build the plans)
     # ------------------------------------------------------------------
     def detects(self, fault: Fault, sequences: list[TestSequence]) -> list[bool]:
         """For each candidate sequence, does it detect ``fault``?"""
+        return self.scan(fault, ExplicitPlan(sequences))
+
+    def detects_windows(
+        self,
+        fault: Fault,
+        base: TestSequence,
+        spans: list[tuple[int, int]],
+        expansion: ExpansionConfig,
+    ) -> list[bool]:
+        """Does ``expand(base[start..end], expansion)`` detect ``fault``?
+
+        One outcome per ``(start, end)`` (inclusive) span — Procedure 2's
+        window-search candidates, derived from the shared base without
+        materializing any expanded sequence.
+        """
+        return self.scan(fault, WindowRampPlan(base, spans, expansion))
+
+    def detects_omissions(
+        self,
+        fault: Fault,
+        base: TestSequence,
+        omit_indices: Sequence[int],
+        expansion: ExpansionConfig,
+    ) -> list[bool]:
+        """Does ``expand(base.omit(index), expansion)`` detect ``fault``?
+
+        One outcome per omitted index — Procedure 2's vector-omission
+        candidates, derived from the shared base.
+        """
+        return self.scan(fault, OmissionPlan(base, omit_indices, expansion))
+
+    def first_detecting_window(
+        self,
+        fault: Fault,
+        base: TestSequence,
+        spans: list[tuple[int, int]],
+        expansion: ExpansionConfig,
+        chunk: int | None = None,
+    ) -> tuple[int | None, int]:
+        """Position of the first detecting span, scanning in list order.
+
+        See :meth:`first_hit` for the ``(position, evaluated)`` contract.
+        """
+        return self.first_hit(fault, WindowRampPlan(base, spans, expansion), chunk)
+
+    def first_detecting_omission(
+        self,
+        fault: Fault,
+        base: TestSequence,
+        omit_indices: Sequence[int],
+        expansion: ExpansionConfig,
+        chunk: int | None = None,
+    ) -> tuple[int | None, int]:
+        """Position of the first detecting omission, scanning in order.
+
+        See :meth:`first_hit` for the ``(position, evaluated)`` contract.
+        """
+        return self.first_hit(
+            fault, OmissionPlan(base, omit_indices, expansion), chunk
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _first_hit_chunk(self, chunk: int | None) -> int:
+        if chunk is None:
+            return self._batch_width
+        if chunk < 1:
+            raise SimulationError(f"first-hit chunk must be >= 1, got {chunk}")
+        return chunk
+
+    def _scan_explicit(
+        self, fault: Fault, sequences: list[TestSequence]
+    ) -> list[bool]:
         width = self._compiled.num_inputs
         for sequence in sequences:
             if len(sequence) and sequence.width != width:
@@ -398,152 +513,8 @@ class SequenceBatchSimulator:
                 )
         return outcomes
 
-    def detects_windows(
-        self,
-        fault: Fault,
-        base: TestSequence,
-        spans: list[tuple[int, int]],
-        expansion: ExpansionConfig,
-    ) -> list[bool]:
-        """Does ``expand(base[start..end], expansion)`` detect ``fault``?
-
-        One outcome per ``(start, end)`` (inclusive) span — Procedure 2's
-        window-search candidates, derived from the shared base without
-        materializing any expanded sequence.
-        """
-        self._validate_spans(base, spans)
-        return self._detects_derived(
-            fault, base, [range(start, end + 1) for start, end in spans], expansion
-        )
-
-    def detects_omissions(
-        self,
-        fault: Fault,
-        base: TestSequence,
-        omit_indices: Sequence[int],
-        expansion: ExpansionConfig,
-    ) -> list[bool]:
-        """Does ``expand(base.omit(index), expansion)`` detect ``fault``?
-
-        One outcome per omitted index — Procedure 2's vector-omission
-        candidates, derived from the shared base.
-        """
-        self._validate_omissions(base, omit_indices)
-        index_lists = omission_index_lists(len(base), omit_indices)
-        return self._detects_derived(fault, base, index_lists, expansion)
-
-    # ------------------------------------------------------------------
-    # First-hit scans (Procedure 2's inner loops)
-    # ------------------------------------------------------------------
-    def first_detecting_window(
-        self,
-        fault: Fault,
-        base: TestSequence,
-        spans: list[tuple[int, int]],
-        expansion: ExpansionConfig,
-        chunk: int | None = None,
-    ) -> tuple[int | None, int]:
-        """Position of the first detecting span, scanning in list order.
-
-        Returns ``(position, evaluated)``: ``position`` indexes ``spans``
-        (``None`` when nothing detects) and ``evaluated`` is the number
-        of candidates simulated under the serial chunked scan — whole
-        chunks of ``chunk`` candidates (default ``batch_width``) up to
-        and including the winning chunk.  The sharded subclass returns
-        the identical pair for any worker count: the winner is the
-        *minimum* detecting position (what a serial scan finds first)
-        and ``evaluated`` is recomputed from the same formula, so
-        Procedure 2's statistics never depend on ``workers``.
-        """
-        self._validate_spans(base, spans)
-        return self._first_hit_serial(
-            fault,
-            base,
-            list(spans),
-            expansion,
-            chunk,
-            lambda part: self.detects_windows(fault, base, part, expansion),
-        )
-
-    def first_detecting_omission(
-        self,
-        fault: Fault,
-        base: TestSequence,
-        omit_indices: Sequence[int],
-        expansion: ExpansionConfig,
-        chunk: int | None = None,
-    ) -> tuple[int | None, int]:
-        """Position of the first detecting omission, scanning in order.
-
-        Same contract as :meth:`first_detecting_window`, over
-        ``expand(base.omit(index), expansion)`` candidates.
-        """
-        self._validate_omissions(base, omit_indices)
-        return self._first_hit_serial(
-            fault,
-            base,
-            list(omit_indices),
-            expansion,
-            chunk,
-            lambda part: self.detects_omissions(fault, base, part, expansion),
-        )
-
-    # ------------------------------------------------------------------
-    # Internals
-    # ------------------------------------------------------------------
-    def _validate_spans(
-        self, base: TestSequence, spans: list[tuple[int, int]]
-    ) -> None:
-        for start, end in spans:
-            if start < 0 or end >= len(base) or start > end:
-                raise SimulationError(
-                    f"window [{start}, {end}] out of range for base of "
-                    f"length {len(base)}"
-                )
-
-    def _validate_omissions(
-        self, base: TestSequence, omit_indices: Sequence[int]
-    ) -> None:
-        length = len(base)
-        for index in omit_indices:
-            if not 0 <= index < length:
-                raise SimulationError(
-                    f"omit index {index} out of range for base of length {length}"
-                )
-
-    def _first_hit_chunk(self, chunk: int | None) -> int:
-        if chunk is None:
-            return self._batch_width
-        if chunk < 1:
-            raise SimulationError(f"first-hit chunk must be >= 1, got {chunk}")
-        return chunk
-
-    def _first_hit_serial(
-        self,
-        fault: Fault,
-        base: TestSequence,
-        items: list,
-        expansion: ExpansionConfig,
-        chunk: int | None,
-        run_part,
-    ) -> tuple[int | None, int]:
-        """The reference first-hit scan: whole chunks, stop at first hit."""
-        chunk = self._first_hit_chunk(chunk)
-        for start in range(0, len(items), chunk):
-            part = items[start : start + chunk]
-            outcomes = run_part(part)
-            for offset, detected in enumerate(outcomes):
-                if detected:
-                    return start + offset, start + len(part)
-        return None, len(items)
-
-    def _detects_derived(
-        self,
-        fault: Fault,
-        base: TestSequence,
-        index_lists: list,
-        expansion: ExpansionConfig,
-    ) -> list[bool]:
+    def _scan_derived(self, fault: Fault, plan: ScanPlan) -> list[bool]:
+        base = plan.base
         width = self._compiled.num_inputs
         if len(base) and base.width != width:
             raise SimulationError(
@@ -551,15 +522,18 @@ class SequenceBatchSimulator:
             )
         if np is None or self._pipeline == "legacy":
             # Fallback: materialize the expanded candidates.
-            return self.detects(
+            return self._scan_explicit(
                 fault,
                 [
-                    expand(TestSequence([base[j] for j in indices]), expansion)
-                    for indices in index_lists
+                    expand(TestSequence([base[j] for j in indices]), plan.expansion)
+                    for indices in plan.index_lists()
                 ],
             )
         return self._detects_derived_bits(
-            fault, base_bits_of(base, width), index_lists, expansion
+            fault,
+            self._trace_cache.base_bits(base),
+            plan.index_lists(),
+            plan.expansion,
         )
 
     def _detects_derived_bits(

@@ -17,9 +17,15 @@ The design follows three rules:
   compaction and restoration all borrow the same processes), so spawn
   cost is paid once per session and the circuit once per worker per
   fault list.  Tasks reference faults by index into the published list
-  (the context is rebound if a caller switches to faults outside it), so
-  the per-task payload is the input sequence, the observation plan and a
-  tuple of ints.
+  (the context is rebound if a caller switches to faults outside it),
+  and the good-machine observation plan crosses as a
+  :class:`~repro.sim.trace.GoodTraceCache` shared-memory reference where
+  available — simulated once per (circuit, sequence) per session,
+  published once, attached by every chunk task — rather than being
+  re-pickled into each of the ``workers x oversplit`` task tuples; so
+  the per-task payload is the input sequence, a trace reference and a
+  tuple of ints.  (Session advances, whose good machine starts from an
+  evolving state, still ship their per-extension plan inline.)
 * **Merge plain ints.**  Workers return per-slot first-detection times and
   (for sessions) packed flop states — the same backend-independent Python
   integers the serial simulator uses — so merging is dictionary updates
@@ -61,6 +67,8 @@ from repro.sim.faultsim import (
     ObservationRow,
     build_observation_plan,
 )
+from repro.sim.scanplan import plan_count_chunks
+from repro.sim.trace import resolve_observation_plan
 from repro.sim.workerpool import (
     PoolContext,
     default_workers,
@@ -97,34 +105,16 @@ def plan_chunks(
 ) -> list[tuple[int, int]]:
     """Partition ``range(num_faults)`` into contiguous ``(start, end)`` chunks.
 
-    Aims for ``workers * oversplit`` chunks, with two floors that keep the
-    per-chunk backend passes efficient:
-
-    * a chunk is never narrower than one full backend pass
-      (``batch_width`` slots) unless even ``workers`` plain chunks would
-      be — oversplitting below a full pass trades vectorization for
-      stealing granularity, a bad deal for the wide-batch numpy engine;
-    * chunks wider than one pass are rounded up to whole multiples of
-      ``batch_width`` so only each chunk's final pass can be ragged.
-
-    Work stealing therefore emerges exactly in the regime sharding is for
-    (universes well past ``workers * batch_width`` slots).  Never returns
-    empty chunks, so a universe smaller than the worker count simply
-    yields fewer chunks than workers.
+    The fault axis's plan is uniform-cost (every fault in a dispatch is
+    simulated over the same sequence), so it keeps the count-based
+    planner — now shared with the candidate axis as
+    :func:`repro.sim.scanplan.plan_count_chunks`, which documents the
+    batch-width floors.  Work stealing emerges exactly in the regime
+    sharding is for (universes well past ``workers * batch_width``
+    slots).  Never returns empty chunks, so a universe smaller than the
+    worker count simply yields fewer chunks than workers.
     """
-    if num_faults <= 0:
-        return []
-    workers = max(1, workers)
-    target = workers * max(1, oversplit)
-    size = -(-num_faults // target)  # ceil
-    per_worker = -(-num_faults // workers)
-    size = max(size, min(batch_width, per_worker))
-    if size > batch_width:
-        size = -(-size // batch_width) * batch_width
-    return [
-        (start, min(start + size, num_faults))
-        for start in range(0, num_faults, size)
-    ]
+    return plan_count_chunks(num_faults, workers, batch_width, oversplit)
 
 
 # ----------------------------------------------------------------------
@@ -164,6 +154,10 @@ def _run_fault_chunk(
     context = worker_state()["contexts"][context_id]
     simulator: FaultSimulator = context["simulator"]
     universe: list[Fault] = context["faults"]
+    # One-shot dispatches ship the plan as a trace-cache shm reference
+    # (attached and deserialized once per worker, not once per task);
+    # session advances ship their per-extension plan inline.
+    observation_plan = resolve_observation_plan(observation_plan)
     faults = [universe[index] for index in indices]
     width = simulator.batch_width
     times: list[int | None] = []
@@ -277,7 +271,12 @@ class ShardedFaultSimulator(FaultSimulator):
             sequence_length=len(sequence), total_faults=len(faults)
         )
         observation_plan = self._observation_plan(sequence, None)
-        times = self._run_sharded(sequence, faults, observation_plan)
+        # Publish the cached plan through shared memory where available:
+        # tasks then carry a segment name instead of the pickled plan.
+        plan_ref = self._trace_cache.plan_ref(sequence)
+        times = self._run_sharded(
+            sequence, faults, observation_plan, plan_ref=plan_ref
+        )
         for fault, time in zip(faults, times):
             if time is not None:
                 result.detection_time[fault] = time
@@ -330,12 +329,18 @@ class ShardedFaultSimulator(FaultSimulator):
         observation_plan: list[ObservationRow],
         initial_states: list[int] | None = None,
         collect_final_states: bool = False,
+        plan_ref: tuple | None = None,
     ) -> list[int | None] | tuple[list[int | None], list[int]]:
-        """Fan ``faults`` out in chunks; merge into fault-list order."""
+        """Fan ``faults`` out in chunks; merge into fault-list order.
+
+        ``plan_ref`` (a trace-cache shared-memory reference) replaces the
+        inline observation plan in every task tuple when present.
+        """
         context = self._ensure_context(faults)
         chunks = plan_chunks(
             len(faults), self._workers, self._batch_width, self._oversplit
         )
+        plan_payload = plan_ref if plan_ref is not None else observation_plan
         tasks = []
         for chunk_id, (start, end) in enumerate(chunks):
             indices = tuple(context.index_of[fault] for fault in faults[start:end])
@@ -348,7 +353,7 @@ class ShardedFaultSimulator(FaultSimulator):
                     chunk_id,
                     indices,
                     sequence,
-                    observation_plan,
+                    plan_payload,
                     initial,
                     collect_final_states,
                 )

@@ -88,7 +88,8 @@ _WORKER: dict = {}
 
 #: Attached shared-memory segments a worker keeps open (LRU by name).
 #: Small: at any moment the candidate axis references at most one result
-#: buffer and a couple of published base sequences.
+#: buffer and a couple of published base sequences, and the fault axis
+#: one published observation plan per hot sequence.
 _WORKER_SHM_CAP = 6
 
 
@@ -102,6 +103,10 @@ def _worker_init(barrier, first_hit) -> None:
     _WORKER["first_hit"] = first_hit
     _WORKER["contexts"] = {}
     _WORKER["shm"] = OrderedDict()
+    # Deserialized good-machine observation plans, keyed by the segment
+    # name the parent's trace cache published them under (see
+    # repro.sim.trace.resolve_observation_plan).
+    _WORKER["plans"] = OrderedDict()
 
 
 def _build_context(spec: tuple) -> object:
@@ -153,7 +158,9 @@ def worker_attach_shm(name: str):
     """
     from multiprocessing import shared_memory
 
-    cache: OrderedDict = _WORKER["shm"]
+    # setdefault: callable outside a pool worker too (e.g. the parent
+    # resolving a trace-cache reference in tests or serial fallbacks).
+    cache: OrderedDict = _WORKER.setdefault("shm", OrderedDict())
     segment = cache.get(name)
     if segment is None:
         segment = shared_memory.SharedMemory(name=name)

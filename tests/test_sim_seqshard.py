@@ -34,6 +34,10 @@ from repro.sim.sharding import ShardedFaultSimulator, plan_chunks
 from repro.sim.workerpool import get_worker_pool
 from repro.util.rng import SplitMix64
 
+#: Every test here exercises real multi-worker process pools; the quick
+#: CI lane deselects them (tier-1 verify and the full matrix run all).
+pytestmark = pytest.mark.slow
+
 EXPANSION = ExpansionConfig(repetitions=2)
 
 

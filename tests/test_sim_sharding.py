@@ -25,6 +25,10 @@ from repro.sim.sharding import (
 )
 from repro.util.rng import SplitMix64
 
+#: Every test here exercises real multi-worker process pools; the quick
+#: CI lane deselects them (tier-1 verify and the full matrix run all).
+pytestmark = pytest.mark.slow
+
 
 def _stimulus(circuit, length, seed=2026):
     rng = SplitMix64(seed)

@@ -1,0 +1,278 @@
+"""The good-machine trace cache: once-per-(circuit, sequence) semantics.
+
+The contract of :mod:`repro.sim.trace`: the fault-free trace, the
+observation plan and the packed base bit columns are computed exactly
+once per (circuit, sequence) per session no matter how many simulators
+or dispatches ask, the shared-memory publications resolve to identical
+artifacts in workers, and none of it changes any detection result.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.catalog import load_circuit, paper_t0_s27
+from repro.core.sequence import TestSequence
+from repro.faults.universe import FaultUniverse
+from repro.sim.compiled import CompiledCircuit
+from repro.sim.faultsim import FaultSimulator
+from repro.sim.logicsim import LogicSimulator
+from repro.sim.seqsim import SequenceBatchSimulator
+from repro.sim.trace import (
+    GoodTraceCache,
+    base_bits_of,
+    build_observation_plan,
+    close_trace_caches,
+    get_trace_cache,
+    resolve_observation_plan,
+    shm_available,
+)
+from repro.util.rng import SplitMix64
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy ships in CI
+    np = None
+
+
+def _stimulus(circuit, length, seed=2026):
+    rng = SplitMix64(seed)
+    return TestSequence(
+        [
+            [rng.next_u64() & 1 for _ in range(circuit.num_inputs)]
+            for _ in range(length)
+        ]
+    )
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return CompiledCircuit(load_circuit("s27"))
+
+
+class TestGoodTraceCache:
+    def test_trace_simulated_once_per_sequence(self, compiled):
+        cache = GoodTraceCache(compiled)
+        t0 = paper_t0_s27()
+        first = cache.trace(t0)
+        assert cache.stats()["trace_misses"] == 1
+        assert cache.trace(t0) is first
+        assert cache.stats() == {
+            "trace_hits": 1,
+            "trace_misses": 1,
+            "bits_hits": 0,
+            "bits_misses": 0,
+        }
+
+    def test_equal_sequences_share_one_entry(self, compiled):
+        cache = GoodTraceCache(compiled)
+        t0 = paper_t0_s27()
+        twin = TestSequence(t0.vectors())
+        assert twin is not t0
+        cache.trace(t0)
+        assert cache.trace(twin) is cache.trace(t0)
+        assert cache.stats()["trace_misses"] == 1
+
+    def test_matches_direct_simulation(self, compiled):
+        cache = GoodTraceCache(compiled)
+        t0 = paper_t0_s27()
+        direct = LogicSimulator(compiled).run(t0)
+        assert cache.trace(t0).po_values == direct.po_values
+        assert cache.trace(t0).final_state == direct.final_state
+        assert cache.observation_plan(t0) == build_observation_plan(direct)
+
+    @pytest.mark.skipif(np is None, reason="packed bits require numpy")
+    def test_base_bits_match_and_are_cached(self, compiled):
+        cache = GoodTraceCache(compiled)
+        t0 = paper_t0_s27()
+        bits = cache.base_bits(t0)
+        assert np.array_equal(bits, base_bits_of(t0, compiled.num_inputs))
+        assert cache.base_bits(t0) is bits
+        stats = cache.stats()
+        assert (stats["bits_misses"], stats["bits_hits"]) == (1, 1)
+
+    def test_lru_eviction_recomputes(self, compiled):
+        cache = GoodTraceCache(compiled, capacity=2)
+        sequences = [_stimulus(compiled.circuit, 4, seed=s) for s in range(3)]
+        for sequence in sequences:
+            cache.trace(sequence)
+        # The first sequence was evicted; asking again is a fresh miss.
+        cache.trace(sequences[0])
+        assert cache.stats()["trace_misses"] == 4
+        cache.close()
+
+    def test_close_is_idempotent_and_cache_stays_usable(self, compiled):
+        cache = GoodTraceCache(compiled)
+        t0 = paper_t0_s27()
+        cache.trace(t0)
+        cache.close()
+        cache.close()
+        assert cache.trace(t0).length == len(t0)
+
+    def test_registry_shares_one_cache_per_compiled(self, compiled):
+        assert get_trace_cache(compiled) is get_trace_cache(compiled)
+        other = CompiledCircuit(load_circuit("s27"))
+        assert get_trace_cache(other) is not get_trace_cache(compiled)
+        close_trace_caches()
+        # After a session-wide close a fresh cache is handed out.
+        assert isinstance(get_trace_cache(compiled), GoodTraceCache)
+
+
+class TestPublication:
+    @pytest.mark.skipif(np is None, reason="bit refs require numpy")
+    def test_bits_ref_shape_and_fallback(self, compiled, monkeypatch):
+        cache = GoodTraceCache(compiled)
+        t0 = paper_t0_s27()
+        try:
+            ref = cache.bits_ref(t0)
+            if shm_available():
+                kind, _name, length, width = ref
+                assert (kind, length, width) == ("shm", len(t0), t0.width)
+                # Stable: the same segment is reused on the next ask.
+                assert cache.bits_ref(t0) == ref
+            monkeypatch.setenv("REPRO_SEQSHARD_NO_SHM", "1")
+            kind, payload, length, width = cache.bits_ref(t0)
+            assert kind == "bytes"
+            assert np.array_equal(
+                np.frombuffer(payload, dtype=np.uint8).reshape(length, width),
+                base_bits_of(t0, compiled.num_inputs),
+            )
+        finally:
+            cache.close()
+
+    def test_plan_ref_roundtrip_or_inline(self, compiled, monkeypatch):
+        cache = GoodTraceCache(compiled)
+        t0 = paper_t0_s27()
+        try:
+            plan = cache.observation_plan(t0)
+            ref = cache.plan_ref(t0)
+            if ref is not None:
+                # Parent-side resolution exercises the same attach +
+                # unpickle path the workers run.
+                assert resolve_observation_plan(ref) == plan
+                assert cache.plan_ref(t0) == ref
+            monkeypatch.setenv("REPRO_SEQSHARD_NO_SHM", "1")
+            fresh = GoodTraceCache(compiled)
+            assert fresh.plan_ref(t0) is None
+            # Inline plans pass straight through the resolver.
+            assert resolve_observation_plan(plan) == plan
+        finally:
+            cache.close()
+
+
+class TestForkSafety:
+    @pytest.mark.skipif(np is None, reason="shm publication requires numpy")
+    def test_inherited_cache_never_unlinks_parent_segments(
+        self, compiled, monkeypatch
+    ):
+        """A process that merely inherited a cache (fork workers do) must
+        not destroy shm names the creating process still publishes."""
+        if not shm_available():
+            pytest.skip("shared memory unavailable")
+        cache = GoodTraceCache(compiled)
+        t0 = paper_t0_s27()
+        ref = cache.bits_ref(t0)
+        assert ref[0] == "shm"
+        # Simulate the fork: same object, different pid.
+        monkeypatch.setattr(cache, "_owner_pid", cache._owner_pid + 1)
+        cache.close()
+        # The segment name must still resolve (nothing was unlinked);
+        # the test then performs the owner's balancing unlink itself.
+        from multiprocessing import shared_memory
+
+        segment = shared_memory.SharedMemory(name=ref[1])
+        segment.close()
+        segment.unlink()
+
+
+class TestSimulatorIntegration:
+    def test_fault_simulator_reuses_the_trace(self, compiled):
+        close_trace_caches()
+        t0 = paper_t0_s27()
+        faults = list(FaultUniverse(compiled.circuit).faults())
+        simulator = FaultSimulator(compiled)
+        first = simulator.run(t0, faults)
+        second = simulator.run(t0, faults)
+        assert first.detection_time == second.detection_time
+        stats = simulator.trace_cache.stats()
+        assert stats["trace_misses"] == 1
+        assert stats["trace_hits"] >= 1
+
+    def test_two_simulators_share_one_cache(self, compiled):
+        close_trace_caches()
+        t0 = paper_t0_s27()
+        faults = list(FaultUniverse(compiled.circuit).faults())
+        fault_sim = FaultSimulator(compiled)
+        fault_sim.run(t0, faults)
+        other = FaultSimulator(compiled)
+        other.run(t0, faults)
+        assert other.trace_cache is fault_sim.trace_cache
+        assert other.trace_cache.stats()["trace_misses"] == 1
+
+    @pytest.mark.skipif(np is None, reason="packed pipeline requires numpy")
+    def test_seqsim_packs_the_window_base_once(self, compiled):
+        close_trace_caches()
+        t0 = paper_t0_s27()
+        faults = list(FaultUniverse(compiled.circuit).faults())
+        from repro.core.ops import ExpansionConfig
+
+        expansion = ExpansionConfig(repetitions=2)
+        spans = [(u, len(t0) - 1) for u in range(len(t0) - 1, -1, -1)]
+        simulator = SequenceBatchSimulator(compiled, batch_width=8)
+        for fault in faults[:4]:
+            simulator.detects_windows(fault, t0, spans, expansion)
+        stats = simulator._trace_cache.stats()
+        assert stats["bits_misses"] == 1
+        assert stats["bits_hits"] >= 3
+
+    def test_session_advances_bypass_the_cache(self, compiled):
+        """Sessions start from evolving states — their plans are not the
+        run-invariant trace and must not pollute (or hit) the cache."""
+        close_trace_caches()
+        t0 = paper_t0_s27()
+        faults = list(FaultUniverse(compiled.circuit).faults())
+        simulator = FaultSimulator(compiled)
+        session = simulator.session(faults)
+        extension = t0.subsequence(0, 4)
+        session.commit(extension)
+        session.commit(extension)
+        # Only the plan for an all-X start would be cached; the second
+        # commit's good machine starts from the advanced state.
+        misses = simulator.trace_cache.stats()["trace_misses"]
+        assert misses <= 1
+
+
+@pytest.mark.slow
+class TestShardedPlanPublication:
+    """Fault-axis dispatches resolve the published plan bit-identically."""
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        circuit = load_circuit("syn298")
+        compiled = CompiledCircuit(circuit)
+        t0 = _stimulus(circuit, 24)
+        faults = list(FaultUniverse(circuit).faults())
+        serial = FaultSimulator(compiled).run(t0, faults)
+        return compiled, t0, faults, serial
+
+    def test_shm_plan_matches_serial(self, workload):
+        from repro.sim.sharding import ShardedFaultSimulator
+
+        compiled, t0, faults, serial = workload
+        with ShardedFaultSimulator(
+            compiled, workers=2, min_shard_faults=1
+        ) as simulator:
+            sharded = simulator.run(t0, faults)
+        assert sharded.detection_time == serial.detection_time
+
+    def test_pickle_fallback_matches_serial(self, workload, monkeypatch):
+        from repro.sim.sharding import ShardedFaultSimulator
+
+        compiled, t0, faults, serial = workload
+        monkeypatch.setenv("REPRO_SEQSHARD_NO_SHM", "1")
+        with ShardedFaultSimulator(
+            compiled, workers=2, min_shard_faults=1
+        ) as simulator:
+            assert simulator.trace_cache.plan_ref(t0) is None
+            sharded = simulator.run(t0, faults)
+        assert sharded.detection_time == serial.detection_time
