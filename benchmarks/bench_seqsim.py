@@ -127,11 +127,13 @@ _FULL_WORKLOADS = _SMOKE_WORKLOADS + [
 ]
 
 #: Batch widths measured per backend: the big-int kernel near its sweet
-#: spot, the vectorized engine additionally at the wide batches it is for
-#: (the numpy-tuned SelectionConfig widths are 128/256).
+#: spot, the word-based engines (numpy and the native C kernel)
+#: additionally at the wide batches they are for (the tuned
+#: SelectionConfig widths are 128/256).
 _WIDTH_AXIS = {
     "python": (96,),
     "numpy": (128, 256),
+    "native": (128, 256),
 }
 
 #: Worker counts measured by default: serial plus one sharded point.
@@ -211,6 +213,9 @@ def _measure(
         workers=workers,
         min_shard_candidates=1,
         chunking=chunking,
+        # The workers axis measures the sharding layer itself, so never
+        # fall back to serial — not even on a single-core runner.
+        force_shard=True,
     )
     try:
         best = float("inf")

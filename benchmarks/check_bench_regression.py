@@ -44,12 +44,19 @@ def _load(path: str) -> dict:
         return json.load(handle)
 
 
-def _rate(measured: dict) -> float:
-    """The measurement's throughput, whichever flavor it is."""
+def _rate(measured: dict) -> float | None:
+    """The measurement's throughput, or ``None`` when it carries none.
+
+    ``None`` (e.g. an annotation-only entry written by an older or newer
+    bench than this checker knows) is skipped with a note by the
+    comparison rather than crashing the gate: baseline files that
+    predate a newly added backend or measurement shape must degrade to
+    "not gated", never to a KeyError.
+    """
     for key in _RATE_KEYS:
         if key in measured:
             return measured[key]
-    raise KeyError(f"no throughput key in measurement: {sorted(measured)}")
+    return None
 
 
 def _measurements(report: dict) -> dict[tuple[str, str, str], dict]:
@@ -91,6 +98,12 @@ def compare(
     for key in sorted(base):
         circuit, backend, axis = key
         base_rate = _rate(base[key])
+        if base_rate is None:
+            progress(
+                f"{circuit:>10} {backend:>7} {axis:>12} {'—':>12} "
+                f"{'—':>12} {'—':>6}  no throughput key in baseline (skipped)"
+            )
+            continue
         if key not in cand:
             progress(
                 f"{circuit:>10} {backend:>7} {axis:>12} "
@@ -99,6 +112,13 @@ def compare(
             )
             continue
         cand_rate = _rate(cand[key])
+        if cand_rate is None:
+            progress(
+                f"{circuit:>10} {backend:>7} {axis:>12} "
+                f"{base_rate:>12.3g} {'—':>12} {'—':>6}  "
+                "no throughput key in candidate (skipped)"
+            )
+            continue
         ratio = cand_rate / base_rate if base_rate else float("inf")
         regressed = ratio < (1.0 - tolerance)
         status = "REGRESSED" if regressed else "ok"
@@ -111,9 +131,11 @@ def compare(
             regressions.append(key)
     for key in sorted(set(cand) - set(base)):
         circuit, backend, axis = key
+        cand_rate = _rate(cand[key])
+        rate_text = "—" if cand_rate is None else f"{cand_rate:.3g}"
         progress(
             f"{circuit:>10} {backend:>7} {axis:>12} {'—':>12} "
-            f"{_rate(cand[key]):>12.3g} {'—':>6}  "
+            f"{rate_text:>12} {'—':>6}  "
             "new measurement (not gated)"
         )
     return regressions

@@ -11,7 +11,12 @@ setup(
     packages=find_packages("src"),
     # The embedded ISCAS-89 netlists are loaded via importlib.resources, so
     # they must ship inside the wheel, not just the source tree.
-    package_data={"repro.circuits": ["data/*.bench"]},
+    package_data={
+        "repro.circuits": ["data/*.bench"],
+        # The native backend compiles this C source at first use, so the
+        # wheel must carry it alongside the Python sources.
+        "repro.sim": ["_native/*.c"],
+    },
     include_package_data=True,
     python_requires=">=3.11",
     extras_require={

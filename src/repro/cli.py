@@ -23,7 +23,12 @@ from repro.core.ops import ExpansionConfig
 from repro.core.scheme import LoadAndExpandScheme
 from repro.harness.figures import render_figure1
 from repro.harness.runner import run_suite
-from repro.sim.backend import AUTO_BACKEND, DEFAULT_BACKEND, available_backends
+from repro.sim.backend import (
+    AUTO_BACKEND,
+    DEFAULT_BACKEND,
+    backend_unavailable_reason,
+    registry_backends,
+)
 from repro.sim.scanplan import CHUNKING_MODES, DEFAULT_CHUNKING
 from repro.util.text import format_table
 
@@ -180,13 +185,15 @@ def build_parser() -> argparse.ArgumentParser:
     def add_backend_flag(command: argparse.ArgumentParser) -> None:
         command.add_argument(
             "--backend",
-            choices=available_backends() + [AUTO_BACKEND],
+            choices=registry_backends() + [AUTO_BACKEND],
             default=DEFAULT_BACKEND,
             help=(
                 "simulation backend (results are identical across "
-                "backends; 'numpy' is the vectorized engine, fastest on "
-                "large circuits with wide batches; 'auto' picks python "
-                "vs numpy per circuit size and batch width)"
+                "backends; 'numpy' is the vectorized engine, 'native' "
+                "the compiled C kernel — fastest everywhere but "
+                "toy-sized circuits when a C compiler is present; "
+                "'auto' picks the fastest available engine per circuit "
+                "size and batch width)"
             ),
         )
         command.add_argument(
@@ -275,6 +282,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    # Registered-but-unusable backends (e.g. 'native' without a C
+    # compiler, or hidden via REPRO_NO_NATIVE) are valid argparse choices
+    # so the reason reaches the user instead of a bare "invalid choice".
+    name = getattr(args, "backend", None)
+    if name is not None and name != AUTO_BACKEND:
+        reason = backend_unavailable_reason(name)
+        if reason is not None:
+            parser.error(f"--backend {name}: {reason}")
     return args.func(args)
 
 

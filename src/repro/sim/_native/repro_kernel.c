@@ -1,0 +1,399 @@
+/* Native (H, L) two-rail evaluation kernel.
+ *
+ * Compiled lazily by repro.sim.native_build (cc/gcc, -O3 -shared) and
+ * loaded through ctypes by repro.sim.backend_native.  The data layout is
+ * exactly the numpy backend's: all signal values live in one C-contiguous
+ * (2 * num_signals, words) uint64 array V, signal i's H rail at row 2i,
+ * its L rail at row 2i + 1, slot s at bit s % 64 of word s / 64.  Per the
+ * (H, L) encoding contract, H set means 1, L set means 0, neither means
+ * X, and both set never occurs.
+ *
+ * repro_eval is a line-by-line port of the big-int reference kernel
+ * (repro/sim/kernel.py, eval_combinational): ops are walked in the
+ * compiled topological order; a gate with faulted input pins gathers its
+ * (patched) inputs into scratch and folds generically; stem patches mask
+ * the just-written output rows.  Because the operation set and the
+ * evaluation order match the reference exactly, detection times are
+ * bit-identical across backends by construction.
+ *
+ * Everything below is plain C11 with no dependencies beyond libc, so a
+ * bare `cc -O3 -fPIC -shared` anywhere is enough; absence of a compiler
+ * simply leaves the backend unregistered (see native_build).
+ */
+
+#include <stdint.h>
+#include <string.h>
+
+/* Bumped whenever any exported signature or semantic changes; checked by
+ * the loader so a stale cached .so can never be driven with the wrong
+ * marshaling. */
+#define REPRO_NATIVE_ABI 1
+
+#if defined(_WIN32)
+#define EXPORT __declspec(dllexport)
+#else
+#define EXPORT __attribute__((visibility("default")))
+#endif
+
+/* Op codes, mirroring repro.sim.compiled. */
+enum {
+    OP_AND = 0,
+    OP_NAND = 1,
+    OP_OR = 2,
+    OP_NOR = 3,
+    OP_NOT = 4,
+    OP_BUF = 5,
+    OP_XOR = 6,
+    OP_XNOR = 7,
+};
+
+EXPORT int64_t repro_abi_version(void) { return REPRO_NATIVE_ABI; }
+
+/* ------------------------------------------------------------------ */
+/* Generic n-ary fold over gathered (and possibly patched) input rails. */
+/* ------------------------------------------------------------------ */
+static void fold_gate(
+    int32_t code,
+    int64_t arity,
+    int64_t words,
+    const uint64_t *scratch, /* (2 * arity, words): H rail 2k, L rail 2k+1 */
+    uint64_t *out_h,
+    uint64_t *out_l)
+{
+    int64_t w, k;
+    switch (code) {
+    case OP_AND:
+    case OP_NAND:
+        for (w = 0; w < words; w++) {
+            uint64_t h = ~(uint64_t)0;
+            uint64_t l = 0;
+            for (k = 0; k < arity; k++) {
+                h &= scratch[(2 * k) * words + w];
+                l |= scratch[(2 * k + 1) * words + w];
+            }
+            if (code == OP_NAND) {
+                out_h[w] = l;
+                out_l[w] = h;
+            } else {
+                out_h[w] = h;
+                out_l[w] = l;
+            }
+        }
+        break;
+    case OP_OR:
+    case OP_NOR:
+        for (w = 0; w < words; w++) {
+            uint64_t h = 0;
+            uint64_t l = ~(uint64_t)0;
+            for (k = 0; k < arity; k++) {
+                h |= scratch[(2 * k) * words + w];
+                l &= scratch[(2 * k + 1) * words + w];
+            }
+            if (code == OP_NOR) {
+                out_h[w] = l;
+                out_l[w] = h;
+            } else {
+                out_h[w] = h;
+                out_l[w] = l;
+            }
+        }
+        break;
+    case OP_NOT:
+        for (w = 0; w < words; w++) {
+            out_h[w] = scratch[words + w];
+            out_l[w] = scratch[w];
+        }
+        break;
+    case OP_BUF:
+        for (w = 0; w < words; w++) {
+            out_h[w] = scratch[w];
+            out_l[w] = scratch[words + w];
+        }
+        break;
+    default: /* OP_XOR / OP_XNOR */
+        for (w = 0; w < words; w++) {
+            uint64_t h = scratch[w];
+            uint64_t l = scratch[words + w];
+            for (k = 1; k < arity; k++) {
+                uint64_t hk = scratch[(2 * k) * words + w];
+                uint64_t lk = scratch[(2 * k + 1) * words + w];
+                uint64_t nh = (h & lk) | (l & hk);
+                l = (h & hk) | (l & lk);
+                h = nh;
+            }
+            if (code == OP_XNOR) {
+                out_h[w] = l;
+                out_l[w] = h;
+            } else {
+                out_h[w] = h;
+                out_l[w] = l;
+            }
+        }
+        break;
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Combinational evaluation over the full compiled op list.             */
+/*                                                                      */
+/* Static arrays (per backend):                                         */
+/*   codes[num_ops]              op codes                               */
+/*   outs[num_ops]               output signal index per op             */
+/*   in_off[num_ops + 1]         offsets into ins                       */
+/*   ins[...]                    flattened input signal indices         */
+/* Program arrays (per fault batch, sorted by op position):             */
+/*   pin_ops/pin_pins[n_pin]     faulted (op, pin) sites                */
+/*   pin_sa1/pin_sa0             (n_pin, words) force-1 / force-0 masks */
+/*   stem_ops[n_stem]            ops whose output stem is faulted       */
+/*   stem_sa1/stem_sa0           (n_stem, words) masks                  */
+/* scratch: (2 * max_arity, words) gather buffer for patched gates.     */
+/* ------------------------------------------------------------------ */
+EXPORT void repro_eval(
+    uint64_t *V,
+    int64_t words,
+    const int32_t *codes,
+    const int32_t *outs,
+    const int64_t *in_off,
+    const int32_t *ins,
+    int64_t num_ops,
+    const int32_t *pin_ops,
+    const int32_t *pin_pins,
+    const uint64_t *pin_sa1,
+    const uint64_t *pin_sa0,
+    int64_t n_pin,
+    const int32_t *stem_ops,
+    const uint64_t *stem_sa1,
+    const uint64_t *stem_sa0,
+    int64_t n_stem,
+    uint64_t *scratch)
+{
+    int64_t pc = 0;   /* cursor into the pin-patch arrays */
+    int64_t sc = 0;   /* cursor into the stem-patch arrays */
+    int64_t op, w, k;
+    for (op = 0; op < num_ops; op++) {
+        const int32_t code = codes[op];
+        const int64_t base = in_off[op];
+        const int64_t arity = in_off[op + 1] - base;
+        uint64_t *out_h = V + (uint64_t)(2 * outs[op]) * words;
+        uint64_t *out_l = out_h + words;
+
+        if (pc < n_pin && pin_ops[pc] == op) {
+            /* Patched gate: gather every input rail pair into scratch,
+             * apply each (pin, sa1, sa0) patch of this op, then fold
+             * generically — the reference kernel's exact order. */
+            for (k = 0; k < arity; k++) {
+                const uint64_t *src =
+                    V + (uint64_t)(2 * ins[base + k]) * words;
+                memcpy(scratch + (2 * k) * words, src,
+                       (size_t)words * sizeof(uint64_t));
+                memcpy(scratch + (2 * k + 1) * words, src + words,
+                       (size_t)words * sizeof(uint64_t));
+            }
+            for (; pc < n_pin && pin_ops[pc] == op; pc++) {
+                uint64_t *h = scratch + (2 * (int64_t)pin_pins[pc]) * words;
+                uint64_t *l = h + words;
+                const uint64_t *sa1 = pin_sa1 + pc * words;
+                const uint64_t *sa0 = pin_sa0 + pc * words;
+                for (w = 0; w < words; w++) {
+                    h[w] = (h[w] | sa1[w]) & ~sa0[w];
+                    l[w] = (l[w] | sa0[w]) & ~sa1[w];
+                }
+            }
+            fold_gate(code, arity, words, scratch, out_h, out_l);
+        } else {
+            switch (code) {
+            case OP_AND:
+            case OP_NAND:
+            case OP_OR:
+            case OP_NOR:
+                if (arity == 2) {
+                    const uint64_t *a =
+                        V + (uint64_t)(2 * ins[base]) * words;
+                    const uint64_t *b =
+                        V + (uint64_t)(2 * ins[base + 1]) * words;
+                    if (code == OP_AND) {
+                        for (w = 0; w < words; w++) {
+                            out_h[w] = a[w] & b[w];
+                            out_l[w] = a[words + w] | b[words + w];
+                        }
+                    } else if (code == OP_NAND) {
+                        for (w = 0; w < words; w++) {
+                            out_h[w] = a[words + w] | b[words + w];
+                            out_l[w] = a[w] & b[w];
+                        }
+                    } else if (code == OP_OR) {
+                        for (w = 0; w < words; w++) {
+                            out_h[w] = a[w] | b[w];
+                            out_l[w] = a[words + w] & b[words + w];
+                        }
+                    } else { /* OP_NOR */
+                        for (w = 0; w < words; w++) {
+                            out_h[w] = a[words + w] & b[words + w];
+                            out_l[w] = a[w] | b[w];
+                        }
+                    }
+                } else {
+                    const int and_like = (code == OP_AND || code == OP_NAND);
+                    for (w = 0; w < words; w++) {
+                        uint64_t acc_and = ~(uint64_t)0;
+                        uint64_t acc_or = 0;
+                        for (k = 0; k < arity; k++) {
+                            const uint64_t *src =
+                                V + (uint64_t)(2 * ins[base + k]) * words;
+                            if (and_like) {
+                                acc_and &= src[w];
+                                acc_or |= src[words + w];
+                            } else {
+                                acc_or |= src[w];
+                                acc_and &= src[words + w];
+                            }
+                        }
+                        /* and_like: AND over H rails / OR over L rails;
+                         * or_like the converse; output routing per the
+                         * De Morgan table. */
+                        if (code == OP_AND) {
+                            out_h[w] = acc_and;
+                            out_l[w] = acc_or;
+                        } else if (code == OP_NAND) {
+                            out_h[w] = acc_or;
+                            out_l[w] = acc_and;
+                        } else if (code == OP_OR) {
+                            out_h[w] = acc_or;
+                            out_l[w] = acc_and;
+                        } else { /* OP_NOR */
+                            out_h[w] = acc_and;
+                            out_l[w] = acc_or;
+                        }
+                    }
+                }
+                break;
+            case OP_NOT: {
+                const uint64_t *src = V + (uint64_t)(2 * ins[base]) * words;
+                for (w = 0; w < words; w++) {
+                    out_h[w] = src[words + w];
+                    out_l[w] = src[w];
+                }
+                break;
+            }
+            case OP_BUF: {
+                const uint64_t *src = V + (uint64_t)(2 * ins[base]) * words;
+                for (w = 0; w < words; w++) {
+                    out_h[w] = src[w];
+                    out_l[w] = src[words + w];
+                }
+                break;
+            }
+            default: { /* OP_XOR / OP_XNOR */
+                const uint64_t *first =
+                    V + (uint64_t)(2 * ins[base]) * words;
+                for (w = 0; w < words; w++) {
+                    uint64_t h = first[w];
+                    uint64_t l = first[words + w];
+                    for (k = 1; k < arity; k++) {
+                        const uint64_t *src =
+                            V + (uint64_t)(2 * ins[base + k]) * words;
+                        uint64_t hk = src[w];
+                        uint64_t lk = src[words + w];
+                        uint64_t nh = (h & lk) | (l & hk);
+                        l = (h & hk) | (l & lk);
+                        h = nh;
+                    }
+                    if (code == OP_XNOR) {
+                        out_h[w] = l;
+                        out_l[w] = h;
+                    } else {
+                        out_h[w] = h;
+                        out_l[w] = l;
+                    }
+                }
+                break;
+            }
+            }
+        }
+
+        if (sc < n_stem && stem_ops[sc] == op) {
+            const uint64_t *sa1 = stem_sa1 + sc * words;
+            const uint64_t *sa0 = stem_sa0 + sc * words;
+            for (w = 0; w < words; w++) {
+                out_h[w] = (out_h[w] | sa1[w]) & ~sa0[w];
+                out_l[w] = (out_l[w] | sa0[w]) & ~sa1[w];
+            }
+            sc++;
+        }
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Fault-axis detection: slots whose (patched) PO response contradicts  */
+/* the fault-free machine's recorded binary value.                      */
+/*                                                                      */
+/*   obs_pos[n_obs]      PO positions binary in the good machine now    */
+/*   good_vals[n_obs]    the good machine's value (0 or 1) per row      */
+/*   po_sig[num_pos]     signal index of each PO position               */
+/*   po_sa1/po_sa0       dense (num_pos, words) pin-patch masks         */
+/*   out[words]          |= detected slots (caller zeroes)              */
+/* ------------------------------------------------------------------ */
+EXPORT void repro_detect_mask(
+    const uint64_t *V,
+    int64_t words,
+    const int32_t *obs_pos,
+    const uint8_t *good_vals,
+    int64_t n_obs,
+    const int32_t *po_sig,
+    const uint64_t *po_sa1,
+    const uint64_t *po_sa0,
+    uint64_t *out)
+{
+    int64_t i, w;
+    for (i = 0; i < n_obs; i++) {
+        const int32_t position = obs_pos[i];
+        const uint64_t *rail =
+            V + (uint64_t)(2 * po_sig[position]) * words;
+        const uint64_t *sa1 = po_sa1 + (int64_t)position * words;
+        const uint64_t *sa0 = po_sa0 + (int64_t)position * words;
+        if (good_vals[i]) {
+            /* good value 1: a slot contradicts when its L rail is set. */
+            const uint64_t *l = rail + words;
+            for (w = 0; w < words; w++)
+                out[w] |= (l[w] | sa0[w]) & ~sa1[w];
+        } else {
+            for (w = 0; w < words; w++)
+                out[w] |= (rail[w] | sa1[w]) & ~sa0[w];
+        }
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Paired-batch detection: slot s detects when some PO is binary in     */
+/* both machines with opposite values — (Hg & Lf) | (Lg & Hf), OR-      */
+/* reduced across POs.  Patches are the two programs' dense PO masks.   */
+/* ------------------------------------------------------------------ */
+EXPORT void repro_detect_step(
+    const uint64_t *GV,
+    const uint64_t *FV,
+    int64_t words,
+    const int32_t *po_sig,
+    int64_t num_pos,
+    const uint64_t *g_sa1,
+    const uint64_t *g_sa0,
+    const uint64_t *f_sa1,
+    const uint64_t *f_sa0,
+    uint64_t *out)
+{
+    int64_t position, w;
+    for (position = 0; position < num_pos; position++) {
+        const uint64_t *g = GV + (uint64_t)(2 * po_sig[position]) * words;
+        const uint64_t *f = FV + (uint64_t)(2 * po_sig[position]) * words;
+        const uint64_t *gs1 = g_sa1 + position * words;
+        const uint64_t *gs0 = g_sa0 + position * words;
+        const uint64_t *fs1 = f_sa1 + position * words;
+        const uint64_t *fs0 = f_sa0 + position * words;
+        for (w = 0; w < words; w++) {
+            const uint64_t gh = (g[w] | gs1[w]) & ~gs0[w];
+            const uint64_t gl = (g[words + w] | gs0[w]) & ~gs1[w];
+            const uint64_t fh = (f[w] | fs1[w]) & ~fs0[w];
+            const uint64_t fl = (f[words + w] | fs0[w]) & ~fs1[w];
+            out[w] |= (gh & fl) | (gl & fh);
+        }
+    }
+}

@@ -18,8 +18,10 @@ abstract loop over a compiled circuit:
 representation.  The ``python`` backend keeps the historical
 arbitrary-precision-integer kernel (one big int per signal per rail); the
 ``numpy`` backend stores the rails as contiguous ``uint64`` arrays and
-evaluates a levelized, opcode-grouped schedule with vectorized passes.
-Both observe the **(H, L) encoding contract** of
+evaluates a levelized, opcode-grouped schedule with vectorized passes; the
+``native`` backend keeps the numpy layout but drives the hot loops from a
+lazily compiled C kernel (:mod:`repro.sim.backend_native`).
+All observe the **(H, L) encoding contract** of
 :mod:`repro.logic.encoding`: per slot, ``H`` set means 1, ``L`` set means
 0, neither means X, and both set never occurs.
 
@@ -62,6 +64,18 @@ AUTO_GATE_THRESHOLD = 1000
 #: the fault axis (`benchmarks/bench_seqsim.py`: python leads through
 #: syn5378's 2.8k gates, numpy leads at syn35932's 16k).
 AUTO_PAIRED_GATE_THRESHOLD = 8000
+
+#: Crossovers for the compiled C kernel (``native``), measured the same
+#: way (`benchmarks/bench_faultsim.py` / `bench_seqsim.py` on the
+#: catalog circuits).  The native engine removes all interpreter and
+#: numpy dispatch overhead, so it overtakes both pure-Python engines
+#: almost immediately: by syn298 (119 gates) it already leads both axes,
+#: and the gap widens monotonically with circuit size.  The thresholds
+#: below sit under the smallest catalog circuit; only toy circuits
+#: (pedagogical examples, unit-test fixtures) stay on the big-int
+#: kernel, where build/ctypes overhead is not worth amortizing.
+AUTO_NATIVE_GATE_THRESHOLD = 64
+AUTO_NATIVE_PAIRED_GATE_THRESHOLD = 64
 
 #: Batch widths ``"auto"`` clamps to when it resolves the big-int kernel:
 #: python throughput peaks near these slot counts (fault axis / paired
@@ -345,10 +359,56 @@ def _load_numpy_backend() -> type[SimBackend]:
     return NumpyBackend
 
 
+def _load_native_backend() -> type[SimBackend]:
+    try:
+        import numpy  # noqa: F401
+    except ImportError as error:  # pragma: no cover - numpy ships in CI
+        raise SimulationError(
+            "the 'native' simulation backend requires numpy; install it or "
+            "select backend='python'"
+        ) from error
+    # Compiles the C kernel on first use; raises SimulationError with the
+    # unavailability reason (no compiler, failed build, REPRO_NO_NATIVE).
+    from repro.sim.native_build import load_native_library
+
+    load_native_library()
+    from repro.sim.backend_native import NativeBackend
+
+    return NativeBackend
+
+
 _REGISTRY = {
     "python": _load_python_backend,
     "numpy": _load_numpy_backend,
+    "native": _load_native_backend,
 }
+
+
+def registry_backends() -> list[str]:
+    """Every registered backend name, whether or not it is usable here.
+
+    Parity suites parametrize over this (not :func:`available_backends`)
+    so an engine that cannot run on the current machine shows up as an
+    explicit skip with :func:`backend_unavailable_reason`, never as
+    silent absence.
+    """
+    return list(_REGISTRY)
+
+
+def backend_unavailable_reason(name: str) -> str | None:
+    """Why backend ``name`` cannot be used here, or ``None`` if it can.
+
+    Probing may do real work (the native backend compiles its kernel on
+    the first probe), after which the answer is memoized by the loader.
+    """
+    loader = _REGISTRY.get(name)
+    if loader is None:
+        return f"unknown backend {name!r}; registered: {registry_backends()}"
+    try:
+        loader()
+    except SimulationError as error:
+        return str(error)
+    return None
 
 
 def available_backends() -> list[str]:
@@ -357,10 +417,19 @@ def available_backends() -> list[str]:
     for name, loader in _REGISTRY.items():
         try:
             loader()
-        except SimulationError:  # pragma: no cover - numpy ships in CI
+        except SimulationError:
             continue
         names.append(name)
     return names
+
+
+def _auto_usable(name: str) -> bool:
+    """Availability probe for ``auto`` resolution (never raises)."""
+    try:
+        _REGISTRY[name]()
+    except SimulationError:
+        return False
+    return True
 
 
 def resolve_backend_name(
@@ -371,24 +440,36 @@ def resolve_backend_name(
     """Resolve a backend *name* selector, expanding :data:`AUTO_BACKEND`.
 
     ``"auto"`` picks the engine the benchmarks show fastest for this
-    circuit, per axis.  Fault axis (one machine per slot): ``numpy``
-    (when importable) at or above :data:`AUTO_GATE_THRESHOLD` gates,
-    ``python`` otherwise.  With ``paired=True`` (the candidate axis,
-    which runs a good and a faulty machine per slot): ``numpy`` only at
-    or above :data:`AUTO_PAIRED_GATE_THRESHOLD` gates.  The choice is
-    deterministic in ``(circuit, paired)``, so sharded workers resolving
-    independently agree with their parent.  Results are bit-identical
-    either way; only throughput differs.
+    circuit, per axis, preferring ``native`` > ``numpy`` > ``python``
+    among the engines usable on this machine.  Each engine has a
+    measured per-axis gate-count crossover below which the next engine
+    down wins on overhead: ``native`` at or above
+    :data:`AUTO_NATIVE_GATE_THRESHOLD` /
+    :data:`AUTO_NATIVE_PAIRED_GATE_THRESHOLD` gates (fault / paired
+    candidate axis), else ``numpy`` at or above
+    :data:`AUTO_GATE_THRESHOLD` / :data:`AUTO_PAIRED_GATE_THRESHOLD`,
+    else ``python``.  An unavailable engine (numpy not importable, no C
+    compiler, ``REPRO_NO_NATIVE``) is silently skipped in that cascade.
+    The choice is deterministic in ``(circuit, paired)`` on a given
+    machine, so sharded workers resolving independently agree with
+    their parent.  Results are bit-identical either way; only
+    throughput differs.
     """
     name = backend or DEFAULT_BACKEND
     if name != AUTO_BACKEND:
         return name
-    try:
-        _load_numpy_backend()
-    except SimulationError:
-        return "python"
-    threshold = AUTO_PAIRED_GATE_THRESHOLD if paired else AUTO_GATE_THRESHOLD
-    return "numpy" if len(compiled.ops) >= threshold else "python"
+    gates = len(compiled.ops)
+    if paired:
+        native_threshold = AUTO_NATIVE_PAIRED_GATE_THRESHOLD
+        numpy_threshold = AUTO_PAIRED_GATE_THRESHOLD
+    else:
+        native_threshold = AUTO_NATIVE_GATE_THRESHOLD
+        numpy_threshold = AUTO_GATE_THRESHOLD
+    if gates >= native_threshold and _auto_usable("native"):
+        return "native"
+    if gates >= numpy_threshold and _auto_usable("numpy"):
+        return "numpy"
+    return "python"
 
 
 def resolve_auto(

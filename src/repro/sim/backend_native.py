@@ -1,0 +1,303 @@
+"""The ``native`` backend: the numpy data layout driven by a C kernel.
+
+This engine reuses the ``numpy`` backend's storage wholesale — one
+C-contiguous ``(2 * num_signals, words)`` ``uint64`` rail array per
+batch, the same ``(H, L)`` encoding, the same source/dff/PO patch
+compilation — and replaces the three profile-dominating inner loops with
+calls into a compiled shared object (see ``_native/repro_kernel.c`` and
+:mod:`repro.sim.native_build`):
+
+* :meth:`NativeBatch.eval` — one C call walks the full compiled op list
+  in topological order (the big-int reference kernel's exact schedule,
+  so results are bit-identical by construction), instead of the numpy
+  engine's per-level fused passes.  This removes all per-level Python
+  and numpy dispatch overhead, which is what bounds the numpy engine's
+  single-thread throughput on deep circuits.
+* :meth:`NativeBatch.detect_mask` — the fault-axis PO comparison, one C
+  pass over the observed POs (the numpy engine loops them in Python).
+* :meth:`NativeBackend.detect_step` — the fused paired-batch
+  candidate-axis reduction, likewise one C pass over all POs.
+
+Everything else — input loading, state capture/interchange, source-stem
+mask passes, program compilation and the per-fault-batch LRU — is
+inherited from :class:`~repro.sim.backend_numpy.NumpyBackend`
+unchanged; those paths are a handful of vectorized calls per time step
+and are not where the time goes.
+
+Fault injection crosses into C as three sorted, dense-by-entry arrays
+compiled per fault batch (gate-pin patches, gate-output stem patches,
+and dense per-PO pin masks); the eval walk merges them cursor-style so
+the unfaulted common case costs one integer compare per op.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.faults.model import Fault
+from repro.sim.backend import SimBatch, SimProgram
+from repro.sim.backend_numpy import (
+    WORD_BITS,
+    NumpyBackend,
+    NumpyBatch,
+    NumpyProgram,
+    _mask_to_words,
+    _words_to_mask,
+)
+from repro.sim.kernel import merge_stem_patches
+from repro.sim.native_build import load_native_library
+
+
+def _addr(array: np.ndarray) -> int:
+    """The raw data address of a (C-contiguous) array, for the C ABI."""
+    return array.ctypes.data
+
+
+class NativeProgram(NumpyProgram):
+    """A numpy program plus the C kernel's per-batch patch arrays."""
+
+    __slots__ = (
+        "pin_ops",
+        "pin_pins",
+        "pin_sa1",
+        "pin_sa0",
+        "stem_ops",
+        "stem_sa1",
+        "stem_sa0",
+        "_dense_po",
+    )
+
+    def __init__(self, numpy_program: NumpyProgram, native_fields: dict) -> None:
+        super().__init__(
+            numpy_program.key,
+            numpy_program.batch_size,
+            numpy_program.words,
+            numpy_program.fixups_by_level,
+            numpy_program.src_pass,
+            numpy_program.dff_pass,
+            numpy_program.po_patches,
+            numpy_program.max_group,
+        )
+        self.pin_ops = native_fields["pin_ops"]
+        self.pin_pins = native_fields["pin_pins"]
+        self.pin_sa1 = native_fields["pin_sa1"]
+        self.pin_sa0 = native_fields["pin_sa0"]
+        self.stem_ops = native_fields["stem_ops"]
+        self.stem_sa1 = native_fields["stem_sa1"]
+        self.stem_sa0 = native_fields["stem_sa0"]
+        #: words -> dense (num_pos, words) (sa1, sa0) PO masks.  Faulted
+        #: programs are bound to one batch width; the fault-free program
+        #: serves every width, hence the per-words memo.
+        self._dense_po: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+    def dense_po_masks(
+        self, num_pos: int, words: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Dense per-PO-position pin masks for the C detection passes.
+
+        Unpatched positions hold zeros, making ``(h | sa1) & ~sa0`` the
+        identity — the C side needs no branch.
+        """
+        cached = self._dense_po.get(words)
+        if cached is None:
+            sa1 = np.zeros((num_pos, words), dtype=np.uint64)
+            sa0 = np.zeros((num_pos, words), dtype=np.uint64)
+            for position, (force1, force0) in self.po_patches.items():
+                sa1[position] = force1
+                sa0[position] = force0
+            cached = (sa1, sa0)
+            self._dense_po[words] = cached
+        return cached
+
+
+class NativeBatch(NumpyBatch):
+    """A numpy batch whose hot loops run in the compiled kernel."""
+
+    def __init__(
+        self, backend: "NativeBackend", program: NativeProgram, batch_size: int
+    ) -> None:
+        super().__init__(backend, program, batch_size)
+        words = self._words
+        lib = backend.lib
+        self._lib = lib
+        num_pos = len(backend.po_sig)
+        self._po_sa1, self._po_sa0 = program.dense_po_masks(num_pos, words)
+        self._detect_out = np.zeros(words, dtype=np.uint64)
+        self._gather = np.empty(
+            (2 * max(backend.max_arity, 1), words), dtype=np.uint64
+        )
+        # The eval argument vector is invariant across time steps; the
+        # arrays it points into are kept alive by self/backend/program.
+        self._eval_args = (
+            _addr(self._V),
+            words,
+            _addr(backend.c_codes),
+            _addr(backend.c_outs),
+            _addr(backend.c_in_off),
+            _addr(backend.c_ins),
+            len(backend.compiled.ops),
+            _addr(program.pin_ops),
+            _addr(program.pin_pins),
+            _addr(program.pin_sa1),
+            _addr(program.pin_sa0),
+            len(program.pin_ops),
+            _addr(program.stem_ops),
+            _addr(program.stem_sa1),
+            _addr(program.stem_sa0),
+            len(program.stem_ops),
+            _addr(self._gather),
+        )
+
+    def eval(self) -> None:
+        self._lib.repro_eval(*self._eval_args)
+
+    def detect_mask(self, observations: Sequence[tuple[int, int]]) -> int:
+        if not observations:
+            return 0
+        n = len(observations)
+        obs_pos = np.fromiter(
+            (position for position, _ in observations),
+            dtype=np.int32,
+            count=n,
+        )
+        good_vals = np.fromiter(
+            (value for _, value in observations), dtype=np.uint8, count=n
+        )
+        out = self._detect_out
+        out[:] = 0
+        self._lib.repro_detect_mask(
+            _addr(self._V),
+            self._words,
+            _addr(obs_pos),
+            _addr(good_vals),
+            n,
+            _addr(self._backend.po_sig),
+            _addr(self._po_sa1),
+            _addr(self._po_sa0),
+            _addr(out),
+        )
+        return _words_to_mask(out) & self._full_mask
+
+
+class NativeBackend(NumpyBackend):
+    """C-kernel backend over the numpy rail layout."""
+
+    name = "native"
+    word_width = WORD_BITS
+
+    def __init__(self, compiled, fuse_levels: bool = True) -> None:
+        super().__init__(compiled, fuse_levels=fuse_levels)
+        self.lib = load_native_library()
+        ops = compiled.ops
+        num_ops = len(ops)
+        self.c_codes = np.fromiter(
+            (code for code, _, _ in ops), dtype=np.int32, count=num_ops
+        )
+        self.c_outs = np.fromiter(
+            (out for _, out, _ in ops), dtype=np.int32, count=num_ops
+        )
+        offsets = np.zeros(num_ops + 1, dtype=np.int64)
+        for position, (_, _, ins) in enumerate(ops):
+            offsets[position + 1] = offsets[position] + len(ins)
+        self.c_in_off = offsets
+        self.c_ins = np.fromiter(
+            (k for _, _, ins in ops for k in ins),
+            dtype=np.int32,
+            count=int(offsets[-1]),
+        )
+        self.max_arity = max((len(ins) for _, _, ins in ops), default=1)
+        self.po_sig = np.asarray(compiled.po_indices, dtype=np.int32)
+        #: op position of every gate-output signal, for stem patches.
+        self._pos_of_out = {out: position for position, (_, out, _) in enumerate(ops)}
+
+    # ------------------------------------------------------------------
+    # Program compilation
+    # ------------------------------------------------------------------
+    def _compile_program(self, faults: tuple[Fault, ...] | None) -> NativeProgram:
+        numpy_program = super()._compile_program(faults)
+        words = numpy_program.words or 1
+        empty_i32 = np.zeros(0, dtype=np.int32)
+        empty_masks = np.zeros((0, words), dtype=np.uint64)
+        fields = {
+            "pin_ops": empty_i32,
+            "pin_pins": empty_i32,
+            "pin_sa1": empty_masks,
+            "pin_sa0": empty_masks,
+            "stem_ops": empty_i32,
+            "stem_sa1": empty_masks,
+            "stem_sa0": empty_masks,
+        }
+        if faults is not None:
+            plan = self._compiled.compile_plan(list(faults))
+            pins = sorted(plan.gate_pin.items())
+            if pins:
+                fields["pin_ops"] = np.asarray(
+                    [position for (position, _), _ in pins], dtype=np.int32
+                )
+                fields["pin_pins"] = np.asarray(
+                    [pin for (_, pin), _ in pins], dtype=np.int32
+                )
+                fields["pin_sa1"] = np.stack(
+                    [_mask_to_words(sa1, words) for _, (sa1, _) in pins]
+                )
+                fields["pin_sa0"] = np.stack(
+                    [_mask_to_words(sa0, words) for _, (_, sa0) in pins]
+                )
+            num_sources = self._compiled.num_inputs + len(
+                self._compiled.flop_pairs
+            )
+            stems = merge_stem_patches(
+                plan, lambda index: index >= num_sources
+            )
+            if stems:
+                by_position = sorted(
+                    (self._pos_of_out[signal_index], sa1, sa0)
+                    for signal_index, (sa1, sa0) in stems.items()
+                )
+                fields["stem_ops"] = np.asarray(
+                    [position for position, _, _ in by_position],
+                    dtype=np.int32,
+                )
+                fields["stem_sa1"] = np.stack(
+                    [_mask_to_words(sa1, words) for _, sa1, _ in by_position]
+                )
+                fields["stem_sa0"] = np.stack(
+                    [_mask_to_words(sa0, words) for _, _, sa0 in by_position]
+                )
+        return NativeProgram(numpy_program, fields)
+
+    def batch(self, program: SimProgram, batch_size: int) -> NativeBatch:
+        assert isinstance(program, NativeProgram)
+        if program.batch_size is not None and program.batch_size != batch_size:
+            raise SimulationError(
+                f"program compiled for batch size {program.batch_size}, "
+                f"batch opened with {batch_size}"
+            )
+        return NativeBatch(self, program, batch_size)
+
+    def detect_step(
+        self, good: SimBatch, faulty: SimBatch, alive_mask: int
+    ) -> int:
+        """Paired-batch detection in one C pass over all POs."""
+        if alive_mask == 0:
+            return 0
+        assert isinstance(good, NativeBatch) and isinstance(faulty, NativeBatch)
+        assert good._words == faulty._words
+        out = good._detect_out
+        out[:] = 0
+        self.lib.repro_detect_step(
+            _addr(good._V),
+            _addr(faulty._V),
+            good._words,
+            _addr(self.po_sig),
+            len(self.po_sig),
+            _addr(good._po_sa1),
+            _addr(good._po_sa0),
+            _addr(faulty._po_sa1),
+            _addr(faulty._po_sa0),
+            _addr(out),
+        )
+        return _words_to_mask(out) & alive_mask

@@ -1,0 +1,212 @@
+"""Lazy compilation and loading of the native C simulation kernel.
+
+The ``native`` backend (:mod:`repro.sim.backend_native`) is backed by a
+small dependency-free C file shipped inside the package
+(``sim/_native/repro_kernel.c``).  Nothing is built at install time:
+the first process that asks for the backend compiles the kernel with
+whatever C compiler the machine has (``$CC``, then ``cc``/``gcc``/
+``clang``) into a content-addressed cache directory, and every later
+process — including spawned shard workers — just ``dlopen``\\ s the cached
+shared object.
+
+Unavailability is a *condition*, not an error: no compiler, a failed
+build, or the ``REPRO_NO_NATIVE`` escape hatch all surface as
+:func:`native_unavailable_reason` returning a string, which the backend
+registry translates into "``auto`` never picks native" and
+"``backend='native'`` raises a clear configuration error".  The full
+test suite passes with ``REPRO_NO_NATIVE=1``.
+
+Cache layout: ``$REPRO_NATIVE_CACHE_DIR`` (default
+``~/.cache/repro-bist/native``) holds one shared object per source
+digest, so editing the C file or bumping the ABI rebuilds without
+clobbering concurrent users; builds land in a temp file and are
+published with an atomic :func:`os.replace`, so concurrent first calls
+(e.g. a spawning worker pool) race benignly.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+
+from repro.errors import SimulationError
+
+#: Env knob hiding the compiled kernel entirely (tests, bisection, and
+#: machines where a half-working toolchain is worse than none).
+NO_NATIVE_ENV = "REPRO_NO_NATIVE"
+
+#: Override for the shared-object cache directory.
+CACHE_DIR_ENV = "REPRO_NATIVE_CACHE_DIR"
+
+#: Python-side ABI expectation; must equal REPRO_NATIVE_ABI in the C
+#: source (checked after every load, so a stale .so cannot be driven
+#: with the wrong marshaling).
+NATIVE_ABI_VERSION = 1
+
+#: Compilers tried in order when $CC is unset.
+_COMPILER_CANDIDATES = ("cc", "gcc", "clang")
+
+_SOURCE_PATH = Path(__file__).parent / "_native" / "repro_kernel.c"
+
+# Process-level memos: the loaded library, and a sticky failure reason so
+# a broken toolchain is probed once per process, not per call.
+_LIBRARY: ctypes.CDLL | None = None
+_BUILD_FAILURE: str | None = None
+
+
+def find_compiler() -> str | None:
+    """The C compiler the build will use, or ``None`` when there is none."""
+    override = os.environ.get("CC")
+    if override:
+        return override if shutil.which(override) else None
+    for candidate in _COMPILER_CANDIDATES:
+        if shutil.which(candidate):
+            return candidate
+    return None
+
+
+def toolchain_info() -> dict:
+    """Compiler name/version for benchmark ``machine`` blocks."""
+    compiler = find_compiler()
+    if compiler is None:
+        return {"compiler": None}
+    try:
+        probe = subprocess.run(
+            [compiler, "--version"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        version = (probe.stdout or probe.stderr).splitlines()[0].strip()
+    except (OSError, subprocess.TimeoutExpired, IndexError):
+        version = "unknown"
+    return {"compiler": compiler, "compiler_version": version}
+
+
+def _cache_dir() -> Path:
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-bist" / "native"
+
+
+def _library_path(source: bytes) -> Path:
+    digest = hashlib.sha256(
+        source + f"|abi={NATIVE_ABI_VERSION}".encode()
+    ).hexdigest()[:16]
+    return _cache_dir() / f"repro_kernel-{digest}.so"
+
+
+def _compile(compiler: str, source_path: Path, target: Path) -> None:
+    """Compile the kernel to ``target`` (atomic publish via temp file)."""
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, temp_name = tempfile.mkstemp(
+        suffix=".so", prefix="repro_kernel-", dir=target.parent
+    )
+    os.close(fd)
+    command = [
+        compiler,
+        "-O3",
+        "-std=c11",
+        "-fPIC",
+        "-shared",
+        "-o",
+        temp_name,
+        str(source_path),
+    ]
+    try:
+        build = subprocess.run(
+            command, capture_output=True, text=True, timeout=120
+        )
+        if build.returncode != 0:
+            detail = (build.stderr or build.stdout or "").strip()
+            raise SimulationError(
+                f"native kernel build failed ({' '.join(command)}): "
+                f"{detail[:500]}"
+            )
+        os.replace(temp_name, target)
+    except (OSError, subprocess.TimeoutExpired) as error:
+        raise SimulationError(
+            f"native kernel build failed to run {compiler!r}: {error}"
+        ) from error
+    finally:
+        if os.path.exists(temp_name):  # failed before the atomic publish
+            os.unlink(temp_name)
+
+
+def _bind(library: ctypes.CDLL) -> ctypes.CDLL:
+    """Declare the exported signatures (pointers travel as raw addresses)."""
+    p = ctypes.c_void_p
+    i64 = ctypes.c_int64
+    library.repro_abi_version.argtypes = []
+    library.repro_abi_version.restype = i64
+    library.repro_eval.argtypes = [
+        p, i64, p, p, p, p, i64, p, p, p, p, i64, p, p, p, i64, p
+    ]
+    library.repro_eval.restype = None
+    library.repro_detect_mask.argtypes = [p, i64, p, p, i64, p, p, p, p]
+    library.repro_detect_mask.restype = None
+    library.repro_detect_step.argtypes = [p, p, i64, p, i64, p, p, p, p, p]
+    library.repro_detect_step.restype = None
+    return library
+
+
+def native_unavailable_reason() -> str | None:
+    """Why the native backend cannot be used right now, or ``None``.
+
+    The :data:`NO_NATIVE_ENV` knob is re-read on every call (tests flip
+    it); compiler absence and build failures stick for the process.
+    """
+    if os.environ.get(NO_NATIVE_ENV):
+        return f"disabled via {NO_NATIVE_ENV}"
+    if _LIBRARY is not None:
+        return None
+    if _BUILD_FAILURE is not None:
+        return _BUILD_FAILURE
+    if not _SOURCE_PATH.is_file():
+        return f"kernel source missing at {_SOURCE_PATH}"
+    if find_compiler() is None:
+        return "no C compiler found (set $CC, or install cc/gcc/clang)"
+    return None
+
+
+def load_native_library() -> ctypes.CDLL:
+    """The compiled kernel, building it on first use.
+
+    Raises :class:`~repro.errors.SimulationError` with the
+    :func:`native_unavailable_reason` when the backend cannot be
+    provided; the registry turns that into graceful ``auto`` avoidance.
+    """
+    global _LIBRARY, _BUILD_FAILURE
+    reason = native_unavailable_reason()
+    if reason is not None:
+        raise SimulationError(f"the 'native' simulation backend is unavailable: {reason}")
+    if _LIBRARY is not None:
+        return _LIBRARY
+    try:
+        source = _SOURCE_PATH.read_bytes()
+        target = _library_path(source)
+        if not target.is_file():
+            compiler = find_compiler()
+            assert compiler is not None  # checked by the reason gate
+            _compile(compiler, _SOURCE_PATH, target)
+        library = _bind(ctypes.CDLL(str(target)))
+        abi = library.repro_abi_version()
+        if abi != NATIVE_ABI_VERSION:
+            raise SimulationError(
+                f"native kernel ABI mismatch: built {abi}, expected "
+                f"{NATIVE_ABI_VERSION} (clear {target.parent} and retry)"
+            )
+    except SimulationError as error:
+        _BUILD_FAILURE = str(error)
+        raise
+    except OSError as error:
+        _BUILD_FAILURE = f"native kernel load failed: {error}"
+        raise SimulationError(_BUILD_FAILURE) from error
+    _LIBRARY = library
+    return library

@@ -106,6 +106,7 @@ from repro.sim.workerpool import (
     PoolContext,
     default_workers,
     get_worker_pool,
+    single_core_machine,
     worker_attach_shm,
     worker_state,
 )
@@ -540,6 +541,7 @@ def make_sequence_simulator(
     min_shard_candidates: int | None = None,
     oversplit: int = DEFAULT_OVERSPLIT,
     chunking: str = DEFAULT_CHUNKING,
+    force_shard: bool = False,
 ) -> SequenceBatchSimulator:
     """The ``workers=`` seam for every candidate-simulation consumer.
 
@@ -553,9 +555,17 @@ def make_sequence_simulator(
     (equal simulated-step budgets, the default) or ``"count"`` (the
     historical equal-candidate plan); results are bit-identical either
     way, so like ``workers`` it is a pure throughput knob.
+
+    On a single-core machine a ``workers > 1`` request falls back to the
+    serial engine (see :func:`~repro.sim.workerpool.single_core_machine`)
+    unless ``force_shard=True``; constructing
+    :class:`ShardedSequenceBatchSimulator` directly also bypasses the
+    fallback.
     """
     if workers is None or workers == 0:
         workers = default_workers()
+    if workers > 1 and not force_shard and single_core_machine():
+        workers = 1
     if workers <= 1:
         validate_chunking(chunking)
         return SequenceBatchSimulator(

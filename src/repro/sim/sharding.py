@@ -73,6 +73,7 @@ from repro.sim.workerpool import (
     PoolContext,
     default_workers,
     get_worker_pool,
+    single_core_machine,
     worker_state,
 )
 
@@ -427,6 +428,7 @@ def make_fault_simulator(
     workers: int = 1,
     min_shard_faults: int = SERIAL_FALLBACK_FAULTS,
     oversplit: int = DEFAULT_OVERSPLIT,
+    force_shard: bool = False,
 ) -> FaultSimulator:
     """The ``workers=`` seam used by every fault-simulation consumer.
 
@@ -434,9 +436,19 @@ def make_fault_simulator(
     anything larger returns a :class:`ShardedFaultSimulator` (which still
     runs small universes serially — see :data:`SERIAL_FALLBACK_FAULTS`).
     ``workers=0`` / ``workers=None`` mean "one per CPU".
+
+    On a single-core machine a ``workers > 1`` request falls back to the
+    serial engine (sharding only adds process traffic there — see
+    :func:`~repro.sim.workerpool.single_core_machine`) unless
+    ``force_shard=True``, which honors the requested worker count
+    regardless; benchmarks measuring the sharding layer itself use the
+    override.  Constructing :class:`ShardedFaultSimulator` directly also
+    bypasses the fallback.
     """
     if workers is None or workers == 0:
         workers = default_workers()
+    if workers > 1 and not force_shard and single_core_machine():
+        workers = 1
     if workers <= 1:
         return FaultSimulator(circuit, batch_width=batch_width, backend=backend)
     return ShardedFaultSimulator(

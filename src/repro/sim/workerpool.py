@@ -58,6 +58,18 @@ def default_workers() -> int:
     return max(1, os.cpu_count() or 1)
 
 
+def single_core_machine() -> bool:
+    """True when this machine has exactly one usable CPU core.
+
+    Process sharding cannot beat the serial engine here — the committed
+    smoke baselines show ``workers=4`` running at 0.32–0.87x serial on a
+    1-core box — so the simulator factories fall back to serial unless
+    the caller explicitly forces sharding.  Tests monkeypatch this to
+    exercise both sides regardless of the machine they run on.
+    """
+    return (os.cpu_count() or 1) <= 1
+
+
 def resolve_start_method() -> str:
     """The multiprocessing start method for shard pools.
 

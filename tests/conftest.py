@@ -10,7 +10,28 @@ from repro.circuits.catalog import load_circuit, paper_t0_s27
 from repro.circuits.generator import SyntheticSpec, generate_circuit
 from repro.core.sequence import TestSequence
 from repro.faults.universe import FaultUniverse
+from repro.sim.backend import backend_unavailable_reason
 from repro.sim.compiled import CompiledCircuit
+
+
+@pytest.fixture
+def require_backend():
+    """Skip-with-reason gate for registry-parametrized backend axes.
+
+    Suites parametrize over :func:`repro.sim.backend.registry_backends`
+    (every registered engine, so new backends are auto-covered) and call
+    this on the parameter: an engine unusable on this machine — numpy
+    missing, no C compiler, ``REPRO_NO_NATIVE=1`` — becomes an explicit
+    skip carrying its unavailability reason instead of a failure.
+    """
+
+    def _require(name: str) -> str:
+        reason = backend_unavailable_reason(name)
+        if reason is not None:
+            pytest.skip(f"backend {name!r} unavailable: {reason}")
+        return name
+
+    return _require
 
 
 @pytest.fixture(scope="session")

@@ -1,9 +1,16 @@
-"""Cross-backend parity: the numpy engine must be bit-identical to python.
+"""Cross-backend parity: every engine must be bit-identical to python.
 
 The ``python`` big-int kernel is the semantic reference (itself checked
 against the scalar :mod:`repro.sim.reference` simulator elsewhere); every
 other backend must produce *identical* detection times, traces and
 outcomes on the same workloads — not merely equivalent coverage.
+
+The suite parametrizes over the backend registry
+(:func:`repro.sim.backend.registry_backends`), not a hardcoded list, so
+a new engine is auto-covered the moment it registers; an engine that
+cannot run on this machine (numpy missing, no C compiler,
+``REPRO_NO_NATIVE=1``) skips with its unavailability reason instead of
+failing.
 """
 
 from __future__ import annotations
@@ -19,12 +26,15 @@ from repro.logic.values import ONE, X, ZERO
 from repro.sim.backend import (
     SimBackend,
     available_backends,
+    backend_unavailable_reason,
     get_backend,
+    registry_backends,
     resolve_backend_name,
 )
 from repro.sim.compiled import CompiledCircuit
 from repro.sim.faultsim import FaultSimulator
 from repro.sim.logicsim import LogicSimulator
+from repro.sim.native_build import NO_NATIVE_ENV
 from repro.sim.seqsim import SequenceBatchSimulator
 from repro.util.rng import SplitMix64
 
@@ -32,6 +42,24 @@ pytest.importorskip("numpy")
 
 #: Catalog circuits small enough to sweep their full fault universe here.
 PARITY_CIRCUITS = ["s27", "syn298", "syn344", "syn382", "syn641"]
+
+#: Engines checked against the big-int reference.
+NON_REFERENCE_BACKENDS = [
+    name for name in registry_backends() if name != "python"
+]
+
+
+def _require_backend(name: str) -> str:
+    reason = backend_unavailable_reason(name)
+    if reason is not None:
+        pytest.skip(f"backend {name!r} unavailable: {reason}")
+    return name
+
+
+@pytest.fixture(params=NON_REFERENCE_BACKENDS)
+def backend_name(request) -> str:
+    """Each registered non-reference engine; unavailable ones skip."""
+    return _require_backend(request.param)
 
 
 def _random_sequence(circuit, length, seed=2024) -> TestSequence:
@@ -49,33 +77,49 @@ def compiled(request) -> CompiledCircuit:
     return CompiledCircuit(load_circuit(request.param))
 
 
-class TestNumpyBackendAvailable:
-    def test_registry_lists_numpy(self):
-        assert available_backends() == ["python", "numpy"]
+class TestBackendRegistry:
+    def test_registry_names(self):
+        assert registry_backends() == ["python", "numpy", "native"]
+
+    def test_available_is_registry_subset_with_python(self):
+        available = available_backends()
+        assert "python" in available
+        assert "numpy" in available  # numpy ships in CI
+        assert set(available) <= set(registry_backends())
+        # Availability and the per-name diagnostic must agree.
+        for name in registry_backends():
+            assert (backend_unavailable_reason(name) is None) == (
+                name in available
+            )
 
     def test_unknown_backend_rejected(self, compiled):
         with pytest.raises(SimulationError, match="unknown simulation backend"):
             get_backend(compiled, "cuda")
+        assert "unknown backend" in backend_unavailable_reason("cuda")
 
-    def test_backend_instances_memoized_per_circuit(self, compiled):
-        assert get_backend(compiled, "numpy") is get_backend(compiled, "numpy")
+    def test_backend_instances_memoized_per_circuit(self, compiled, backend_name):
+        assert get_backend(compiled, backend_name) is get_backend(
+            compiled, backend_name
+        )
         assert get_backend(compiled, "python") is not get_backend(
-            compiled, "numpy"
+            compiled, backend_name
         )
 
 
 class TestFaultSimParity:
-    def test_full_universe_detection_times_identical(self, compiled):
+    def test_full_universe_detection_times_identical(self, compiled, backend_name):
         """The acceptance property: same udet for every catalog fault."""
         universe = FaultUniverse(compiled.circuit)
         faults = list(universe.faults())
         sequence = _random_sequence(compiled.circuit, 48)
         python = FaultSimulator(compiled, backend="python").run(sequence, faults)
-        numpy_ = FaultSimulator(compiled, backend="numpy").run(sequence, faults)
-        assert python.detection_time == numpy_.detection_time
+        other = FaultSimulator(compiled, backend=backend_name).run(
+            sequence, faults
+        )
+        assert python.detection_time == other.detection_time
         assert python.num_detected > 0  # the comparison is not vacuous
 
-    def test_batch_wider_than_64_slots(self, compiled):
+    def test_batch_wider_than_64_slots(self, compiled, backend_name):
         """Batches crossing uint64 word boundaries (and not word-aligned)."""
         universe = FaultUniverse(compiled.circuit)
         faults = list(universe.faults())
@@ -85,11 +129,11 @@ class TestFaultSimParity:
         )
         for width in (65, 96, 127, 200):
             result = FaultSimulator(
-                compiled, batch_width=width, backend="numpy"
+                compiled, batch_width=width, backend=backend_name
             ).run(sequence, faults)
             assert result.detection_time == reference.detection_time
 
-    def test_pi_stem_fault(self, compiled):
+    def test_pi_stem_fault(self, compiled, backend_name):
         """Faults on PI stems exercise the source-patch path."""
         circuit = compiled.circuit
         sequence = _random_sequence(circuit, 24)
@@ -99,19 +143,19 @@ class TestFaultSimParity:
                 python = FaultSimulator(compiled, backend="python").detects(
                     sequence, fault
                 )
-                numpy_ = FaultSimulator(compiled, backend="numpy").detects(
+                other = FaultSimulator(compiled, backend=backend_name).detects(
                     sequence, fault
                 )
-                assert python == numpy_
+                assert python == other
 
-    def test_session_parity_from_all_x_state(self, compiled):
+    def test_session_parity_from_all_x_state(self, compiled, backend_name):
         """Incremental sessions advance both backends' machines from all-X
         through several extensions with identical global detection times."""
         universe = FaultUniverse(compiled.circuit)
         faults = list(universe.faults())
         sessions = {
             name: FaultSimulator(compiled, backend=name).session(faults)
-            for name in ("python", "numpy")
+            for name in ("python", backend_name)
         }
         for chunk_seed in (7, 8, 9):
             extension = _random_sequence(compiled.circuit, 12, seed=chunk_seed)
@@ -119,34 +163,34 @@ class TestFaultSimParity:
                 name: session.commit(extension)
                 for name, session in sessions.items()
             }
-            assert detected["python"] == detected["numpy"]
+            assert detected["python"] == detected[backend_name]
             assert (
                 sessions["python"].peek(extension)
-                == sessions["numpy"].peek(extension)
+                == sessions[backend_name].peek(extension)
             )
         assert (
             sessions["python"].detection_time
-            == sessions["numpy"].detection_time
+            == sessions[backend_name].detection_time
         )
         assert set(sessions["python"].remaining_faults) == set(
-            sessions["numpy"].remaining_faults
+            sessions[backend_name].remaining_faults
         )
 
 
 class TestLogicSimParity:
-    def test_traces_identical(self, compiled):
+    def test_traces_identical(self, compiled, backend_name):
         sequence = _random_sequence(compiled.circuit, 32)
         python = LogicSimulator(compiled, backend="python").run(
             sequence, record_signals=True
         )
-        numpy_ = LogicSimulator(compiled, backend="numpy").run(
+        other = LogicSimulator(compiled, backend=backend_name).run(
             sequence, record_signals=True
         )
-        assert python.po_values == numpy_.po_values
-        assert python.final_state == numpy_.final_state
-        assert python.signal_values == numpy_.signal_values
+        assert python.po_values == other.po_values
+        assert python.final_state == other.final_state
+        assert python.signal_values == other.signal_values
 
-    def test_explicit_initial_states(self, compiled):
+    def test_explicit_initial_states(self, compiled, backend_name):
         """All-X, all-binary and mixed initial states round-trip the same."""
         num_flops = len(compiled.flop_pairs)
         sequence = _random_sequence(compiled.circuit, 16)
@@ -160,15 +204,15 @@ class TestLogicSimParity:
             python = LogicSimulator(compiled, backend="python").run(
                 sequence, initial_state=initial
             )
-            numpy_ = LogicSimulator(compiled, backend="numpy").run(
+            other = LogicSimulator(compiled, backend=backend_name).run(
                 sequence, initial_state=initial
             )
-            assert python.po_values == numpy_.po_values
-            assert python.final_state == numpy_.final_state
+            assert python.po_values == other.po_values
+            assert python.final_state == other.final_state
 
 
 class TestSeqSimParity:
-    def test_mixed_length_candidates(self, compiled):
+    def test_mixed_length_candidates(self, compiled, backend_name):
         universe = FaultUniverse(compiled.circuit)
         faults = list(universe.faults())
         candidates = [
@@ -179,10 +223,10 @@ class TestSeqSimParity:
             python = SequenceBatchSimulator(
                 compiled, batch_width=70, backend="python"
             ).detects(fault, candidates)
-            numpy_ = SequenceBatchSimulator(
-                compiled, batch_width=70, backend="numpy"
+            other = SequenceBatchSimulator(
+                compiled, batch_width=70, backend=backend_name
             ).detects(fault, candidates)
-            assert python == numpy_
+            assert python == other
 
 
 def _detect_step_trace(compiled, backend, fault, sequences, batch_size):
@@ -232,7 +276,7 @@ class TestDetectStep:
     #: the single-word (1-D) machinery, 70 the multi-word path.
     BATCH_SIZES = (3, 70)
 
-    def test_masks_identical_across_backends(self, compiled):
+    def test_masks_identical_across_backends(self, compiled, backend_name):
         universe = FaultUniverse(compiled.circuit)
         faults = list(universe.faults())
         for batch_size in self.BATCH_SIZES:
@@ -248,20 +292,22 @@ class TestDetectStep:
                     candidates,
                     batch_size,
                 )
-                numpy_ = _detect_step_trace(
+                other = _detect_step_trace(
                     compiled,
-                    get_backend(compiled, "numpy"),
+                    get_backend(compiled, backend_name),
                     fault,
                     candidates,
                     batch_size,
                 )
-                assert python == numpy_, str(fault)
+                assert python == other, str(fault)
 
-    def test_fused_pass_matches_reference_observe_po_loop(self, compiled):
+    def test_fused_pass_matches_reference_observe_po_loop(
+        self, compiled, backend_name
+    ):
         """Each backend's override equals the SimBackend default."""
         universe = FaultUniverse(compiled.circuit)
         fault = list(universe.faults())[1]
-        for name in ("python", "numpy"):
+        for name in ("python", backend_name):
             backend = get_backend(compiled, name)
             for batch_size in self.BATCH_SIZES:
                 candidates = [
@@ -271,7 +317,7 @@ class TestDetectStep:
                 fused = _detect_step_trace(
                     compiled, backend, fault, candidates, batch_size
                 )
-                native = type(backend).detect_step
+                override = type(backend).detect_step
                 try:
                     # Force the inherited reference implementation.
                     type(backend).detect_step = SimBackend.detect_step
@@ -279,10 +325,10 @@ class TestDetectStep:
                         compiled, backend, fault, candidates, batch_size
                     )
                 finally:
-                    type(backend).detect_step = native
+                    type(backend).detect_step = override
                 assert fused == reference, name
 
-    def test_po_branch_fault_patches_applied(self, compiled):
+    def test_po_branch_fault_patches_applied(self, compiled, backend_name):
         """Faults on PO branch pins exercise detect_step's patch path."""
         universe = FaultUniverse(compiled.circuit)
         po_faults = [
@@ -297,10 +343,10 @@ class TestDetectStep:
             python = _detect_step_trace(
                 compiled, get_backend(compiled, "python"), fault, candidates, 9
             )
-            numpy_ = _detect_step_trace(
-                compiled, get_backend(compiled, "numpy"), fault, candidates, 9
+            other = _detect_step_trace(
+                compiled, get_backend(compiled, backend_name), fault, candidates, 9
             )
-            assert python == numpy_, str(fault)
+            assert python == other, str(fault)
             assert any(python), f"{fault} never detected — vacuous comparison"
 
 
@@ -345,7 +391,19 @@ class TestLevelFusion:
 class TestAutoBackend:
     """backend="auto" resolves adaptively and never changes results."""
 
-    def test_resolution_heuristic(self):
+    def test_resolution_prefers_native_when_available(self):
+        _require_backend("native")
+        small = CompiledCircuit(load_circuit("s27"))
+        large = CompiledCircuit(load_circuit("syn1423"))
+        # s27 sits below every crossover; the catalog circuits are all
+        # above the native thresholds on both axes.
+        assert resolve_backend_name(small, "auto") == "python"
+        assert resolve_backend_name(large, "auto") == "native"
+        assert resolve_backend_name(large, "auto", paired=True) == "native"
+
+    def test_resolution_heuristic_without_native(self, monkeypatch):
+        """The numpy/python cascade, with the native engine hidden."""
+        monkeypatch.setenv(NO_NATIVE_ENV, "1")
         small = CompiledCircuit(load_circuit("s27"))
         large = CompiledCircuit(load_circuit("syn1423"))
         assert resolve_backend_name(small, "auto") == "python"
@@ -355,10 +413,12 @@ class TestAutoBackend:
         assert resolve_backend_name(small, "python") == "python"
         assert resolve_backend_name(small, None) == "python"
 
-    def test_paired_resolution_has_its_own_crossover(self):
-        """The candidate axis crosses over far later than the fault axis."""
+    def test_paired_resolution_has_its_own_crossover(self, monkeypatch):
+        """The candidate axis crosses over far later than the fault axis
+        (numpy vs python; native, when present, leads both axes)."""
         from types import SimpleNamespace
 
+        monkeypatch.setenv(NO_NATIVE_ENV, "1")
         huge = CompiledCircuit(load_circuit("syn5378"))  # 2779 gates
         # Fault axis: numpy; paired candidate axis: still python.
         assert resolve_backend_name(huge, "auto") == "numpy"
@@ -367,8 +427,9 @@ class TestAutoBackend:
         giant = SimpleNamespace(ops=[None] * 16_000)
         assert resolve_backend_name(giant, "auto", paired=True) == "numpy"
 
-    def test_auto_clamps_python_batch_widths_to_sweet_spot(self):
+    def test_auto_clamps_python_batch_widths_to_sweet_spot(self, monkeypatch):
         """Auto on the big-int kernel narrows numpy-tuned wide batches."""
+        monkeypatch.setenv(NO_NATIVE_ENV, "1")
         small = CompiledCircuit(load_circuit("syn298"))
         fault_sim = FaultSimulator(small, batch_width=1024, backend="auto")
         assert fault_sim.backend.name == "python"
@@ -387,6 +448,14 @@ class TestAutoBackend:
         explicit = FaultSimulator(small, batch_width=1024, backend="python")
         assert explicit.batch_width == 1024
 
+    def test_auto_keeps_wide_batches_on_native(self):
+        """The word-based native engine never triggers the python clamp."""
+        _require_backend("native")
+        small = CompiledCircuit(load_circuit("syn298"))
+        fault_sim = FaultSimulator(small, batch_width=1024, backend="auto")
+        assert fault_sim.backend.name == "native"
+        assert fault_sim.batch_width == 1024
+
     def test_scalar_logic_simulation_stays_on_big_int_kernel(self):
         huge = CompiledCircuit(load_circuit("syn5378"))
         assert LogicSimulator(huge, backend="auto").backend.name == "python"
@@ -395,17 +464,18 @@ class TestAutoBackend:
         resolved = get_backend(compiled, "auto")
         assert resolved is get_backend(compiled, resolved.name)
 
-    def test_auto_bit_identical_to_both_backends(self, compiled):
-        """The adaptive property: auto == python == numpy, bit for bit."""
+    def test_auto_bit_identical_to_all_backends(self, compiled):
+        """The adaptive property: auto == every engine, bit for bit."""
         universe = FaultUniverse(compiled.circuit)
         faults = list(universe.faults())
         sequence = _random_sequence(compiled.circuit, 32, seed=600)
+        names = available_backends() + ["auto"]
         runs = {
             name: FaultSimulator(compiled, backend=name).run(sequence, faults)
-            for name in ("python", "numpy", "auto")
+            for name in names
         }
-        assert runs["auto"].detection_time == runs["python"].detection_time
-        assert runs["auto"].detection_time == runs["numpy"].detection_time
+        for name in names:
+            assert runs[name].detection_time == runs["python"].detection_time
 
         candidates = [
             _random_sequence(compiled.circuit, 3 + (j % 9), seed=700 + j)
@@ -416,17 +486,18 @@ class TestAutoBackend:
                 name: SequenceBatchSimulator(
                     compiled, batch_width=40, backend=name
                 ).detects(fault, candidates)
-                for name in ("python", "numpy", "auto")
+                for name in names
             }
-            assert outcomes["auto"] == outcomes["python"] == outcomes["numpy"]
+            for name in names:
+                assert outcomes[name] == outcomes["python"], (name, str(fault))
 
 
-class TestPaperWalkthroughOnNumpy:
-    def test_s27_profile_is_backend_independent(self):
-        """The paper's own worked example, replayed on the numpy engine."""
+class TestPaperWalkthrough:
+    def test_s27_profile_is_backend_independent(self, backend_name):
+        """The paper's own worked example, replayed on each engine."""
         compiled = CompiledCircuit(load_circuit("s27"))
         universe = FaultUniverse(compiled.circuit)
-        result = FaultSimulator(compiled, backend="numpy").run(
+        result = FaultSimulator(compiled, backend=backend_name).run(
             paper_t0_s27(), list(universe.faults())
         )
         assert result.num_detected == 32
@@ -438,23 +509,24 @@ class TestPaperWalkthroughOnNumpy:
 
 
 class TestBatchWidthValidation:
-    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    @pytest.mark.parametrize("backend", registry_backends())
     def test_invalid_width_rejected(self, compiled, backend):
+        _require_backend(backend)
         with pytest.raises(SimulationError, match="batch width"):
             FaultSimulator(compiled, batch_width=0, backend=backend)
         with pytest.raises(SimulationError, match="batch width"):
             SequenceBatchSimulator(compiled, batch_width=-3, backend=backend)
 
-    def test_word_width_metadata(self, compiled):
+    def test_word_width_metadata(self, compiled, backend_name):
         assert get_backend(compiled, "python").word_width is None
-        assert get_backend(compiled, "numpy").word_width == 64
+        assert get_backend(compiled, backend_name).word_width == 64
 
 
 class TestProgramCache:
-    def test_programs_cached_per_fault_batch(self, compiled):
+    def test_programs_cached_per_fault_batch(self, compiled, backend_name):
         universe = FaultUniverse(compiled.circuit)
         faults = tuple(universe.faults())[:8]
-        for name in ("python", "numpy"):
+        for name in ("python", backend_name):
             backend = get_backend(compiled, name)
             assert backend.program(faults) is backend.program(faults)
             assert backend.program(None) is backend.program(None)

@@ -22,7 +22,7 @@ from repro.core.ops import ExpansionConfig
 from repro.core.sequence import TestSequence
 from repro.errors import SimulationError
 from repro.faults.universe import FaultUniverse
-from repro.sim.backend import available_backends
+from repro.sim.backend import registry_backends
 from repro.sim.compiled import CompiledCircuit
 from repro.sim.faultsim import FaultSimulator
 from repro.sim.scanplan import (
@@ -176,7 +176,7 @@ class TestPlanIR:
             OmissionPlan(t0, [len(t0)], EXPANSION)
 
 
-@pytest.mark.parametrize("backend", available_backends())
+@pytest.mark.parametrize("backend", registry_backends())
 @pytest.mark.parametrize("workers", WORKER_AXIS)
 class TestChunkingParity:
     """Cost and count plans are bit-identical for any worker count."""
@@ -190,11 +190,17 @@ class TestChunkingParity:
                 workers=workers,
                 min_shard_candidates=1,
                 chunking=chunking,
+                # The multi-worker axis must exercise the sharded path
+                # even on a single-core runner.
+                force_shard=True,
             )
             for chunking in CHUNKING_MODES
         }
 
-    def test_first_hit_and_outcomes_identical(self, workload, backend, workers):
+    def test_first_hit_and_outcomes_identical(
+        self, workload, backend, workers, require_backend
+    ):
+        require_backend(backend)
         compiled, t0, fault, udet = workload
         spans = [(u, udet) for u in range(udet, -1, -1)]
         window_plan = WindowRampPlan(t0, spans, EXPANSION)
@@ -231,8 +237,9 @@ class TestChunkingParity:
                 simulator.close()
 
     def test_empty_ramp_and_single_candidate_edges(
-        self, workload, backend, workers
+        self, workload, backend, workers, require_backend
     ):
+        require_backend(backend)
         compiled, t0, fault, udet = workload
         empty_plan = WindowRampPlan(t0, [], EXPANSION)
         single_plan = WindowRampPlan(t0, [(udet, udet)], EXPANSION)

@@ -19,7 +19,7 @@ from repro.core.procedure2 import build_subsequence_for_fault
 from repro.core.sequence import TestSequence
 from repro.errors import SimulationError
 from repro.faults.universe import FaultUniverse
-from repro.sim.backend import available_backends
+from repro.sim.backend import available_backends, registry_backends
 from repro.sim.compiled import CompiledCircuit
 from repro.sim.faultsim import FaultSimulator
 from repro.sim.seqshard import (
@@ -114,10 +114,44 @@ class TestFactory:
         simulator.close()  # no-op on the serial class
 
     def test_workers_many_is_sharded(self, workload):
+        # force_shard: this test must exercise the sharded class even on
+        # a single-core runner, where the factory would fall back.
         compiled = workload[0]
-        with make_sequence_simulator(compiled, workers=2) as simulator:
+        with make_sequence_simulator(
+            compiled, workers=2, force_shard=True
+        ) as simulator:
             assert isinstance(simulator, ShardedSequenceBatchSimulator)
             assert simulator.workers == 2
+
+    def test_single_core_machine_falls_back_to_serial(self, workload, monkeypatch):
+        compiled = workload[0]
+        monkeypatch.setattr(
+            "repro.sim.seqshard.single_core_machine", lambda: True
+        )
+        simulator = make_sequence_simulator(compiled, workers=4)
+        assert type(simulator) is SequenceBatchSimulator
+        simulator.close()
+
+    def test_force_shard_overrides_single_core_fallback(
+        self, workload, monkeypatch
+    ):
+        compiled = workload[0]
+        monkeypatch.setattr(
+            "repro.sim.seqshard.single_core_machine", lambda: True
+        )
+        with make_sequence_simulator(
+            compiled, workers=2, force_shard=True
+        ) as simulator:
+            assert isinstance(simulator, ShardedSequenceBatchSimulator)
+            assert simulator.workers == 2
+
+    def test_multi_core_machine_keeps_sharding(self, workload, monkeypatch):
+        compiled = workload[0]
+        monkeypatch.setattr(
+            "repro.sim.seqshard.single_core_machine", lambda: False
+        )
+        with make_sequence_simulator(compiled, workers=2) as simulator:
+            assert isinstance(simulator, ShardedSequenceBatchSimulator)
 
     def test_default_floor_scales_with_batch_width(self, workload):
         compiled = workload[0]
@@ -148,12 +182,13 @@ class TestFactory:
             assert simulator._context is None
 
 
-@pytest.mark.parametrize("backend", available_backends())
+@pytest.mark.parametrize("backend", registry_backends())
 @pytest.mark.parametrize("workers", [2, 4])
 class TestShardedParity:
     def test_windows_omissions_and_first_hits(
-        self, workload, serial_reference, backend, workers
+        self, workload, serial_reference, backend, workers, require_backend
     ):
+        require_backend(backend)
         compiled, t0, fault, _udet, spans, base, omissions, _ = workload
         reference = serial_reference[backend]
         with ShardedSequenceBatchSimulator(
@@ -185,7 +220,10 @@ class TestShardedParity:
                 == reference["first_omission"]
             )
 
-    def test_explicit_candidates(self, workload, serial_reference, backend, workers):
+    def test_explicit_candidates(
+        self, workload, serial_reference, backend, workers, require_backend
+    ):
+        require_backend(backend)
         compiled, t0, fault, udet, *_ = workload
         candidates = [t0.subsequence(u, udet) for u in range(udet, -1, -1)] + [t0]
         serial = SequenceBatchSimulator(

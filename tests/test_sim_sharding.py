@@ -13,7 +13,7 @@ import pytest
 from repro.circuits.catalog import load_circuit
 from repro.core.sequence import TestSequence
 from repro.faults.universe import FaultUniverse
-from repro.sim.backend import available_backends
+from repro.sim.backend import available_backends, registry_backends
 from repro.sim.compiled import CompiledCircuit
 from repro.sim.faultsim import FaultSimSession, FaultSimulator
 from repro.sim.sharding import (
@@ -104,10 +104,43 @@ class TestFactory:
         assert type(simulator) is FaultSimulator
 
     def test_workers_many_is_sharded(self, syn298):
+        # force_shard: this test must exercise the sharded class even on
+        # a single-core runner, where the factory would fall back.
         compiled, _, _ = syn298
-        with make_fault_simulator(compiled, workers=2) as simulator:
+        with make_fault_simulator(
+            compiled, workers=2, force_shard=True
+        ) as simulator:
             assert isinstance(simulator, ShardedFaultSimulator)
             assert simulator.workers == 2
+
+    def test_single_core_machine_falls_back_to_serial(self, syn298, monkeypatch):
+        compiled, _, _ = syn298
+        monkeypatch.setattr(
+            "repro.sim.sharding.single_core_machine", lambda: True
+        )
+        simulator = make_fault_simulator(compiled, workers=4)
+        assert type(simulator) is FaultSimulator
+
+    def test_force_shard_overrides_single_core_fallback(
+        self, syn298, monkeypatch
+    ):
+        compiled, _, _ = syn298
+        monkeypatch.setattr(
+            "repro.sim.sharding.single_core_machine", lambda: True
+        )
+        with make_fault_simulator(
+            compiled, workers=2, force_shard=True
+        ) as simulator:
+            assert isinstance(simulator, ShardedFaultSimulator)
+            assert simulator.workers == 2
+
+    def test_multi_core_machine_keeps_sharding(self, syn298, monkeypatch):
+        compiled, _, _ = syn298
+        monkeypatch.setattr(
+            "repro.sim.sharding.single_core_machine", lambda: False
+        )
+        with make_fault_simulator(compiled, workers=2) as simulator:
+            assert isinstance(simulator, ShardedFaultSimulator)
 
     def test_small_universe_falls_back_to_serial_session(self, syn298):
         compiled, faults, _ = syn298
@@ -125,12 +158,13 @@ class TestFactory:
             ShardedFaultSimulator(compiled, workers=-1)
 
 
-@pytest.mark.parametrize("backend", available_backends())
+@pytest.mark.parametrize("backend", registry_backends())
 @pytest.mark.parametrize("workers", [2, 4])
 class TestShardedParity:
     def test_run_and_session_match_serial(
-        self, syn298, serial_reference, backend, workers
+        self, syn298, serial_reference, backend, workers, require_backend
     ):
+        require_backend(backend)
         compiled, faults, sequence = syn298
         with ShardedFaultSimulator(
             compiled, backend=backend, workers=workers, min_shard_faults=1
