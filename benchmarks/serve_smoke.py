@@ -1,0 +1,141 @@
+"""CI smoke lane for BIST-as-a-service.
+
+Starts the HTTP front end on an ephemeral port, submits the scheme for
+``s27`` and ``syn298`` from two different tenants over real sockets, and
+asserts the serving acceptance contract:
+
+* every served result's fingerprint equals a direct, service-free
+  ``Session.run`` of the same request (bit-identity);
+* both tenants' same-circuit results are identical to each other, and
+  the second one's trace-cache delta shows it reused the first's
+  fault-free traces (cross-tenant cache warmth);
+* startup calibration on the pinned 1-core runner
+  (``REPRO_ASSUME_CPUS=1``) selects serial execution — the measured
+  profile, not the static threshold, is what the scheduler consults.
+
+Run:  REPRO_ASSUME_CPUS=1 python benchmarks/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import sys
+import tempfile
+
+from repro import RunRequest, Session
+from repro.serve import HttpFrontend, JobService
+
+CIRCUITS = ("s27", "syn298")
+TENANTS = ("tenant-alpha", "tenant-beta")
+
+
+async def http_json(port: int, method: str, path: str, payload=None):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+    writer.write(
+        f"{method} {path} HTTP/1.1\r\nContent-Length: {len(body)}\r\n\r\n".encode()
+        + body
+    )
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    head, _, data = raw.partition(b"\r\n\r\n")
+    return int(head.split(None, 2)[1]), json.loads(data)
+
+
+async def smoke(profile_path: str) -> int:
+    os.environ.setdefault("REPRO_ASSUME_CPUS", "1")
+    os.environ["REPRO_PROFILE"] = profile_path
+
+    service = JobService()  # autotunes at startup (quick calibration)
+    async with service:
+        async with HttpFrontend(service) as http:
+            port = http.port
+            print(f"service on {http.address}")
+
+            status, prof = await http_json(port, "GET", "/profile")
+            assert status == 200, prof
+            profile = prof["profile"]
+            print(
+                f"startup profile: source={profile['source']} "
+                f"workers={profile['workers']} (cpus={profile['cpu_count']})"
+            )
+            assert profile["source"] == "calibrated", profile
+            assert profile["workers"] == 1, (
+                "calibration on the 1-core runner must select serial "
+                f"execution, got workers={profile['workers']}"
+            )
+
+            # Submit every circuit from both tenants before waiting on
+            # anything, so the fair scheduler actually interleaves.
+            jobs: dict[tuple[str, str], str] = {}
+            for circuit in CIRCUITS:
+                request = RunRequest(kind="scheme", circuit=circuit)
+                for tenant in TENANTS:
+                    status, submitted = await http_json(
+                        port,
+                        "POST",
+                        "/jobs",
+                        {"tenant": tenant, "request": request.to_json()},
+                    )
+                    assert status == 202, submitted
+                    jobs[(circuit, tenant)] = submitted["id"]
+
+            results: dict[tuple[str, str], dict] = {}
+            for key, job_id in jobs.items():
+                status, job = await http_json(
+                    port, "GET", f"/jobs/{job_id}?wait=1"
+                )
+                assert status == 200 and job["status"] == "done", job
+                results[key] = job["result"]
+
+            status, stats = await http_json(port, "GET", "/stats")
+            assert stats["jobs_completed"] == len(jobs), stats
+            print(f"completed by tenant: {stats['completed_by_tenant']}")
+
+    failures = 0
+    for circuit in CIRCUITS:
+        served = [results[(circuit, tenant)] for tenant in TENANTS]
+        fingerprints = {r["fingerprint"] for r in served}
+        if len(fingerprints) != 1:
+            print(f"FAIL {circuit}: tenants disagree: {fingerprints}")
+            failures += 1
+
+        with Session() as session:
+            direct = session.run(RunRequest(kind="scheme", circuit=circuit))
+        if direct.fingerprint() not in fingerprints:
+            print(
+                f"FAIL {circuit}: served {fingerprints} != direct "
+                f"{direct.fingerprint()}"
+            )
+            failures += 1
+        else:
+            print(f"ok {circuit}: served == direct ({direct.fingerprint()[:16]}...)")
+
+        first, second = (results[(circuit, tenant)] for tenant in TENANTS)
+        delta_hits = (
+            second["trace_stats"]["trace_hits"] - first["trace_stats"]["trace_hits"]
+        )
+        if delta_hits <= 0:
+            print(f"FAIL {circuit}: second tenant shows no trace-cache reuse")
+            failures += 1
+        else:
+            print(f"ok {circuit}: second tenant reused {delta_hits} cached traces")
+
+    return failures
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        failures = asyncio.run(smoke(os.path.join(tmp, "profile.json")))
+    if failures:
+        print(f"{failures} serve-smoke failure(s)")
+        return 1
+    print("serve smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,8 +6,11 @@ running example:
 1. load the real ISCAS-89 s27 netlist;
 2. fault-simulate the paper's 10-vector test sequence T0 (Table 2);
 3. expand a sequence with the Section 2 operators (Table 1);
-4. run Procedure 1 + Procedure 2 + static compaction;
-5. check that the expanded subsequences preserve T0's fault coverage.
+4. run the full scheme through the Session facade with a RunRequest —
+   the same serializable request object the CLI and the HTTP service
+   accept;
+5. check that the expanded subsequences preserve T0's fault coverage,
+   and show the result's deterministic fingerprint.
 
 Run:  python examples/quickstart.py
 """
@@ -20,8 +23,9 @@ from repro import (
     ExpansionConfig,
     FaultSimulator,
     FaultUniverse,
-    LoadAndExpandScheme,
+    RunRequest,
     SelectionConfig,
+    Session,
     TestSequence,
     expand,
     load_circuit,
@@ -64,11 +68,21 @@ def main() -> None:
         print("  " + " ".join(rows[start : start + 8]))
 
     # ------------------------------------------------------------------
-    # 4. The full scheme (Section 3), n=1 as in the paper's walkthrough.
+    # 4. The full scheme (Section 3) through the Session facade, n=1 as
+    #    in the paper's walkthrough.  The RunRequest built here is the
+    #    same object `repro-bist run --json` prints and the HTTP service
+    #    accepts — one request vocabulary for every surface.
     # ------------------------------------------------------------------
-    scheme = LoadAndExpandScheme(circuit)
-    config = SelectionConfig(expansion=ExpansionConfig(repetitions=1), seed=7)
-    run = scheme.run(t0, config)
+    request = RunRequest(
+        kind="scheme",
+        circuit="s27",
+        selection=SelectionConfig(
+            expansion=ExpansionConfig(repetitions=1), seed=7
+        ),
+    )
+    with Session() as session:
+        outcome = session.run_detailed(request)
+    run = outcome.scheme_run
     print("\nProcedure 1 selections (before compaction):")
     for entry in run.sequences_before_compaction:
         print(
@@ -78,7 +92,7 @@ def main() -> None:
         )
 
     # ------------------------------------------------------------------
-    # 5. The coverage guarantee.
+    # 5. The coverage guarantee, and the bit-identity contract.
     # ------------------------------------------------------------------
     r = run.result
     print(
@@ -91,6 +105,10 @@ def main() -> None:
         f"(8 x n x total = 8*{r.repetitions}*{r.total_length_after})"
     )
     print(f"fault coverage preserved: {r.coverage_preserved}")
+    print(
+        f"result fingerprint (identical on any backend/worker count, "
+        f"direct or served): {outcome.result.fingerprint()[:16]}..."
+    )
 
 
 if __name__ == "__main__":

@@ -5,6 +5,20 @@ Based on Loading and Expansion of Test Subsequences."
 
 Public API quick reference::
 
+    import repro
+
+    with repro.Session() as session:
+        result = session.run(repro.RunRequest(kind="scheme", circuit="s27"))
+    print(result.fingerprint())
+
+:class:`Session` is the facade over everything underneath — backend
+resolution, the persistent worker pool, per-circuit program LRUs and
+good-machine trace caches, simulator lifecycles — and
+:class:`RunRequest` / :class:`RunResult` are the serializable request
+and result records every surface (CLI, harness, examples, the
+:mod:`repro.serve` HTTP service) shares.  Lower-level pieces remain
+importable::
+
     from repro import (
         load_circuit, parse_bench, CircuitBuilder,      # circuits
         FaultUniverse,                                   # faults
@@ -12,16 +26,24 @@ Public API quick reference::
         available_backends,                              # sim backends
         TestSequence, ExpansionConfig, expand,           # sequences
         SelectionConfig, LoadAndExpandScheme,            # the paper's scheme
+        MachineProfile, calibrate,                       # autotuning
     )
 
 Every simulator accepts ``backend="python"`` (default, dependency-free)
 or ``backend="numpy"`` (vectorized); results are bit-identical.  Both hot
-axes additionally scale across processes with identical results:
-``make_fault_simulator`` shards large fault universes and
-``make_sequence_simulator`` shards Procedure 2's candidate scans, over
-one persistent per-session worker pool — the ``workers=`` knob on
-:class:`SelectionConfig` / ``AtpgConfig`` drives both.
+axes additionally scale across processes with identical results, and a
+calibrated :class:`MachineProfile` (``repro-bist calibrate``) replaces
+the static serial-vs-sharded thresholds with measured crossovers.
+
+The old top-level factory entry points (``make_fault_simulator``,
+``make_sequence_simulator``, ``get_worker_pool``, ``get_trace_cache``)
+still work but emit :class:`DeprecationWarning` — sessions own those
+concerns now (:meth:`Session.fault_simulator`,
+:meth:`Session.sequence_simulator`, :meth:`Session.worker_pool`,
+:meth:`Session.trace_cache`).
 """
+
+import warnings as _warnings
 
 from repro.circuit import CircuitBuilder, Circuit, GateType, parse_bench, parse_bench_file
 from repro.circuits import load_circuit, paper_t0_s27, available_circuits
@@ -40,6 +62,8 @@ from repro.core import (
     shift_left,
     statically_compact,
 )
+from repro.core.request import RunRequest, RunResult, circuit_content_hash
+from repro.core.session import RunOutcome, Session, use_session
 from repro.errors import ReproError
 from repro.faults import Fault, FaultSite, FaultUniverse, collapse_faults
 from repro.sim import (
@@ -58,14 +82,86 @@ from repro.sim import (
     close_trace_caches,
     close_worker_pools,
     get_backend,
-    get_trace_cache,
-    make_fault_simulator,
-    make_sequence_simulator,
+)
+from repro.sim.autotune import (
+    MachineProfile,
+    calibrate,
+    load_profile,
+    profile_for_startup,
+    static_profile,
 )
 
 __version__ = "1.0.0"
 
+
+def _deprecated_entry_point(name: str, replacement: str, target):
+    """A module-level shim that warns once per call site and delegates."""
+
+    def shim(*args, **kwargs):
+        _warnings.warn(
+            f"repro.{name} is deprecated; use {replacement} instead "
+            "(sessions own simulator lifecycles, pools and caches)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return target(*args, **kwargs)
+
+    shim.__name__ = name
+    shim.__qualname__ = name
+    shim.__doc__ = f"Deprecated alias of ``{replacement}``."
+    return shim
+
+
+def _make_fault_simulator(*args, **kwargs):
+    from repro.sim.sharding import make_fault_simulator
+
+    return make_fault_simulator(*args, **kwargs)
+
+
+def _make_sequence_simulator(*args, **kwargs):
+    from repro.sim.seqshard import make_sequence_simulator
+
+    return make_sequence_simulator(*args, **kwargs)
+
+
+def _get_worker_pool(*args, **kwargs):
+    from repro.sim.workerpool import get_worker_pool
+
+    return get_worker_pool(*args, **kwargs)
+
+
+def _get_trace_cache(*args, **kwargs):
+    from repro.sim.trace import get_trace_cache
+
+    return get_trace_cache(*args, **kwargs)
+
+
+make_fault_simulator = _deprecated_entry_point(
+    "make_fault_simulator", "Session.fault_simulator", _make_fault_simulator
+)
+make_sequence_simulator = _deprecated_entry_point(
+    "make_sequence_simulator", "Session.sequence_simulator", _make_sequence_simulator
+)
+get_worker_pool = _deprecated_entry_point(
+    "get_worker_pool", "Session.worker_pool", _get_worker_pool
+)
+get_trace_cache = _deprecated_entry_point(
+    "get_trace_cache", "Session.trace_cache", _get_trace_cache
+)
+
 __all__ = [
+    "Session",
+    "use_session",
+    "RunRequest",
+    "RunResult",
+    "RunOutcome",
+    "circuit_content_hash",
+    "MachineProfile",
+    "calibrate",
+    "load_profile",
+    "profile_for_startup",
+    "static_profile",
+    "get_worker_pool",
     "Circuit",
     "CircuitBuilder",
     "GateType",

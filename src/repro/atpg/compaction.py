@@ -20,9 +20,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.sequence import TestSequence
+from repro.core.session import Session, use_session
 from repro.faults.model import Fault
 from repro.sim.compiled import CompiledCircuit
-from repro.sim.sharding import make_fault_simulator
 from repro.util.rng import SplitMix64, derive_seed
 
 
@@ -45,14 +45,15 @@ def compact_sequence(
     max_rounds: int = 2,
     backend: str | None = None,
     workers: int = 1,
+    session: Session | None = None,
 ) -> tuple[TestSequence, CompactionStats]:
     """Shorten ``sequence`` while preserving coverage of ``faults``.
 
     ``faults`` is typically the collapsed universe; coverage preservation
     is judged on the set of faults detected, not on detection times.
     """
-    simulator = make_fault_simulator(compiled, backend=backend, workers=workers)
-    try:
+    with use_session(session) as sess:
+        simulator = sess.fault_simulator(compiled, backend=backend, workers=workers)
         simulations = 0
 
         baseline = simulator.run(sequence, faults)
@@ -100,5 +101,3 @@ def compact_sequence(
             simulations=simulations,
         )
         return sequence, stats
-    finally:
-        simulator.close()

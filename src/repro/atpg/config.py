@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 from repro.sim.backend import DEFAULT_BACKEND
@@ -87,3 +88,26 @@ class AtpgConfig:
             raise ValueError(
                 f"unknown compaction method {self.compaction_method!r}"
             )
+
+    # ------------------------------------------------------------------
+    # Round-trips: JSON (the service wire format) and CLI namespaces
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        """Plain-dict form for the request/result JSON round-trip."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "AtpgConfig":
+        """Inverse of :meth:`to_json` (validation re-runs in __post_init__)."""
+        return cls(**payload)
+
+    @classmethod
+    def from_cli_args(cls, args) -> "AtpgConfig":
+        """Build from an argparse namespace carrying the shared CLI flags."""
+        return cls(
+            seed=getattr(args, "seed", 20_1999),
+            max_length=getattr(args, "max_length", 1200),
+            backend=args.backend,
+            workers=args.workers,
+            chunking=args.chunking,
+        )

@@ -19,9 +19,9 @@ from repro.atpg.restoration import RestorationStats, restoration_compact
 from repro.circuit.netlist import Circuit
 from repro.core.ops import concat
 from repro.core.sequence import TestSequence
+from repro.core.session import Session, use_session
 from repro.faults.universe import FaultUniverse
 from repro.sim.compiled import CompiledCircuit
-from repro.sim.sharding import make_fault_simulator
 from repro.util.rng import SplitMix64, derive_seed
 
 #: Bit-probability mix for the weighted-random greedy candidates.
@@ -58,6 +58,7 @@ def generate_t0(
     circuit: Circuit | CompiledCircuit,
     config: AtpgConfig | None = None,
     universe: FaultUniverse | None = None,
+    session: Session | None = None,
 ) -> AtpgResult:
     """Generate a deterministic test sequence for ``circuit``."""
     config = config or AtpgConfig()
@@ -66,10 +67,10 @@ def generate_t0(
     )
     if universe is None:
         universe = FaultUniverse(compiled.circuit)
-    simulator = make_fault_simulator(
-        compiled, backend=config.backend, workers=config.workers
-    )
-    try:
+    with use_session(session) as sess:
+        simulator = sess.fault_simulator(
+            compiled, backend=config.backend, workers=config.workers
+        )
         width = compiled.num_inputs
         all_faults = list(universe.faults())
         session = simulator.session(all_faults)
@@ -168,6 +169,7 @@ def generate_t0(
                     backend=config.backend,
                     workers=config.workers,
                     chunking=config.chunking,
+                    session=sess,
                 )
                 result.compaction = stats
                 result.phase_log.append(
@@ -183,6 +185,7 @@ def generate_t0(
                     max_rounds=config.compaction_rounds,
                     backend=config.backend,
                     workers=config.workers,
+                    session=sess,
                 )
                 result.compaction = stats
                 result.phase_log.append(
@@ -193,5 +196,3 @@ def generate_t0(
         result.sequence = sequence
         result.detected = final.num_detected
         return result
-    finally:
-        simulator.close()

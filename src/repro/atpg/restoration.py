@@ -22,12 +22,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.sequence import TestSequence
+from repro.core.session import Session, use_session
 from repro.errors import AtpgError
 from repro.faults.model import Fault
 from repro.sim.compiled import CompiledCircuit
 from repro.sim.scanplan import DEFAULT_CHUNKING
-from repro.sim.seqshard import make_sequence_simulator
-from repro.sim.sharding import make_fault_simulator
 
 
 @dataclass(frozen=True)
@@ -62,19 +61,20 @@ def restoration_compact(
     backend: str | None = None,
     workers: int = 1,
     chunking: str = DEFAULT_CHUNKING,
+    session: Session | None = None,
 ) -> tuple[TestSequence, RestorationStats]:
     """Compact ``t0`` by vector restoration, preserving its coverage."""
-    fault_simulator = make_fault_simulator(
-        compiled, backend=backend, workers=workers
-    )
-    sequence_simulator = make_sequence_simulator(
-        compiled,
-        batch_width=search_batch_width,
-        backend=backend,
-        workers=workers,
-        chunking=chunking,
-    )
-    try:
+    with use_session(session) as sess:
+        fault_simulator = sess.fault_simulator(
+            compiled, backend=backend, workers=workers
+        )
+        sequence_simulator = sess.sequence_simulator(
+            compiled,
+            batch_width=search_batch_width,
+            backend=backend,
+            workers=workers,
+            chunking=chunking,
+        )
         baseline = fault_simulator.run(t0, faults)
         udet = dict(baseline.detection_time)
         if not udet:
@@ -127,6 +127,3 @@ def restoration_compact(
             window_candidates=candidates_tried,
         )
         return final, stats
-    finally:
-        sequence_simulator.close()
-        fault_simulator.close()

@@ -16,13 +16,12 @@ from dataclasses import dataclass, field
 
 from repro.core.ops import ExpansionConfig
 from repro.core.sequence import TestSequence
+from repro.core.session import Session, use_session
 from repro.errors import SelectionError
 from repro.faults.model import Fault
 from repro.sim.compiled import CompiledCircuit
 from repro.sim.scanplan import DEFAULT_CHUNKING, WindowRampPlan
-from repro.sim.seqshard import make_sequence_simulator
 from repro.sim.seqsim import SequenceBatchSimulator
-from repro.sim.sharding import make_fault_simulator
 
 
 @dataclass(frozen=True)
@@ -103,6 +102,7 @@ def partition_baseline(
     backend: str | None = None,
     workers: int = 1,
     chunking: str = DEFAULT_CHUNKING,
+    session: Session | None = None,
 ) -> PartitionResult:
     """Partition ``t0`` into chunks of ``chunk_length``, extend for coverage.
 
@@ -112,17 +112,17 @@ def partition_baseline(
     """
     if chunk_length < 1:
         raise SelectionError(f"chunk length must be positive, got {chunk_length}")
-    fault_simulator = make_fault_simulator(
-        compiled, backend=backend, workers=workers
-    )
-    sequence_simulator = make_sequence_simulator(
-        compiled,
-        batch_width=search_batch_width,
-        backend=backend,
-        workers=workers,
-        chunking=chunking,
-    )
-    try:
+    with use_session(session) as sess:
+        fault_simulator = sess.fault_simulator(
+            compiled, backend=backend, workers=workers
+        )
+        sequence_simulator = sess.sequence_simulator(
+            compiled,
+            batch_width=search_batch_width,
+            backend=backend,
+            workers=workers,
+            chunking=chunking,
+        )
         baseline = fault_simulator.run(t0, faults)
         udet = dict(baseline.detection_time)
 
@@ -187,9 +187,6 @@ def partition_baseline(
                 "search inconsistency"
             )
         return result
-    finally:
-        sequence_simulator.close()
-        fault_simulator.close()
 
 
 #: The identity expansion: partitioning applies chunks verbatim, so its

@@ -7,22 +7,31 @@ Subcommands:
 * ``run`` — run the load-and-expand scheme on one circuit.
 * ``tables`` — regenerate the paper's Tables 3-5 for a suite.
 * ``figure1`` — regenerate Figure 1 for one circuit.
+* ``calibrate`` — measure this machine and persist an autotuning profile.
+* ``serve`` — run the BIST-as-a-service HTTP front end.
+
+Execution subcommands (``atpg``, ``run``, ``figure1``) all build the
+same :class:`~repro.core.request.RunRequest` the HTTP service accepts
+and execute it through one :class:`repro.Session` — the CLI is just
+another client of the unified request/result API, so ``--json`` output
+here is byte-for-byte the ``result`` payload a served job returns.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.atpg.config import AtpgConfig
-from repro.atpg.engine import generate_t0
 from repro.circuit.analysis import circuit_stats
-from repro.circuits.catalog import available_circuits, load_circuit, paper_t0_s27
+from repro.circuits.catalog import available_circuits, load_circuit
 from repro.core.config import SelectionConfig
-from repro.core.ops import ExpansionConfig
-from repro.core.scheme import LoadAndExpandScheme
+from repro.core.request import RunRequest
+from repro.core.session import Session
 from repro.harness.figures import render_figure1
 from repro.harness.runner import run_suite
+from repro.sim.autotune import load_profile
 from repro.sim.backend import (
     AUTO_BACKEND,
     DEFAULT_BACKEND,
@@ -31,6 +40,22 @@ from repro.sim.backend import (
 )
 from repro.sim.scanplan import CHUNKING_MODES, DEFAULT_CHUNKING
 from repro.util.text import format_table
+
+
+def _session_for(args: argparse.Namespace) -> Session:
+    """The session an execution subcommand runs under.
+
+    ``--profile`` attaches the persisted machine profile (optionally
+    from an explicit path) so calibration overrides the static worker
+    thresholds; without the flag the session is profile-free and
+    behaves exactly like the historical static code paths.
+    """
+    profile = None
+    if getattr(args, "profile", None) is not None:
+        profile = load_profile(args.profile or None)
+        if profile is None:
+            print("no machine profile found; run `repro-bist calibrate` first")
+    return Session(profile=profile)
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -58,15 +83,17 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 
 def _cmd_atpg(args: argparse.Namespace) -> int:
-    circuit = load_circuit(args.circuit)
-    config = AtpgConfig(
-        seed=args.seed,
-        max_length=args.max_length,
-        backend=args.backend,
-        workers=args.workers,
-        chunking=args.chunking,
+    request = RunRequest(
+        kind="atpg",
+        circuit=args.circuit,
+        atpg=AtpgConfig.from_cli_args(args),
     )
-    result = generate_t0(circuit, config)
+    with _session_for(args) as session:
+        outcome = session.run_detailed(request)
+    if args.json:
+        print(json.dumps(outcome.result.to_json(), indent=2, sort_keys=True))
+        return 0
+    result = outcome.atpg
     print(
         f"{result.circuit_name}: {result.detected}/{result.total_faults} faults "
         f"({result.coverage:.1%}), length {result.length}"
@@ -81,31 +108,24 @@ def _cmd_atpg(args: argparse.Namespace) -> int:
     return 0
 
 
-def _get_t0(args: argparse.Namespace, circuit) -> object:
-    if args.circuit == "s27" and not args.atpg_t0:
-        return paper_t0_s27()
-    config = AtpgConfig(
-        seed=args.seed,
-        max_length=args.max_length,
-        backend=args.backend,
-        workers=args.workers,
-        chunking=args.chunking,
+def _scheme_request(args: argparse.Namespace) -> RunRequest:
+    """The one flag-to-request path ``run`` and ``figure1`` share."""
+    return RunRequest(
+        kind="scheme",
+        circuit=args.circuit,
+        selection=SelectionConfig.from_cli_args(args),
+        atpg=AtpgConfig.from_cli_args(args),
+        use_paper_t0=not args.atpg_t0,
     )
-    return generate_t0(circuit, config).sequence
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    circuit = load_circuit(args.circuit)
-    t0 = _get_t0(args, circuit)
-    scheme = LoadAndExpandScheme(circuit)
-    config = SelectionConfig.for_backend(
-        args.backend,
-        expansion=ExpansionConfig(repetitions=args.n),
-        seed=args.seed,
-        workers=args.workers,
-        chunking=args.chunking,
-    )
-    run = scheme.run(t0, config)
+    with _session_for(args) as session:
+        outcome = session.run_detailed(_scheme_request(args))
+    if args.json:
+        print(json.dumps(outcome.result.to_json(), indent=2, sort_keys=True))
+        return 0
+    run = outcome.scheme_run
     result = run.result
     print(
         f"{result.circuit_name} n={result.repetitions}: "
@@ -157,18 +177,53 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure1(args: argparse.Namespace) -> int:
-    circuit = load_circuit(args.circuit)
-    t0 = _get_t0(args, circuit)
-    scheme = LoadAndExpandScheme(circuit)
-    config = SelectionConfig.for_backend(
-        args.backend,
-        expansion=ExpansionConfig(repetitions=args.n),
-        seed=args.seed,
-        workers=args.workers,
-        chunking=args.chunking,
-    )
-    run = scheme.run(t0, config)
-    print(render_figure1(run))
+    with _session_for(args) as session:
+        outcome = session.run_detailed(_scheme_request(args))
+    print(render_figure1(outcome.scheme_run))
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.sim.autotune import calibrate
+
+    profile = calibrate(quick=not args.full)
+    print(json.dumps(profile.to_json(), indent=2, sort_keys=True))
+    for note in profile.notes:
+        print(f"  note: {note}")
+    if not args.no_save:
+        path = profile.save(args.output or None)
+        print(f"profile saved to {path}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import HttpFrontend, JobService
+
+    async def main() -> None:
+        service = JobService(
+            autotune=not args.no_autotune,
+            quick_calibration=not args.full_calibration,
+        )
+        async with service:
+            profile = service.profile
+            if profile is not None:
+                print(
+                    f"machine profile: {profile.source} "
+                    f"(workers={profile.workers}, backend={profile.backend})"
+                )
+            async with HttpFrontend(service, args.host, args.port) as http:
+                print(f"serving on {http.address}")
+                try:
+                    await asyncio.Event().wait()  # until interrupted
+                except asyncio.CancelledError:
+                    pass
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        print("shutting down")
     return 0
 
 
@@ -221,6 +276,18 @@ def build_parser() -> argparse.ArgumentParser:
                 "either way"
             ),
         )
+        command.add_argument(
+            "--profile",
+            nargs="?",
+            const="",
+            default=None,
+            metavar="PATH",
+            help=(
+                "resolve worker counts through the persisted machine "
+                "profile (see `calibrate`); optional PATH overrides the "
+                "default profile location"
+            ),
+        )
 
     sub.add_parser("info", help="list available circuits").set_defaults(
         func=_cmd_info
@@ -231,6 +298,11 @@ def build_parser() -> argparse.ArgumentParser:
     atpg.add_argument("--seed", type=int, default=20_1999)
     atpg.add_argument("--max-length", type=int, default=600)
     atpg.add_argument("--output", help="write T0 vectors to a file")
+    atpg.add_argument(
+        "--json",
+        action="store_true",
+        help="print the RunResult JSON (the serving wire format)",
+    )
     add_backend_flag(atpg)
     atpg.set_defaults(func=_cmd_atpg)
 
@@ -245,6 +317,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="use ATPG-generated T0 even for s27 (default: paper's T0)",
     )
     run.add_argument("--figure", action="store_true", help="print Figure 1")
+    run.add_argument(
+        "--json",
+        action="store_true",
+        help="print the RunResult JSON (the serving wire format)",
+    )
     add_backend_flag(run)
     run.set_defaults(func=_cmd_run)
 
@@ -276,6 +353,40 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--output", default="EXPERIMENTS.md")
     add_backend_flag(report)
     report.set_defaults(func=_cmd_report)
+
+    calibrate = sub.add_parser(
+        "calibrate",
+        help="measure serial-vs-sharded crossovers and persist the profile",
+    )
+    calibrate.add_argument(
+        "--full",
+        action="store_true",
+        help="calibrate on a larger circuit and stimulus (slower, finer)",
+    )
+    calibrate.add_argument(
+        "--output", help="profile path (default: REPRO_PROFILE or ~/.cache)"
+    )
+    calibrate.add_argument(
+        "--no-save", action="store_true", help="measure and print only"
+    )
+    calibrate.set_defaults(func=_cmd_calibrate)
+
+    serve = sub.add_parser(
+        "serve", help="run the BIST-as-a-service HTTP front end"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8199)
+    serve.add_argument(
+        "--no-autotune",
+        action="store_true",
+        help="skip profile load/calibration; use static defaults",
+    )
+    serve.add_argument(
+        "--full-calibration",
+        action="store_true",
+        help="use the full (slow) calibration when measuring at startup",
+    )
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 

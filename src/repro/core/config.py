@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from repro.core.ops import ExpansionConfig
@@ -129,14 +130,43 @@ class SelectionConfig:
             use_shift=self.expansion.use_shift,
             use_reverse=self.expansion.use_reverse,
         )
-        return SelectionConfig(
+        return dataclasses.replace(self, expansion=expansion)
+
+    # ------------------------------------------------------------------
+    # Round-trips: JSON (the service wire format) and CLI namespaces
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        """Plain-dict form; nested :class:`ExpansionConfig` nests as a dict."""
+        payload = dataclasses.asdict(self)
+        payload["expansion"] = self.expansion.to_json()
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "SelectionConfig":
+        """Inverse of :meth:`to_json` (validation re-runs in __post_init__)."""
+        data = dict(payload)
+        expansion = data.pop("expansion", None)
+        if expansion is not None and not isinstance(expansion, ExpansionConfig):
+            expansion = ExpansionConfig.from_json(expansion)
+        return cls(expansion=expansion or ExpansionConfig(), **data)
+
+    @classmethod
+    def from_cli_args(cls, args) -> "SelectionConfig":
+        """Build from an argparse namespace carrying the shared CLI flags.
+
+        Reads ``backend`` / ``workers`` / ``chunking`` / ``seed`` and the
+        optional ``n`` (expansion repetitions); widths come from
+        :meth:`for_backend`'s per-engine tuning.  This is the single
+        flag-to-config path every CLI subcommand shares.
+        """
+        expansion = None
+        n = getattr(args, "n", None)
+        if n is not None:
+            expansion = ExpansionConfig(repetitions=n)
+        return cls.for_backend(
+            args.backend,
             expansion=expansion,
-            seed=self.seed,
-            search_batch_width=self.search_batch_width,
-            omission_batch_width=self.omission_batch_width,
-            fault_batch_width=self.fault_batch_width,
-            skip_omission=self.skip_omission,
-            backend=self.backend,
-            workers=self.workers,
-            chunking=self.chunking,
+            seed=getattr(args, "seed", 1999),
+            workers=args.workers,
+            chunking=args.chunking,
         )

@@ -17,9 +17,9 @@ from dataclasses import dataclass
 
 from repro.core.ops import ExpansionConfig, expand
 from repro.core.procedure1 import SelectedSequence
+from repro.core.session import Session, use_session
 from repro.faults.model import Fault
 from repro.sim.compiled import CompiledCircuit
-from repro.sim.sharding import make_fault_simulator
 
 
 @dataclass(frozen=True)
@@ -52,14 +52,17 @@ def coverage_matrix(
     target_faults: list[Fault],
     backend: str | None = None,
     workers: int = 1,
+    session: Session | None = None,
 ) -> CoverageDiagnostics:
     """Fault-simulate every expanded sequence against the full target set.
 
     Unlike Procedure 1 (which drops faults as they are covered), this
     simulates *all* target faults under every sequence, exposing overlap.
     """
-    simulator = make_fault_simulator(compiled, backend=backend, workers=workers)
-    try:
+    with use_session(session) as sess:
+        simulator = sess.fault_simulator(
+            compiled, backend=backend, workers=workers
+        )
         detected_by: dict[int, frozenset[Fault]] = {}
         for entry in sequences:
             expanded = expand(entry.sequence, expansion)
@@ -68,8 +71,6 @@ def coverage_matrix(
         return CoverageDiagnostics(
             detected_by=detected_by, target_faults=frozenset(target_faults)
         )
-    finally:
-        simulator.close()
 
 
 def overlap_histogram(diagnostics: CoverageDiagnostics) -> dict[int, int]:

@@ -24,6 +24,7 @@ each operator contributes to coverage.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 from repro.core.sequence import TestSequence
@@ -130,6 +131,15 @@ class ExpansionConfig:
         if self.use_reverse:
             factor *= 2
         return factor
+
+    def to_json(self) -> dict:
+        """Plain-dict form for the request/result JSON round-trip."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "ExpansionConfig":
+        """Inverse of :meth:`to_json`; unknown keys are rejected."""
+        return cls(**payload)
 
 
 def expand(sequence: TestSequence, config: ExpansionConfig) -> TestSequence:

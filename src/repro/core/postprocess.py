@@ -24,10 +24,10 @@ from dataclasses import dataclass, field
 
 from repro.core.ops import expand
 from repro.core.procedure1 import SelectedSequence, SelectionResult
+from repro.core.session import Session, use_session
 from repro.faults.model import Fault
 from repro.sim.compiled import CompiledCircuit
 from repro.sim.faultsim import FaultSimulator
-from repro.sim.sharding import make_fault_simulator
 
 
 @dataclass
@@ -106,19 +106,20 @@ def _run_pass(
 def statically_compact(
     compiled: CompiledCircuit,
     selection: SelectionResult,
+    session: Session | None = None,
 ) -> CompactionResult:
     """Run the four compaction passes of Section 3.2 on ``selection``.
 
     ``selection`` is modified in place (its sequence list shrinks) and also
     returned wrapped in a :class:`CompactionResult`.
     """
-    fault_simulator = make_fault_simulator(
-        compiled,
-        batch_width=selection.config.fault_batch_width,
-        backend=selection.config.backend,
-        workers=selection.config.workers,
-    )
-    try:
+    with use_session(session) as sess:
+        fault_simulator = sess.fault_simulator(
+            compiled,
+            batch_width=selection.config.fault_batch_width,
+            backend=selection.config.backend,
+            workers=selection.config.workers,
+        )
         passes: list[CompactionPassReport] = []
 
         by_increasing_length = sorted(
@@ -154,5 +155,3 @@ def statically_compact(
             )
         )
         return CompactionResult(selection=selection, passes=passes)
-    finally:
-        fault_simulator.close()

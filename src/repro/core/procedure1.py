@@ -20,10 +20,9 @@ from repro.core.sequence import TestSequence
 from repro.errors import SelectionError
 from repro.faults.model import Fault
 from repro.faults.universe import FaultUniverse
+from repro.core.session import Session, use_session
 from repro.sim.compiled import CompiledCircuit
 from repro.sim.faultsim import FaultSimulator
-from repro.sim.seqshard import make_sequence_simulator
-from repro.sim.sharding import make_fault_simulator
 
 
 @dataclass
@@ -101,6 +100,7 @@ def select_subsequences(
     config: SelectionConfig | None = None,
     universe: FaultUniverse | None = None,
     precomputed_udet: dict[Fault, int] | None = None,
+    session: Session | None = None,
 ) -> SelectionResult:
     """Run Procedure 1 and return the selected set ``S``."""
     config = config or SelectionConfig()
@@ -109,20 +109,20 @@ def select_subsequences(
     )
     if universe is None:
         universe = FaultUniverse(compiled.circuit)
-    fault_simulator = make_fault_simulator(
-        compiled,
-        batch_width=config.fault_batch_width,
-        backend=config.backend,
-        workers=config.workers,
-    )
-    sequence_simulator = make_sequence_simulator(
-        compiled,
-        batch_width=config.omission_batch_width,
-        backend=config.backend,
-        workers=config.workers,
-        chunking=config.chunking,
-    )
-    try:
+    with use_session(session) as sess:
+        fault_simulator = sess.fault_simulator(
+            compiled,
+            batch_width=config.fault_batch_width,
+            backend=config.backend,
+            workers=config.workers,
+        )
+        sequence_simulator = sess.sequence_simulator(
+            compiled,
+            batch_width=config.omission_batch_width,
+            backend=config.backend,
+            workers=config.workers,
+            chunking=config.chunking,
+        )
         if precomputed_udet is None:
             udet = simulate_t0(fault_simulator, universe, t0)
         else:
@@ -187,6 +187,3 @@ def select_subsequences(
             remaining -= newly_detected
             iteration += 1
         return result
-    finally:
-        sequence_simulator.close()
-        fault_simulator.close()

@@ -31,11 +31,11 @@ from repro.core.postprocess import CompactionResult, statically_compact
 from repro.core.procedure1 import SelectionResult, select_subsequences, simulate_t0
 from repro.core.sequence import TestSequence
 from repro.errors import SelectionError
+from repro.core.session import Session, use_session
 from repro.faults.model import Fault
 from repro.faults.universe import FaultUniverse
 from repro.sim.compiled import CompiledCircuit
 from repro.sim.faultsim import FaultSimulator
-from repro.sim.sharding import make_fault_simulator
 from repro.util.timing import Stopwatch
 
 
@@ -129,17 +129,27 @@ class LoadAndExpandScheme:
     def universe(self) -> FaultUniverse:
         return self._universe
 
-    def run(self, t0: TestSequence, config: SelectionConfig | None = None) -> SchemeRun:
-        """Run selection + compaction + verification for ``t0``."""
-        config = config or SelectionConfig()
-        fault_simulator = make_fault_simulator(
-            self._compiled,
-            batch_width=config.fault_batch_width,
-            backend=config.backend,
-            workers=config.workers,
-        )
+    def run(
+        self,
+        t0: TestSequence,
+        config: SelectionConfig | None = None,
+        session: Session | None = None,
+    ) -> SchemeRun:
+        """Run selection + compaction + verification for ``t0``.
 
-        try:
+        ``session`` shares a caller's :class:`~repro.core.session.Session`
+        (warm caches, profile-resolved workers, scoped simulator
+        lifecycle); without one an ephemeral session is created for the
+        duration of the run.
+        """
+        config = config or SelectionConfig()
+        with use_session(session) as sess:
+            fault_simulator = sess.fault_simulator(
+                self._compiled,
+                batch_width=config.fault_batch_width,
+                backend=config.backend,
+                workers=config.workers,
+            )
             t0_watch = Stopwatch().start()
             udet = simulate_t0(fault_simulator, self._universe, t0)
             t0_seconds = t0_watch.stop()
@@ -151,6 +161,7 @@ class LoadAndExpandScheme:
                 config=config,
                 universe=self._universe,
                 precomputed_udet=udet,
+                session=sess,
             )
             proc1_seconds = proc1_watch.stop()
 
@@ -160,7 +171,9 @@ class LoadAndExpandScheme:
             sequences_before = list(selection.sequences)
 
             comp_watch = Stopwatch().start()
-            compaction = statically_compact(self._compiled, selection)
+            compaction = statically_compact(
+                self._compiled, selection, session=sess
+            )
             comp_seconds = comp_watch.stop()
 
             detected = self._detected_by_sequences(fault_simulator, selection, udet)
@@ -200,8 +213,6 @@ class LoadAndExpandScheme:
                 sequences_before_compaction=sequences_before,
                 trace_stats=fault_simulator.trace_cache.stats(),
             )
-        finally:
-            fault_simulator.close()
 
     def _detected_by_sequences(
         self,

@@ -1,0 +1,486 @@
+"""The ``repro.Session`` facade: one object that owns execution state.
+
+Everything PRs 1–6 built — backend resolution, the persistent
+:class:`~repro.sim.workerpool.WorkerPool`, per-backend program LRUs, the
+:class:`~repro.sim.trace.GoodTraceCache` — is machinery that pays for
+itself when *amortized across requests*, but until this module the only
+way to reach it was a kwarg soup (``backend=``, ``workers=``,
+``chunking=`` threaded through configs and factories) and every consumer
+hand-rolled its own ``try/finally close()``.  :class:`Session` is the
+single facade in front of all of it:
+
+* **Circuits are keyed by content hash.**  :meth:`Session.compile`
+  resolves a catalog name, a :class:`~repro.circuit.netlist.Circuit` or
+  inline ``.bench`` text to one shared
+  :class:`~repro.sim.compiled.CompiledCircuit` per distinct netlist
+  (:func:`~repro.core.request.circuit_content_hash`), so two requests
+  for the same circuit — from different tenants, in any order — share
+  one compiled program, one program LRU and one good-machine trace
+  cache.  The second request's ``trace_stats`` show cache *hits* where
+  the first showed misses: that is the cross-request warmth the serving
+  layer exists for.
+* **Simulators come from the session, lifecycles too.**
+  :meth:`fault_simulator` / :meth:`sequence_simulator` wrap the
+  ``workers=`` factories; every simulator a session (or one of its
+  :meth:`scope` blocks) mints is closed exactly once when the session/scope
+  closes, and closing twice is a silent no-op.  No consumer wraps its
+  own ``try/finally`` anymore — :func:`use_session` hands library code
+  either the caller's session (scoped, so per-call simulators are still
+  reclaimed promptly) or a private one that closes on exit.
+* **The machine profile overrides static thresholds.**  A session built
+  with a calibrated :class:`~repro.sim.autotune.MachineProfile` resolves
+  worker counts through the *measurement* instead of the static
+  heuristics: ``workers=0`` ("auto") becomes the measured
+  recommendation, a measured serial verdict overrides an explicit shard
+  request, and a measured shard win sets ``force_shard=True`` so the
+  static single-core fallback cannot undo it.  Sessions without a
+  profile behave exactly like the historical factories.
+* **Requests run to results.**  :meth:`Session.run` executes a
+  :class:`~repro.core.request.RunRequest` (scheme or ATPG) and returns a
+  :class:`~repro.core.request.RunResult` whose deterministic payload is
+  bit-identical for the same request no matter the backend, worker
+  count, machine or whether the call arrived over HTTP — the contract
+  :mod:`repro.serve` and the CI smoke lane are built on.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.circuit.netlist import Circuit
+from repro.core.config import SelectionConfig
+from repro.core.request import RunRequest, RunResult, circuit_content_hash
+from repro.core.sequence import TestSequence
+from repro.errors import ReproError
+from repro.sim.autotune import MachineProfile
+from repro.sim.compiled import CompiledCircuit
+from repro.sim.trace import GoodTraceCache, get_trace_cache
+from repro.sim.workerpool import WorkerPool, get_worker_pool
+from repro.util.timing import Stopwatch
+
+
+@dataclass
+class RunOutcome:
+    """A :class:`RunResult` plus the rich in-process objects behind it.
+
+    ``scheme_run`` (for scheme requests) keeps the full
+    :class:`~repro.core.scheme.SchemeRun` so callers like the CLI can
+    render Figure 1; ``atpg`` keeps the
+    :class:`~repro.atpg.engine.AtpgResult` with the actual sequence.
+    Only ``result`` crosses process boundaries.
+    """
+
+    result: RunResult
+    scheme_run: object | None = None
+    atpg: object | None = None
+    t0: TestSequence | None = None
+
+
+class Session:
+    """Owner of backends, pools, caches and simulator lifecycles.
+
+    Use as a context manager::
+
+        with repro.Session() as session:
+            result = session.run(repro.RunRequest(kind="scheme", circuit="s27"))
+
+    ``profile`` attaches a machine profile (see
+    :mod:`repro.sim.autotune`); without one the session reproduces the
+    historical static behaviour exactly.  ``own_caches=True`` makes
+    :meth:`close` also tear down the process-global worker pools and
+    trace caches — the serving layer uses this so service shutdown
+    releases everything; the default leaves them warm for other sessions
+    (they are reclaimed ``atexit`` regardless).
+    """
+
+    def __init__(
+        self,
+        profile: MachineProfile | None = None,
+        own_caches: bool = False,
+    ) -> None:
+        self._profile = profile
+        self._own_caches = own_caches
+        self._compiled: dict[str, CompiledCircuit] = {}
+        self._schemes: dict[str, object] = {}
+        self._simulators: list = []
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Profile
+    # ------------------------------------------------------------------
+    @property
+    def profile(self) -> MachineProfile | None:
+        return self._profile
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def calibrate(self, quick: bool = True, save: bool = False) -> MachineProfile:
+        """Measure this machine and adopt the resulting profile."""
+        from repro.sim.autotune import calibrate
+
+        profile = calibrate(quick=quick)
+        if save:
+            profile.save()
+        self._profile = profile
+        return profile
+
+    def _resolve_workers(self, workers: int | None) -> int | None:
+        """Profile-aware worker resolution (pass-through without one)."""
+        if self._profile is not None:
+            return self._profile.resolve_workers(workers)
+        return workers
+
+    def _force_shard(self, workers: int | None) -> bool:
+        return (
+            self._profile is not None
+            and self._profile.force_shard
+            and (workers is None or workers == 0 or workers > 1)
+        )
+
+    # ------------------------------------------------------------------
+    # Circuits (shared per content hash)
+    # ------------------------------------------------------------------
+    def compile(self, circuit: str | Circuit | CompiledCircuit) -> CompiledCircuit:
+        """The session's shared compiled form of ``circuit``.
+
+        Accepts a catalog name, a netlist or an already-compiled
+        circuit.  Equal netlist *content* maps to one
+        :class:`CompiledCircuit` object, so program LRUs and the trace
+        cache are shared across every request that names it.
+        """
+        self._check_open()
+        if isinstance(circuit, CompiledCircuit):
+            # Adopt the caller's compiled object for its content hash so
+            # later name/netlist lookups resolve to the same instance.
+            return self._adopt(circuit)
+        if isinstance(circuit, str):
+            from repro.circuits.catalog import load_circuit
+
+            circuit = load_circuit(circuit)
+        key = circuit_content_hash(circuit)
+        compiled = self._compiled.get(key)
+        if compiled is None:
+            compiled = CompiledCircuit(circuit)
+            self._compiled[key] = compiled
+        return compiled
+
+    def compile_bench(self, text: str, name: str = "uploaded") -> CompiledCircuit:
+        """Compile inline ``.bench`` netlist text (service uploads)."""
+        from repro.circuit.bench_io import parse_bench
+
+        return self.compile(parse_bench(text, name=name))
+
+    def circuit_hash(self, circuit: str | Circuit | CompiledCircuit) -> str:
+        """The content hash a circuit is cached under."""
+        compiled = self.compile(circuit)
+        return circuit_content_hash(compiled.circuit)
+
+    def _adopt(self, compiled: CompiledCircuit) -> CompiledCircuit:
+        key = circuit_content_hash(compiled.circuit)
+        return self._compiled.setdefault(key, compiled)
+
+    # ------------------------------------------------------------------
+    # Simulators and shared stores
+    # ------------------------------------------------------------------
+    def fault_simulator(
+        self,
+        circuit: str | Circuit | CompiledCircuit,
+        batch_width: int | None = None,
+        backend: str | None = None,
+        workers: int | None = None,
+        **kwargs,
+    ):
+        """A parallel-fault simulator, lifecycle owned by this session.
+
+        The profile (when present) resolves ``workers`` and supplies the
+        measured batch width when the caller leaves ``batch_width``
+        unset; extra kwargs pass through to
+        :func:`repro.sim.sharding.make_fault_simulator`.
+        """
+        from repro.sim.faultsim import DEFAULT_BATCH_WIDTH
+        from repro.sim.sharding import make_fault_simulator
+
+        self._check_open()
+        workers = self._resolve_workers(workers)
+        if self._force_shard(workers):
+            kwargs.setdefault("force_shard", True)
+        if batch_width is None:
+            if self._profile is not None and self._profile.calibrated:
+                batch_width = self._profile.fault_batch_width
+            else:
+                batch_width = DEFAULT_BATCH_WIDTH
+        simulator = make_fault_simulator(
+            self.compile(circuit),
+            batch_width=batch_width,
+            backend=backend,
+            workers=1 if workers is None else workers,
+            **kwargs,
+        )
+        self._simulators.append(simulator)
+        return simulator
+
+    def sequence_simulator(
+        self,
+        circuit: str | Circuit | CompiledCircuit,
+        batch_width: int | None = None,
+        backend: str | None = None,
+        workers: int | None = None,
+        **kwargs,
+    ):
+        """A candidate-scan simulator, lifecycle owned by this session."""
+        from repro.sim.seqshard import (
+            DEFAULT_SEQ_BATCH_WIDTH,
+            make_sequence_simulator,
+        )
+
+        self._check_open()
+        workers = self._resolve_workers(workers)
+        if self._force_shard(workers):
+            kwargs.setdefault("force_shard", True)
+        if batch_width is None:
+            if self._profile is not None and self._profile.calibrated:
+                batch_width = self._profile.search_batch_width
+            else:
+                batch_width = DEFAULT_SEQ_BATCH_WIDTH
+        simulator = make_sequence_simulator(
+            self.compile(circuit),
+            batch_width=batch_width,
+            backend=backend,
+            workers=1 if workers is None else workers,
+            **kwargs,
+        )
+        self._simulators.append(simulator)
+        return simulator
+
+    def worker_pool(self, workers: int | None = None) -> WorkerPool:
+        """The shared persistent worker pool for ``workers`` processes."""
+        self._check_open()
+        resolved = self._resolve_workers(workers)
+        if resolved is None or resolved < 2:
+            raise ReproError(
+                f"a worker pool needs >= 2 workers (resolved {resolved!r}); "
+                "serial execution does not use a pool"
+            )
+        return get_worker_pool(resolved)
+
+    def trace_cache(self, circuit: str | Circuit | CompiledCircuit) -> GoodTraceCache:
+        """The cross-request good-machine trace cache for ``circuit``."""
+        self._check_open()
+        return get_trace_cache(self.compile(circuit))
+
+    # ------------------------------------------------------------------
+    # Scoped lifecycles
+    # ------------------------------------------------------------------
+    @contextmanager
+    def scope(self):
+        """Close simulators minted inside the ``with`` block at its end.
+
+        Library code runs inside a scope even when handed a long-lived
+        session, so a service handling thousands of requests retires
+        each request's pool contexts promptly while the pools, compiled
+        circuits and trace caches stay warm.
+        """
+        self._check_open()
+        mark = len(self._simulators)
+        try:
+            yield self
+        finally:
+            tail = self._simulators[mark:]
+            del self._simulators[mark:]
+            for simulator in reversed(tail):
+                simulator.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ReproError("this Session is closed")
+
+    def close(self) -> None:
+        """Release everything this session owns (idempotent, never raises
+        on double close — closing an already-closed pool or cache is a
+        silent no-op).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        simulators, self._simulators = self._simulators, []
+        for simulator in reversed(simulators):
+            simulator.close()
+        self._schemes.clear()
+        self._compiled.clear()
+        if self._own_caches:
+            from repro.sim.trace import close_trace_caches
+            from repro.sim.workerpool import close_worker_pools
+
+            close_trace_caches()
+            close_worker_pools()
+
+    def __enter__(self) -> "Session":
+        self._check_open()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Running requests
+    # ------------------------------------------------------------------
+    def run(self, request: RunRequest) -> RunResult:
+        """Execute ``request`` and return its serializable result."""
+        return self.run_detailed(request).result
+
+    def run_detailed(self, request: RunRequest) -> RunOutcome:
+        """Execute ``request`` keeping the rich in-process objects too."""
+        self._check_open()
+        compiled = self._request_circuit(request)
+        if request.kind == "atpg":
+            return self._run_atpg(request, compiled)
+        return self._run_scheme(request, compiled)
+
+    def _request_circuit(self, request: RunRequest) -> CompiledCircuit:
+        if request.bench is not None:
+            return self.compile_bench(
+                request.bench, name=request.circuit or "uploaded"
+            )
+        return self.compile(request.circuit)
+
+    def _scheme(self, compiled: CompiledCircuit):
+        """One LoadAndExpandScheme (and fault universe) per circuit hash."""
+        from repro.core.scheme import LoadAndExpandScheme
+
+        key = circuit_content_hash(compiled.circuit)
+        scheme = self._schemes.get(key)
+        if scheme is None:
+            scheme = LoadAndExpandScheme(compiled)
+            self._schemes[key] = scheme
+        return scheme
+
+    def _execution_record(self, config) -> dict:
+        effective = self._resolve_workers(config.workers)
+        record = {
+            "backend": config.backend,
+            "workers_requested": config.workers,
+            "workers": config.workers if effective is None else effective,
+            "profile": None if self._profile is None else self._profile.source,
+        }
+        if (
+            self._profile is not None
+            and record["workers"] != config.workers
+        ):
+            record["profile_override"] = (
+                f"profile resolved workers {config.workers} -> "
+                f"{record['workers']}"
+            )
+        return record
+
+    def _t0_for_scheme(self, request: RunRequest, compiled, selection):
+        from repro.atpg.config import AtpgConfig
+        from repro.atpg.engine import generate_t0
+        from repro.circuits.catalog import paper_t0_s27
+
+        if request.use_paper_t0 and compiled.circuit.name == "s27":
+            return paper_t0_s27(), None
+        atpg_config = request.atpg or AtpgConfig(
+            backend=selection.backend,
+            workers=selection.workers,
+            chunking=selection.chunking,
+        )
+        atpg_result = generate_t0(compiled, atpg_config, session=self)
+        return atpg_result.sequence, atpg_result
+
+    def _run_scheme(self, request: RunRequest, compiled) -> RunOutcome:
+        selection_config = request.selection or SelectionConfig()
+        t0, atpg_result = self._t0_for_scheme(request, compiled, selection_config)
+        scheme = self._scheme(compiled)
+        run = scheme.run(t0, selection_config, session=self)
+        res = run.result
+        data = {
+            "n": res.repetitions,
+            "total_faults": res.total_faults,
+            "detected_by_t0": res.detected_by_t0,
+            "detected_by_scheme": res.detected_by_scheme,
+            "t0_length": res.t0_length,
+            "t0": list(t0.to_strings()),
+            "num_sequences_before": res.num_sequences_before,
+            "total_length_before": res.total_length_before,
+            "max_length_before": res.max_length_before,
+            "num_sequences_after": res.num_sequences_after,
+            "total_length_after": res.total_length_after,
+            "max_length_after": res.max_length_after,
+            "applied_test_length": res.applied_test_length,
+            "coverage_preserved": res.coverage_preserved,
+            "sequences": [
+                list(entry.sequence.to_strings())
+                for entry in run.selection.sequences
+            ],
+        }
+        result = RunResult(
+            kind="scheme",
+            circuit_name=res.circuit_name,
+            circuit_hash=circuit_content_hash(compiled.circuit),
+            data=data,
+            execution=self._execution_record(selection_config),
+            timings={
+                "t0_simulation_seconds": res.t0_simulation_seconds,
+                "procedure1_seconds": res.procedure1_seconds,
+                "compaction_seconds": res.compaction_seconds,
+            },
+            trace_stats=dict(run.trace_stats or {}),
+            label=request.label,
+        )
+        return RunOutcome(
+            result=result, scheme_run=run, atpg=atpg_result, t0=t0
+        )
+
+    def _run_atpg(self, request: RunRequest, compiled) -> RunOutcome:
+        from repro.atpg.config import AtpgConfig
+        from repro.atpg.engine import generate_t0
+
+        config = request.atpg or AtpgConfig()
+        watch = Stopwatch().start()
+        atpg_result = generate_t0(compiled, config, session=self)
+        seconds = watch.stop()
+        data = {
+            "total_faults": atpg_result.total_faults,
+            "detected": atpg_result.detected,
+            "detected_random": atpg_result.detected_random,
+            "detected_greedy": atpg_result.detected_greedy,
+            "detected_genetic": atpg_result.detected_genetic,
+            "length": atpg_result.length,
+            "sequence": list(atpg_result.sequence.to_strings()),
+            "phase_log": list(atpg_result.phase_log),
+        }
+        result = RunResult(
+            kind="atpg",
+            circuit_name=atpg_result.circuit_name,
+            circuit_hash=circuit_content_hash(compiled.circuit),
+            data=data,
+            execution=self._execution_record(config),
+            timings={"atpg_seconds": seconds},
+            trace_stats=self.trace_cache(compiled).stats(),
+            label=request.label,
+        )
+        return RunOutcome(result=result, atpg=atpg_result, t0=atpg_result.sequence)
+
+
+@contextmanager
+def use_session(session: Session | None = None):
+    """The lifecycle seam library code runs its simulators under.
+
+    With a caller-provided session, yields it inside a :meth:`Session.scope`
+    (the caller keeps ownership; this call's simulators are still
+    reclaimed at exit).  Without one, creates a private session that
+    closes — simulators and all — when the block ends.  Either way the
+    consumer writes no ``try/finally``.
+    """
+    if session is not None:
+        with session.scope():
+            yield session
+        return
+    private = Session()
+    try:
+        yield private
+    finally:
+        private.close()

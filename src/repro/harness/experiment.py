@@ -17,6 +17,7 @@ from repro.core.config import SelectionConfig
 from repro.core.ops import ExpansionConfig
 from repro.core.scheme import LoadAndExpandScheme, SchemeRun
 from repro.core.sequence import TestSequence
+from repro.core.session import Session, use_session
 from repro.sim.backend import DEFAULT_BACKEND
 from repro.faults.universe import FaultUniverse
 from repro.harness.suite import SuiteSpec
@@ -75,10 +76,14 @@ def prepare_experiment(
     spec: SuiteSpec,
     backend: str | None = None,
     workers: int | None = None,
+    session: Session | None = None,
 ) -> CircuitExperiment:
     """Load the circuit and obtain its ``T0``."""
     circuit = load_circuit(spec.circuit)
-    compiled = CompiledCircuit(circuit)
+    if session is not None:
+        compiled = session.compile(circuit)
+    else:
+        compiled = CompiledCircuit(circuit)
     universe = FaultUniverse(circuit)
     if spec.circuit == "s27":
         return CircuitExperiment(
@@ -101,7 +106,7 @@ def prepare_experiment(
     cache_key = (spec.circuit, replace(atpg_config, workers=1))
     if cache_key not in _T0_CACHE:
         _T0_CACHE[cache_key] = generate_t0(
-            compiled, atpg_config, universe=universe
+            compiled, atpg_config, universe=universe, session=session
         )
     atpg = _T0_CACHE[cache_key]
     return CircuitExperiment(
@@ -120,17 +125,21 @@ def run_circuit_experiment(
     selection_seed: int = 1999,
     backend: str | None = None,
     workers: int | None = None,
+    session: Session | None = None,
 ) -> ExperimentRecord:
     """Run the full n-sweep for one suite entry."""
-    experiment = prepare_experiment(spec, backend=backend, workers=workers)
-    record = ExperimentRecord(experiment=experiment)
-    scheme = LoadAndExpandScheme(experiment.compiled)
-    for n in n_values or spec.n_values:
-        config = SelectionConfig.for_backend(
-            backend or DEFAULT_BACKEND,
-            expansion=ExpansionConfig(repetitions=n),
-            seed=selection_seed,
-            workers=workers if workers is not None else 1,
+    with use_session(session) as sess:
+        experiment = prepare_experiment(
+            spec, backend=backend, workers=workers, session=sess
         )
-        record.runs[n] = scheme.run(experiment.t0, config)
+        record = ExperimentRecord(experiment=experiment)
+        scheme = LoadAndExpandScheme(experiment.compiled)
+        for n in n_values or spec.n_values:
+            config = SelectionConfig.for_backend(
+                backend or DEFAULT_BACKEND,
+                expansion=ExpansionConfig(repetitions=n),
+                seed=selection_seed,
+                workers=workers if workers is not None else 1,
+            )
+            record.runs[n] = scheme.run(experiment.t0, config, session=sess)
     return record

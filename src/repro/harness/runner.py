@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.session import Session, use_session
 from repro.harness.experiment import ExperimentRecord, run_circuit_experiment
 from repro.harness.suite import SuiteSpec, resolve_suite
 from repro.harness.tables import render_table3, render_table4, render_table5
@@ -34,28 +35,37 @@ def run_suite(
     progress=None,
     backend: str | None = None,
     workers: int | None = None,
+    session: Session | None = None,
 ) -> SuiteResult:
     """Run every experiment in a suite.
 
     ``progress`` is an optional callable taking a status string; the CLI
     passes ``print``.  ``backend`` selects the simulation backend and
     ``workers`` the fault-simulation process count for every experiment
-    (results are backend- and worker-independent).
+    (results are backend- and worker-independent).  All experiments run
+    under one :class:`~repro.core.session.Session` (the caller's, or an
+    ephemeral one), sharing compiled circuits and trace caches across
+    the whole sweep.
     """
     specs: tuple[SuiteSpec, ...] = resolve_suite(suite_name)
     result = SuiteResult(suite_name=suite_name or "quick")
-    for spec in specs:
-        if progress is not None:
-            progress(f"[{spec.circuit}] generating T0 and running n-sweep ...")
-        record = run_circuit_experiment(
-            spec, n_values=n_values, backend=backend, workers=workers
-        )
-        result.records.append(record)
-        if progress is not None:
-            best = record.best_run.result
-            progress(
-                f"[{spec.circuit}] done: n={best.repetitions} "
-                f"|S|={best.num_sequences_after} tot={best.total_length_after} "
-                f"max={best.max_length_after} (T0 len {best.t0_length})"
+    with use_session(session) as sess:
+        for spec in specs:
+            if progress is not None:
+                progress(f"[{spec.circuit}] generating T0 and running n-sweep ...")
+            record = run_circuit_experiment(
+                spec,
+                n_values=n_values,
+                backend=backend,
+                workers=workers,
+                session=sess,
             )
+            result.records.append(record)
+            if progress is not None:
+                best = record.best_run.result
+                progress(
+                    f"[{spec.circuit}] done: n={best.repetitions} "
+                    f"|S|={best.num_sequences_after} tot={best.total_length_after} "
+                    f"max={best.max_length_after} (T0 len {best.t0_length})"
+                )
     return result

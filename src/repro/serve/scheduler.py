@@ -1,0 +1,139 @@
+"""Fair scheduling and profile-based execution planning.
+
+Two concerns live here, both deliberately free of asyncio so they are
+trivially unit-testable:
+
+* :class:`FairScheduler` — per-tenant FIFO queues drained round-robin.
+  Each tenant keeps its own submission order, but the *next* job always
+  comes from the tenant that has waited longest since last being served,
+  so a tenant submitting a hundred jobs cannot starve a tenant
+  submitting one.
+* :func:`plan_execution` — rewrite a :class:`~repro.core.request.RunRequest`
+  so its worker counts come from the *measured*
+  :class:`~repro.sim.autotune.MachineProfile` instead of whatever static
+  default the client happened to ship.  This is where the calibration
+  pass earns its keep: a client asking for ``workers=4`` on a machine
+  whose profile measured sharding at 0.2x gets planned down to serial,
+  and a client leaving ``workers=0`` ("auto") gets the measured
+  recommendation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.request import RunRequest
+from repro.sim.autotune import MachineProfile
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """How the service decided to run one request."""
+
+    request: RunRequest
+    workers: int
+    source: str  # "static" | "calibrated" | "client"
+    notes: tuple[str, ...] = ()
+
+    def to_json(self) -> dict:
+        return {
+            "workers": self.workers,
+            "source": self.source,
+            "notes": list(self.notes),
+        }
+
+
+def _requested_workers(request: RunRequest) -> int | None:
+    """The worker count the client asked for (None = unspecified)."""
+    if request.kind == "atpg":
+        return None if request.atpg is None else request.atpg.workers
+    return None if request.selection is None else request.selection.workers
+
+
+def plan_execution(
+    request: RunRequest, profile: MachineProfile | None
+) -> ExecutionPlan:
+    """Resolve ``request``'s worker counts through the machine profile.
+
+    Without a profile the request runs exactly as the client wrote it.
+    With one, the profile's measurement wins: ``workers in (None, 0)``
+    becomes the measured recommendation, and an explicit shard request on
+    a machine where calibration measured sharding as a loss is planned
+    down to serial (the request is rewritten so the static thresholds
+    underneath never see the losing worker count).
+    """
+    requested = _requested_workers(request)
+    if profile is None:
+        return ExecutionPlan(
+            request=request,
+            workers=1 if requested in (None, 0) else requested,
+            source="client",
+        )
+    planned = profile.resolve_workers(requested)
+    notes = []
+    if requested in (None, 0):
+        notes.append(
+            f"auto workers -> {planned} ({profile.source} profile)"
+        )
+    elif planned != requested:
+        notes.append(
+            f"profile overrode workers {requested} -> {planned}: "
+            + "; ".join(profile.notes or ("measured serial wins",))
+        )
+    if planned != requested:
+        request = request.with_workers(planned)
+    return ExecutionPlan(
+        request=request,
+        workers=planned,
+        source=profile.source,
+        notes=tuple(notes),
+    )
+
+
+@dataclass
+class FairScheduler:
+    """Per-tenant FIFO queues drained round-robin.
+
+    ``push(tenant, item)`` appends to the tenant's queue; ``pop()``
+    returns the next ``(tenant, item)`` in round-robin order over the
+    tenants that currently have work.  A tenant is visited once per
+    rotation no matter how deep its queue is.
+    """
+
+    _queues: dict[str, deque] = field(default_factory=dict)
+    _ring: deque = field(default_factory=deque)
+
+    def push(self, tenant: str, item) -> None:
+        queue = self._queues.get(tenant)
+        if queue is None:
+            queue = self._queues[tenant] = deque()
+        if not queue:
+            # Joins the rotation at the back: existing waiters go first.
+            self._ring.append(tenant)
+        queue.append(item)
+
+    def pop(self):
+        """Next ``(tenant, item)`` or ``None`` when idle."""
+        while self._ring:
+            tenant = self._ring.popleft()
+            queue = self._queues.get(tenant)
+            if not queue:
+                continue
+            item = queue.popleft()
+            if queue:
+                # Still has work: rejoin the rotation at the back.
+                self._ring.append(tenant)
+            return tenant, item
+        return None
+
+    def __len__(self) -> int:
+        return sum(len(queue) for queue in self._queues.values())
+
+    def pending(self) -> dict[str, int]:
+        """``{tenant: queued jobs}`` for observability endpoints."""
+        return {
+            tenant: len(queue)
+            for tenant, queue in sorted(self._queues.items())
+            if queue
+        }

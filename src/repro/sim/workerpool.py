@@ -53,9 +53,28 @@ FIRST_HIT_SENTINEL = 1 << 62
 BROADCAST_TIMEOUT_S = 300.0
 
 
-def default_workers() -> int:
-    """A reasonable worker count for this machine (``os.cpu_count()``)."""
+def cpu_count() -> int:
+    """Usable CPU cores, honouring the ``REPRO_ASSUME_CPUS`` override.
+
+    The override exists so calibration and the serial-fallback heuristics
+    can be pinned to a known machine shape — CI's serve-smoke lane runs
+    with ``REPRO_ASSUME_CPUS=1`` to exercise the 1-core policy on
+    multi-core runners deterministically.
+    """
+    assumed = os.environ.get("REPRO_ASSUME_CPUS")
+    if assumed:
+        try:
+            return max(1, int(assumed))
+        except ValueError as exc:
+            raise SimulationError(
+                f"REPRO_ASSUME_CPUS={assumed!r} is not an integer"
+            ) from exc
     return max(1, os.cpu_count() or 1)
+
+
+def default_workers() -> int:
+    """A reasonable worker count for this machine (:func:`cpu_count`)."""
+    return cpu_count()
 
 
 def single_core_machine() -> bool:
@@ -65,9 +84,12 @@ def single_core_machine() -> bool:
     smoke baselines show ``workers=4`` running at 0.32–0.87x serial on a
     1-core box — so the simulator factories fall back to serial unless
     the caller explicitly forces sharding.  Tests monkeypatch this to
-    exercise both sides regardless of the machine they run on.
+    exercise both sides regardless of the machine they run on.  A
+    measured :class:`~repro.sim.autotune.MachineProfile` supersedes this
+    static heuristic wherever a :class:`~repro.core.session.Session`
+    resolves worker counts.
     """
-    return (os.cpu_count() or 1) <= 1
+    return cpu_count() <= 1
 
 
 def resolve_start_method() -> str:

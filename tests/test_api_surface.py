@@ -45,6 +45,113 @@ class TestPublicApi:
         assert callable(load_circuit)
 
 
+class TestSessionFacadeSurface:
+    def test_facade_exports(self):
+        from repro import (
+            MachineProfile,
+            RunOutcome,
+            RunRequest,
+            RunResult,
+            Session,
+            calibrate,
+            use_session,
+        )
+
+        assert all(
+            isinstance(obj, type)
+            for obj in (MachineProfile, RunOutcome, RunRequest, RunResult, Session)
+        )
+        assert callable(calibrate)
+        assert callable(use_session)
+        for name in (
+            "Session",
+            "RunRequest",
+            "RunResult",
+            "RunOutcome",
+            "MachineProfile",
+            "use_session",
+            "calibrate",
+        ):
+            assert name in repro.__all__, name
+
+    def test_deprecated_factories_warn_and_delegate(self, s27):
+        with pytest.warns(DeprecationWarning, match="Session.fault_simulator"):
+            simulator = repro.make_fault_simulator(s27)
+        simulator.close()
+        with pytest.warns(DeprecationWarning, match="Session.sequence_simulator"):
+            simulator = repro.make_sequence_simulator(s27)
+        simulator.close()
+        with repro.Session() as session:
+            compiled = session.compile(s27)
+        with pytest.warns(DeprecationWarning, match="Session.trace_cache"):
+            cache = repro.get_trace_cache(compiled)
+        assert cache is not None
+
+    def test_get_worker_pool_shim_warns(self):
+        # workers=1 is rejected by the pool itself; the warning must fire
+        # before that validation to prove the shim path is exercised.
+        with pytest.warns(DeprecationWarning, match="Session.worker_pool"):
+            with pytest.raises(Exception):
+                repro.get_worker_pool(1)
+
+
+class TestConfigJsonRoundTrips:
+    def test_selection_config_round_trip(self):
+        config = repro.SelectionConfig(
+            expansion=repro.ExpansionConfig(repetitions=8),
+            seed=7,
+            workers=2,
+        )
+        payload = config.to_json()
+        assert payload["expansion"]["repetitions"] == 8
+        assert repro.SelectionConfig.from_json(payload) == config
+
+    def test_atpg_config_round_trip(self):
+        from repro.atpg.config import AtpgConfig
+
+        config = AtpgConfig(seed=3, max_length=50, workers=2)
+        assert AtpgConfig.from_json(config.to_json()) == config
+
+    def test_run_request_round_trip(self):
+        request = repro.RunRequest(
+            kind="scheme",
+            circuit="s27",
+            selection=repro.SelectionConfig(
+                expansion=repro.ExpansionConfig(repetitions=2)
+            ),
+            label="round-trip",
+        )
+        clone = repro.RunRequest.from_json(request.to_json())
+        assert clone == request
+
+    def test_run_result_fingerprint_guard(self):
+        result = repro.RunResult(
+            kind="scheme",
+            circuit_name="s27",
+            circuit_hash="abc",
+            data={"n": 2},
+            timings={"t0_simulation_seconds": 1.0},
+        )
+        payload = result.to_json()
+        # Timings are observability, not identity.
+        identical = dict(payload)
+        identical["timings"] = {"t0_simulation_seconds": 9.9}
+        assert (
+            repro.RunResult.from_json(identical).fingerprint()
+            == result.fingerprint()
+        )
+        tampered = dict(payload)
+        tampered["data"] = {"n": 3}
+        with pytest.raises(repro.ReproError):
+            repro.RunResult.from_json(tampered)
+
+    def test_run_request_validation(self):
+        with pytest.raises(repro.ReproError):
+            repro.RunRequest(kind="nonsense", circuit="s27")
+        with pytest.raises(repro.ReproError):
+            repro.RunRequest(kind="scheme")
+
+
 class TestBenchBehavioralRoundTrip:
     def test_serialized_circuit_simulates_identically(self, small_synthetic):
         """write_bench -> parse_bench must preserve behaviour, not just text."""

@@ -1,0 +1,122 @@
+"""Machine profiling: persistence, worker resolution, calibration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.autotune import (
+    MachineProfile,
+    calibrate,
+    default_profile_path,
+    load_profile,
+    profile_for_startup,
+    static_profile,
+)
+from repro.sim.workerpool import cpu_count
+
+
+def profile_with(workers: int, source: str) -> MachineProfile:
+    base = static_profile()
+    return MachineProfile(
+        cpu_count=base.cpu_count,
+        workers=workers,
+        backend=base.backend,
+        fault_batch_width=base.fault_batch_width,
+        search_batch_width=base.search_batch_width,
+        omission_batch_width=base.omission_batch_width,
+        source=source,
+    )
+
+
+class TestCpuCountOverride:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ASSUME_CPUS", "7")
+        assert cpu_count() == 7
+
+    def test_invalid_override_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ASSUME_CPUS", "many")
+        with pytest.raises(SimulationError, match="REPRO_ASSUME_CPUS"):
+            cpu_count()
+
+    def test_without_override_positive(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ASSUME_CPUS", raising=False)
+        assert cpu_count() >= 1
+
+
+class TestProfilePersistence:
+    def test_json_round_trip(self):
+        profile = profile_with(workers=2, source="calibrated")
+        assert MachineProfile.from_json(profile.to_json()) == profile
+
+    def test_version_guard(self):
+        payload = static_profile().to_json()
+        payload["version"] = 999
+        with pytest.raises(SimulationError, match="version"):
+            MachineProfile.from_json(payload)
+
+    def test_save_load_via_env(self, tmp_path, monkeypatch):
+        target = tmp_path / "profile.json"
+        monkeypatch.setenv("REPRO_PROFILE", str(target))
+        assert default_profile_path() == target
+        profile = profile_with(workers=1, source="calibrated")
+        assert profile.save() == target
+        assert MachineProfile.load() == profile
+        assert load_profile() == profile
+
+    def test_load_profile_tolerates_garbage(self, tmp_path, monkeypatch):
+        target = tmp_path / "profile.json"
+        monkeypatch.setenv("REPRO_PROFILE", str(target))
+        assert load_profile() is None  # missing
+        target.write_text("not json", encoding="utf-8")
+        assert load_profile() is None  # unparseable
+
+
+class TestWorkerResolution:
+    def test_auto_becomes_recommendation(self):
+        assert profile_with(2, "calibrated").resolve_workers(None) == 2
+        assert profile_with(2, "calibrated").resolve_workers(0) == 2
+        assert profile_with(1, "static").resolve_workers(None) == 1
+
+    def test_calibrated_serial_overrides_shard_request(self):
+        assert profile_with(1, "calibrated").resolve_workers(4) == 1
+
+    def test_static_serial_does_not_override(self):
+        # Only a *measured* serial verdict may veto an explicit request.
+        assert profile_with(1, "static").resolve_workers(4) == 4
+
+    def test_force_shard_only_when_calibrated_multiworker(self):
+        assert profile_with(2, "calibrated").force_shard
+        assert not profile_with(1, "calibrated").force_shard
+        assert not profile_with(2, "static").force_shard
+
+
+class TestCalibration:
+    def test_quick_calibration_on_one_core_selects_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ASSUME_CPUS", "1")
+        profile = calibrate(quick=True)
+        assert profile.source == "calibrated"
+        assert profile.workers == 1
+        assert not profile.use_sharding
+        assert any("1 core" in note for note in profile.notes)
+        # Measured widths come from the candidate family, so the profile
+        # carries concrete, positive batch widths.
+        assert profile.fault_batch_width > 0
+        assert profile.search_batch_width > 0
+
+    def test_profile_for_startup_calibrates_then_loads(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_ASSUME_CPUS", "1")
+        target = tmp_path / "startup.json"
+        monkeypatch.setenv("REPRO_PROFILE", str(target))
+        first = profile_for_startup(quick=True)
+        assert first.source == "calibrated"
+        assert target.exists()
+        # Second startup must load, not re-measure: poison the file with
+        # a recognizable workers value and confirm it is what comes back.
+        poisoned = profile_with(1, "calibrated").to_json()
+        poisoned["notes"] = ["loaded-not-measured"]
+        target.write_text(__import__("json").dumps(poisoned), encoding="utf-8")
+        second = profile_for_startup(quick=True)
+        assert list(second.notes) == ["loaded-not-measured"]
