@@ -20,7 +20,12 @@ Two entry points:
 The ``--workers`` axis measures process sharding
 (:mod:`repro.sim.sharding`): each worker count is a separate measurement
 of the same workload, so the JSON records serial-vs-sharded scaling per
-backend.  The full profile includes the largest catalog circuit, where
+backend.  A ``1-stepped`` axis re-measures each backend's serial point
+through the per-step reference scan (``scan_mode="stepped"``), so the
+whole-sequence ``run_scan`` kernels' win is tracked and their detection
+times asserted bit-identical; every measurement also records its
+kernel-dispatch counts (``dispatches``: FFI crossings, scan calls and
+steps) across the repeats.  The full profile includes the largest catalog circuit, where
 the ``numpy`` backend must clear a 3x speedup over ``python`` and the
 ``native`` C kernel (when a toolchain is present) a 2x speedup over
 ``numpy``; ``--smoke`` restricts to small circuits for quick regression
@@ -47,6 +52,7 @@ from repro.faults.universe import FaultUniverse
 from repro.sim.backend import (
     available_backends,
     backend_unavailable_reason,
+    dispatch_counters,
     registry_backends,
 )
 from repro.sim.compiled import CompiledCircuit
@@ -105,7 +111,16 @@ def machine_block() -> dict:
     }
 
 
-def _measure(compiled, faults, sequence, backend, batch_width, workers, repeats=3):
+def _measure(
+    compiled,
+    faults,
+    sequence,
+    backend,
+    batch_width,
+    workers,
+    scan_mode="fused",
+    repeats=3,
+):
     """Best-of-N wall time and throughput for one backend/workers point.
 
     The sharded simulator's worker pool spins up lazily inside the first
@@ -117,12 +132,14 @@ def _measure(compiled, faults, sequence, backend, batch_width, workers, repeats=
         batch_width=batch_width,
         backend=backend,
         workers=workers,
+        scan_mode=scan_mode,
         # The bench exists to measure sharding, so never fall back for
         # being "too small" — the smoke circuits are the small case —
         # nor for running on a single-core machine.
         min_shard_faults=1,
         force_shard=True,
     )
+    before = dispatch_counters()
     try:
         result = None
         best = float("inf")
@@ -132,14 +149,24 @@ def _measure(compiled, faults, sequence, backend, batch_width, workers, repeats=
             best = min(best, time.perf_counter() - start)
     finally:
         simulator.close()
+    after = dispatch_counters()
     gate_evals = len(compiled.ops) * len(faults) * len(sequence)
     return {
         "backend": backend,
         "batch_width": batch_width,
         "workers": workers,
+        "scan_mode": scan_mode,
         "seconds": best,
         "gate_evals_per_second": gate_evals / best if best else 0.0,
         "detected": result.num_detected,
+        # Kernel-dispatch deltas across all repeats (process-wide, so
+        # sharded points — whose scans run in worker processes — report
+        # only the parent's share, i.e. near zero).
+        "dispatches": {
+            kind: after[kind] - before.get(kind, 0)
+            for kind in sorted(after)
+            if after[kind] - before.get(kind, 0)
+        },
         "detection_times": result.detection_time,
     }
 
@@ -210,6 +237,28 @@ def run_profile(
                         f"[{name}] {backend} sharding speedup at "
                         f"{workers} workers: {speedup:.2f}x"
                     )
+            # The fused-vs-stepped axis: the same serial workload driven
+            # through the per-step reference scan, so the whole-sequence
+            # kernel's win is tracked — and its bit-identical detection
+            # times asserted — per backend.
+            stepped = _measure(
+                compiled, faults, sequence, backend, width, 1,
+                scan_mode="stepped",
+            )
+            stepped_times = stepped.pop("detection_times")
+            if stepped_times != reference_times:
+                raise AssertionError(
+                    f"{name}: {backend}/stepped detection times diverge "
+                    "— scan-mode parity violated"
+                )
+            entry["results"][backend]["1-stepped"] = stepped
+            if serial is not None:
+                speedup = stepped["seconds"] / serial["seconds"]
+                entry[f"{backend}_fused_scan_speedup"] = speedup
+                progress(
+                    f"[{name}] {backend} fused-vs-stepped scan speedup: "
+                    f"{speedup:.2f}x"
+                )
         if "numpy" in entry["results"] and "python" in entry["results"]:
             first = str(workers_axis[0])
             entry["numpy_speedup"] = (

@@ -24,9 +24,18 @@ IR — cost-balanced (``packed-w*-p*``, the default) and count-based
 (``packed-w*-p*-count``) — and the workload entry records each plan's
 chunk statistics (``chunk_plans``: chunk count, cost imbalance) so the
 boundary shapes are visible next to the throughput they produced.
-Detection outcomes are asserted identical across every measured
-combination — backends, pipelines, widths, worker counts *and* chunking
-modes — so the bench doubles as a parity check.
+On the small (32-vector omission) workloads every backend is
+additionally re-measured through the per-step reference scan
+(``scan_mode="stepped"``, axis suffix ``-stepped``), serial and at the
+widest worker count, tracking the whole-sequence ``run_scan`` kernels'
+win per backend; when the native kernel was measured, the standalone
+runner fails unless at least one workload shows the fused native scan
+at >= 1.5x the stepped throughput.  Detection outcomes are asserted
+identical across every measured combination — backends, pipelines,
+widths, worker counts, chunking modes *and* scan modes — so the bench
+doubles as a parity check.  Every measurement records its
+kernel-dispatch counts (``dispatches``: FFI crossings, scan calls and
+steps) across the repeats.
 
 Each workload entry also records the session's good-machine trace-cache
 counters (``trace_cache``): across all measured points and repeats, the
@@ -64,7 +73,7 @@ from repro.circuits.catalog import load_circuit
 from repro.core.ops import ExpansionConfig
 from repro.core.sequence import TestSequence
 from repro.faults.universe import FaultUniverse
-from repro.sim.backend import available_backends
+from repro.sim.backend import available_backends, dispatch_counters
 from repro.sim.compiled import CompiledCircuit
 from repro.sim.faultsim import FaultSimulator
 from repro.sim.scanplan import CHUNKING_MODES, WindowRampPlan
@@ -196,6 +205,7 @@ def _measure(
     width,
     workers,
     chunking="cost",
+    scan_mode="fused",
     repeats=3,
 ):
     """Best-of-N throughput for one measured point.
@@ -213,10 +223,12 @@ def _measure(
         workers=workers,
         min_shard_candidates=1,
         chunking=chunking,
+        scan_mode=scan_mode,
         # The workers axis measures the sharding layer itself, so never
         # fall back to serial — not even on a single-core runner.
         force_shard=True,
     )
+    before = dispatch_counters()
     try:
         best = float("inf")
         candidates = 0
@@ -227,15 +239,25 @@ def _measure(
             best = min(best, time.perf_counter() - start)
     finally:
         simulator.close()
+    after = dispatch_counters()
     return {
         "backend": backend,
         "pipeline": pipeline,
         "batch_width": width,
         "workers": workers,
         "chunking": chunking,
+        "scan_mode": scan_mode,
         "seconds": best,
         "candidates": candidates,
         "candidates_per_second": candidates / best if best else 0.0,
+        # Kernel-dispatch deltas across all repeats (process-wide, so
+        # sharded points — whose scans run in worker processes — report
+        # only the parent's share, i.e. near zero).
+        "dispatches": {
+            kind: after[kind] - before.get(kind, 0)
+            for kind in sorted(after)
+            if after[kind] - before.get(kind, 0)
+        },
     }, outcomes
 
 
@@ -316,7 +338,10 @@ def run_profile(
             }
         reference_outcomes = None
 
-        def measure_point(backend, pipeline, width, workers, chunking="cost"):
+        def measure_point(
+            backend, pipeline, width, workers, chunking="cost",
+            scan_mode="fused",
+        ):
             nonlocal reference_outcomes
             measured, outcomes = _measure(
                 compiled,
@@ -328,23 +353,28 @@ def run_profile(
                 width,
                 workers,
                 chunking,
+                scan_mode,
             )
             if reference_outcomes is None:
                 reference_outcomes = outcomes
             elif outcomes != reference_outcomes:
                 raise AssertionError(
                     f"{label}: {backend}/{pipeline}/w{width}/p{workers}"
-                    f"/{chunking} outcomes diverge — parity violated"
+                    f"/{chunking}/{scan_mode} outcomes diverge — parity "
+                    "violated"
                 )
             axis = f"{pipeline}-w{width}"
             if workers != 1:
                 axis += f"-p{workers}"
             if chunking != "cost":
                 axis += f"-{chunking}"
+            if scan_mode != "fused":
+                axis += f"-{scan_mode}"
             entry["results"][backend][axis] = measured
             progress(
                 f"[{label}] {backend:>6}/{pipeline:<6} width={width:<4}"
-                f"p{workers}/{chunking} {measured['seconds']:.3f}s  "
+                f"p{workers}/{chunking}/{scan_mode} "
+                f"{measured['seconds']:.3f}s  "
                 f"{measured['candidates_per_second']:.0f} cand/s"
             )
             return measured
@@ -386,6 +416,35 @@ def run_profile(
                         f"[{label}] {backend} candidate sharding speedup at "
                         f"{workers} workers: "
                         f"{counted['speedup_vs_serial']:.2f}x (count chunks)"
+                    )
+            # The fused-vs-stepped scan axis, on the small (32-vector
+            # omission) workloads: the packed pipeline re-measured
+            # through the per-step reference scan, serial and at the
+            # widest measured pool, so the whole-sequence kernels' win —
+            # and their bit-identical outcomes, asserted above — are
+            # tracked per backend and across worker counts.  The
+            # sharding-scale workloads skip it: stepped scans there
+            # would multiply bench time for no extra signal.
+            if omit_window is not None:
+                fused = entry["results"][backend][f"packed-w{widths[0]}"]
+                stepped = measure_point(
+                    backend, "packed", widths[0], 1, scan_mode="stepped"
+                )
+                if stepped["candidates_per_second"]:
+                    speedup = (
+                        fused["candidates_per_second"]
+                        / stepped["candidates_per_second"]
+                    )
+                    entry[f"{backend}_fused_scan_speedup"] = speedup
+                    progress(
+                        f"[{label}] {backend} fused-vs-stepped scan "
+                        f"speedup: {speedup:.2f}x"
+                    )
+                widest = max(workers_axis)
+                if widest > 1:
+                    measure_point(
+                        backend, "packed", widths[0], widest,
+                        scan_mode="stepped",
                     )
             by_label = entry["results"][backend]
             speedups = [
@@ -502,6 +561,23 @@ def main(argv: list[str] | None = None) -> int:
         handle.write("\n")
     print(f"report written to {args.output}")
     failed = False
+    if "native" in report["backends"]:
+        # The fused-scan acceptance bar, asserted in-bench whenever the
+        # native kernel was measured: at least one workload must show
+        # the whole-sequence native scan >= 1.5x the per-step reference.
+        best = max(
+            (
+                workload.get("native_fused_scan_speedup", 0.0)
+                for workload in report["workloads"]
+            ),
+            default=0.0,
+        )
+        ok = best >= 1.5
+        failed = failed or not ok
+        print(
+            f"native fused-vs-stepped scan speedup: best {best:.2f}x "
+            f"(target >= 1.5x) {'ok' if ok else 'FAIL'}"
+        )
     if args.min_shard_speedup is not None:
         # Gate on the largest sharding-scale workload (syn1423 in smoke,
         # syn5378-xl in full) — the legacy-tracking workloads force-shard

@@ -11,18 +11,22 @@ Works on any report following the shared benchmark JSON shape
 (``workloads[] -> results[backend][axis] -> measurement``): both
 ``bench_faultsim.py`` (throughput key ``gate_evals_per_second``, axis =
 worker count) and ``bench_seqsim.py`` (throughput key
-``candidates_per_second``, axis = pipeline/batch-width label).  Walks
-every ``(circuit, backend, axis)`` measurement present in *both* reports
-and fails (exit 1) when the candidate's throughput drops more than
-``tolerance`` below the baseline's.  Faster-than-baseline results always
-pass — the gate guards against regressions, not improvements.
+``candidates_per_second``, axis = pipeline/batch-width label).  Compares
+only the **workloads (circuits) present in both reports**: within a
+shared workload it walks every ``(backend, axis)`` measurement present
+on both sides and fails (exit 1) when the candidate's throughput drops
+more than ``tolerance`` below the baseline's.  Faster-than-baseline
+results always pass — the gate guards against regressions, not
+improvements.
 
 Baselines are machine-relative: both reports carry a ``machine`` block
 (CPU count, Python version, platform), which is printed side by side so a
-failure on an unusually slow runner is easy to recognize.  Measurements
-present in only one report (a new circuit, a new worker count) are
-reported but never fail the gate, so extending the benchmark does not
-require regenerating the baseline in the same commit.
+failure on an unusually slow runner is easy to recognize.  Workloads or
+measurements present in only one report (a new circuit, a new worker
+count, a smoke run against a full baseline) are reported but never fail
+the gate, so extending or subsetting the benchmark does not require
+regenerating the baseline in the same commit; only a *zero-workload*
+overlap — wrong report pairing — fails loudly.
 """
 
 from __future__ import annotations
@@ -85,9 +89,22 @@ def _describe_machine(label: str, report: dict) -> str:
 def compare(
     baseline: dict, candidate: dict, tolerance: float, progress=print
 ) -> list[tuple[str, str, str]]:
-    """Print a comparison table; return the regressed (c, b, w) keys."""
+    """Print a comparison table; return the regressed (c, b, w) keys.
+
+    Only workloads (circuits) present in both reports are compared; a
+    workload on one side only is announced and skipped wholesale, so a
+    smoke candidate gates cleanly against a full baseline (and vice
+    versa).
+    """
     base = _measurements(baseline)
     cand = _measurements(candidate)
+    shared = {key[0] for key in base} & {key[0] for key in cand}
+    for circuit in sorted({key[0] for key in base} - shared):
+        progress(f"workload {circuit}: only in baseline (skipped)")
+    for circuit in sorted({key[0] for key in cand} - shared):
+        progress(f"workload {circuit}: only in candidate (skipped)")
+    base = {key: value for key, value in base.items() if key[0] in shared}
+    cand = {key: value for key, value in cand.items() if key[0] in shared}
     progress(_describe_machine("baseline ", baseline))
     progress(_describe_machine("candidate", candidate))
     progress(
@@ -158,12 +175,14 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"tolerance must be in [0, 1), got {args.tolerance}")
     baseline = _load(args.baseline)
     candidate = _load(args.candidate)
-    if not set(_measurements(baseline)) & set(_measurements(candidate)):
+    base_workloads = {key[0] for key in _measurements(baseline)}
+    cand_workloads = {key[0] for key in _measurements(candidate)}
+    if not base_workloads & cand_workloads:
         # A gate that compares nothing passes nothing: mismatched report
-        # flavors or renamed axes must fail loudly, not exit 0.
+        # flavors or renamed circuits must fail loudly, not exit 0.
         print(
-            "FAIL: baseline and candidate share no measurement keys — "
-            "wrong report pairing or renamed circuits/backends/axes?"
+            "FAIL: baseline and candidate share no workloads — "
+            "wrong report pairing or renamed circuits?"
         )
         return 1
     regressions = compare(baseline, candidate, args.tolerance)

@@ -105,6 +105,10 @@ class Session:
         self._schemes: dict[str, object] = {}
         self._simulators: list = []
         self._closed = False
+        if profile is not None:
+            # A calibrated profile's fused-vs-stepped verdicts become the
+            # process default every simulator construction resolves.
+            profile.apply_scan_modes()
 
     # ------------------------------------------------------------------
     # Profile
@@ -125,6 +129,7 @@ class Session:
         if save:
             profile.save()
         self._profile = profile
+        profile.apply_scan_modes()
         return profile
 
     def _resolve_workers(self, workers: int | None) -> int | None:
@@ -333,11 +338,26 @@ class Session:
 
     def run_detailed(self, request: RunRequest) -> RunOutcome:
         """Execute ``request`` keeping the rich in-process objects too."""
+        from repro.sim.backend import dispatch_counters
+
         self._check_open()
         compiled = self._request_circuit(request)
+        before = dispatch_counters()
         if request.kind == "atpg":
-            return self._run_atpg(request, compiled)
-        return self._run_scheme(request, compiled)
+            outcome = self._run_atpg(request, compiled)
+        else:
+            outcome = self._run_scheme(request, compiled)
+        # Per-run backend-boundary dispatch deltas (FFI crossings, scan
+        # calls/steps) for this process.  Observability only: execution
+        # is excluded from the result fingerprint, and sharded workers
+        # count in their own processes.
+        after = dispatch_counters()
+        outcome.result.execution["dispatches"] = {
+            kind: after[kind] - before.get(kind, 0)
+            for kind in sorted(after)
+            if after[kind] - before.get(kind, 0)
+        }
+        return outcome
 
     def _request_circuit(self, request: RunRequest) -> CompiledCircuit:
         if request.bench is not None:

@@ -26,8 +26,8 @@
 
 /* Bumped whenever any exported signature or semantic changes; checked by
  * the loader so a stale cached .so can never be driven with the wrong
- * marshaling. */
-#define REPRO_NATIVE_ABI 1
+ * marshaling.  v2 added repro_scan (whole-sequence fused scans). */
+#define REPRO_NATIVE_ABI 2
 
 #if defined(_WIN32)
 #define EXPORT __declspec(dllexport)
@@ -148,7 +148,7 @@ static void fold_gate(
 /*   stem_sa1/stem_sa0           (n_stem, words) masks                  */
 /* scratch: (2 * max_arity, words) gather buffer for patched gates.     */
 /* ------------------------------------------------------------------ */
-EXPORT void repro_eval(
+static void eval_ops(
     uint64_t *V,
     int64_t words,
     const int32_t *codes,
@@ -323,6 +323,30 @@ EXPORT void repro_eval(
     }
 }
 
+EXPORT void repro_eval(
+    uint64_t *V,
+    int64_t words,
+    const int32_t *codes,
+    const int32_t *outs,
+    const int64_t *in_off,
+    const int32_t *ins,
+    int64_t num_ops,
+    const int32_t *pin_ops,
+    const int32_t *pin_pins,
+    const uint64_t *pin_sa1,
+    const uint64_t *pin_sa0,
+    int64_t n_pin,
+    const int32_t *stem_ops,
+    const uint64_t *stem_sa1,
+    const uint64_t *stem_sa0,
+    int64_t n_stem,
+    uint64_t *scratch)
+{
+    eval_ops(V, words, codes, outs, in_off, ins, num_ops, pin_ops,
+             pin_pins, pin_sa1, pin_sa0, n_pin, stem_ops, stem_sa1,
+             stem_sa0, n_stem, scratch);
+}
+
 /* ------------------------------------------------------------------ */
 /* Fault-axis detection: slots whose (patched) PO response contradicts  */
 /* the fault-free machine's recorded binary value.                      */
@@ -396,4 +420,233 @@ EXPORT void repro_detect_step(
             out[w] |= (gh & fl) | (gl & fh);
         }
     }
+}
+
+static int ctz64(uint64_t x)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    return __builtin_ctzll(x);
+#else
+    int n = 0;
+    while (!(x & 1)) {
+        x >>= 1;
+        n++;
+    }
+    return n;
+#endif
+}
+
+/* ------------------------------------------------------------------ */
+/* Whole-sequence fused scan: input load, good/faulty eval, flop latch, */
+/* detect reduction and first-hit early exit for num_steps time steps   */
+/* in one call (the Python driver's per-step loop, moved inside the     */
+/* GIL-released kernel).  Two modes share the walk:                     */
+/*                                                                      */
+/*   paired (GV != NULL): good and faulty machines run side by side     */
+/*     over packed per-slot stimulus words; detection is the            */
+/*     repro_detect_step reduction over all POs.                        */
+/*   fault axis (GV == NULL): the single faulty batch runs over         */
+/*     broadcast stimulus bits; detection compares the recorded good-   */
+/*     machine observation rows (repro_detect_mask semantics).          */
+/*                                                                      */
+/* Stimulus/alive arrays are chunk-local (step s of this call); t0 is   */
+/* the global time of s == 0, used for recorded times and for indexing  */
+/* obs_off.  pending ((words), in/out), the flop state arrays           */
+/* ((num_flops, words) H and L per machine, in/out) and times           */
+/* ((words * 64), -1 = undetected, in/out) persist across chunked       */
+/* calls.  Early-exit contract matches the reference loop exactly: the  */
+/* scan stops when the live mask (alive & pending) drains or every      */
+/* slot detected, skipping the stopping step's state latch; with        */
+/* collect_finals it never stops early and latches every step.          */
+/* Returns the number of steps entered (== num_steps when the caller    */
+/* should continue with the next chunk) — negated minus one,            */
+/* -(executed + 1), when the scan finished (no later chunk can          */
+/* detect).                                                             */
+/* ------------------------------------------------------------------ */
+EXPORT int64_t repro_scan(
+    uint64_t *GV,
+    uint64_t *FV,
+    int64_t words,
+    const int32_t *codes,
+    const int32_t *outs,
+    const int64_t *in_off,
+    const int32_t *ins,
+    int64_t num_ops,
+    const int32_t *pin_ops,
+    const int32_t *pin_pins,
+    const uint64_t *pin_sa1,
+    const uint64_t *pin_sa0,
+    int64_t n_pin,
+    const int32_t *stem_ops,
+    const uint64_t *stem_sa1,
+    const uint64_t *stem_sa0,
+    int64_t n_stem,
+    uint64_t *scratch,
+    const int32_t *src_rows,   /* faulty source patches: rail rows ...  */
+    const uint64_t *src_force, /* ... (n_src, words) force masks        */
+    const uint64_t *src_keep,  /* ... (n_src, words) keep masks         */
+    int64_t n_src,
+    const int32_t *pi_sig,
+    int64_t num_pis,
+    const int32_t *q_sig,
+    const int32_t *d_sig,
+    int64_t num_flops,
+    const int32_t *dff_pos,      /* faulty flop patches: positions ...  */
+    const uint64_t *dff_force_h, /* ... into the flop list, with        */
+    const uint64_t *dff_keep_h,  /* ... (n_dff, words) force/keep       */
+    const uint64_t *dff_force_l, /* ... masks per rail                  */
+    const uint64_t *dff_keep_l,
+    int64_t n_dff,
+    uint64_t *g_sh, /* good flop state (num_flops, words); NULL w/o GV  */
+    uint64_t *g_sl,
+    uint64_t *f_sh, /* faulty flop state (num_flops, words)             */
+    uint64_t *f_sl,
+    const uint64_t *stim_ones,  /* (num_steps, num_pis, words) or NULL  */
+    const uint64_t *stim_zeros,
+    const uint8_t *stim_bits,   /* (num_steps, num_pis) or NULL         */
+    int64_t t0,
+    int64_t num_steps,
+    const int32_t *po_sig,
+    int64_t num_pos,
+    const uint64_t *g_po_sa1, /* dense (num_pos, words); NULL w/o GV    */
+    const uint64_t *g_po_sa0,
+    const uint64_t *f_po_sa1,
+    const uint64_t *f_po_sa0,
+    const int64_t *obs_off,   /* fault mode: per-global-step offsets    */
+    const int32_t *obs_pos,   /* ... into the flattened observation     */
+    const uint8_t *obs_vals,  /* ... position/value rows                */
+    const uint64_t *alive,    /* (num_steps, words) or NULL = all alive */
+    uint64_t *pending,        /* (words), in/out                        */
+    int64_t *times,           /* (words * 64), -1 = undetected, in/out  */
+    uint64_t *det,            /* (words) detection scratch              */
+    int64_t collect_finals)
+{
+    int64_t s, w, p, f, i;
+    int64_t executed = 0;
+    for (s = 0; s < num_steps; s++) {
+        const int64_t t = t0 + s;
+        const uint64_t *alive_row = alive ? alive + s * words : 0;
+
+        uint64_t any = 0;
+        for (w = 0; w < words; w++)
+            any |= (alive_row ? alive_row[w] : ~(uint64_t)0) & pending[w];
+        if (!any && !collect_finals)
+            return -(executed + 1); /* live drained: nothing detects later */
+        executed++;
+
+        /* Load this step's primary inputs. */
+        if (stim_bits) {
+            const uint8_t *bits = stim_bits + s * num_pis;
+            for (p = 0; p < num_pis; p++) {
+                uint64_t *h = FV + (uint64_t)(2 * pi_sig[p]) * words;
+                const uint64_t hv = bits[p] ? ~(uint64_t)0 : 0;
+                for (w = 0; w < words; w++) {
+                    h[w] = hv;
+                    h[words + w] = ~hv;
+                }
+            }
+        } else {
+            const uint64_t *ones = stim_ones + s * num_pis * words;
+            const uint64_t *zeros = stim_zeros + s * num_pis * words;
+            for (p = 0; p < num_pis; p++) {
+                uint64_t *h = FV + (uint64_t)(2 * pi_sig[p]) * words;
+                memcpy(h, ones + p * words, (size_t)words * sizeof(uint64_t));
+                memcpy(h + words, zeros + p * words,
+                       (size_t)words * sizeof(uint64_t));
+                if (GV) {
+                    uint64_t *gh = GV + (uint64_t)(2 * pi_sig[p]) * words;
+                    memcpy(gh, ones + p * words,
+                           (size_t)words * sizeof(uint64_t));
+                    memcpy(gh + words, zeros + p * words,
+                           (size_t)words * sizeof(uint64_t));
+                }
+            }
+        }
+
+        /* Load the current flop state into the flop-output signals. */
+        for (f = 0; f < num_flops; f++) {
+            uint64_t *q = FV + (uint64_t)(2 * q_sig[f]) * words;
+            memcpy(q, f_sh + f * words, (size_t)words * sizeof(uint64_t));
+            memcpy(q + words, f_sl + f * words,
+                   (size_t)words * sizeof(uint64_t));
+            if (GV) {
+                uint64_t *gq = GV + (uint64_t)(2 * q_sig[f]) * words;
+                memcpy(gq, g_sh + f * words, (size_t)words * sizeof(uint64_t));
+                memcpy(gq + words, g_sl + f * words,
+                       (size_t)words * sizeof(uint64_t));
+            }
+        }
+
+        /* Faulty source patches (stuck PI / flop-output stems). */
+        for (i = 0; i < n_src; i++) {
+            uint64_t *row = FV + (uint64_t)src_rows[i] * words;
+            const uint64_t *force = src_force + i * words;
+            const uint64_t *keep = src_keep + i * words;
+            for (w = 0; w < words; w++)
+                row[w] = (row[w] | force[w]) & keep[w];
+        }
+
+        /* Evaluate: good has no patches, faulty carries the program's. */
+        if (GV)
+            eval_ops(GV, words, codes, outs, in_off, ins, num_ops,
+                     0, 0, 0, 0, 0, 0, 0, 0, 0, scratch);
+        eval_ops(FV, words, codes, outs, in_off, ins, num_ops, pin_ops,
+                 pin_pins, pin_sa1, pin_sa0, n_pin, stem_ops, stem_sa1,
+                 stem_sa0, n_stem, scratch);
+
+        /* Detect. */
+        for (w = 0; w < words; w++)
+            det[w] = 0;
+        if (GV)
+            repro_detect_step(GV, FV, words, po_sig, num_pos, g_po_sa1,
+                              g_po_sa0, f_po_sa1, f_po_sa0, det);
+        else
+            repro_detect_mask(FV, words, obs_pos + obs_off[t], obs_vals + obs_off[t],
+                              obs_off[t + 1] - obs_off[t], po_sig, f_po_sa1,
+                              f_po_sa0, det);
+
+        uint64_t pend_any = 0;
+        for (w = 0; w < words; w++) {
+            uint64_t d = det[w] & pending[w];
+            if (alive_row)
+                d &= alive_row[w];
+            while (d) {
+                const int b = ctz64(d);
+                times[w * 64 + b] = t;
+                d &= d - 1;
+            }
+            pending[w] &= ~(det[w] & (alive_row ? alive_row[w] : ~(uint64_t)0));
+            pend_any |= pending[w];
+        }
+        if (!pend_any && !collect_finals)
+            return -(executed + 1); /* all detected; skip the state latch */
+
+        /* Latch the flop D values as next state (faulty flop patches). */
+        for (f = 0; f < num_flops; f++) {
+            const uint64_t *d_rail = FV + (uint64_t)(2 * d_sig[f]) * words;
+            memcpy(f_sh + f * words, d_rail, (size_t)words * sizeof(uint64_t));
+            memcpy(f_sl + f * words, d_rail + words,
+                   (size_t)words * sizeof(uint64_t));
+            if (GV) {
+                const uint64_t *gd = GV + (uint64_t)(2 * d_sig[f]) * words;
+                memcpy(g_sh + f * words, gd, (size_t)words * sizeof(uint64_t));
+                memcpy(g_sl + f * words, gd + words,
+                       (size_t)words * sizeof(uint64_t));
+            }
+        }
+        for (i = 0; i < n_dff; i++) {
+            const int64_t pos = dff_pos[i];
+            uint64_t *h = f_sh + pos * words;
+            uint64_t *l = f_sl + pos * words;
+            const uint64_t *fh = dff_force_h + i * words;
+            const uint64_t *kh = dff_keep_h + i * words;
+            const uint64_t *fl = dff_force_l + i * words;
+            const uint64_t *kl = dff_keep_l + i * words;
+            for (w = 0; w < words; w++) {
+                h[w] = (h[w] | fh[w]) & kh[w];
+                l[w] = (l[w] | fl[w]) & kl[w];
+            }
+        }
+    }
+    return executed;
 }

@@ -93,6 +93,9 @@ class MachineProfile:
         fault_shard_speedup: measured sharded/serial throughput ratio on
             the fault axis (``0.0`` = not measured).
         candidate_shard_speedup: same for Procedure 2's candidate axis.
+        fault_scan_mode: measured fused-vs-stepped winner for fault-axis
+            scans (``"fused"`` when unmeasured — the static default).
+        candidate_scan_mode: same for the paired candidate axis.
         source: ``"static"`` (defaults, nothing measured) or
             ``"calibrated"`` (a real measurement pass ran).
         notes: human-readable trail of what calibration decided and why.
@@ -106,6 +109,8 @@ class MachineProfile:
     omission_batch_width: int
     fault_shard_speedup: float = 0.0
     candidate_shard_speedup: float = 0.0
+    fault_scan_mode: str = "fused"
+    candidate_scan_mode: str = "fused"
     source: str = "static"
     notes: tuple[str, ...] = ()
 
@@ -146,6 +151,22 @@ class MachineProfile:
         if requested > 1 and self.calibrated and self.workers == 1:
             return 1
         return requested
+
+    def apply_scan_modes(self) -> None:
+        """Install the measured per-axis scan modes process-wide.
+
+        Only a *calibrated* profile installs anything: the static
+        profile's ``"fused"`` defaults match
+        :func:`repro.sim.backend.resolve_scan_mode`'s own fallback, so
+        installing them would add nothing but shadow a later profile.
+        """
+        if not self.calibrated:
+            return
+        from repro.sim.backend import set_measured_scan_modes
+
+        set_measured_scan_modes(
+            fault=self.fault_scan_mode, paired=self.candidate_scan_mode
+        )
 
     # ------------------------------------------------------------------
     # JSON round-trip and persistence
@@ -352,6 +373,64 @@ def _measure_candidate_axis(
     return best_width, speedup, notes
 
 
+def _measure_scan_modes(
+    compiled,
+    faults,
+    probe_fault,
+    stimulus,
+    backend: str,
+    fault_width: int,
+    search_width: int,
+) -> tuple[str, str, list[str]]:
+    """Fused-vs-stepped crossover per axis at the measured best widths.
+
+    The fused whole-sequence kernels are bit-identical to the stepped
+    calling sequence by contract, so this is purely a throughput
+    measurement; a machine where the fused path loses (e.g. a pathological
+    allocator making the chunk buffers expensive) gets the stepped loop
+    back via the same profile that carries its batch widths.
+    """
+    from repro.core.ops import ExpansionConfig
+    from repro.sim.faultsim import FaultSimulator
+    from repro.sim.seqsim import SequenceBatchSimulator
+
+    notes: list[str] = []
+    fault_timings: dict[str, float] = {}
+    for mode in ("fused", "stepped"):
+        simulator = FaultSimulator(
+            compiled, batch_width=fault_width, backend=backend, scan_mode=mode
+        )
+        fault_timings[mode] = _time(lambda: simulator.run(stimulus, faults))
+    fault_mode = min(fault_timings, key=fault_timings.get)
+    notes.append(
+        "fault scan "
+        + ", ".join(f"{m}:{fault_timings[m] * 1e3:.0f}ms" for m in fault_timings)
+        + f" -> {fault_mode}"
+    )
+
+    expansion = ExpansionConfig(repetitions=1)
+    spans = [(0, end) for end in range(len(stimulus))]
+    candidate_timings: dict[str, float] = {}
+    for mode in ("fused", "stepped"):
+        simulator = SequenceBatchSimulator(
+            compiled, batch_width=search_width, backend=backend, scan_mode=mode
+        )
+        candidate_timings[mode] = _time(
+            lambda: simulator.detects_windows(
+                probe_fault, stimulus, spans, expansion
+            )
+        )
+    candidate_mode = min(candidate_timings, key=candidate_timings.get)
+    notes.append(
+        "candidate scan "
+        + ", ".join(
+            f"{m}:{candidate_timings[m] * 1e3:.0f}ms" for m in candidate_timings
+        )
+        + f" -> {candidate_mode}"
+    )
+    return fault_mode, candidate_mode, notes
+
+
 def calibrate(
     quick: bool = True,
     circuit_name: str | None = None,
@@ -418,6 +497,17 @@ def calibrate(
     )
     notes.extend(search_notes)
 
+    fault_scan_mode, candidate_scan_mode, scan_notes = _measure_scan_modes(
+        compiled,
+        faults,
+        probe_fault,
+        stimulus,
+        backend,
+        fault_width,
+        search_width,
+    )
+    notes.extend(scan_notes)
+
     best_speedup = max(fault_speedup, candidate_speedup)
     if shard_workers > 1 and best_speedup >= SHARD_SPEEDUP_THRESHOLD:
         recommended = shard_workers
@@ -447,6 +537,8 @@ def calibrate(
         omission_batch_width=max(1, omission_width),
         fault_shard_speedup=round(fault_speedup, 3),
         candidate_shard_speedup=round(candidate_speedup, 3),
+        fault_scan_mode=fault_scan_mode,
+        candidate_scan_mode=candidate_scan_mode,
         source="calibrated",
         notes=tuple(notes),
     )

@@ -38,6 +38,7 @@ cost.
 
 from __future__ import annotations
 
+import os
 from abc import ABC, abstractmethod
 from collections import OrderedDict
 from collections.abc import Sequence
@@ -49,6 +50,18 @@ from repro.sim.compiled import CompiledCircuit
 
 #: Default backend used when a consumer does not select one explicitly.
 DEFAULT_BACKEND = "python"
+
+#: Env escape hatch forcing every simulator's scan mode ("fused" or
+#: "stepped"); beats the measured default, loses to an explicit
+#: ``scan_mode=`` argument.  CI's fallback lane runs the whole suite
+#: under ``REPRO_SCAN_MODE=stepped``.
+SCAN_MODE_ENV = "REPRO_SCAN_MODE"
+
+#: Scan modes a simulator accepts: ``"fused"`` dispatches whole-sequence
+#: :meth:`SimBackend.run_scan` kernels, ``"stepped"`` forces the per-step
+#: reference loop (the default implementation below), ``"auto"``/``None``
+#: resolves via :func:`resolve_scan_mode`.
+SCAN_MODES = ("auto", "fused", "stepped")
 
 #: Selector name for adaptive per-circuit/per-batch backend resolution.
 AUTO_BACKEND = "auto"
@@ -98,6 +111,120 @@ PROGRAM_CACHE_SIGNAL_BUDGET = 4_000_000
 STATE_X = 0
 STATE_ONE = 1
 STATE_ZERO = 2
+
+
+# ----------------------------------------------------------------------
+# Scan-mode resolution
+# ----------------------------------------------------------------------
+#: Measured per-axis scan-mode overrides installed by an autotune
+#: machine profile (:mod:`repro.sim.autotune`): keys ``False`` (fault
+#: axis) / ``True`` (paired candidate axis) map to ``"fused"`` or
+#: ``"stepped"``.  Empty means the static default ("fused" wherever a
+#: backend provides a fused kernel; the per-step default is used by
+#: backends without one either way).
+_MEASURED_SCAN_MODES: dict[bool, str] = {}
+
+
+def set_measured_scan_modes(
+    fault: str | None = None, paired: str | None = None
+) -> None:
+    """Install (or clear, with ``None``) measured per-axis scan modes."""
+    for key, mode in ((False, fault), (True, paired)):
+        if mode is None:
+            _MEASURED_SCAN_MODES.pop(key, None)
+        elif mode not in ("fused", "stepped"):
+            raise SimulationError(
+                f"unknown scan mode {mode!r}; expected 'fused' or 'stepped'"
+            )
+        else:
+            _MEASURED_SCAN_MODES[key] = mode
+
+
+def resolve_scan_mode(scan_mode: str | None = None, paired: bool = False) -> str:
+    """Resolve a simulator's ``scan_mode`` selector to fused/stepped.
+
+    Precedence: an explicit ``"fused"``/``"stepped"`` argument wins;
+    then the :data:`SCAN_MODE_ENV` escape hatch (read at resolution
+    time, so the CI fallback lane covers every construction site); then
+    the per-axis measured crossover a machine profile installed via
+    :func:`set_measured_scan_modes`; then ``"fused"`` — the fused path
+    is bit-identical by contract and strictly fewer dispatches, so it
+    is the static default, and backends without a fused kernel run the
+    per-step reference loop under either name.
+    """
+    if scan_mode is not None and scan_mode != "auto":
+        if scan_mode not in SCAN_MODES:
+            raise SimulationError(
+                f"unknown scan mode {scan_mode!r}; expected one of {SCAN_MODES}"
+            )
+        return scan_mode
+    env = os.environ.get(SCAN_MODE_ENV)
+    if env:
+        if env not in ("fused", "stepped"):
+            raise SimulationError(
+                f"{SCAN_MODE_ENV}={env!r} is not a scan mode; "
+                "expected 'fused' or 'stepped'"
+            )
+        return env
+    measured = _MEASURED_SCAN_MODES.get(paired)
+    if measured is not None:
+        return measured
+    return "fused"
+
+
+# ----------------------------------------------------------------------
+# Dispatch accounting
+# ----------------------------------------------------------------------
+#: Process-wide backend-boundary dispatch counters.  ``native_ffi_calls``
+#: counts actual ctypes crossings into the C kernel; ``scan_calls`` /
+#: ``scan_steps`` count whole-sequence scans and the time steps they
+#: simulated.  Sharded workers count in their own processes; the parent's
+#: counters cover work it ran locally.
+_DISPATCH_COUNTERS: dict[str, int] = {}
+
+
+def record_dispatch(kind: str, count: int = 1) -> None:
+    """Add ``count`` dispatches of ``kind`` to the process counters."""
+    _DISPATCH_COUNTERS[kind] = _DISPATCH_COUNTERS.get(kind, 0) + count
+
+
+def dispatch_counters() -> dict[str, int]:
+    """A snapshot of the process dispatch counters."""
+    return dict(_DISPATCH_COUNTERS)
+
+
+def reset_dispatch_counters() -> None:
+    """Zero the process dispatch counters (benchmark bracketing)."""
+    _DISPATCH_COUNTERS.clear()
+
+
+class BroadcastStimulus:
+    """Whole-sequence fault-axis stimulus: one scalar vector per step.
+
+    The :meth:`SimBackend.run_scan` stimulus for the fault axis — every
+    slot of the (single faulty) batch receives the same per-step primary
+    input vector, broadcast across slots.  ``bits()`` exposes the whole
+    sequence as a ``(num_steps, num_inputs)`` uint8 array for array
+    backends (built lazily; requires numpy).
+    """
+
+    __slots__ = ("sequence", "num_steps", "num_slots", "_bits")
+
+    def __init__(self, sequence, num_slots: int) -> None:
+        self.sequence = sequence
+        self.num_steps = len(sequence)
+        self.num_slots = num_slots
+        self._bits = None
+
+    def load_step(self, t: int, good, faulty) -> None:
+        faulty.load_inputs_broadcast(self.sequence[t])
+
+    def bits(self):
+        import numpy as np
+
+        if self._bits is None:
+            self._bits = np.asarray(self.sequence.vectors(), dtype=np.uint8)
+        return self._bits
 
 
 def unpack_states(packed: Sequence[int], num_flops: int) -> list[tuple[int, int]]:
@@ -335,6 +462,92 @@ class SimBackend(ABC):
             fh, fl = faulty.observe_po(position)
             detected |= (gh & fl) | (gl & fh)
         return detected & alive_mask
+
+    def run_scan(
+        self,
+        good: "SimBatch | None",
+        faulty: SimBatch,
+        packed_stimulus,
+        observation_plan,
+        alive_mask,
+        *,
+        collect_final_states: bool = False,
+    ) -> "list[int | None]":
+        """Execute a whole-sequence scan in one backend call.
+
+        Runs every time step — input load, good/faulty evaluation, flop
+        latch, detect reduction — and returns per-slot **first detection
+        times** (``None`` for slots never detected).  This default is the
+        per-step reference loop (the semantic gate the fused kernels are
+        bit-identical to); array backends override it with fused
+        multi-step kernels.
+
+        Two axes share the primitive:
+
+        * **paired candidate axis** (``observation_plan is None``):
+          ``good`` and ``faulty`` run side by side, detection is
+          :meth:`detect_step` across all POs, and ``alive_mask`` is a
+          per-step sequence of slot masks (candidates end at different
+          times; the masks shrink monotonically, so a drained live mask
+          ends the scan).
+        * **fault axis** (``observation_plan`` is the fault-free
+          machine's per-step observation rows): ``good`` is ``None`` —
+          the good machine is the recorded plan — detection is
+          :meth:`SimBatch.detect_mask`, and ``alive_mask`` is one
+          constant int mask.
+
+        ``packed_stimulus`` supplies ``num_steps``, ``num_slots`` and
+        ``load_step(t, good, faulty)`` (a candidate column packer or a
+        :class:`BroadcastStimulus`).  State ownership: the batches'
+        flop state advances exactly as the stepped calling sequence
+        would — ``capture_state`` is skipped after the early-exiting
+        step — and with ``collect_final_states`` the scan never exits
+        early and latches every step, so
+        :meth:`SimBatch.export_state_packed` afterwards matches the
+        stepped path bit for bit.
+        """
+        num_steps = packed_stimulus.num_steps
+        num_slots = packed_stimulus.num_slots
+        steady = isinstance(alive_mask, int)
+        pending = (1 << num_slots) - 1
+        times: list[int | None] = [None] * num_slots
+        executed = 0
+        for t in range(num_steps):
+            live = (alive_mask if steady else alive_mask[t]) & pending
+            if live == 0 and not collect_final_states:
+                # Alive masks only shrink (candidates end, detections
+                # clear pending), so nothing can detect from here on.
+                break
+            executed += 1
+            packed_stimulus.load_step(t, good, faulty)
+            if good is not None:
+                good.load_state()
+            faulty.load_state()
+            faulty.apply_source_patches()
+            if good is not None:
+                good.eval()
+            faulty.eval()
+            if observation_plan is None:
+                detected_now = self.detect_step(good, faulty, live)
+            else:
+                detected_now = faulty.detect_mask(observation_plan[t]) & live
+            if detected_now:
+                slot = 0
+                remaining = detected_now
+                while remaining:
+                    if remaining & 1:
+                        times[slot] = t
+                    remaining >>= 1
+                    slot += 1
+                pending &= ~detected_now
+                if pending == 0 and not collect_final_states:
+                    break
+            if good is not None:
+                good.capture_state()
+            faulty.capture_state()
+        record_dispatch("scan_calls")
+        record_dispatch("scan_steps", executed)
+        return times
 
 
 # ----------------------------------------------------------------------

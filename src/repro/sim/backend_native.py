@@ -38,13 +38,14 @@ import numpy as np
 
 from repro.errors import SimulationError
 from repro.faults.model import Fault
-from repro.sim.backend import SimBatch, SimProgram
+from repro.sim.backend import SimBatch, SimProgram, record_dispatch
 from repro.sim.backend_numpy import (
     WORD_BITS,
     NumpyBackend,
     NumpyBatch,
     NumpyProgram,
     _mask_to_words,
+    _masks_to_matrix,
     _words_to_mask,
 )
 from repro.sim.kernel import merge_stem_patches
@@ -68,6 +69,7 @@ class NativeProgram(NumpyProgram):
         "stem_sa1",
         "stem_sa0",
         "_dense_po",
+        "_scan_patches",
     )
 
     def __init__(self, numpy_program: NumpyProgram, native_fields: dict) -> None:
@@ -92,6 +94,43 @@ class NativeProgram(NumpyProgram):
         #: programs are bound to one batch width; the fault-free program
         #: serves every width, hence the per-words memo.
         self._dense_po: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        #: words -> the eight C-ready source/flop patch arrays for
+        #: repro_scan (same per-words memo rationale as _dense_po).
+        self._scan_patches: dict[int, tuple] = {}
+
+    def scan_patches(self, words: int) -> tuple:
+        """C-ready ``(src_rows, src_force, src_keep, dff_pos, force_h,
+        keep_h, force_l, keep_l)`` arrays for the fused scan kernel."""
+        cached = self._scan_patches.get(words)
+        if cached is None:
+            if self.src_pass is not None:
+                _, rows, force, keep = self.src_pass
+                src = (
+                    np.ascontiguousarray(rows, dtype=np.int32),
+                    np.ascontiguousarray(force),
+                    np.ascontiguousarray(keep),
+                )
+            else:
+                src = (
+                    np.zeros(0, dtype=np.int32),
+                    np.zeros((0, words), dtype=np.uint64),
+                    np.zeros((0, words), dtype=np.uint64),
+                )
+            if self.dff_pass is not None:
+                _, positions, force_h, keep_h, force_l, keep_l = self.dff_pass
+                dff = (
+                    np.ascontiguousarray(positions, dtype=np.int32),
+                    np.ascontiguousarray(force_h),
+                    np.ascontiguousarray(keep_h),
+                    np.ascontiguousarray(force_l),
+                    np.ascontiguousarray(keep_l),
+                )
+            else:
+                empty = np.zeros((0, words), dtype=np.uint64)
+                dff = (np.zeros(0, dtype=np.int32), empty, empty, empty, empty)
+            cached = src + dff
+            self._scan_patches[words] = cached
+        return cached
 
     def dense_po_masks(
         self, num_pos: int, words: int
@@ -152,11 +191,13 @@ class NativeBatch(NumpyBatch):
         )
 
     def eval(self) -> None:
+        record_dispatch("native_ffi_calls")
         self._lib.repro_eval(*self._eval_args)
 
     def detect_mask(self, observations: Sequence[tuple[int, int]]) -> int:
         if not observations:
             return 0
+        record_dispatch("native_ffi_calls")
         n = len(observations)
         obs_pos = np.fromiter(
             (position for position, _ in observations),
@@ -210,6 +251,13 @@ class NativeBackend(NumpyBackend):
         )
         self.max_arity = max((len(ins) for _, _, ins in ops), default=1)
         self.po_sig = np.asarray(compiled.po_indices, dtype=np.int32)
+        self.c_pi = np.asarray(compiled.pi_indices, dtype=np.int32)
+        self.c_q = np.asarray(
+            [q for q, _ in compiled.flop_pairs], dtype=np.int32
+        )
+        self.c_d = np.asarray(
+            [d for _, d in compiled.flop_pairs], dtype=np.int32
+        )
         #: op position of every gate-output signal, for stem patches.
         self._pos_of_out = {out: position for position, (_, out, _) in enumerate(ops)}
 
@@ -286,6 +334,7 @@ class NativeBackend(NumpyBackend):
             return 0
         assert isinstance(good, NativeBatch) and isinstance(faulty, NativeBatch)
         assert good._words == faulty._words
+        record_dispatch("native_ffi_calls")
         out = good._detect_out
         out[:] = 0
         self.lib.repro_detect_step(
@@ -301,3 +350,221 @@ class NativeBackend(NumpyBackend):
             _addr(out),
         )
         return _words_to_mask(out) & alive_mask
+
+    # ------------------------------------------------------------------
+    # Fused whole-sequence scan
+    # ------------------------------------------------------------------
+    def run_scan(
+        self,
+        good: SimBatch | None,
+        faulty: SimBatch,
+        packed_stimulus,
+        observation_plan,
+        alive_mask,
+        *,
+        collect_final_states: bool = False,
+    ) -> list[int | None]:
+        """All ``num_steps`` time steps in GIL-released C calls.
+
+        Candidate mode (``observation_plan is None``) issues one call per
+        packed stimulus chunk; fault mode issues a single call for the
+        whole sequence.  The C side owns the per-step loop — input load,
+        good/faulty eval, detection, first-hit bookkeeping and the flop
+        latch — so the Python cost is O(chunks), not O(steps).  Stimuli
+        without a packed-array form fall back to the stepped base scan.
+        """
+        paired = observation_plan is None
+        if paired:
+            chunk_arrays = getattr(packed_stimulus, "chunk_arrays", None)
+            if chunk_arrays is None:
+                return super().run_scan(
+                    good,
+                    faulty,
+                    packed_stimulus,
+                    observation_plan,
+                    alive_mask,
+                    collect_final_states=collect_final_states,
+                )
+        else:
+            bits_of = getattr(packed_stimulus, "bits", None)
+            if bits_of is None:
+                return super().run_scan(
+                    good,
+                    faulty,
+                    packed_stimulus,
+                    observation_plan,
+                    alive_mask,
+                    collect_final_states=collect_final_states,
+                )
+        num_steps = packed_stimulus.num_steps
+        num_slots = packed_stimulus.num_slots
+        times_out: list[int | None] = [None] * num_slots
+        if num_steps == 0 or num_slots == 0:
+            record_dispatch("scan_calls")
+            return times_out
+        assert isinstance(faulty, NativeBatch)
+        words = faulty._words
+        program = faulty._program
+        assert isinstance(program, NativeProgram)
+        full_mask = (1 << num_slots) - 1
+        # A steady alive mask folds into the initial pending words (the
+        # kernel then treats a NULL alive pointer as all-live), which is
+        # equivalent to intersecting per step; per-step masks travel as
+        # packed (num_steps, words) rows.
+        alive_rows: np.ndarray | None = None
+        if isinstance(alive_mask, int):
+            pending = _mask_to_words(full_mask & alive_mask, words)
+        else:
+            pending = _mask_to_words(full_mask, words)
+            alive_rows = getattr(packed_stimulus, "alive_words", None)
+            if alive_rows is None:
+                alive_rows = _masks_to_matrix(list(alive_mask), words)
+        times = np.full(words * WORD_BITS, -1, dtype=np.int64)
+        det = np.zeros(words, dtype=np.uint64)
+        (
+            src_rows,
+            src_force,
+            src_keep,
+            dff_pos,
+            dff_force_h,
+            dff_keep_h,
+            dff_force_l,
+            dff_keep_l,
+        ) = program.scan_patches(words)
+        if paired:
+            assert isinstance(good, NativeBatch) and good._words == words
+            gv = _addr(good._V)
+            g_sh, g_sl = _addr(good._SH), _addr(good._SL)
+            g_po_sa1, g_po_sa0 = _addr(good._po_sa1), _addr(good._po_sa0)
+            obs_off = obs_pos = obs_vals = None
+        else:
+            gv = g_sh = g_sl = g_po_sa1 = g_po_sa0 = None
+            plan = observation_plan
+            counts = np.fromiter(
+                (len(plan[t]) for t in range(num_steps)),
+                dtype=np.int64,
+                count=num_steps,
+            )
+            obs_off = np.zeros(num_steps + 1, dtype=np.int64)
+            np.cumsum(counts, out=obs_off[1:])
+            total = int(obs_off[-1])
+            obs_pos = np.fromiter(
+                (p for t in range(num_steps) for p, _ in plan[t]),
+                dtype=np.int32,
+                count=total,
+            )
+            obs_vals = np.fromiter(
+                (
+                    1 if v else 0
+                    for t in range(num_steps)
+                    for _, v in plan[t]
+                ),
+                dtype=np.uint8,
+                count=total,
+            )
+        # Invariant argument prefix/suffix, built once per scan; only the
+        # stimulus pointers, chunk bounds and alive row pointer vary.
+        head = (
+            gv,
+            _addr(faulty._V),
+            words,
+            _addr(self.c_codes),
+            _addr(self.c_outs),
+            _addr(self.c_in_off),
+            _addr(self.c_ins),
+            len(self.compiled.ops),
+            _addr(program.pin_ops),
+            _addr(program.pin_pins),
+            _addr(program.pin_sa1),
+            _addr(program.pin_sa0),
+            len(program.pin_ops),
+            _addr(program.stem_ops),
+            _addr(program.stem_sa1),
+            _addr(program.stem_sa0),
+            len(program.stem_ops),
+            _addr(faulty._gather),
+            _addr(src_rows),
+            _addr(src_force),
+            _addr(src_keep),
+            len(src_rows),
+            _addr(self.c_pi),
+            len(self.c_pi),
+            _addr(self.c_q),
+            _addr(self.c_d),
+            len(self.c_q),
+            _addr(dff_pos),
+            _addr(dff_force_h),
+            _addr(dff_keep_h),
+            _addr(dff_force_l),
+            _addr(dff_keep_l),
+            len(dff_pos),
+            g_sh,
+            g_sl,
+            _addr(faulty._SH),
+            _addr(faulty._SL),
+        )
+        tail = (
+            _addr(self.po_sig),
+            len(self.po_sig),
+            g_po_sa1,
+            g_po_sa0,
+            _addr(faulty._po_sa1),
+            _addr(faulty._po_sa0),
+            None if obs_off is None else _addr(obs_off),
+            None if obs_pos is None else _addr(obs_pos),
+            None if obs_vals is None else _addr(obs_vals),
+        )
+        fixed = (_addr(pending), _addr(times), _addr(det), int(collect_final_states))
+        executed = 0
+        if paired:
+            t = 0
+            while t < num_steps:
+                t0, t1, ones, zeros = chunk_arrays(t)
+                alive_ptr = (
+                    None
+                    if alive_rows is None
+                    else alive_rows[t0:t1].ctypes.data
+                )
+                record_dispatch("native_ffi_calls")
+                ret = int(
+                    self.lib.repro_scan(
+                        *head,
+                        _addr(ones),
+                        _addr(zeros),
+                        None,
+                        t0,
+                        t1 - t0,
+                        *tail,
+                        alive_ptr,
+                        *fixed,
+                    )
+                )
+                finished = ret < 0
+                executed += -ret - 1 if finished else ret
+                if finished:
+                    break
+                t = t1
+        else:
+            bits = np.ascontiguousarray(bits_of(), dtype=np.uint8)
+            record_dispatch("native_ffi_calls")
+            ret = int(
+                self.lib.repro_scan(
+                    *head,
+                    None,
+                    None,
+                    _addr(bits),
+                    0,
+                    num_steps,
+                    *tail,
+                    None,
+                    *fixed,
+                )
+            )
+            executed = -ret - 1 if ret < 0 else ret
+        for slot in range(num_slots):
+            t_hit = int(times[slot])
+            if t_hit >= 0:
+                times_out[slot] = t_hit
+        record_dispatch("scan_calls")
+        record_dispatch("scan_steps", executed)
+        return times_out

@@ -61,6 +61,7 @@ from repro.sim.backend import (
     SimBatch,
     SimProgram,
     pack_states,
+    record_dispatch,
     unpack_states,
 )
 from repro.sim.compiled import (
@@ -347,9 +348,10 @@ class NumpyBatch(SimBatch):
             l = (l | sa0) & ~sa1
         return _words_to_mask(h), _words_to_mask(l)
 
-    def detect_mask(self, observations: Sequence[tuple[int, int]]) -> int:
-        if not observations:
-            return 0
+    def detect_mask_words(
+        self, observations: Sequence[tuple[int, int]]
+    ) -> np.ndarray:
+        """Fault-axis detection as a ``(words,)`` row (no batch masking)."""
         V = self._V
         detected = np.zeros(self._words, dtype=np.uint64)
         po_patches = self._program.po_patches
@@ -363,7 +365,15 @@ class NumpyBatch(SimBatch):
                 h = (h | sa1) & ~sa0
                 l = (l | sa0) & ~sa1
             detected |= l if good_value else h
-        return _words_to_mask(detected) & self._full_mask
+        return detected
+
+    def detect_mask(self, observations: Sequence[tuple[int, int]]) -> int:
+        if not observations:
+            return 0
+        return (
+            _words_to_mask(self.detect_mask_words(observations))
+            & self._full_mask
+        )
 
     def capture_state(self) -> None:
         backend = self._backend
@@ -783,6 +793,12 @@ class NumpyBackend(SimBackend):
         if alive_mask == 0:
             return 0
         assert isinstance(good, NumpyBatch) and isinstance(faulty, NumpyBatch)
+        return _words_to_mask(self._detect_step_words(good, faulty)) & alive_mask
+
+    def _detect_step_words(
+        self, good: "NumpyBatch", faulty: "NumpyBatch"
+    ) -> np.ndarray:
+        """:meth:`detect_step`'s reduction as a ``(words,)`` row."""
         gh = good._V[self.po_h_rows]
         gl = good._V[self.po_l_rows]
         fh = faulty._V[self.po_h_rows]
@@ -793,8 +809,75 @@ class NumpyBackend(SimBackend):
         for position, (sa1, sa0) in faulty._program.po_patches.items():
             fh[position] = (fh[position] | sa1) & ~sa0
             fl[position] = (fl[position] | sa0) & ~sa1
-        detected = np.bitwise_or.reduce((gh & fl) | (gl & fh), axis=0)
-        return _words_to_mask(detected) & alive_mask
+        return np.bitwise_or.reduce((gh & fl) | (gl & fh), axis=0)
+
+    def run_scan(
+        self,
+        good: "NumpyBatch | None",
+        faulty: "NumpyBatch",
+        packed_stimulus,
+        observation_plan,
+        alive_mask,
+        *,
+        collect_final_states: bool = False,
+    ) -> "list[int | None]":
+        """Blocked multi-step scan over resident word arrays.
+
+        Same calling sequence as the per-step reference
+        (:meth:`~repro.sim.backend.SimBackend.run_scan`), but the
+        per-step liveness/pending bookkeeping stays in ``uint64`` word
+        rows — no Python-int mask round trips until the final times —
+        and the packed stimulus chunks stay resident in the packer's
+        ``(T, num_pis, words)`` arrays, scattered in per step.
+        """
+        num_steps = packed_stimulus.num_steps
+        num_slots = packed_stimulus.num_slots
+        times: list[int | None] = [None] * num_slots
+        if num_steps == 0 or num_slots == 0:
+            return times
+        words = faulty._words
+        pending = _mask_to_words((1 << num_slots) - 1, words)
+        steady = None
+        alive_words = None
+        if isinstance(alive_mask, int):
+            steady = _mask_to_words(alive_mask, words)
+        else:
+            alive_words = getattr(packed_stimulus, "alive_words", None)
+            if alive_words is None:
+                alive_words = _masks_to_matrix(list(alive_mask), words)
+        executed = 0
+        for t in range(num_steps):
+            live = (steady if steady is not None else alive_words[t]) & pending
+            if not live.any() and not collect_final_states:
+                break
+            executed += 1
+            packed_stimulus.load_step(t, good, faulty)
+            if good is not None:
+                good.load_state()
+            faulty.load_state()
+            faulty.apply_source_patches()
+            if good is not None:
+                good.eval()
+            faulty.eval()
+            if observation_plan is None:
+                detected = self._detect_step_words(good, faulty) & live
+            else:
+                detected = faulty.detect_mask_words(observation_plan[t]) & live
+            if detected.any():
+                bits = np.unpackbits(
+                    detected.view(np.uint8), bitorder="little"
+                )
+                for slot in np.nonzero(bits)[0]:
+                    times[int(slot)] = t
+                pending &= ~detected
+                if not pending.any() and not collect_final_states:
+                    break
+            if good is not None:
+                good.capture_state()
+            faulty.capture_state()
+        record_dispatch("scan_calls")
+        record_dispatch("scan_steps", executed)
+        return times
 
 
 def _apply_pin_mask(values: np.ndarray, mask: tuple) -> None:

@@ -33,7 +33,13 @@ from repro.circuit.netlist import Circuit
 from repro.core.sequence import TestSequence
 from repro.faults.model import Fault
 from repro.logic.values import X, Ternary
-from repro.sim.backend import SimBackend, get_backend, resolve_auto
+from repro.sim.backend import (
+    BroadcastStimulus,
+    SimBackend,
+    get_backend,
+    resolve_auto,
+    resolve_scan_mode,
+)
 from repro.sim.compiled import CompiledCircuit
 from repro.sim.detection import FaultSimResult
 from repro.sim.logicsim import LogicSimulator
@@ -57,6 +63,7 @@ class FaultSimulator:
         circuit: Circuit | CompiledCircuit,
         batch_width: int = DEFAULT_BATCH_WIDTH,
         backend: str | SimBackend | None = None,
+        scan_mode: str | None = None,
     ) -> None:
         if isinstance(circuit, CompiledCircuit):
             self._compiled = circuit
@@ -77,6 +84,7 @@ class FaultSimulator:
         # an evolving state.
         self._trace_cache = get_trace_cache(self._compiled)
         self._logic = LogicSimulator(self._compiled)
+        self._scan_mode = resolve_scan_mode(scan_mode, paired=False)
 
     @property
     def compiled(self) -> CompiledCircuit:
@@ -89,6 +97,10 @@ class FaultSimulator:
     @property
     def batch_width(self) -> int:
         return self._batch_width
+
+    @property
+    def scan_mode(self) -> str:
+        return self._scan_mode
 
     def close(self) -> None:
         """Release simulator resources.
@@ -182,31 +194,31 @@ class FaultSimulator:
         if initial_states is not None:
             machines.set_state_packed(initial_states)
 
-        batch_size = len(batch)
-        full = (1 << batch_size) - 1
-        pending = full
-        detect_time: list[int | None] = [None] * batch_size
-
-        for t, vector in enumerate(sequence):
-            machines.load_inputs_broadcast(vector)
-            machines.load_state()
-            machines.apply_source_patches()
-            machines.eval()
-
-            detected_now = machines.detect_mask(observation_plan[t]) & pending
-            if detected_now:
-                slot = 0
-                remaining = detected_now
-                while remaining:
-                    if remaining & 1:
-                        detect_time[slot] = t
-                    remaining >>= 1
-                    slot += 1
-                pending &= ~detected_now
-                if pending == 0 and not collect_final_states:
-                    break
-
-            machines.capture_state()
+        # The whole per-step loop runs inside run_scan now; "stepped"
+        # pins the base class's per-step reference loop (parity oracle
+        # and escape hatch), "fused" takes the backend's whole-sequence
+        # kernel.
+        stimulus = BroadcastStimulus(sequence, len(batch))
+        alive = (1 << len(batch)) - 1
+        if self._scan_mode == "stepped":
+            detect_time = SimBackend.run_scan(
+                backend,
+                None,
+                machines,
+                stimulus,
+                observation_plan,
+                alive,
+                collect_final_states=collect_final_states,
+            )
+        else:
+            detect_time = backend.run_scan(
+                None,
+                machines,
+                stimulus,
+                observation_plan,
+                alive,
+                collect_final_states=collect_final_states,
+            )
 
         final_states = (
             machines.export_state_packed() if collect_final_states else None

@@ -45,8 +45,8 @@ CACHE_DIR_ENV = "REPRO_NATIVE_CACHE_DIR"
 
 #: Python-side ABI expectation; must equal REPRO_NATIVE_ABI in the C
 #: source (checked after every load, so a stale .so cannot be driven
-#: with the wrong marshaling).
-NATIVE_ABI_VERSION = 1
+#: with the wrong marshaling).  v2 added repro_scan.
+NATIVE_ABI_VERSION = 2
 
 #: Compilers tried in order when $CC is unset.
 _COMPILER_CANDIDATES = ("cc", "gcc", "clang")
@@ -153,6 +153,14 @@ def _bind(library: ctypes.CDLL) -> ctypes.CDLL:
     library.repro_detect_mask.restype = None
     library.repro_detect_step.argtypes = [p, p, i64, p, i64, p, p, p, p, p]
     library.repro_detect_step.restype = None
+    # repro_scan: 56 arguments, pointers except the size/flag integers
+    # (see the C signature; ctypes releases the GIL for the whole call,
+    # which is what lets concurrent serving lanes scan in parallel).
+    scan_sig: list = [p] * 56
+    for index in (2, 7, 12, 16, 21, 23, 26, 32, 40, 41, 43, 55):
+        scan_sig[index] = i64
+    library.repro_scan.argtypes = scan_sig
+    library.repro_scan.restype = i64
     return library
 
 

@@ -148,7 +148,7 @@ def plan_candidate_chunks(
 # ----------------------------------------------------------------------
 def build_seq_context(spec: tuple) -> dict:
     """Build this worker's serial simulator for one published context."""
-    _, circuit, backend_name, batch_width, pipeline = spec
+    _, circuit, backend_name, batch_width, pipeline, scan_mode = spec
     compiled = CompiledCircuit(circuit)
     return {
         "simulator": SequenceBatchSimulator(
@@ -156,6 +156,7 @@ def build_seq_context(spec: tuple) -> dict:
             batch_width=batch_width,
             backend=backend_name,
             pipeline=pipeline,
+            scan_mode=scan_mode,
         )
     }
 
@@ -297,9 +298,14 @@ class ShardedSequenceBatchSimulator(SequenceBatchSimulator):
         min_shard_candidates: int | None = None,
         oversplit: int = DEFAULT_OVERSPLIT,
         chunking: str = DEFAULT_CHUNKING,
+        scan_mode: str | None = None,
     ) -> None:
         super().__init__(
-            circuit, batch_width=batch_width, backend=backend, pipeline=pipeline
+            circuit,
+            batch_width=batch_width,
+            backend=backend,
+            pipeline=pipeline,
+            scan_mode=scan_mode,
         )
         if workers is None:
             workers = default_workers()
@@ -401,12 +407,16 @@ class ShardedSequenceBatchSimulator(SequenceBatchSimulator):
             return context
         if context is not None:
             context.retire()
+        # The parent resolves the scan mode (env, measured profile) and
+        # ships the resolved string: spawned workers inherit the
+        # environment only at pool start, not at dispatch time.
         spec = (
             "seq",
             self._compiled.circuit,
             self._backend.name,
             self._batch_width,
             self._pipeline,
+            self._scan_mode,
         )
         self._context = PoolContext(pool, pool.register_context(spec))
         return self._context
@@ -542,6 +552,7 @@ def make_sequence_simulator(
     oversplit: int = DEFAULT_OVERSPLIT,
     chunking: str = DEFAULT_CHUNKING,
     force_shard: bool = False,
+    scan_mode: str | None = None,
 ) -> SequenceBatchSimulator:
     """The ``workers=`` seam for every candidate-simulation consumer.
 
@@ -569,7 +580,11 @@ def make_sequence_simulator(
     if workers <= 1:
         validate_chunking(chunking)
         return SequenceBatchSimulator(
-            circuit, batch_width=batch_width, backend=backend, pipeline=pipeline
+            circuit,
+            batch_width=batch_width,
+            backend=backend,
+            pipeline=pipeline,
+            scan_mode=scan_mode,
         )
     return ShardedSequenceBatchSimulator(
         circuit,
@@ -580,4 +595,5 @@ def make_sequence_simulator(
         min_shard_candidates=min_shard_candidates,
         oversplit=oversplit,
         chunking=chunking,
+        scan_mode=scan_mode,
     )

@@ -66,7 +66,12 @@ from repro.core.ops import ExpansionConfig, expand
 from repro.core.sequence import TestSequence
 from repro.errors import SimulationError
 from repro.faults.model import Fault
-from repro.sim.backend import SimBackend, get_backend, resolve_auto
+from repro.sim.backend import (
+    SimBackend,
+    get_backend,
+    resolve_auto,
+    resolve_scan_mode,
+)
 from repro.sim.compiled import CompiledCircuit
 from repro.sim.scanplan import (
     ExplicitPlan,
@@ -123,6 +128,14 @@ class _PythonColumns:
                     mask |= 1 << slot
             self.alive_masks.append(mask)
 
+    @property
+    def num_steps(self) -> int:
+        return self.max_len
+
+    @property
+    def num_slots(self) -> int:
+        return len(self.lengths)
+
     def load_step(self, t: int, good, faulty) -> None:
         full = self._full
         lengths = self.lengths
@@ -153,6 +166,7 @@ class _NumpyColumns:
         "lengths",
         "max_len",
         "alive_masks",
+        "alive_words",
         "batch_width",
         "_bits_for_chunk",
         "_width",
@@ -192,8 +206,12 @@ class _NumpyColumns:
             self.alive_masks = [
                 int.from_bytes(row.tobytes(), "little") for row in packed
             ]
+            # The same masks as (max_len, words) uint64 rows, pointed at
+            # directly by the native fused-scan kernel.
+            self.alive_words = packed.view(np.uint64)
         else:
             self.alive_masks = []
+            self.alive_words = None
         self._chunk_start = 0
         self._chunk_end = 0
         self._chunk_ones = None
@@ -212,6 +230,29 @@ class _NumpyColumns:
         self._chunk_zeros = ~ones & self._full_words
         self._chunk_start = t0
         self._chunk_end = t1
+
+    @property
+    def num_steps(self) -> int:
+        return self.max_len
+
+    @property
+    def num_slots(self) -> int:
+        return len(self.lengths)
+
+    def chunk_arrays(self, t: int):
+        """The packed chunk containing ``t`` as ``(t0, t1, ones, zeros)``.
+
+        ``ones``/``zeros`` are ``(t1 - t0, width, words)`` uint64 — the
+        fused native scan consumes whole chunks instead of per-step rows.
+        """
+        if not self._chunk_start <= t < self._chunk_end or self._chunk_ones is None:
+            self._pack_chunk(t)
+        return (
+            self._chunk_start,
+            self._chunk_end,
+            self._chunk_ones,
+            self._chunk_zeros,
+        )
 
     def load_step(self, t: int, good, faulty) -> None:
         if not self._chunk_start <= t < self._chunk_end or self._chunk_ones is None:
@@ -321,6 +362,7 @@ class SequenceBatchSimulator:
         batch_width: int = DEFAULT_SEQ_BATCH_WIDTH,
         backend: str | SimBackend | None = None,
         pipeline: str = "packed",
+        scan_mode: str | None = None,
     ) -> None:
         if isinstance(circuit, CompiledCircuit):
             self._compiled = circuit
@@ -339,6 +381,7 @@ class SequenceBatchSimulator:
                 "expected 'packed' or 'legacy'"
             )
         self._pipeline = pipeline
+        self._scan_mode = resolve_scan_mode(scan_mode, paired=True)
         # The session-wide good-machine cache: packed base columns for
         # the derived-candidate pipeline come from here, so a base
         # reused across scans is converted to bits once per session.
@@ -359,6 +402,10 @@ class SequenceBatchSimulator:
     @property
     def pipeline(self) -> str:
         return self._pipeline
+
+    @property
+    def scan_mode(self) -> str:
+        return self._scan_mode
 
     def close(self) -> None:
         """Release simulator resources.
@@ -606,34 +653,20 @@ class SequenceBatchSimulator:
         faulty = backend.batch(
             backend.program((fault,) * batch_width), batch_width
         )
-        alive_masks = packer.alive_masks
-        pending = (1 << count) - 1
-
-        for t in range(packer.max_len):
-            live = alive_masks[t] & pending
-            if live == 0:
-                # Alive masks shrink monotonically (candidates only end),
-                # so no pending slot can ever detect from here on.
-                break
-            packer.load_step(t, good, faulty)
-            good.load_state()
-            faulty.load_state()
-            faulty.apply_source_patches()
-
-            good.eval()
-            faulty.eval()
-
-            detected_now = backend.detect_step(good, faulty, live)
-            if detected_now:
-                pending &= ~detected_now
-                if pending == 0:
-                    break
-
-            good.capture_state()
-            faulty.capture_state()
-
-        detected = (1 << count) - 1 & ~pending
-        return [bool(detected >> slot & 1) for slot in range(count)]
+        # The whole per-step loop — input load, paired eval, detection,
+        # first-hit bookkeeping, state latch — lives in run_scan now.
+        # "stepped" pins the base class's per-step reference loop (the
+        # parity oracle and escape hatch); "fused" dispatches to the
+        # backend's whole-sequence kernel.
+        if self._scan_mode == "stepped":
+            times = SimBackend.run_scan(
+                backend, good, faulty, packer, None, packer.alive_masks
+            )
+        else:
+            times = backend.run_scan(
+                good, faulty, packer, None, packer.alive_masks
+            )
+        return [times[slot] is not None for slot in range(count)]
 
     def _run_batch_legacy(
         self, fault: Fault, batch: list[TestSequence]

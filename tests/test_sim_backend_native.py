@@ -23,6 +23,7 @@ from repro.sim.backend import (
 from repro.sim.compiled import CompiledCircuit
 from repro.sim import native_build
 from repro.sim.native_build import (
+    CACHE_DIR_ENV,
     NATIVE_ABI_VERSION,
     NO_NATIVE_ENV,
     find_compiler,
@@ -165,3 +166,51 @@ class TestLoadedKernel:
         # The fault-free program carries no patches.
         clean = backend.program(None)
         assert len(clean.pin_ops) == 0 and len(clean.stem_ops) == 0
+
+
+class TestAbiGuard:
+    """A stale cached kernel must be rebuilt or rejected, never driven.
+
+    ``repro_scan`` changed the export surface (ABI 2): a ``.so`` built
+    for an older ABI must not be loadable as the current one.  Two
+    independent defenses are checked — the content-addressed cache path
+    diverges on an ABI bump (so a stale object is simply never found),
+    and a library whose baked-in version disagrees anyway (hand-copied
+    cache, doctored build) is rejected with the documented error instead
+    of being called with the wrong marshaling.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _need_native(self, require_backend):
+        require_backend("native")
+
+    def test_cache_path_diverges_on_abi_bump(self, monkeypatch):
+        source = b"int kernel;"
+        current = native_build._library_path(source)
+        monkeypatch.setattr(
+            native_build, "NATIVE_ABI_VERSION", NATIVE_ABI_VERSION + 1
+        )
+        assert native_build._library_path(source) != current
+
+    def test_stale_abi_library_rejected(self, tmp_path, monkeypatch):
+        source_text = native_build._SOURCE_PATH.read_text()
+        marker = f"#define REPRO_NATIVE_ABI {NATIVE_ABI_VERSION}"
+        assert marker in source_text, "ABI marker drifted from the C source"
+        doctored = tmp_path / "repro_kernel_stale.c"
+        doctored.write_text(
+            source_text.replace(marker, "#define REPRO_NATIVE_ABI 0", 1)
+        )
+        # Plant the stale build exactly where the loader will look for
+        # the *current* source in a private cache directory.
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "cache"))
+        target = native_build._library_path(
+            native_build._SOURCE_PATH.read_bytes()
+        )
+        native_build._compile(find_compiler(), doctored, target)
+        monkeypatch.setattr(native_build, "_LIBRARY", None)
+        monkeypatch.setattr(native_build, "_BUILD_FAILURE", None)
+        with pytest.raises(SimulationError, match="ABI mismatch"):
+            load_native_library()
+        # The mismatch sticks as this process's unavailability reason.
+        reason = native_unavailable_reason()
+        assert reason is not None and "ABI mismatch" in reason

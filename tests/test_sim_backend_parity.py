@@ -18,23 +18,28 @@ from __future__ import annotations
 import pytest
 
 from repro.circuits.catalog import load_circuit, paper_t0_s27
+from repro.core.ops import ExpansionConfig
 from repro.core.sequence import TestSequence
 from repro.errors import SimulationError
 from repro.faults.model import STEM, Fault, FaultSite
 from repro.faults.universe import FaultUniverse
 from repro.logic.values import ONE, X, ZERO
 from repro.sim.backend import (
+    SCAN_MODE_ENV,
     SimBackend,
     available_backends,
     backend_unavailable_reason,
     get_backend,
     registry_backends,
     resolve_backend_name,
+    resolve_scan_mode,
+    set_measured_scan_modes,
 )
 from repro.sim.compiled import CompiledCircuit
 from repro.sim.faultsim import FaultSimulator
 from repro.sim.logicsim import LogicSimulator
 from repro.sim.native_build import NO_NATIVE_ENV
+from repro.sim.scanplan import WindowRampPlan
 from repro.sim.seqsim import SequenceBatchSimulator
 from repro.util.rng import SplitMix64
 
@@ -227,6 +232,157 @@ class TestSeqSimParity:
                 compiled, batch_width=70, backend=backend_name
             ).detects(fault, candidates)
             assert python == other
+
+
+@pytest.fixture(scope="module")
+def scan_workload():
+    """One syn298 fault with a deep detection time, plus its T0."""
+    circuit = load_circuit("syn298")
+    compiled = CompiledCircuit(circuit)
+    t0 = _random_sequence(circuit, 32, seed=2026)
+    universe = FaultUniverse(circuit)
+    detection = FaultSimulator(compiled).run(t0, list(universe.faults()))
+    fault, udet = max(
+        detection.detection_time.items(),
+        key=lambda item: (item[1], str(item[0])),
+    )
+    undetected = [
+        f for f in universe.faults() if f not in detection.detection_time
+    ]
+    return compiled, t0, fault, udet, undetected
+
+
+class TestScanModeParity:
+    """Fused whole-sequence scans equal the per-step reference loop.
+
+    ``scan_mode`` is a pure throughput knob: detection times, candidate
+    outcomes, first-hit winners *and* the evaluated-candidate statistic
+    must be bit-identical between the fused ``run_scan`` kernels and the
+    stepped reference on every engine.
+    """
+
+    @pytest.mark.parametrize("scan_mode", ["fused", "stepped"])
+    def test_fault_axis_detection_times(self, compiled, backend_name, scan_mode):
+        universe = FaultUniverse(compiled.circuit)
+        faults = list(universe.faults())
+        sequence = _random_sequence(compiled.circuit, 32, seed=900)
+        reference = FaultSimulator(
+            compiled, backend="python", scan_mode="stepped"
+        ).run(sequence, faults)
+        result = FaultSimulator(
+            compiled, backend=backend_name, scan_mode=scan_mode
+        ).run(sequence, faults)
+        assert result.detection_time == reference.detection_time
+        assert reference.num_detected > 0
+
+    @pytest.mark.parametrize("backend", registry_backends())
+    def test_candidate_outcomes_identical(self, compiled, backend):
+        _require_backend(backend)
+        universe = FaultUniverse(compiled.circuit)
+        faults = list(universe.faults())
+        candidates = [
+            _random_sequence(compiled.circuit, 3 + (j % 11), seed=800 + j)
+            for j in range(70)  # > 64: crosses a word boundary in one batch
+        ]
+        for fault in faults[:: max(1, len(faults) // 5)]:
+            outcomes = {
+                mode: SequenceBatchSimulator(
+                    compiled, batch_width=70, backend=backend, scan_mode=mode
+                ).detects(fault, candidates)
+                for mode in ("fused", "stepped")
+            }
+            assert outcomes["fused"] == outcomes["stepped"], str(fault)
+
+    @pytest.mark.parametrize("backend", registry_backends())
+    def test_first_hit_winner_and_evaluated_count(self, scan_workload, backend):
+        """Early exit must stop at the same chunk under either mode."""
+        _require_backend(backend)
+        compiled, t0, fault, udet, _ = scan_workload
+        spans = [(u, udet) for u in range(udet, -1, -1)]
+        plan = WindowRampPlan(t0, spans, ExpansionConfig(repetitions=2))
+        outcomes = {
+            mode: SequenceBatchSimulator(
+                compiled, batch_width=16, backend=backend, scan_mode=mode
+            ).first_hit(fault, plan, chunk=8)
+            for mode in ("fused", "stepped")
+        }
+        assert outcomes["fused"] == outcomes["stepped"]
+        position, evaluated = outcomes["fused"]
+        assert position is not None
+        # The documented serial-chunked-scan statistic: whole chunks up
+        # to and including the winning one.
+        assert evaluated == min(len(spans), ((position // 8) + 1) * 8)
+
+    @pytest.mark.parametrize("backend", registry_backends())
+    def test_no_winner_evaluates_everything(self, scan_workload, backend):
+        _require_backend(backend)
+        compiled, t0, _fault, udet, undetected = scan_workload
+        assert undetected, "syn298 stimulus should leave some faults undetected"
+        spans = [(u, udet) for u in range(udet, -1, -1)]
+        # A fault t0 misses may still be caught by an *expanded* window,
+        # so scan for one whose whole window search comes up empty.
+        identity = ExpansionConfig(
+            repetitions=1, use_complement=False, use_shift=False, use_reverse=False
+        )
+        plan = WindowRampPlan(t0, spans, identity)
+        serial = SequenceBatchSimulator(compiled, batch_width=16)
+        ghost = next(
+            (
+                f
+                for f in undetected
+                if serial.first_hit(f, plan, chunk=8) == (None, len(spans))
+            ),
+            None,
+        )
+        assert ghost is not None, "expected an expanded-window-proof fault"
+        for mode in ("fused", "stepped"):
+            simulator = SequenceBatchSimulator(
+                compiled, batch_width=16, backend=backend, scan_mode=mode
+            )
+            assert simulator.first_hit(ghost, plan, chunk=8) == (
+                None,
+                len(spans),
+            ), mode
+
+
+class TestScanModeResolution:
+    def test_explicit_argument_wins(self, monkeypatch):
+        # This test pins the static default, so clear any ambient knob
+        # (the CI stepped-scan lane runs the whole suite under it).
+        monkeypatch.delenv(SCAN_MODE_ENV, raising=False)
+        assert resolve_scan_mode("fused") == "fused"
+        assert resolve_scan_mode("stepped", paired=True) == "stepped"
+        assert resolve_scan_mode(None) == "fused"
+        assert resolve_scan_mode("auto") == "fused"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(SimulationError, match="scan mode"):
+            resolve_scan_mode("vectorized")
+
+    def test_env_escape_hatch(self, monkeypatch):
+        monkeypatch.setenv(SCAN_MODE_ENV, "stepped")
+        assert resolve_scan_mode(None) == "stepped"
+        compiled = CompiledCircuit(load_circuit("s27"))
+        assert SequenceBatchSimulator(compiled).scan_mode == "stepped"
+        assert FaultSimulator(compiled).scan_mode == "stepped"
+        # Explicit arguments still beat the environment.
+        assert resolve_scan_mode("fused") == "fused"
+        monkeypatch.setenv(SCAN_MODE_ENV, "nonsense")
+        with pytest.raises(SimulationError, match=SCAN_MODE_ENV):
+            resolve_scan_mode(None)
+
+    def test_measured_modes_install_and_clear(self, monkeypatch):
+        monkeypatch.delenv(SCAN_MODE_ENV, raising=False)
+        try:
+            set_measured_scan_modes(fault="stepped", paired="fused")
+            assert resolve_scan_mode(None) == "stepped"
+            assert resolve_scan_mode(None, paired=True) == "fused"
+            assert resolve_scan_mode("fused") == "fused"
+        finally:
+            set_measured_scan_modes(None, None)
+        assert resolve_scan_mode(None) == "fused"
+        with pytest.raises(SimulationError, match="scan mode"):
+            set_measured_scan_modes(fault="sideways")
 
 
 def _detect_step_trace(compiled, backend, fault, sequences, batch_size):

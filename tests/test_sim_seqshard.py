@@ -184,9 +184,23 @@ class TestFactory:
 
 @pytest.mark.parametrize("backend", registry_backends())
 @pytest.mark.parametrize("workers", [2, 4])
+@pytest.mark.parametrize("scan_mode", ["fused", "stepped"])
 class TestShardedParity:
+    """Worker count is a pure throughput knob — and so is scan mode.
+
+    The serial reference is computed with the default (fused) scans, so
+    the ``stepped`` points also prove the per-step reference loop and
+    the whole-sequence kernels agree across process boundaries.
+    """
+
     def test_windows_omissions_and_first_hits(
-        self, workload, serial_reference, backend, workers, require_backend
+        self,
+        workload,
+        serial_reference,
+        backend,
+        workers,
+        scan_mode,
+        require_backend,
     ):
         require_backend(backend)
         compiled, t0, fault, _udet, spans, base, omissions, _ = workload
@@ -196,6 +210,7 @@ class TestShardedParity:
             batch_width=16,
             backend=backend,
             workers=workers,
+            scan_mode=scan_mode,
             min_shard_candidates=1,
         ) as simulator:
             assert simulator.should_shard(len(spans))
@@ -221,7 +236,13 @@ class TestShardedParity:
             )
 
     def test_explicit_candidates(
-        self, workload, serial_reference, backend, workers, require_backend
+        self,
+        workload,
+        serial_reference,
+        backend,
+        workers,
+        scan_mode,
+        require_backend,
     ):
         require_backend(backend)
         compiled, t0, fault, udet, *_ = workload
@@ -234,6 +255,7 @@ class TestShardedParity:
             batch_width=16,
             backend=backend,
             workers=workers,
+            scan_mode=scan_mode,
             min_shard_candidates=1,
         ) as simulator:
             assert simulator.detects(fault, candidates) == serial
