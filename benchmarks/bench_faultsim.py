@@ -20,16 +20,23 @@ Two entry points:
 The ``--workers`` axis measures process sharding
 (:mod:`repro.sim.sharding`): each worker count is a separate measurement
 of the same workload, so the JSON records serial-vs-sharded scaling per
-backend.  A ``1-stepped`` axis re-measures each backend's serial point
-through the per-step reference scan (``scan_mode="stepped"``), so the
-whole-sequence ``run_scan`` kernels' win is tracked and their detection
-times asserted bit-identical; every measurement also records its
-kernel-dispatch counts (``dispatches``: FFI crossings, scan calls and
-steps) across the repeats.  The full profile includes the largest catalog circuit, where
-the ``numpy`` backend must clear a 3x speedup over ``python`` and the
-``native`` C kernel (when a toolchain is present) a 2x speedup over
-``numpy``; ``--smoke`` restricts to small circuits for quick regression
-signal.
+backend.  The ``--threads`` axis measures the third distribution tier —
+the native kernel's in-process pthread lanes — as ``t<N>`` rows on the
+``native`` backend (the other engines execute thread requests serially,
+so only the native axis carries signal); thread detection times are
+asserted bit-identical to serial like every other point, and
+``--min-thread-speedup`` gates on the largest workload's best thread
+speedup (opt-in, hardware-dependent — meaningless on a runner with
+fewer cores than lanes).  A ``1-stepped`` axis re-measures each
+backend's serial point through the per-step reference scan
+(``scan_mode="stepped"``), so the whole-sequence ``run_scan`` kernels'
+win is tracked and their detection times asserted bit-identical; every
+measurement also records its kernel-dispatch counts (``dispatches``:
+FFI crossings, scan calls and steps) across the repeats.  The full
+profile includes the largest catalog circuit, where the ``numpy``
+backend must clear a 3x speedup over ``python`` and the ``native`` C
+kernel (when a toolchain is present) a 2x speedup over ``numpy``;
+``--smoke`` restricts to small circuits for quick regression signal.
 """
 
 from __future__ import annotations
@@ -57,7 +64,7 @@ from repro.sim.backend import (
 )
 from repro.sim.compiled import CompiledCircuit
 from repro.sim.faultsim import FaultSimulator
-from repro.sim.native_build import toolchain_info
+from repro.sim.native_build import native_threads_available, toolchain_info
 from repro.sim.sharding import make_fault_simulator
 from repro.util.rng import SplitMix64
 
@@ -77,6 +84,9 @@ _FULL_WORKLOADS = _SMOKE_WORKLOADS + [
 
 #: Worker counts measured by default: serial plus one sharded point.
 DEFAULT_WORKER_AXIS = (1, 4)
+
+#: Kernel thread-lane counts measured by default on the native backend.
+DEFAULT_THREAD_AXIS = (4,)
 
 
 def _stimulus(circuit, length):
@@ -119,13 +129,16 @@ def _measure(
     batch_width,
     workers,
     scan_mode="fused",
+    parallel=None,
     repeats=3,
 ):
     """Best-of-N wall time and throughput for one backend/workers point.
 
     The sharded simulator's worker pool spins up lazily inside the first
     repeat; best-of-N therefore reports warm-pool throughput, which is
-    what sustained workloads see.
+    what sustained workloads see.  ``parallel="threads"`` measures the
+    in-kernel pthread tier instead of process sharding — same ``workers``
+    count, but the lanes live inside the C scan calls.
     """
     simulator = make_fault_simulator(
         compiled,
@@ -133,9 +146,10 @@ def _measure(
         backend=backend,
         workers=workers,
         scan_mode=scan_mode,
-        # The bench exists to measure sharding, so never fall back for
-        # being "too small" — the smoke circuits are the small case —
-        # nor for running on a single-core machine.
+        parallel=parallel,
+        # The bench exists to measure the distribution tiers, so never
+        # fall back for being "too small" — the smoke circuits are the
+        # small case — nor for running on a single-core machine.
         min_shard_faults=1,
         force_shard=True,
     )
@@ -155,6 +169,7 @@ def _measure(
         "backend": backend,
         "batch_width": batch_width,
         "workers": workers,
+        "parallel": parallel or "auto",
         "scan_mode": scan_mode,
         "seconds": best,
         "gate_evals_per_second": gate_evals / best if best else 0.0,
@@ -174,18 +189,24 @@ def _measure(
 def run_profile(
     smoke: bool,
     workers_axis: tuple[int, ...] = DEFAULT_WORKER_AXIS,
+    threads_axis: tuple[int, ...] = DEFAULT_THREAD_AXIS,
     progress=print,
 ) -> dict:
     """Run every workload on every backend x workers; return the report."""
     workloads = _SMOKE_WORKLOADS if smoke else _FULL_WORKLOADS
     backends = available_backends()
     workers_axis = tuple(dict.fromkeys(workers_axis)) or (1,)
+    threads_axis = tuple(
+        count for count in dict.fromkeys(threads_axis) if count > 1
+    )
+    measure_threads = "native" in backends and native_threads_available()
     report = {
         "profile": "smoke" if smoke else "full",
         "python_version": platform.python_version(),
         "machine": machine_block(),
         "backends": backends,
         "workers_axis": list(workers_axis),
+        "threads_axis": list(threads_axis) if measure_threads else [],
         "workloads": [],
     }
     for name, max_faults, vectors, python_width, numpy_width in workloads:
@@ -237,6 +258,37 @@ def run_profile(
                         f"[{name}] {backend} sharding speedup at "
                         f"{workers} workers: {speedup:.2f}x"
                     )
+            # The thread tier: same workload through the native kernel's
+            # in-process pthread lanes (``t<N>`` keys).  Only the native
+            # backend has kernel lanes — the others execute thread
+            # requests serially, so measuring them would duplicate the
+            # serial row.
+            if backend == "native" and measure_threads:
+                for threads in threads_axis:
+                    measured = _measure(
+                        compiled,
+                        faults,
+                        sequence,
+                        backend,
+                        width,
+                        threads,
+                        parallel="threads",
+                    )
+                    detection_times = measured.pop("detection_times")
+                    if detection_times != reference_times:
+                        raise AssertionError(
+                            f"{name}: native/threads={threads} detection "
+                            "times diverge from serial — thread-tier "
+                            "parity violated"
+                        )
+                    entry["results"][backend][f"t{threads}"] = measured
+                    if serial is not None:
+                        speedup = serial["seconds"] / measured["seconds"]
+                        measured["speedup_vs_serial"] = speedup
+                        progress(
+                            f"[{name}] native thread speedup at "
+                            f"{threads} lanes: {speedup:.2f}x"
+                        )
             # The fused-vs-stepped axis: the same serial workload driven
             # through the per-step reference scan, so the whole-sequence
             # kernel's win is tracked — and its bit-identical detection
@@ -300,6 +352,17 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--threads",
+        type=int,
+        nargs="+",
+        default=list(DEFAULT_THREAD_AXIS),
+        help=(
+            "kernel thread-lane counts to measure on the native backend "
+            "(default: %(default)s); counts <= 1 are dropped — the serial "
+            "row already covers them"
+        ),
+    )
+    parser.add_argument(
         "--output",
         default="BENCH_faultsim.json",
         help="where to write the JSON report",
@@ -315,8 +378,22 @@ def main(argv: list[str] | None = None) -> int:
             "worker counts)"
         ),
     )
+    parser.add_argument(
+        "--min-thread-speedup",
+        type=float,
+        default=None,
+        help=(
+            "fail unless the largest workload's best native thread-tier "
+            "speedup reaches this factor (opt-in for the same reason as "
+            "--min-shard-speedup)"
+        ),
+    )
     args = parser.parse_args(argv)
-    report = run_profile(smoke=args.smoke, workers_axis=tuple(args.workers))
+    report = run_profile(
+        smoke=args.smoke,
+        workers_axis=tuple(args.workers),
+        threads_axis=tuple(args.threads),
+    )
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")
@@ -327,7 +404,9 @@ def main(argv: list[str] | None = None) -> int:
             (
                 measured.get("speedup_vs_serial", 0.0)
                 for by_workers in largest["results"].values()
-                for measured in by_workers.values()
+                for key, measured in by_workers.items()
+                # t-keys are the thread tier — gated separately below.
+                if not key.startswith("t")
             ),
             default=0.0,
         )
@@ -336,6 +415,23 @@ def main(argv: list[str] | None = None) -> int:
             f"{best:.2f}x (target >= {args.min_shard_speedup}x)"
         )
         if best < args.min_shard_speedup:
+            return 1
+    if args.min_thread_speedup is not None:
+        best = max(
+            (
+                measured.get("speedup_vs_serial", 0.0)
+                for key, measured in largest["results"]
+                .get("native", {})
+                .items()
+                if key.startswith("t")
+            ),
+            default=0.0,
+        )
+        print(
+            f"largest circuit ({largest['circuit']}): best native thread "
+            f"speedup {best:.2f}x (target >= {args.min_thread_speedup}x)"
+        )
+        if best < args.min_thread_speedup:
             return 1
     failed = False
     if not args.smoke and "numpy_speedup" in largest:

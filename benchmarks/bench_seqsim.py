@@ -17,7 +17,12 @@ repacking, per-PO observation, per-batch program compiles), across a
 small batch-width axis.  The ``--workers`` axis additionally measures
 **candidate-axis process sharding**
 (:mod:`repro.sim.seqshard`): the same workload fanned across a
-persistent worker pool with shared-memory base/result buffers.  On the
+persistent worker pool with shared-memory base/result buffers.  The
+``--threads`` axis measures the third distribution tier — the native
+kernel's in-process pthread lanes — as ``packed-w*-t*`` rows on the
+``native`` backend only (the other engines execute thread requests
+serially); ``--min-thread-speedup`` gates on the largest sharding-scale
+workload's best thread speedup (opt-in, hardware-dependent).  On the
 sharding-scale workloads every sharded point is measured under both
 **chunk-boundary modes** of the :class:`~repro.sim.scanplan.ScanPlan`
 IR — cost-balanced (``packed-w*-p*``, the default) and count-based
@@ -76,6 +81,7 @@ from repro.faults.universe import FaultUniverse
 from repro.sim.backend import available_backends, dispatch_counters
 from repro.sim.compiled import CompiledCircuit
 from repro.sim.faultsim import FaultSimulator
+from repro.sim.native_build import native_threads_available
 from repro.sim.scanplan import CHUNKING_MODES, WindowRampPlan
 from repro.sim.seqshard import make_sequence_simulator
 from repro.sim.trace import SEQUENCE_CACHE_CAPACITY, get_trace_cache
@@ -149,6 +155,9 @@ _WIDTH_AXIS = {
 #: Sharded points run the packed pipeline at each backend's first width.
 DEFAULT_WORKER_AXIS = (1, 4)
 
+#: Kernel thread-lane counts measured by default on the native backend.
+DEFAULT_THREAD_AXIS = (4,)
+
 
 def _stimulus(circuit, length):
     rng = SplitMix64(3025)
@@ -206,6 +215,7 @@ def _measure(
     workers,
     chunking="cost",
     scan_mode="fused",
+    parallel=None,
     repeats=3,
 ):
     """Best-of-N throughput for one measured point.
@@ -214,6 +224,8 @@ def _measure(
     best-of-N reports warm-pool throughput — what sustained Procedure 2
     runs see.  ``min_shard_candidates=1`` keeps even the small smoke
     scans on the pool: the bench exists to measure sharding.
+    ``parallel="threads"`` measures the in-kernel pthread tier instead —
+    same ``workers`` count, but the lanes live inside the C scan calls.
     """
     simulator = make_sequence_simulator(
         compiled,
@@ -224,6 +236,7 @@ def _measure(
         min_shard_candidates=1,
         chunking=chunking,
         scan_mode=scan_mode,
+        parallel=parallel,
         # The workers axis measures the sharding layer itself, so never
         # fall back to serial — not even on a single-core runner.
         force_shard=True,
@@ -245,6 +258,7 @@ def _measure(
         "pipeline": pipeline,
         "batch_width": width,
         "workers": workers,
+        "parallel": parallel or "auto",
         "chunking": chunking,
         "scan_mode": scan_mode,
         "seconds": best,
@@ -265,18 +279,24 @@ def run_profile(
     smoke: bool,
     targets_per_circuit: int = 2,
     workers_axis: tuple[int, ...] = DEFAULT_WORKER_AXIS,
+    threads_axis: tuple[int, ...] = DEFAULT_THREAD_AXIS,
     progress=print,
 ) -> dict:
     """Run every workload on every backend x pipeline x width x workers."""
     workloads = _SMOKE_WORKLOADS if smoke else _FULL_WORKLOADS
     backends = available_backends()
     workers_axis = tuple(dict.fromkeys(workers_axis)) or (1,)
+    threads_axis = tuple(
+        count for count in dict.fromkeys(threads_axis) if count > 1
+    )
+    measure_threads = "native" in backends and native_threads_available()
     report = {
         "profile": "smoke" if smoke else "full",
         "benchmark": "seqsim",
         "machine": machine_block(),
         "backends": backends,
         "workers_axis": list(workers_axis),
+        "threads_axis": list(threads_axis) if measure_threads else [],
         "workloads": [],
     }
     for (
@@ -340,7 +360,7 @@ def run_profile(
 
         def measure_point(
             backend, pipeline, width, workers, chunking="cost",
-            scan_mode="fused",
+            scan_mode="fused", parallel=None,
         ):
             nonlocal reference_outcomes
             measured, outcomes = _measure(
@@ -354,26 +374,31 @@ def run_profile(
                 workers,
                 chunking,
                 scan_mode,
+                parallel,
             )
             if reference_outcomes is None:
                 reference_outcomes = outcomes
             elif outcomes != reference_outcomes:
                 raise AssertionError(
                     f"{label}: {backend}/{pipeline}/w{width}/p{workers}"
-                    f"/{chunking}/{scan_mode} outcomes diverge — parity "
-                    "violated"
+                    f"/{chunking}/{scan_mode}/{parallel or 'auto'} outcomes "
+                    "diverge — parity violated"
                 )
             axis = f"{pipeline}-w{width}"
-            if workers != 1:
+            if parallel == "threads":
+                # Thread rows: same worker count, in-kernel lanes.
+                axis += f"-t{workers}"
+            elif workers != 1:
                 axis += f"-p{workers}"
             if chunking != "cost":
                 axis += f"-{chunking}"
             if scan_mode != "fused":
                 axis += f"-{scan_mode}"
             entry["results"][backend][axis] = measured
+            lane_tag = "t" if parallel == "threads" else "p"
             progress(
                 f"[{label}] {backend:>6}/{pipeline:<6} width={width:<4}"
-                f"p{workers}/{chunking}/{scan_mode} "
+                f"{lane_tag}{workers}/{chunking}/{scan_mode} "
                 f"{measured['seconds']:.3f}s  "
                 f"{measured['candidates_per_second']:.0f} cand/s"
             )
@@ -416,6 +441,25 @@ def run_profile(
                         f"[{label}] {backend} candidate sharding speedup at "
                         f"{workers} workers: "
                         f"{counted['speedup_vs_serial']:.2f}x (count chunks)"
+                    )
+            # The thread tier: the same packed workload through the
+            # native kernel's in-process pthread lanes (``-t*`` rows).
+            # Only the native backend has kernel lanes — the others
+            # execute thread requests serially, so measuring them would
+            # duplicate the serial row.  Outcome parity is asserted by
+            # measure_point like every other axis.
+            if backend == "native" and measure_threads:
+                for threads in threads_axis:
+                    measured = measure_point(
+                        backend, "packed", widths[0], threads,
+                        parallel="threads",
+                    )
+                    serial = entry["results"][backend][f"packed-w{widths[0]}"]
+                    speedup = serial["seconds"] / measured["seconds"]
+                    measured["speedup_vs_serial"] = speedup
+                    progress(
+                        f"[{label}] native candidate thread speedup at "
+                        f"{threads} lanes: {speedup:.2f}x"
                     )
             # The fused-vs-stepped scan axis, on the small (32-vector
             # omission) workloads: the packed pipeline re-measured
@@ -525,6 +569,17 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--threads",
+        type=int,
+        nargs="+",
+        default=list(DEFAULT_THREAD_AXIS),
+        help=(
+            "kernel thread-lane counts to measure on the native backend "
+            "(default: %(default)s); counts <= 1 are dropped — the serial "
+            "row already covers them"
+        ),
+    )
+    parser.add_argument(
         "--output",
         default="BENCH_seqsim.json",
         help="where to write the JSON report",
@@ -550,11 +605,22 @@ def main(argv: list[str] | None = None) -> int:
             "cores for the measured worker counts)"
         ),
     )
+    parser.add_argument(
+        "--min-thread-speedup",
+        type=float,
+        default=None,
+        help=(
+            "fail unless the largest sharding-scale workload's best "
+            "native thread-tier speedup reaches this factor (opt-in for "
+            "the same reason as --min-shard-speedup)"
+        ),
+    )
     args = parser.parse_args(argv)
     report = run_profile(
         smoke=args.smoke,
         targets_per_circuit=args.targets,
         workers_axis=tuple(args.workers),
+        threads_axis=tuple(args.threads),
     )
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)
@@ -589,6 +655,8 @@ def main(argv: list[str] | None = None) -> int:
                 measured.get("speedup_vs_serial", 0.0)
                 for by_axis in largest["results"].values()
                 for measured in by_axis.values()
+                # Thread rows are the in-kernel tier — gated separately.
+                if measured.get("parallel") != "threads"
             ),
             default=0.0,
         )
@@ -598,6 +666,24 @@ def main(argv: list[str] | None = None) -> int:
             f"sharding-scale workload ({largest['circuit']}): best candidate "
             f"sharding speedup {best:.2f}x (target >= "
             f"{args.min_shard_speedup}x) {'ok' if ok else 'FAIL'}"
+        )
+    if args.min_thread_speedup is not None:
+        scaled = [w for w in report["workloads"] if w.get("sharding_scale")]
+        largest = (scaled or report["workloads"])[-1]
+        best = max(
+            (
+                measured.get("speedup_vs_serial", 0.0)
+                for measured in largest["results"].get("native", {}).values()
+                if measured.get("parallel") == "threads"
+            ),
+            default=0.0,
+        )
+        ok = best >= args.min_thread_speedup
+        failed = failed or not ok
+        print(
+            f"sharding-scale workload ({largest['circuit']}): best native "
+            f"thread speedup {best:.2f}x (target >= "
+            f"{args.min_thread_speedup}x) {'ok' if ok else 'FAIL'}"
         )
     if args.min_packed_speedup is not None:
         gated = [

@@ -1,14 +1,19 @@
 """CI smoke lane for BIST-as-a-service.
 
-Starts the HTTP front end on an ephemeral port, submits the scheme for
-``s27`` and ``syn298`` from two different tenants over real sockets, and
-asserts the serving acceptance contract:
+Starts the HTTP front end on an ephemeral port with **two executor
+lanes**, submits the scheme for ``s27`` and ``syn298`` from two
+different tenants over real sockets, and asserts the serving acceptance
+contract:
 
 * every served result's fingerprint equals a direct, service-free
-  ``Session.run`` of the same request (bit-identity);
+  ``Session.run`` of the same request (bit-identity) — with two lanes,
+  the two tenants' jobs genuinely run concurrently over the shared warm
+  session, so this is the concurrent-serving parity check;
 * both tenants' same-circuit results are identical to each other, and
-  the second one's trace-cache delta shows it reused the first's
-  fault-free traces (cross-tenant cache warmth);
+  the shared trace cache shows hits — one tenant reused fault-free
+  traces the other computed (cross-tenant cache warmth; with
+  concurrent lanes the two snapshots don't order, so the check is on
+  aggregate hits, not a first-vs-second delta);
 * startup calibration on the pinned 1-core runner
   (``REPRO_ASSUME_CPUS=1``) selects serial execution — the measured
   profile, not the static threshold, is what the scheduler consults.
@@ -49,11 +54,14 @@ async def smoke(profile_path: str) -> int:
     os.environ.setdefault("REPRO_ASSUME_CPUS", "1")
     os.environ["REPRO_PROFILE"] = profile_path
 
-    service = JobService()  # autotunes at startup (quick calibration)
+    # Two lanes: one per tenant, so the submissions below are served
+    # concurrently over the shared warm session.  Startup still
+    # autotunes (quick calibration).
+    service = JobService(lanes=2)
     async with service:
         async with HttpFrontend(service) as http:
             port = http.port
-            print(f"service on {http.address}")
+            print(f"service on {http.address} (lanes={service.lanes})")
 
             status, prof = await http_json(port, "GET", "/profile")
             assert status == 200, prof
@@ -93,6 +101,7 @@ async def smoke(profile_path: str) -> int:
 
             status, stats = await http_json(port, "GET", "/stats")
             assert stats["jobs_completed"] == len(jobs), stats
+            assert stats["lanes"] == 2, stats
             print(f"completed by tenant: {stats['completed_by_tenant']}")
 
     failures = 0
@@ -114,15 +123,18 @@ async def smoke(profile_path: str) -> int:
         else:
             print(f"ok {circuit}: served == direct ({direct.fingerprint()[:16]}...)")
 
-        first, second = (results[(circuit, tenant)] for tenant in TENANTS)
-        delta_hits = (
-            second["trace_stats"]["trace_hits"] - first["trace_stats"]["trace_hits"]
+        # With two lanes the tenants' jobs run concurrently, so their
+        # completion-time snapshots don't order — assert aggregate reuse
+        # instead: the shared cache must have served hits to *someone*
+        # (the per-cache lock guarantees a cold trace is computed once).
+        best_hits = max(
+            r["trace_stats"].get("trace_hits", 0) for r in served
         )
-        if delta_hits <= 0:
-            print(f"FAIL {circuit}: second tenant shows no trace-cache reuse")
+        if best_hits <= 0:
+            print(f"FAIL {circuit}: tenants show no trace-cache reuse")
             failures += 1
         else:
-            print(f"ok {circuit}: second tenant reused {delta_hits} cached traces")
+            print(f"ok {circuit}: shared cache served {best_hits} trace hits")
 
     return failures
 

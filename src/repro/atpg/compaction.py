@@ -45,6 +45,7 @@ def compact_sequence(
     max_rounds: int = 2,
     backend: str | None = None,
     workers: int = 1,
+    parallel: str | None = None,
     session: Session | None = None,
 ) -> tuple[TestSequence, CompactionStats]:
     """Shorten ``sequence`` while preserving coverage of ``faults``.
@@ -53,7 +54,9 @@ def compact_sequence(
     is judged on the set of faults detected, not on detection times.
     """
     with use_session(session) as sess:
-        simulator = sess.fault_simulator(compiled, backend=backend, workers=workers)
+        simulator = sess.fault_simulator(
+            compiled, backend=backend, workers=workers, parallel=parallel
+        )
         simulations = 0
 
         baseline = simulator.run(sequence, faults)

@@ -7,6 +7,7 @@ from dataclasses import dataclass
 
 from repro.sim.backend import DEFAULT_BACKEND
 from repro.sim.scanplan import CHUNKING_MODES, DEFAULT_CHUNKING
+from repro.sim.workerpool import PARALLEL_MODES
 
 
 @dataclass(frozen=True)
@@ -38,13 +39,18 @@ class AtpgConfig:
         backend: simulation backend name (see
             :func:`repro.sim.backend.available_backends`), or ``"auto"``
             to pick python vs numpy per circuit size and batch width.
-        workers: worker processes for process-sharded fault simulation
+        workers: worker processes (or thread lanes, under
+            ``parallel="threads"``) for distributed fault simulation
             (:mod:`repro.sim.sharding`), borrowing the session's
             persistent worker pool; ``1`` is serial, ``0`` means one per
             CPU.  Never changes results, only throughput.  (The
             restoration compactor's candidate scans stay serial: each
             scan batch holds at most ``search_batch_width`` candidates,
             below the candidate axis's one-pass sharding floor.)
+        parallel: work-distribution tier for multi-worker simulation
+            (see :data:`repro.sim.workerpool.PARALLEL_MODES`):
+            ``"auto"`` / ``"serial"`` / ``"threads"`` /
+            ``"processes"``.  Results are bit-identical across tiers.
         chunking: worker-chunk boundary mode for any sharded candidate
             scan (``"cost"`` / ``"count"``, see
             :mod:`repro.sim.scanplan`); forwarded to the restoration
@@ -69,10 +75,16 @@ class AtpgConfig:
     backend: str = DEFAULT_BACKEND
     workers: int = 1
     chunking: str = DEFAULT_CHUNKING
+    parallel: str = "auto"
 
     def __post_init__(self) -> None:
         if self.workers < 0:
             raise ValueError("workers must be >= 0 (0 = one per CPU)")
+        if self.parallel not in PARALLEL_MODES:
+            raise ValueError(
+                f"parallel must be one of {PARALLEL_MODES}, got "
+                f"{self.parallel!r}"
+            )
         if self.chunking not in CHUNKING_MODES:
             raise ValueError(
                 f"chunking must be one of {CHUNKING_MODES}, got "
@@ -110,4 +122,5 @@ class AtpgConfig:
             backend=args.backend,
             workers=args.workers,
             chunking=args.chunking,
+            parallel=getattr(args, "parallel", "auto"),
         )

@@ -69,7 +69,10 @@ def generate_t0(
         universe = FaultUniverse(compiled.circuit)
     with use_session(session) as sess:
         simulator = sess.fault_simulator(
-            compiled, backend=config.backend, workers=config.workers
+            compiled,
+            backend=config.backend,
+            workers=config.workers,
+            parallel=config.parallel,
         )
         width = compiled.num_inputs
         all_faults = list(universe.faults())
@@ -169,6 +172,7 @@ def generate_t0(
                     backend=config.backend,
                     workers=config.workers,
                     chunking=config.chunking,
+                    parallel=config.parallel,
                     session=sess,
                 )
                 result.compaction = stats
@@ -185,6 +189,7 @@ def generate_t0(
                     max_rounds=config.compaction_rounds,
                     backend=config.backend,
                     workers=config.workers,
+                    parallel=config.parallel,
                     session=sess,
                 )
                 result.compaction = stats

@@ -61,12 +61,13 @@ def restoration_compact(
     backend: str | None = None,
     workers: int = 1,
     chunking: str = DEFAULT_CHUNKING,
+    parallel: str | None = None,
     session: Session | None = None,
 ) -> tuple[TestSequence, RestorationStats]:
     """Compact ``t0`` by vector restoration, preserving its coverage."""
     with use_session(session) as sess:
         fault_simulator = sess.fault_simulator(
-            compiled, backend=backend, workers=workers
+            compiled, backend=backend, workers=workers, parallel=parallel
         )
         sequence_simulator = sess.sequence_simulator(
             compiled,
@@ -74,6 +75,7 @@ def restoration_compact(
             backend=backend,
             workers=workers,
             chunking=chunking,
+            parallel=parallel,
         )
         baseline = fault_simulator.run(t0, faults)
         udet = dict(baseline.detection_time)

@@ -39,6 +39,7 @@ from repro.sim.backend import (
     registry_backends,
 )
 from repro.sim.scanplan import CHUNKING_MODES, DEFAULT_CHUNKING
+from repro.sim.workerpool import PARALLEL_MODES
 from repro.util.text import format_table
 
 
@@ -159,6 +160,7 @@ def _cmd_tables(args: argparse.Namespace) -> int:
         progress=print,
         backend=args.backend,
         workers=args.workers,
+        parallel=args.parallel,
     )
     print()
     print(result.tables())
@@ -169,7 +171,11 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro.harness.report import write_experiments_report
 
     result = run_suite(
-        args.suite, progress=print, backend=args.backend, workers=args.workers
+        args.suite,
+        progress=print,
+        backend=args.backend,
+        workers=args.workers,
+        parallel=args.parallel,
     )
     write_experiments_report(result, args.output)
     print(f"report written to {args.output}")
@@ -205,6 +211,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         service = JobService(
             autotune=not args.no_autotune,
             quick_calibration=not args.full_calibration,
+            lanes=args.lanes,
         )
         async with service:
             profile = service.profile
@@ -214,7 +221,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     f"(workers={profile.workers}, backend={profile.backend})"
                 )
             async with HttpFrontend(service, args.host, args.port) as http:
-                print(f"serving on {http.address}")
+                print(f"serving on {http.address} (lanes={service.lanes})")
                 try:
                     await asyncio.Event().wait()  # until interrupted
                 except asyncio.CancelledError:
@@ -262,6 +269,19 @@ def build_parser() -> argparse.ArgumentParser:
                 "axes share one persistent pool, results are identical "
                 "for any worker count, and small fault universes or "
                 "candidate sets always run serially)"
+            ),
+        )
+        command.add_argument(
+            "--parallel",
+            choices=list(PARALLEL_MODES),
+            default="auto",
+            help=(
+                "work-distribution tier for --workers > 1: 'threads' "
+                "splits each native-kernel batch across in-process "
+                "thread lanes, 'processes' uses the shard worker pool, "
+                "'serial' forces one lane, and 'auto' (default) lets "
+                "the machine profile / heuristics decide; results are "
+                "identical across tiers"
             ),
         )
         command.add_argument(
@@ -385,6 +405,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--full-calibration",
         action="store_true",
         help="use the full (slow) calibration when measuring at startup",
+    )
+    serve.add_argument(
+        "--lanes",
+        type=int,
+        default=1,
+        help=(
+            "concurrent executor lanes over the warm session; beyond 1, "
+            "jobs are planned onto the thread tier or serial (never the "
+            "shared process pool)"
+        ),
     )
     serve.set_defaults(func=_cmd_serve)
     return parser

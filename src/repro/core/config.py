@@ -8,6 +8,7 @@ from dataclasses import dataclass, field
 from repro.core.ops import ExpansionConfig
 from repro.sim.backend import AUTO_BACKEND, DEFAULT_BACKEND, available_backends
 from repro.sim.scanplan import CHUNKING_MODES, DEFAULT_CHUNKING
+from repro.sim.workerpool import PARALLEL_MODES
 
 #: Batch widths tuned per backend: (search, omission, fault).  The big-int
 #: kernel peaks near a couple hundred slots; the vectorized numpy engine
@@ -41,14 +42,21 @@ class SelectionConfig:
             to pick python vs numpy per circuit size and batch width;
             detection results are bit-identical across backends, only
             speed differs.
-        workers: worker processes for process-sharded simulation on
-            *both* hot axes — parallel-fault simulation
+        workers: worker processes (or thread lanes, under
+            ``parallel="threads"``) for distributed simulation on *both*
+            hot axes — parallel-fault simulation
             (:mod:`repro.sim.sharding`) and Procedure 2's candidate
             detection (:mod:`repro.sim.seqshard`), which share one
             persistent worker pool per session.  ``1`` is serial, ``0``
             means one per CPU.  Like backends and batch widths, worker
             counts never change results, only throughput (small fault
             universes and candidate sets always run serially).
+        parallel: work-distribution tier for multi-worker simulation
+            (see :data:`repro.sim.workerpool.PARALLEL_MODES`) —
+            ``"auto"`` (default: measured profile / heuristics decide),
+            ``"serial"``, ``"threads"`` (in-kernel word-span lanes
+            inside one process, native backend), or ``"processes"``
+            (the shard pool).  Results are bit-identical across tiers.
         chunking: how a sharded candidate scan is cut into worker
             chunks — ``"cost"`` (default: equal simulated-step budgets
             per chunk, balancing Procedure 2's linearly-growing window
@@ -67,8 +75,14 @@ class SelectionConfig:
     backend: str = DEFAULT_BACKEND
     workers: int = 1
     chunking: str = DEFAULT_CHUNKING
+    parallel: str = "auto"
 
     def __post_init__(self) -> None:
+        if self.parallel not in PARALLEL_MODES:
+            raise ValueError(
+                f"parallel must be one of {PARALLEL_MODES}, got "
+                f"{self.parallel!r}"
+            )
         if self.search_batch_width < 1:
             raise ValueError("search_batch_width must be >= 1")
         if self.omission_batch_width < 1:
@@ -92,6 +106,7 @@ class SelectionConfig:
         skip_omission: bool = False,
         workers: int = 1,
         chunking: str = DEFAULT_CHUNKING,
+        parallel: str = "auto",
     ) -> "SelectionConfig":
         """A config with batch widths tuned to ``backend``.
 
@@ -120,6 +135,7 @@ class SelectionConfig:
             backend=backend,
             workers=workers,
             chunking=chunking,
+            parallel=parallel,
         )
 
     def with_repetitions(self, repetitions: int) -> "SelectionConfig":
@@ -169,4 +185,5 @@ class SelectionConfig:
             seed=getattr(args, "seed", 1999),
             workers=args.workers,
             chunking=args.chunking,
+            parallel=getattr(args, "parallel", "auto"),
         )

@@ -119,6 +119,7 @@ def statically_compact(
             batch_width=selection.config.fault_batch_width,
             backend=selection.config.backend,
             workers=selection.config.workers,
+            parallel=selection.config.parallel,
         )
         passes: list[CompactionPassReport] = []
 

@@ -115,6 +115,7 @@ def select_subsequences(
             batch_width=config.fault_batch_width,
             backend=config.backend,
             workers=config.workers,
+            parallel=config.parallel,
         )
         sequence_simulator = sess.sequence_simulator(
             compiled,
@@ -122,6 +123,7 @@ def select_subsequences(
             backend=config.backend,
             workers=config.workers,
             chunking=config.chunking,
+            parallel=config.parallel,
         )
         if precomputed_udet is None:
             udet = simulate_t0(fault_simulator, universe, t0)

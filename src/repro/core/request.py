@@ -109,6 +109,16 @@ class RunRequest:
             atpg = replace(atpg, workers=workers)
         return replace(self, selection=selection, atpg=atpg)
 
+    def with_parallel(self, parallel: str) -> "RunRequest":
+        """A copy with both configs' distribution tiers replaced (planning)."""
+        selection = self.selection
+        if selection is not None and selection.parallel != parallel:
+            selection = replace(selection, parallel=parallel)
+        atpg = self.atpg
+        if atpg is not None and atpg.parallel != parallel:
+            atpg = replace(atpg, parallel=parallel)
+        return replace(self, selection=selection, atpg=atpg)
+
     # ------------------------------------------------------------------
     # JSON round-trip (the service wire format)
     # ------------------------------------------------------------------

@@ -149,6 +149,7 @@ class LoadAndExpandScheme:
                 batch_width=config.fault_batch_width,
                 backend=config.backend,
                 workers=config.workers,
+                parallel=config.parallel,
             )
             t0_watch = Stopwatch().start()
             udet = simulate_t0(fault_simulator, self._universe, t0)

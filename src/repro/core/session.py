@@ -45,6 +45,7 @@ single facade in front of all of it:
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
 
@@ -87,7 +88,11 @@ class Session:
 
     ``profile`` attaches a machine profile (see
     :mod:`repro.sim.autotune`); without one the session reproduces the
-    historical static behaviour exactly.  ``own_caches=True`` makes
+    historical static behaviour exactly.  Concurrent :meth:`run` calls
+    from multiple threads are supported — the circuit/scheme registries
+    are lock-guarded and :meth:`scope` frames are per thread — which is
+    what lets :class:`repro.serve.JobService` drive N executor lanes
+    over one warm session.  ``own_caches=True`` makes
     :meth:`close` also tear down the process-global worker pools and
     trace caches — the serving layer uses this so service shutdown
     releases everything; the default leaves them warm for other sessions
@@ -104,6 +109,12 @@ class Session:
         self._compiled: dict[str, CompiledCircuit] = {}
         self._schemes: dict[str, object] = {}
         self._simulators: list = []
+        # Concurrent ``run`` calls (the serving layer's executor lanes)
+        # share this session: the registries are lock-guarded and each
+        # thread keeps its own stack of live ``scope`` frames, so one
+        # lane's scope exit only closes the simulators *it* minted.
+        self._lock = threading.RLock()
+        self._local = threading.local()
         self._closed = False
         if profile is not None:
             # A calibrated profile's fused-vs-stepped verdicts become the
@@ -138,6 +149,25 @@ class Session:
             return self._profile.resolve_workers(workers)
         return workers
 
+    def _resolve_execution(
+        self, parallel: str | None, workers: int | None
+    ) -> tuple[str | None, int | None]:
+        """Profile-aware ``(parallel, workers)`` tier resolution.
+
+        An explicit tier request (``serial``/``threads``/``processes``)
+        passes through untouched — the caller knows best.  ``auto`` (or
+        ``None``) defers to the measured profile when one is attached:
+        the profile answers both *which tier* (its measured
+        serial/threads/processes crossover) and *how many lanes*.
+        Without a profile, the historical workers-only resolution
+        applies and the factories' static heuristics pick the tier.
+        """
+        if parallel is not None and parallel != "auto":
+            return parallel, self._resolve_workers(workers)
+        if self._profile is not None:
+            return self._profile.resolve_execution(workers)
+        return parallel, workers
+
     def _force_shard(self, workers: int | None) -> bool:
         return (
             self._profile is not None
@@ -166,10 +196,14 @@ class Session:
 
             circuit = load_circuit(circuit)
         key = circuit_content_hash(circuit)
-        compiled = self._compiled.get(key)
-        if compiled is None:
-            compiled = CompiledCircuit(circuit)
-            self._compiled[key] = compiled
+        # Compiling under the lock keeps the one-object-per-content-hash
+        # identity exact: two lanes racing on a cold circuit must not
+        # mint two CompiledCircuits (they would split the trace cache).
+        with self._lock:
+            compiled = self._compiled.get(key)
+            if compiled is None:
+                compiled = CompiledCircuit(circuit)
+                self._compiled[key] = compiled
         return compiled
 
     def compile_bench(self, text: str, name: str = "uploaded") -> CompiledCircuit:
@@ -185,7 +219,8 @@ class Session:
 
     def _adopt(self, compiled: CompiledCircuit) -> CompiledCircuit:
         key = circuit_content_hash(compiled.circuit)
-        return self._compiled.setdefault(key, compiled)
+        with self._lock:
+            return self._compiled.setdefault(key, compiled)
 
     # ------------------------------------------------------------------
     # Simulators and shared stores
@@ -196,20 +231,21 @@ class Session:
         batch_width: int | None = None,
         backend: str | None = None,
         workers: int | None = None,
+        parallel: str | None = None,
         **kwargs,
     ):
         """A parallel-fault simulator, lifecycle owned by this session.
 
-        The profile (when present) resolves ``workers`` and supplies the
-        measured batch width when the caller leaves ``batch_width``
-        unset; extra kwargs pass through to
-        :func:`repro.sim.sharding.make_fault_simulator`.
+        The profile (when present) resolves ``workers`` and the
+        ``parallel`` tier, and supplies the measured batch width when
+        the caller leaves ``batch_width`` unset; extra kwargs pass
+        through to :func:`repro.sim.sharding.make_fault_simulator`.
         """
         from repro.sim.faultsim import DEFAULT_BATCH_WIDTH
         from repro.sim.sharding import make_fault_simulator
 
         self._check_open()
-        workers = self._resolve_workers(workers)
+        parallel, workers = self._resolve_execution(parallel, workers)
         if self._force_shard(workers):
             kwargs.setdefault("force_shard", True)
         if batch_width is None:
@@ -222,10 +258,10 @@ class Session:
             batch_width=batch_width,
             backend=backend,
             workers=1 if workers is None else workers,
+            parallel=parallel,
             **kwargs,
         )
-        self._simulators.append(simulator)
-        return simulator
+        return self._register(simulator)
 
     def sequence_simulator(
         self,
@@ -233,6 +269,7 @@ class Session:
         batch_width: int | None = None,
         backend: str | None = None,
         workers: int | None = None,
+        parallel: str | None = None,
         **kwargs,
     ):
         """A candidate-scan simulator, lifecycle owned by this session."""
@@ -242,7 +279,7 @@ class Session:
         )
 
         self._check_open()
-        workers = self._resolve_workers(workers)
+        parallel, workers = self._resolve_execution(parallel, workers)
         if self._force_shard(workers):
             kwargs.setdefault("force_shard", True)
         if batch_width is None:
@@ -255,9 +292,18 @@ class Session:
             batch_width=batch_width,
             backend=backend,
             workers=1 if workers is None else workers,
+            parallel=parallel,
             **kwargs,
         )
-        self._simulators.append(simulator)
+        return self._register(simulator)
+
+    def _register(self, simulator):
+        """Track a minted simulator session-wide and in this thread's scope."""
+        with self._lock:
+            self._simulators.append(simulator)
+        frames = getattr(self._local, "frames", None)
+        if frames:
+            frames[-1].append(simulator)
         return simulator
 
     def worker_pool(self, workers: int | None = None) -> WorkerPool:
@@ -287,15 +333,28 @@ class Session:
         session, so a service handling thousands of requests retires
         each request's pool contexts promptly while the pools, compiled
         circuits and trace caches stay warm.
+
+        Scope frames are *per thread*: each serving lane stacks and pops
+        its own frames, so a lane closing its request's simulators never
+        touches the simulators another lane is still running on.
         """
         self._check_open()
-        mark = len(self._simulators)
+        frames = getattr(self._local, "frames", None)
+        if frames is None:
+            frames = self._local.frames = []
+        frame: list = []
+        frames.append(frame)
         try:
             yield self
         finally:
-            tail = self._simulators[mark:]
-            del self._simulators[mark:]
-            for simulator in reversed(tail):
+            frames.pop()
+            with self._lock:
+                for simulator in frame:
+                    try:
+                        self._simulators.remove(simulator)
+                    except ValueError:
+                        pass  # close() already swept the registry
+            for simulator in reversed(frame):
                 simulator.close()
 
     def _check_open(self) -> None:
@@ -310,7 +369,8 @@ class Session:
         if self._closed:
             return
         self._closed = True
-        simulators, self._simulators = self._simulators, []
+        with self._lock:
+            simulators, self._simulators = self._simulators, []
         for simulator in reversed(simulators):
             simulator.close()
         self._schemes.clear()
@@ -371,16 +431,18 @@ class Session:
         from repro.core.scheme import LoadAndExpandScheme
 
         key = circuit_content_hash(compiled.circuit)
-        scheme = self._schemes.get(key)
-        if scheme is None:
-            scheme = LoadAndExpandScheme(compiled)
-            self._schemes[key] = scheme
+        with self._lock:
+            scheme = self._schemes.get(key)
+            if scheme is None:
+                scheme = LoadAndExpandScheme(compiled)
+                self._schemes[key] = scheme
         return scheme
 
     def _execution_record(self, config) -> dict:
         effective = self._resolve_workers(config.workers)
         record = {
             "backend": config.backend,
+            "parallel": getattr(config, "parallel", "auto"),
             "workers_requested": config.workers,
             "workers": config.workers if effective is None else effective,
             "profile": None if self._profile is None else self._profile.source,
@@ -406,6 +468,7 @@ class Session:
             backend=selection.backend,
             workers=selection.workers,
             chunking=selection.chunking,
+            parallel=selection.parallel,
         )
         atpg_result = generate_t0(compiled, atpg_config, session=self)
         return atpg_result.sequence, atpg_result

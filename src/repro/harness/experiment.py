@@ -76,6 +76,7 @@ def prepare_experiment(
     spec: SuiteSpec,
     backend: str | None = None,
     workers: int | None = None,
+    parallel: str | None = None,
     session: Session | None = None,
 ) -> CircuitExperiment:
     """Load the circuit and obtain its ``T0``."""
@@ -99,11 +100,13 @@ def prepare_experiment(
         overrides["backend"] = backend
     if workers is not None:
         overrides["workers"] = workers
+    if parallel is not None:
+        overrides["parallel"] = parallel
     atpg_config = replace(spec.atpg, **overrides) if overrides else spec.atpg
-    # workers only changes throughput, never the generated sequence, so
-    # normalize it out of the cache key: a workers=4 sweep after a
-    # workers=1 sweep reuses the identical T0.
-    cache_key = (spec.circuit, replace(atpg_config, workers=1))
+    # workers/parallel only change throughput, never the generated
+    # sequence, so normalize them out of the cache key: a workers=4
+    # sweep after a workers=1 sweep reuses the identical T0.
+    cache_key = (spec.circuit, replace(atpg_config, workers=1, parallel="auto"))
     if cache_key not in _T0_CACHE:
         _T0_CACHE[cache_key] = generate_t0(
             compiled, atpg_config, universe=universe, session=session
@@ -125,12 +128,13 @@ def run_circuit_experiment(
     selection_seed: int = 1999,
     backend: str | None = None,
     workers: int | None = None,
+    parallel: str | None = None,
     session: Session | None = None,
 ) -> ExperimentRecord:
     """Run the full n-sweep for one suite entry."""
     with use_session(session) as sess:
         experiment = prepare_experiment(
-            spec, backend=backend, workers=workers, session=sess
+            spec, backend=backend, workers=workers, parallel=parallel, session=sess
         )
         record = ExperimentRecord(experiment=experiment)
         scheme = LoadAndExpandScheme(experiment.compiled)
@@ -140,6 +144,7 @@ def run_circuit_experiment(
                 expansion=ExpansionConfig(repetitions=n),
                 seed=selection_seed,
                 workers=workers if workers is not None else 1,
+                parallel=parallel or "auto",
             )
             record.runs[n] = scheme.run(experiment.t0, config, session=sess)
     return record

@@ -35,14 +35,16 @@ def run_suite(
     progress=None,
     backend: str | None = None,
     workers: int | None = None,
+    parallel: str | None = None,
     session: Session | None = None,
 ) -> SuiteResult:
     """Run every experiment in a suite.
 
     ``progress`` is an optional callable taking a status string; the CLI
-    passes ``print``.  ``backend`` selects the simulation backend and
-    ``workers`` the fault-simulation process count for every experiment
-    (results are backend- and worker-independent).  All experiments run
+    passes ``print``.  ``backend`` selects the simulation backend,
+    ``workers`` the fault-simulation lane/process count and ``parallel``
+    the distribution tier for every experiment (results are backend-,
+    worker- and tier-independent).  All experiments run
     under one :class:`~repro.core.session.Session` (the caller's, or an
     ephemeral one), sharing compiled circuits and trace caches across
     the whole sweep.
@@ -58,6 +60,7 @@ def run_suite(
                 n_values=n_values,
                 backend=backend,
                 workers=workers,
+                parallel=parallel,
                 session=sess,
             )
             result.records.append(record)

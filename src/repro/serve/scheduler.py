@@ -15,7 +15,12 @@ trivially unit-testable:
   pass earns its keep: a client asking for ``workers=4`` on a machine
   whose profile measured sharding at 0.2x gets planned down to serial,
   and a client leaving ``workers=0`` ("auto") gets the measured
-  recommendation.
+  recommendation.  With ``lanes > 1`` the planner also keeps jobs off
+  the *process* tier: the shared persistent
+  :class:`~repro.sim.workerpool.WorkerPool` serves one parent dispatch
+  at a time, so a concurrent service pins each job to the in-kernel
+  thread tier (lane-safe — every dispatch brings its own pthread-pool
+  generation) or to serial, whichever the measurement favours.
 """
 
 from __future__ import annotations
@@ -24,7 +29,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro.core.request import RunRequest
-from repro.sim.autotune import MachineProfile
+from repro.sim.autotune import SHARD_SPEEDUP_THRESHOLD, MachineProfile
 
 
 @dataclass(frozen=True)
@@ -35,10 +40,12 @@ class ExecutionPlan:
     workers: int
     source: str  # "static" | "calibrated" | "client"
     notes: tuple[str, ...] = ()
+    parallel: str = "auto"  # the pinned distribution tier ("auto" = unpinned)
 
     def to_json(self) -> dict:
         return {
             "workers": self.workers,
+            "parallel": self.parallel,
             "source": self.source,
             "notes": list(self.notes),
         }
@@ -51,10 +58,36 @@ def _requested_workers(request: RunRequest) -> int | None:
     return None if request.selection is None else request.selection.workers
 
 
+def _requested_parallel(request: RunRequest) -> str:
+    """The distribution tier the client asked for ("auto" = unspecified)."""
+    if request.kind == "atpg":
+        config = request.atpg
+    else:
+        config = request.selection
+    return "auto" if config is None else config.parallel
+
+
+def _threads_viable(profile: MachineProfile | None) -> bool:
+    """Whether the thread tier is worth pinning jobs to on this machine.
+
+    Without a calibrated profile, optimistically yes — the static
+    resolution underneath (:func:`~repro.sim.workerpool.
+    resolve_work_distribution`) still collapses threads to serial on a
+    single-core box or a non-native backend, so the pin is safe either
+    way.  With a measurement, trust it.
+    """
+    if profile is None or not profile.calibrated:
+        return True
+    best = max(profile.fault_thread_speedup, profile.candidate_thread_speedup)
+    return best >= SHARD_SPEEDUP_THRESHOLD
+
+
 def plan_execution(
-    request: RunRequest, profile: MachineProfile | None
+    request: RunRequest,
+    profile: MachineProfile | None,
+    lanes: int = 1,
 ) -> ExecutionPlan:
-    """Resolve ``request``'s worker counts through the machine profile.
+    """Resolve ``request``'s execution through the machine profile.
 
     Without a profile the request runs exactly as the client wrote it.
     With one, the profile's measurement wins: ``workers in (None, 0)``
@@ -62,32 +95,54 @@ def plan_execution(
     a machine where calibration measured sharding as a loss is planned
     down to serial (the request is rewritten so the static thresholds
     underneath never see the losing worker count).
+
+    ``lanes`` is the service's executor-lane count.  Beyond one lane,
+    jobs whose tier is ``processes`` — or ``auto``, which could resolve
+    to it — are pinned to ``threads`` (when viable, see
+    :func:`_threads_viable`) or ``serial``: concurrent jobs must not
+    contend for the shared worker pool, whose parent-side dispatch
+    protocol serves one dispatch at a time.
     """
     requested = _requested_workers(request)
-    if profile is None:
-        return ExecutionPlan(
-            request=request,
-            workers=1 if requested in (None, 0) else requested,
-            source="client",
-        )
-    planned = profile.resolve_workers(requested)
+    mode = _requested_parallel(request)
     notes = []
-    if requested in (None, 0):
+    if profile is None:
+        # No measurement to apply: the request passes through untouched
+        # (lane pinning below still rewrites it when it must).
+        planned = requested if requested not in (None, 0) else 1
+        requested = planned
+        source = "client"
+    else:
+        planned = profile.resolve_workers(requested)
+        source = profile.source
+        if requested in (None, 0):
+            notes.append(
+                f"auto workers -> {planned} ({profile.source} profile)"
+            )
+        elif planned != requested:
+            notes.append(
+                f"profile overrode workers {requested} -> {planned}: "
+                + "; ".join(profile.notes or ("measured serial wins",))
+            )
+    if lanes > 1 and planned > 1 and mode in ("auto", "processes"):
+        pinned = "threads" if _threads_viable(profile) else "serial"
         notes.append(
-            f"auto workers -> {planned} ({profile.source} profile)"
+            f"lanes={lanes}: tier {mode!r} pinned to {pinned!r} "
+            "(concurrent jobs must stay off the shared worker pool)"
         )
-    elif planned != requested:
-        notes.append(
-            f"profile overrode workers {requested} -> {planned}: "
-            + "; ".join(profile.notes or ("measured serial wins",))
-        )
+        mode = pinned
+        if pinned == "serial":
+            planned = 1
     if planned != requested:
         request = request.with_workers(planned)
+    if mode != _requested_parallel(request):
+        request = request.with_parallel(mode)
     return ExecutionPlan(
         request=request,
         workers=planned,
-        source=profile.source,
+        source=source,
         notes=tuple(notes),
+        parallel=mode,
     )
 
 

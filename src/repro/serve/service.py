@@ -9,12 +9,19 @@ the second request for a circuit — from *any* tenant — reuses the
 fault-free trace the first one computed, visible as ``trace_stats``
 hits in its result.
 
-Jobs run one at a time in a single worker thread (the simulators and
-worker pool are not concurrency-safe; the paper's workloads are
-CPU-bound so interleaving them buys nothing), but submission, status
-polling and completion waits are all ``asyncio``-friendly and the order
-of execution is the per-tenant round-robin of
-:class:`~repro.serve.scheduler.FairScheduler`, never raw FIFO.
+Jobs run on ``lanes`` concurrent executor threads (default one).  The
+session is concurrency-safe — registries are lock-guarded and scope
+frames are per thread — and ctypes releases the GIL for the native
+kernels' whole C calls, so two lanes really do overlap on the hot
+loops.  What lanes may *not* share is the persistent process
+:class:`~repro.sim.workerpool.WorkerPool` (one parent dispatch at a
+time), so the planner pins every job of a multi-lane service to the
+in-kernel thread tier or to serial
+(:func:`~repro.serve.scheduler.plan_execution` with ``lanes=N``).
+Submission, status polling and completion waits are all
+``asyncio``-friendly and the order of dispatch is the per-tenant
+round-robin of :class:`~repro.serve.scheduler.FairScheduler`, never raw
+FIFO.
 
 At :meth:`start`, the service resolves its machine profile via
 :func:`repro.sim.autotune.profile_for_startup` — load the persisted
@@ -83,7 +90,10 @@ class JobService:
     without one, :meth:`start` resolves it with
     :func:`~repro.sim.autotune.profile_for_startup` (``autotune=False``
     skips measurement and uses the static profile, for callers that
-    cannot afford a calibration pass).
+    cannot afford a calibration pass).  ``lanes`` is the number of jobs
+    that may execute concurrently (each on its own executor thread over
+    the one warm session); beyond one lane, jobs are planned away from
+    the shared process pool — see :mod:`repro.serve.scheduler`.
     """
 
     def __init__(
@@ -92,11 +102,15 @@ class JobService:
         autotune: bool = True,
         quick_calibration: bool = True,
         profile_path=None,
+        lanes: int = 1,
     ) -> None:
+        if lanes < 1:
+            raise ReproError(f"a JobService needs >= 1 lane (got {lanes})")
         self._pinned_profile = profile
         self._autotune = autotune
         self._quick = quick_calibration
         self._profile_path = profile_path
+        self._lanes = int(lanes)
         self._session: Session | None = None
         self._scheduler = FairScheduler()
         self._jobs: dict[str, Job] = {}
@@ -106,6 +120,7 @@ class JobService:
         self._per_tenant: dict[str, int] = {}
         self._wakeup: asyncio.Event | None = None
         self._dispatcher: asyncio.Task | None = None
+        self._running: set[asyncio.Task] = set()
         self._executor: ThreadPoolExecutor | None = None
         self._started = False
         self._stopping = False
@@ -121,13 +136,17 @@ class JobService:
     def profile(self) -> MachineProfile | None:
         return None if self._session is None else self._session.profile
 
+    @property
+    def lanes(self) -> int:
+        return self._lanes
+
     async def start(self) -> None:
         """Resolve the machine profile, warm the session, start dispatching."""
         if self._started:
             return
         loop = asyncio.get_running_loop()
         self._executor = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="repro-serve"
+            max_workers=self._lanes, thread_name_prefix="repro-serve"
         )
         profile = self._pinned_profile
         if profile is None:
@@ -164,6 +183,11 @@ class JobService:
             except asyncio.CancelledError:
                 pass
             self._dispatcher = None
+        for task in list(self._running):
+            task.cancel()
+        if self._running:
+            await asyncio.gather(*self._running, return_exceptions=True)
+        self._running.clear()
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
@@ -194,7 +218,9 @@ class JobService:
             id=f"job-{self._counter:06d}",
             tenant=tenant,
             request=request,
-            plan=plan_execution(request, self._session.profile),
+            plan=plan_execution(
+                request, self._session.profile, lanes=self._lanes
+            ),
         )
         self._jobs[job.id] = job
         self._scheduler.push(tenant, job)
@@ -226,9 +252,11 @@ class JobService:
         profile = self.profile
         return {
             "started": self._started,
+            "lanes": self._lanes,
             "jobs_submitted": self._counter,
             "jobs_completed": self._completed,
             "jobs_failed": self._failed,
+            "jobs_running": len(self._running),
             "jobs_queued": len(self._scheduler),
             "queued_by_tenant": self._scheduler.pending(),
             "completed_by_tenant": dict(sorted(self._per_tenant.items())),
@@ -239,31 +267,54 @@ class JobService:
     # Dispatch
     # ------------------------------------------------------------------
     async def _dispatch_loop(self) -> None:
-        loop = asyncio.get_running_loop()
+        """Keep up to ``lanes`` jobs in flight, fair-ordered, forever.
+
+        The loop only *launches* work: each popped job becomes its own
+        task so a long job on one lane never delays dispatch to a free
+        lane.  It sleeps when the queue is empty or every lane is busy;
+        submissions and job completions both set the wakeup event.
+        """
         while True:
+            if len(self._running) >= self._lanes:
+                self._wakeup.clear()
+                await self._wakeup.wait()
+                continue
             entry = self._scheduler.pop()
             if entry is None:
                 self._wakeup.clear()
                 await self._wakeup.wait()
                 continue
             _, job = entry
-            job.status = "running"
-            try:
-                job.result = await loop.run_in_executor(
-                    self._executor, self._session.run, job.plan.request
-                )
-                job.status = "done"
-                self._completed += 1
-                self._per_tenant[job.tenant] = (
-                    self._per_tenant.get(job.tenant, 0) + 1
-                )
-            except asyncio.CancelledError:
-                job.status = "failed"
-                job.error = "service stopped"
-                job.done.set()
-                raise
-            except Exception:
-                job.status = "failed"
-                job.error = traceback.format_exc(limit=8)
-                self._failed += 1
+            task = asyncio.create_task(
+                self._run_job(job), name=f"repro-serve-{job.id}"
+            )
+            self._running.add(task)
+            task.add_done_callback(self._lane_freed)
+
+    def _lane_freed(self, task: asyncio.Task) -> None:
+        self._running.discard(task)
+        if self._wakeup is not None:
+            self._wakeup.set()
+
+    async def _run_job(self, job: Job) -> None:
+        loop = asyncio.get_running_loop()
+        job.status = "running"
+        try:
+            job.result = await loop.run_in_executor(
+                self._executor, self._session.run, job.plan.request
+            )
+            job.status = "done"
+            self._completed += 1
+            self._per_tenant[job.tenant] = (
+                self._per_tenant.get(job.tenant, 0) + 1
+            )
+        except asyncio.CancelledError:
+            job.status = "failed"
+            job.error = "service stopped"
             job.done.set()
+            raise
+        except Exception:
+            job.status = "failed"
+            job.error = traceback.format_exc(limit=8)
+            self._failed += 1
+        job.done.set()

@@ -16,18 +16,45 @@
  * evaluation order match the reference exactly, detection times are
  * bit-identical across backends by construction.
  *
- * Everything below is plain C11 with no dependencies beyond libc, so a
- * bare `cc -O3 -fPIC -shared` anywhere is enough; absence of a compiler
- * simply leaves the backend unregistered (see native_build).
+ * Thread tier (ABI 3): a persistent pthread pool partitions the `words`
+ * axis of repro_eval / repro_detect_step / repro_scan into disjoint word
+ * spans, one per thread.  Every slot's value and detection depend only
+ * on its own bit column, so span workers never exchange data: each walks
+ * the same read-only op/patch arrays over its own words and writes only
+ * its own columns of V, scratch, det, pending and times.  A scan span
+ * early-exits exactly when its own live slots drain; the single-thread
+ * return contract is reproduced by combining span results (executed =
+ * max over spans, finished = every span finished, counted through an
+ * atomic), so detect times and step accounting stay bit-identical to
+ * serial execution by construction.  Dispatch uses a trylock: when the
+ * pool is busy serving another caller (concurrent serving lanes), the
+ * caller simply runs its request serially over the full word range —
+ * same bits, just one thread.
+ *
+ * Everything below is plain C11 with no dependencies beyond libc and
+ * (outside Windows) pthreads, so a bare `cc -O3 -fPIC -shared -pthread`
+ * anywhere is enough; absence of a compiler simply leaves the backend
+ * unregistered (see native_build).  Without pthreads the n_threads
+ * arguments are accepted and ignored: everything runs serially.
  */
 
 #include <stdint.h>
 #include <string.h>
 
+#if !defined(_WIN32)
+#include <pthread.h>
+#include <stdatomic.h>
+#define REPRO_HAVE_THREADS 1
+#else
+#define REPRO_HAVE_THREADS 0
+#endif
+
 /* Bumped whenever any exported signature or semantic changes; checked by
  * the loader so a stale cached .so can never be driven with the wrong
- * marshaling.  v2 added repro_scan (whole-sequence fused scans). */
-#define REPRO_NATIVE_ABI 2
+ * marshaling.  v2 added repro_scan (whole-sequence fused scans); v3 adds
+ * the thread pool and the trailing n_threads argument on repro_eval,
+ * repro_detect_step and repro_scan. */
+#define REPRO_NATIVE_ABI 3
 
 #if defined(_WIN32)
 #define EXPORT __declspec(dllexport)
@@ -50,12 +77,15 @@ enum {
 EXPORT int64_t repro_abi_version(void) { return REPRO_NATIVE_ABI; }
 
 /* ------------------------------------------------------------------ */
-/* Generic n-ary fold over gathered (and possibly patched) input rails. */
+/* Generic n-ary fold over gathered (and possibly patched) input rails, */
+/* restricted to the word span [w0, w1).                                */
 /* ------------------------------------------------------------------ */
 static void fold_gate(
     int32_t code,
     int64_t arity,
     int64_t words,
+    int64_t w0,
+    int64_t w1,
     const uint64_t *scratch, /* (2 * arity, words): H rail 2k, L rail 2k+1 */
     uint64_t *out_h,
     uint64_t *out_l)
@@ -64,7 +94,7 @@ static void fold_gate(
     switch (code) {
     case OP_AND:
     case OP_NAND:
-        for (w = 0; w < words; w++) {
+        for (w = w0; w < w1; w++) {
             uint64_t h = ~(uint64_t)0;
             uint64_t l = 0;
             for (k = 0; k < arity; k++) {
@@ -82,7 +112,7 @@ static void fold_gate(
         break;
     case OP_OR:
     case OP_NOR:
-        for (w = 0; w < words; w++) {
+        for (w = w0; w < w1; w++) {
             uint64_t h = 0;
             uint64_t l = ~(uint64_t)0;
             for (k = 0; k < arity; k++) {
@@ -99,19 +129,19 @@ static void fold_gate(
         }
         break;
     case OP_NOT:
-        for (w = 0; w < words; w++) {
+        for (w = w0; w < w1; w++) {
             out_h[w] = scratch[words + w];
             out_l[w] = scratch[w];
         }
         break;
     case OP_BUF:
-        for (w = 0; w < words; w++) {
+        for (w = w0; w < w1; w++) {
             out_h[w] = scratch[w];
             out_l[w] = scratch[words + w];
         }
         break;
     default: /* OP_XOR / OP_XNOR */
-        for (w = 0; w < words; w++) {
+        for (w = w0; w < w1; w++) {
             uint64_t h = scratch[w];
             uint64_t l = scratch[words + w];
             for (k = 1; k < arity; k++) {
@@ -134,7 +164,8 @@ static void fold_gate(
 }
 
 /* ------------------------------------------------------------------ */
-/* Combinational evaluation over the full compiled op list.             */
+/* Combinational evaluation over the full compiled op list, restricted */
+/* to the word span [w0, w1).                                          */
 /*                                                                      */
 /* Static arrays (per backend):                                         */
 /*   codes[num_ops]              op codes                               */
@@ -147,10 +178,14 @@ static void fold_gate(
 /*   stem_ops[n_stem]            ops whose output stem is faulted       */
 /*   stem_sa1/stem_sa0           (n_stem, words) masks                  */
 /* scratch: (2 * max_arity, words) gather buffer for patched gates.     */
+/* Concurrent spans share one scratch safely: each writes and reads     */
+/* only its own word columns of the gather buffer.                      */
 /* ------------------------------------------------------------------ */
 static void eval_ops(
     uint64_t *V,
     int64_t words,
+    int64_t w0,
+    int64_t w1,
     const int32_t *codes,
     const int32_t *outs,
     const int64_t *in_off,
@@ -167,6 +202,7 @@ static void eval_ops(
     int64_t n_stem,
     uint64_t *scratch)
 {
+    const size_t span_bytes = (size_t)(w1 - w0) * sizeof(uint64_t);
     int64_t pc = 0;   /* cursor into the pin-patch arrays */
     int64_t sc = 0;   /* cursor into the stem-patch arrays */
     int64_t op, w, k;
@@ -184,22 +220,21 @@ static void eval_ops(
             for (k = 0; k < arity; k++) {
                 const uint64_t *src =
                     V + (uint64_t)(2 * ins[base + k]) * words;
-                memcpy(scratch + (2 * k) * words, src,
-                       (size_t)words * sizeof(uint64_t));
-                memcpy(scratch + (2 * k + 1) * words, src + words,
-                       (size_t)words * sizeof(uint64_t));
+                memcpy(scratch + (2 * k) * words + w0, src + w0, span_bytes);
+                memcpy(scratch + (2 * k + 1) * words + w0, src + words + w0,
+                       span_bytes);
             }
             for (; pc < n_pin && pin_ops[pc] == op; pc++) {
                 uint64_t *h = scratch + (2 * (int64_t)pin_pins[pc]) * words;
                 uint64_t *l = h + words;
                 const uint64_t *sa1 = pin_sa1 + pc * words;
                 const uint64_t *sa0 = pin_sa0 + pc * words;
-                for (w = 0; w < words; w++) {
+                for (w = w0; w < w1; w++) {
                     h[w] = (h[w] | sa1[w]) & ~sa0[w];
                     l[w] = (l[w] | sa0[w]) & ~sa1[w];
                 }
             }
-            fold_gate(code, arity, words, scratch, out_h, out_l);
+            fold_gate(code, arity, words, w0, w1, scratch, out_h, out_l);
         } else {
             switch (code) {
             case OP_AND:
@@ -212,29 +247,29 @@ static void eval_ops(
                     const uint64_t *b =
                         V + (uint64_t)(2 * ins[base + 1]) * words;
                     if (code == OP_AND) {
-                        for (w = 0; w < words; w++) {
+                        for (w = w0; w < w1; w++) {
                             out_h[w] = a[w] & b[w];
                             out_l[w] = a[words + w] | b[words + w];
                         }
                     } else if (code == OP_NAND) {
-                        for (w = 0; w < words; w++) {
+                        for (w = w0; w < w1; w++) {
                             out_h[w] = a[words + w] | b[words + w];
                             out_l[w] = a[w] & b[w];
                         }
                     } else if (code == OP_OR) {
-                        for (w = 0; w < words; w++) {
+                        for (w = w0; w < w1; w++) {
                             out_h[w] = a[w] | b[w];
                             out_l[w] = a[words + w] & b[words + w];
                         }
                     } else { /* OP_NOR */
-                        for (w = 0; w < words; w++) {
+                        for (w = w0; w < w1; w++) {
                             out_h[w] = a[words + w] & b[words + w];
                             out_l[w] = a[w] | b[w];
                         }
                     }
                 } else {
                     const int and_like = (code == OP_AND || code == OP_NAND);
-                    for (w = 0; w < words; w++) {
+                    for (w = w0; w < w1; w++) {
                         uint64_t acc_and = ~(uint64_t)0;
                         uint64_t acc_or = 0;
                         for (k = 0; k < arity; k++) {
@@ -269,7 +304,7 @@ static void eval_ops(
                 break;
             case OP_NOT: {
                 const uint64_t *src = V + (uint64_t)(2 * ins[base]) * words;
-                for (w = 0; w < words; w++) {
+                for (w = w0; w < w1; w++) {
                     out_h[w] = src[words + w];
                     out_l[w] = src[w];
                 }
@@ -277,7 +312,7 @@ static void eval_ops(
             }
             case OP_BUF: {
                 const uint64_t *src = V + (uint64_t)(2 * ins[base]) * words;
-                for (w = 0; w < words; w++) {
+                for (w = w0; w < w1; w++) {
                     out_h[w] = src[w];
                     out_l[w] = src[words + w];
                 }
@@ -286,7 +321,7 @@ static void eval_ops(
             default: { /* OP_XOR / OP_XNOR */
                 const uint64_t *first =
                     V + (uint64_t)(2 * ins[base]) * words;
-                for (w = 0; w < words; w++) {
+                for (w = w0; w < w1; w++) {
                     uint64_t h = first[w];
                     uint64_t l = first[words + w];
                     for (k = 1; k < arity; k++) {
@@ -314,37 +349,13 @@ static void eval_ops(
         if (sc < n_stem && stem_ops[sc] == op) {
             const uint64_t *sa1 = stem_sa1 + sc * words;
             const uint64_t *sa0 = stem_sa0 + sc * words;
-            for (w = 0; w < words; w++) {
+            for (w = w0; w < w1; w++) {
                 out_h[w] = (out_h[w] | sa1[w]) & ~sa0[w];
                 out_l[w] = (out_l[w] | sa0[w]) & ~sa1[w];
             }
             sc++;
         }
     }
-}
-
-EXPORT void repro_eval(
-    uint64_t *V,
-    int64_t words,
-    const int32_t *codes,
-    const int32_t *outs,
-    const int64_t *in_off,
-    const int32_t *ins,
-    int64_t num_ops,
-    const int32_t *pin_ops,
-    const int32_t *pin_pins,
-    const uint64_t *pin_sa1,
-    const uint64_t *pin_sa0,
-    int64_t n_pin,
-    const int32_t *stem_ops,
-    const uint64_t *stem_sa1,
-    const uint64_t *stem_sa0,
-    int64_t n_stem,
-    uint64_t *scratch)
-{
-    eval_ops(V, words, codes, outs, in_off, ins, num_ops, pin_ops,
-             pin_pins, pin_sa1, pin_sa0, n_pin, stem_ops, stem_sa1,
-             stem_sa0, n_stem, scratch);
 }
 
 /* ------------------------------------------------------------------ */
@@ -357,9 +368,11 @@ EXPORT void repro_eval(
 /*   po_sa1/po_sa0       dense (num_pos, words) pin-patch masks         */
 /*   out[words]          |= detected slots (caller zeroes)              */
 /* ------------------------------------------------------------------ */
-EXPORT void repro_detect_mask(
+static void detect_mask_span(
     const uint64_t *V,
     int64_t words,
+    int64_t w0,
+    int64_t w1,
     const int32_t *obs_pos,
     const uint8_t *good_vals,
     int64_t n_obs,
@@ -378,13 +391,28 @@ EXPORT void repro_detect_mask(
         if (good_vals[i]) {
             /* good value 1: a slot contradicts when its L rail is set. */
             const uint64_t *l = rail + words;
-            for (w = 0; w < words; w++)
+            for (w = w0; w < w1; w++)
                 out[w] |= (l[w] | sa0[w]) & ~sa1[w];
         } else {
-            for (w = 0; w < words; w++)
+            for (w = w0; w < w1; w++)
                 out[w] |= (rail[w] | sa1[w]) & ~sa0[w];
         }
     }
+}
+
+EXPORT void repro_detect_mask(
+    const uint64_t *V,
+    int64_t words,
+    const int32_t *obs_pos,
+    const uint8_t *good_vals,
+    int64_t n_obs,
+    const int32_t *po_sig,
+    const uint64_t *po_sa1,
+    const uint64_t *po_sa0,
+    uint64_t *out)
+{
+    detect_mask_span(V, words, 0, words, obs_pos, good_vals, n_obs, po_sig,
+                     po_sa1, po_sa0, out);
 }
 
 /* ------------------------------------------------------------------ */
@@ -392,10 +420,12 @@ EXPORT void repro_detect_mask(
 /* both machines with opposite values — (Hg & Lf) | (Lg & Hf), OR-      */
 /* reduced across POs.  Patches are the two programs' dense PO masks.   */
 /* ------------------------------------------------------------------ */
-EXPORT void repro_detect_step(
+static void detect_step_span(
     const uint64_t *GV,
     const uint64_t *FV,
     int64_t words,
+    int64_t w0,
+    int64_t w1,
     const int32_t *po_sig,
     int64_t num_pos,
     const uint64_t *g_sa1,
@@ -412,7 +442,7 @@ EXPORT void repro_detect_step(
         const uint64_t *gs0 = g_sa0 + position * words;
         const uint64_t *fs1 = f_sa1 + position * words;
         const uint64_t *fs0 = f_sa0 + position * words;
-        for (w = 0; w < words; w++) {
+        for (w = w0; w < w1; w++) {
             const uint64_t gh = (g[w] | gs1[w]) & ~gs0[w];
             const uint64_t gl = (g[words + w] | gs0[w]) & ~gs1[w];
             const uint64_t fh = (f[w] | fs1[w]) & ~fs0[w];
@@ -434,6 +464,319 @@ static int ctz64(uint64_t x)
     }
     return n;
 #endif
+}
+
+/* ------------------------------------------------------------------ */
+/* Persistent thread pool.                                              */
+/*                                                                      */
+/* One process-global pool, created on first repro_thread_pool_init     */
+/* and kept warm for the process lifetime (or until an explicit         */
+/* shutdown).  A dispatch hands the same (fn, job) to every             */
+/* participating worker with its span index; the caller runs span 0     */
+/* itself and then waits for the workers to drain.  Dispatches are      */
+/* serialized by a trylock: a caller that finds the pool busy (another  */
+/* serving lane mid-scan) simply runs its own request serially over     */
+/* the full word range — identical bits, no queueing, no deadlock.     */
+/* ------------------------------------------------------------------ */
+#if REPRO_HAVE_THREADS
+
+#define REPRO_MAX_THREADS 64
+
+typedef void (*repro_span_fn)(void *job, int64_t span);
+
+static struct {
+    pthread_mutex_t lock;     /* guards every field below */
+    pthread_cond_t work_cv;
+    pthread_cond_t done_cv;
+    pthread_mutex_t dispatch; /* serializes whole dispatches (trylock) */
+    pthread_t workers[REPRO_MAX_THREADS];
+    int64_t spawned;          /* worker threads alive (pool size - 1) */
+    uint64_t generation;      /* bumped per dispatch */
+    int64_t participants;     /* workers used by the current dispatch */
+    int64_t remaining;        /* participants still running */
+    repro_span_fn fn;
+    void *job;
+    int shutdown;
+} g_pool = {
+    PTHREAD_MUTEX_INITIALIZER,
+    PTHREAD_COND_INITIALIZER,
+    PTHREAD_COND_INITIALIZER,
+    PTHREAD_MUTEX_INITIALIZER,
+};
+
+static int64_t g_worker_index[REPRO_MAX_THREADS];
+
+static void *pool_worker(void *arg)
+{
+    const int64_t index = *(const int64_t *)arg;
+    uint64_t seen = 0;
+    pthread_mutex_lock(&g_pool.lock);
+    for (;;) {
+        while (!g_pool.shutdown && g_pool.generation == seen)
+            pthread_cond_wait(&g_pool.work_cv, &g_pool.lock);
+        if (g_pool.shutdown)
+            break;
+        seen = g_pool.generation;
+        if (index < g_pool.participants) {
+            repro_span_fn fn = g_pool.fn;
+            void *job = g_pool.job;
+            pthread_mutex_unlock(&g_pool.lock);
+            /* Worker `index` owns span index + 1; span 0 is the caller. */
+            fn(job, index + 1);
+            pthread_mutex_lock(&g_pool.lock);
+            if (--g_pool.remaining == 0)
+                pthread_cond_signal(&g_pool.done_cv);
+        }
+    }
+    pthread_mutex_unlock(&g_pool.lock);
+    return 0;
+}
+
+EXPORT int64_t repro_threads_available(void) { return 1; }
+
+/* Grow the pool so it can serve `n`-way dispatches; returns the actual
+ * pool size (1 == caller only).  Idempotent; never shrinks. */
+EXPORT int64_t repro_thread_pool_init(int64_t n)
+{
+    int64_t size;
+    if (n > REPRO_MAX_THREADS)
+        n = REPRO_MAX_THREADS;
+    pthread_mutex_lock(&g_pool.lock);
+    while (g_pool.spawned < n - 1 && !g_pool.shutdown) {
+        const int64_t index = g_pool.spawned;
+        g_worker_index[index] = index;
+        if (pthread_create(&g_pool.workers[index], 0, pool_worker,
+                           &g_worker_index[index]) != 0)
+            break;
+        g_pool.spawned++;
+    }
+    size = g_pool.spawned + 1;
+    pthread_mutex_unlock(&g_pool.lock);
+    return size;
+}
+
+EXPORT int64_t repro_thread_pool_size(void)
+{
+    int64_t size;
+    pthread_mutex_lock(&g_pool.lock);
+    size = g_pool.spawned + 1;
+    pthread_mutex_unlock(&g_pool.lock);
+    return size;
+}
+
+EXPORT void repro_thread_pool_shutdown(void)
+{
+    int64_t spawned, i;
+    pthread_mutex_lock(&g_pool.dispatch);
+    pthread_mutex_lock(&g_pool.lock);
+    g_pool.shutdown = 1;
+    pthread_cond_broadcast(&g_pool.work_cv);
+    spawned = g_pool.spawned;
+    g_pool.spawned = 0;
+    pthread_mutex_unlock(&g_pool.lock);
+    for (i = 0; i < spawned; i++)
+        pthread_join(g_pool.workers[i], 0);
+    pthread_mutex_lock(&g_pool.lock);
+    g_pool.shutdown = 0;
+    g_pool.generation = 0; /* fresh workers start with seen == 0 */
+    pthread_mutex_unlock(&g_pool.lock);
+    pthread_mutex_unlock(&g_pool.dispatch);
+}
+
+/* Run fn(job, span) for span 0..spans-1, span 0 on the calling thread.
+ * Returns 1 when the pool ran it, 0 when the caller must fall back to a
+ * serial full-range pass (pool busy or too small). */
+static int pool_run(repro_span_fn fn, void *job, int64_t spans)
+{
+    if (spans < 2)
+        return 0;
+    if (pthread_mutex_trylock(&g_pool.dispatch) != 0)
+        return 0; /* busy: another lane is mid-dispatch */
+    pthread_mutex_lock(&g_pool.lock);
+    if (g_pool.spawned < spans - 1 || g_pool.shutdown) {
+        pthread_mutex_unlock(&g_pool.lock);
+        pthread_mutex_unlock(&g_pool.dispatch);
+        return 0;
+    }
+    g_pool.fn = fn;
+    g_pool.job = job;
+    g_pool.participants = spans - 1;
+    g_pool.remaining = spans - 1;
+    g_pool.generation++;
+    pthread_cond_broadcast(&g_pool.work_cv);
+    pthread_mutex_unlock(&g_pool.lock);
+    fn(job, 0);
+    pthread_mutex_lock(&g_pool.lock);
+    while (g_pool.remaining)
+        pthread_cond_wait(&g_pool.done_cv, &g_pool.lock);
+    pthread_mutex_unlock(&g_pool.lock);
+    pthread_mutex_unlock(&g_pool.dispatch);
+    return 1;
+}
+
+/* Even partition of `words` into `spans` contiguous word spans. */
+static void span_bounds(int64_t words, int64_t spans, int64_t *bounds)
+{
+    const int64_t base = words / spans;
+    const int64_t rem = words % spans;
+    int64_t w = 0, i;
+    for (i = 0; i < spans; i++) {
+        bounds[i] = w;
+        w += base + (i < rem ? 1 : 0);
+    }
+    bounds[spans] = words;
+}
+
+/* Clamp a requested thread count to something the pool can serve. */
+static int64_t clamp_spans(int64_t n_threads, int64_t words)
+{
+    int64_t spans = n_threads;
+    if (spans > words)
+        spans = words;
+    if (spans > REPRO_MAX_THREADS)
+        spans = REPRO_MAX_THREADS;
+    if (spans < 1)
+        spans = 1;
+    return spans;
+}
+
+#else /* !REPRO_HAVE_THREADS */
+
+EXPORT int64_t repro_threads_available(void) { return 0; }
+EXPORT int64_t repro_thread_pool_init(int64_t n) { (void)n; return 1; }
+EXPORT int64_t repro_thread_pool_size(void) { return 1; }
+EXPORT void repro_thread_pool_shutdown(void) {}
+
+#endif /* REPRO_HAVE_THREADS */
+
+/* ------------------------------------------------------------------ */
+/* Threaded entry points.                                               */
+/* ------------------------------------------------------------------ */
+
+#if REPRO_HAVE_THREADS
+typedef struct {
+    uint64_t *V;
+    int64_t words;
+    const int32_t *codes;
+    const int32_t *outs;
+    const int64_t *in_off;
+    const int32_t *ins;
+    int64_t num_ops;
+    const int32_t *pin_ops;
+    const int32_t *pin_pins;
+    const uint64_t *pin_sa1;
+    const uint64_t *pin_sa0;
+    int64_t n_pin;
+    const int32_t *stem_ops;
+    const uint64_t *stem_sa1;
+    const uint64_t *stem_sa0;
+    int64_t n_stem;
+    uint64_t *scratch;
+    int64_t bounds[REPRO_MAX_THREADS + 1];
+} EvalJob;
+
+static void eval_job_span(void *ptr, int64_t span)
+{
+    EvalJob *job = ptr;
+    eval_ops(job->V, job->words, job->bounds[span], job->bounds[span + 1],
+             job->codes, job->outs, job->in_off, job->ins, job->num_ops,
+             job->pin_ops, job->pin_pins, job->pin_sa1, job->pin_sa0,
+             job->n_pin, job->stem_ops, job->stem_sa1, job->stem_sa0,
+             job->n_stem, job->scratch);
+}
+#endif
+
+EXPORT void repro_eval(
+    uint64_t *V,
+    int64_t words,
+    const int32_t *codes,
+    const int32_t *outs,
+    const int64_t *in_off,
+    const int32_t *ins,
+    int64_t num_ops,
+    const int32_t *pin_ops,
+    const int32_t *pin_pins,
+    const uint64_t *pin_sa1,
+    const uint64_t *pin_sa0,
+    int64_t n_pin,
+    const int32_t *stem_ops,
+    const uint64_t *stem_sa1,
+    const uint64_t *stem_sa0,
+    int64_t n_stem,
+    uint64_t *scratch,
+    int64_t n_threads)
+{
+#if REPRO_HAVE_THREADS
+    const int64_t spans = clamp_spans(n_threads, words);
+    if (spans > 1) {
+        EvalJob job = {V, words, codes, outs, in_off, ins, num_ops,
+                       pin_ops, pin_pins, pin_sa1, pin_sa0, n_pin,
+                       stem_ops, stem_sa1, stem_sa0, n_stem, scratch,
+                       {0}};
+        span_bounds(words, spans, job.bounds);
+        if (pool_run(eval_job_span, &job, spans))
+            return;
+    }
+#else
+    (void)n_threads;
+#endif
+    eval_ops(V, words, 0, words, codes, outs, in_off, ins, num_ops,
+             pin_ops, pin_pins, pin_sa1, pin_sa0, n_pin, stem_ops,
+             stem_sa1, stem_sa0, n_stem, scratch);
+}
+
+#if REPRO_HAVE_THREADS
+typedef struct {
+    const uint64_t *GV;
+    const uint64_t *FV;
+    int64_t words;
+    const int32_t *po_sig;
+    int64_t num_pos;
+    const uint64_t *g_sa1;
+    const uint64_t *g_sa0;
+    const uint64_t *f_sa1;
+    const uint64_t *f_sa0;
+    uint64_t *out;
+    int64_t bounds[REPRO_MAX_THREADS + 1];
+} DetectJob;
+
+static void detect_job_span(void *ptr, int64_t span)
+{
+    DetectJob *job = ptr;
+    detect_step_span(job->GV, job->FV, job->words, job->bounds[span],
+                     job->bounds[span + 1], job->po_sig, job->num_pos,
+                     job->g_sa1, job->g_sa0, job->f_sa1, job->f_sa0,
+                     job->out);
+}
+#endif
+
+EXPORT void repro_detect_step(
+    const uint64_t *GV,
+    const uint64_t *FV,
+    int64_t words,
+    const int32_t *po_sig,
+    int64_t num_pos,
+    const uint64_t *g_sa1,
+    const uint64_t *g_sa0,
+    const uint64_t *f_sa1,
+    const uint64_t *f_sa0,
+    uint64_t *out,
+    int64_t n_threads)
+{
+#if REPRO_HAVE_THREADS
+    const int64_t spans = clamp_spans(n_threads, words);
+    if (spans > 1) {
+        DetectJob job = {GV, FV, words, po_sig, num_pos, g_sa1, g_sa0,
+                         f_sa1, f_sa0, out, {0}};
+        span_bounds(words, spans, job.bounds);
+        if (pool_run(detect_job_span, &job, spans))
+            return;
+    }
+#else
+    (void)n_threads;
+#endif
+    detect_step_span(GV, FV, words, 0, words, po_sig, num_pos, g_sa1,
+                     g_sa0, f_sa1, f_sa0, out);
 }
 
 /* ------------------------------------------------------------------ */
@@ -462,7 +805,242 @@ static int ctz64(uint64_t x)
 /* should continue with the next chunk) — negated minus one,            */
 /* -(executed + 1), when the scan finished (no later chunk can          */
 /* detect).                                                             */
+/*                                                                      */
+/* Threaded scans run this same walk per word span.  A span's early     */
+/* exit depends only on its own live slots, so each span stops at       */
+/* exactly the step the serial scan would have stopped servicing those  */
+/* slots; combining spans as executed = max(span executed) and          */
+/* finished = all spans finished reproduces the serial return value     */
+/* bit-for-bit (the serial loop runs until its *last* span drains, and  */
+/* an already-drained span contributes no detections or state that any  */
+/* other slot can observe).  This leans on the `alive` contract the     */
+/* serial early exit already requires: a slot's alive bit is monotone   */
+/* non-increasing over steps (packer windows cover a prefix of the      */
+/* sequence), so a drained live mask can never turn back on.            */
 /* ------------------------------------------------------------------ */
+
+typedef struct {
+    uint64_t *GV;
+    uint64_t *FV;
+    int64_t words;
+    const int32_t *codes;
+    const int32_t *outs;
+    const int64_t *in_off;
+    const int32_t *ins;
+    int64_t num_ops;
+    const int32_t *pin_ops;
+    const int32_t *pin_pins;
+    const uint64_t *pin_sa1;
+    const uint64_t *pin_sa0;
+    int64_t n_pin;
+    const int32_t *stem_ops;
+    const uint64_t *stem_sa1;
+    const uint64_t *stem_sa0;
+    int64_t n_stem;
+    uint64_t *scratch;
+    const int32_t *src_rows;
+    const uint64_t *src_force;
+    const uint64_t *src_keep;
+    int64_t n_src;
+    const int32_t *pi_sig;
+    int64_t num_pis;
+    const int32_t *q_sig;
+    const int32_t *d_sig;
+    int64_t num_flops;
+    const int32_t *dff_pos;
+    const uint64_t *dff_force_h;
+    const uint64_t *dff_keep_h;
+    const uint64_t *dff_force_l;
+    const uint64_t *dff_keep_l;
+    int64_t n_dff;
+    uint64_t *g_sh;
+    uint64_t *g_sl;
+    uint64_t *f_sh;
+    uint64_t *f_sl;
+    const uint64_t *stim_ones;
+    const uint64_t *stim_zeros;
+    const uint8_t *stim_bits;
+    int64_t t0;
+    int64_t num_steps;
+    const int32_t *po_sig;
+    int64_t num_pos;
+    const uint64_t *g_po_sa1;
+    const uint64_t *g_po_sa0;
+    const uint64_t *f_po_sa1;
+    const uint64_t *f_po_sa0;
+    const int64_t *obs_off;
+    const int32_t *obs_pos;
+    const uint8_t *obs_vals;
+    const uint64_t *alive;
+    uint64_t *pending;
+    int64_t *times;
+    uint64_t *det;
+    int64_t collect_finals;
+} ScanArgs;
+
+static int64_t scan_span(const ScanArgs *a, int64_t w0, int64_t w1)
+{
+    const int64_t words = a->words;
+    const size_t span_bytes = (size_t)(w1 - w0) * sizeof(uint64_t);
+    int64_t s, w, p, f, i;
+    int64_t executed = 0;
+    for (s = 0; s < a->num_steps; s++) {
+        const int64_t t = a->t0 + s;
+        const uint64_t *alive_row = a->alive ? a->alive + s * words : 0;
+
+        uint64_t any = 0;
+        for (w = w0; w < w1; w++)
+            any |= (alive_row ? alive_row[w] : ~(uint64_t)0) & a->pending[w];
+        if (!any && !a->collect_finals)
+            return -(executed + 1); /* live drained: nothing detects later */
+        executed++;
+
+        /* Load this step's primary inputs. */
+        if (a->stim_bits) {
+            const uint8_t *bits = a->stim_bits + s * a->num_pis;
+            for (p = 0; p < a->num_pis; p++) {
+                uint64_t *h = a->FV + (uint64_t)(2 * a->pi_sig[p]) * words;
+                const uint64_t hv = bits[p] ? ~(uint64_t)0 : 0;
+                for (w = w0; w < w1; w++) {
+                    h[w] = hv;
+                    h[words + w] = ~hv;
+                }
+            }
+        } else {
+            const uint64_t *ones = a->stim_ones + s * a->num_pis * words;
+            const uint64_t *zeros = a->stim_zeros + s * a->num_pis * words;
+            for (p = 0; p < a->num_pis; p++) {
+                uint64_t *h = a->FV + (uint64_t)(2 * a->pi_sig[p]) * words;
+                memcpy(h + w0, ones + p * words + w0, span_bytes);
+                memcpy(h + words + w0, zeros + p * words + w0, span_bytes);
+                if (a->GV) {
+                    uint64_t *gh =
+                        a->GV + (uint64_t)(2 * a->pi_sig[p]) * words;
+                    memcpy(gh + w0, ones + p * words + w0, span_bytes);
+                    memcpy(gh + words + w0, zeros + p * words + w0,
+                           span_bytes);
+                }
+            }
+        }
+
+        /* Load the current flop state into the flop-output signals. */
+        for (f = 0; f < a->num_flops; f++) {
+            uint64_t *q = a->FV + (uint64_t)(2 * a->q_sig[f]) * words;
+            memcpy(q + w0, a->f_sh + f * words + w0, span_bytes);
+            memcpy(q + words + w0, a->f_sl + f * words + w0, span_bytes);
+            if (a->GV) {
+                uint64_t *gq = a->GV + (uint64_t)(2 * a->q_sig[f]) * words;
+                memcpy(gq + w0, a->g_sh + f * words + w0, span_bytes);
+                memcpy(gq + words + w0, a->g_sl + f * words + w0,
+                       span_bytes);
+            }
+        }
+
+        /* Faulty source patches (stuck PI / flop-output stems). */
+        for (i = 0; i < a->n_src; i++) {
+            uint64_t *row = a->FV + (uint64_t)a->src_rows[i] * words;
+            const uint64_t *force = a->src_force + i * words;
+            const uint64_t *keep = a->src_keep + i * words;
+            for (w = w0; w < w1; w++)
+                row[w] = (row[w] | force[w]) & keep[w];
+        }
+
+        /* Evaluate: good has no patches, faulty carries the program's. */
+        if (a->GV)
+            eval_ops(a->GV, words, w0, w1, a->codes, a->outs, a->in_off,
+                     a->ins, a->num_ops, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+                     a->scratch);
+        eval_ops(a->FV, words, w0, w1, a->codes, a->outs, a->in_off,
+                 a->ins, a->num_ops, a->pin_ops, a->pin_pins, a->pin_sa1,
+                 a->pin_sa0, a->n_pin, a->stem_ops, a->stem_sa1,
+                 a->stem_sa0, a->n_stem, a->scratch);
+
+        /* Detect. */
+        for (w = w0; w < w1; w++)
+            a->det[w] = 0;
+        if (a->GV)
+            detect_step_span(a->GV, a->FV, words, w0, w1, a->po_sig,
+                             a->num_pos, a->g_po_sa1, a->g_po_sa0,
+                             a->f_po_sa1, a->f_po_sa0, a->det);
+        else
+            detect_mask_span(a->FV, words, w0, w1,
+                             a->obs_pos + a->obs_off[t],
+                             a->obs_vals + a->obs_off[t],
+                             a->obs_off[t + 1] - a->obs_off[t], a->po_sig,
+                             a->f_po_sa1, a->f_po_sa0, a->det);
+
+        uint64_t pend_any = 0;
+        for (w = w0; w < w1; w++) {
+            uint64_t d = a->det[w] & a->pending[w];
+            if (alive_row)
+                d &= alive_row[w];
+            while (d) {
+                const int b = ctz64(d);
+                a->times[w * 64 + b] = t;
+                d &= d - 1;
+            }
+            a->pending[w] &=
+                ~(a->det[w] & (alive_row ? alive_row[w] : ~(uint64_t)0));
+            pend_any |= a->pending[w];
+        }
+        if (!pend_any && !a->collect_finals)
+            return -(executed + 1); /* all detected; skip the state latch */
+
+        /* Latch the flop D values as next state (faulty flop patches). */
+        for (f = 0; f < a->num_flops; f++) {
+            const uint64_t *d_rail =
+                a->FV + (uint64_t)(2 * a->d_sig[f]) * words;
+            memcpy(a->f_sh + f * words + w0, d_rail + w0, span_bytes);
+            memcpy(a->f_sl + f * words + w0, d_rail + words + w0,
+                   span_bytes);
+            if (a->GV) {
+                const uint64_t *gd =
+                    a->GV + (uint64_t)(2 * a->d_sig[f]) * words;
+                memcpy(a->g_sh + f * words + w0, gd + w0, span_bytes);
+                memcpy(a->g_sl + f * words + w0, gd + words + w0,
+                       span_bytes);
+            }
+        }
+        for (i = 0; i < a->n_dff; i++) {
+            const int64_t pos = a->dff_pos[i];
+            uint64_t *h = a->f_sh + pos * words;
+            uint64_t *l = a->f_sl + pos * words;
+            const uint64_t *fh = a->dff_force_h + i * words;
+            const uint64_t *kh = a->dff_keep_h + i * words;
+            const uint64_t *fl = a->dff_force_l + i * words;
+            const uint64_t *kl = a->dff_keep_l + i * words;
+            for (w = w0; w < w1; w++) {
+                h[w] = (h[w] | fh[w]) & kh[w];
+                l[w] = (l[w] | fl[w]) & kl[w];
+            }
+        }
+    }
+    return executed;
+}
+
+#if REPRO_HAVE_THREADS
+typedef struct {
+    const ScanArgs *args;
+    int64_t bounds[REPRO_MAX_THREADS + 1];
+    int64_t rets[REPRO_MAX_THREADS];
+    /* First-hit early-exit state shared across spans: each span that
+     * drains (returns negative) counts itself here, so the combined
+     * "no later chunk can detect" verdict needs no locks. */
+    _Atomic int64_t finished_spans;
+} ScanJob;
+
+static void scan_job_span(void *ptr, int64_t span)
+{
+    ScanJob *job = ptr;
+    const int64_t ret =
+        scan_span(job->args, job->bounds[span], job->bounds[span + 1]);
+    job->rets[span] = ret;
+    if (ret < 0)
+        atomic_fetch_add_explicit(&job->finished_spans, 1,
+                                  memory_order_relaxed);
+}
+#endif
+
 EXPORT int64_t repro_scan(
     uint64_t *GV,
     uint64_t *FV,
@@ -519,134 +1097,43 @@ EXPORT int64_t repro_scan(
     uint64_t *pending,        /* (words), in/out                        */
     int64_t *times,           /* (words * 64), -1 = undetected, in/out  */
     uint64_t *det,            /* (words) detection scratch              */
-    int64_t collect_finals)
+    int64_t collect_finals,
+    int64_t n_threads)
 {
-    int64_t s, w, p, f, i;
-    int64_t executed = 0;
-    for (s = 0; s < num_steps; s++) {
-        const int64_t t = t0 + s;
-        const uint64_t *alive_row = alive ? alive + s * words : 0;
-
-        uint64_t any = 0;
-        for (w = 0; w < words; w++)
-            any |= (alive_row ? alive_row[w] : ~(uint64_t)0) & pending[w];
-        if (!any && !collect_finals)
-            return -(executed + 1); /* live drained: nothing detects later */
-        executed++;
-
-        /* Load this step's primary inputs. */
-        if (stim_bits) {
-            const uint8_t *bits = stim_bits + s * num_pis;
-            for (p = 0; p < num_pis; p++) {
-                uint64_t *h = FV + (uint64_t)(2 * pi_sig[p]) * words;
-                const uint64_t hv = bits[p] ? ~(uint64_t)0 : 0;
-                for (w = 0; w < words; w++) {
-                    h[w] = hv;
-                    h[words + w] = ~hv;
-                }
+    ScanArgs args = {GV, FV, words, codes, outs, in_off, ins, num_ops,
+                     pin_ops, pin_pins, pin_sa1, pin_sa0, n_pin,
+                     stem_ops, stem_sa1, stem_sa0, n_stem, scratch,
+                     src_rows, src_force, src_keep, n_src, pi_sig,
+                     num_pis, q_sig, d_sig, num_flops, dff_pos,
+                     dff_force_h, dff_keep_h, dff_force_l, dff_keep_l,
+                     n_dff, g_sh, g_sl, f_sh, f_sl, stim_ones,
+                     stim_zeros, stim_bits, t0, num_steps, po_sig,
+                     num_pos, g_po_sa1, g_po_sa0, f_po_sa1, f_po_sa0,
+                     obs_off, obs_pos, obs_vals, alive, pending, times,
+                     det, collect_finals};
+#if REPRO_HAVE_THREADS
+    const int64_t spans = clamp_spans(n_threads, words);
+    if (spans > 1) {
+        ScanJob job;
+        job.args = &args;
+        atomic_init(&job.finished_spans, 0);
+        span_bounds(words, spans, job.bounds);
+        if (pool_run(scan_job_span, &job, spans)) {
+            int64_t executed = 0, i;
+            const int64_t finished =
+                atomic_load_explicit(&job.finished_spans,
+                                     memory_order_relaxed) == spans;
+            for (i = 0; i < spans; i++) {
+                const int64_t ret = job.rets[i];
+                const int64_t span_executed = ret < 0 ? -ret - 1 : ret;
+                if (span_executed > executed)
+                    executed = span_executed;
             }
-        } else {
-            const uint64_t *ones = stim_ones + s * num_pis * words;
-            const uint64_t *zeros = stim_zeros + s * num_pis * words;
-            for (p = 0; p < num_pis; p++) {
-                uint64_t *h = FV + (uint64_t)(2 * pi_sig[p]) * words;
-                memcpy(h, ones + p * words, (size_t)words * sizeof(uint64_t));
-                memcpy(h + words, zeros + p * words,
-                       (size_t)words * sizeof(uint64_t));
-                if (GV) {
-                    uint64_t *gh = GV + (uint64_t)(2 * pi_sig[p]) * words;
-                    memcpy(gh, ones + p * words,
-                           (size_t)words * sizeof(uint64_t));
-                    memcpy(gh + words, zeros + p * words,
-                           (size_t)words * sizeof(uint64_t));
-                }
-            }
-        }
-
-        /* Load the current flop state into the flop-output signals. */
-        for (f = 0; f < num_flops; f++) {
-            uint64_t *q = FV + (uint64_t)(2 * q_sig[f]) * words;
-            memcpy(q, f_sh + f * words, (size_t)words * sizeof(uint64_t));
-            memcpy(q + words, f_sl + f * words,
-                   (size_t)words * sizeof(uint64_t));
-            if (GV) {
-                uint64_t *gq = GV + (uint64_t)(2 * q_sig[f]) * words;
-                memcpy(gq, g_sh + f * words, (size_t)words * sizeof(uint64_t));
-                memcpy(gq + words, g_sl + f * words,
-                       (size_t)words * sizeof(uint64_t));
-            }
-        }
-
-        /* Faulty source patches (stuck PI / flop-output stems). */
-        for (i = 0; i < n_src; i++) {
-            uint64_t *row = FV + (uint64_t)src_rows[i] * words;
-            const uint64_t *force = src_force + i * words;
-            const uint64_t *keep = src_keep + i * words;
-            for (w = 0; w < words; w++)
-                row[w] = (row[w] | force[w]) & keep[w];
-        }
-
-        /* Evaluate: good has no patches, faulty carries the program's. */
-        if (GV)
-            eval_ops(GV, words, codes, outs, in_off, ins, num_ops,
-                     0, 0, 0, 0, 0, 0, 0, 0, 0, scratch);
-        eval_ops(FV, words, codes, outs, in_off, ins, num_ops, pin_ops,
-                 pin_pins, pin_sa1, pin_sa0, n_pin, stem_ops, stem_sa1,
-                 stem_sa0, n_stem, scratch);
-
-        /* Detect. */
-        for (w = 0; w < words; w++)
-            det[w] = 0;
-        if (GV)
-            repro_detect_step(GV, FV, words, po_sig, num_pos, g_po_sa1,
-                              g_po_sa0, f_po_sa1, f_po_sa0, det);
-        else
-            repro_detect_mask(FV, words, obs_pos + obs_off[t], obs_vals + obs_off[t],
-                              obs_off[t + 1] - obs_off[t], po_sig, f_po_sa1,
-                              f_po_sa0, det);
-
-        uint64_t pend_any = 0;
-        for (w = 0; w < words; w++) {
-            uint64_t d = det[w] & pending[w];
-            if (alive_row)
-                d &= alive_row[w];
-            while (d) {
-                const int b = ctz64(d);
-                times[w * 64 + b] = t;
-                d &= d - 1;
-            }
-            pending[w] &= ~(det[w] & (alive_row ? alive_row[w] : ~(uint64_t)0));
-            pend_any |= pending[w];
-        }
-        if (!pend_any && !collect_finals)
-            return -(executed + 1); /* all detected; skip the state latch */
-
-        /* Latch the flop D values as next state (faulty flop patches). */
-        for (f = 0; f < num_flops; f++) {
-            const uint64_t *d_rail = FV + (uint64_t)(2 * d_sig[f]) * words;
-            memcpy(f_sh + f * words, d_rail, (size_t)words * sizeof(uint64_t));
-            memcpy(f_sl + f * words, d_rail + words,
-                   (size_t)words * sizeof(uint64_t));
-            if (GV) {
-                const uint64_t *gd = GV + (uint64_t)(2 * d_sig[f]) * words;
-                memcpy(g_sh + f * words, gd, (size_t)words * sizeof(uint64_t));
-                memcpy(g_sl + f * words, gd + words,
-                       (size_t)words * sizeof(uint64_t));
-            }
-        }
-        for (i = 0; i < n_dff; i++) {
-            const int64_t pos = dff_pos[i];
-            uint64_t *h = f_sh + pos * words;
-            uint64_t *l = f_sl + pos * words;
-            const uint64_t *fh = dff_force_h + i * words;
-            const uint64_t *kh = dff_keep_h + i * words;
-            const uint64_t *fl = dff_force_l + i * words;
-            const uint64_t *kl = dff_keep_l + i * words;
-            for (w = 0; w < words; w++) {
-                h[w] = (h[w] | fh[w]) & kh[w];
-                l[w] = (l[w] | fl[w]) & kl[w];
-            }
+            return finished ? -(executed + 1) : executed;
         }
     }
-    return executed;
+#else
+    (void)n_threads;
+#endif
+    return scan_span(&args, 0, words);
 }

@@ -19,13 +19,16 @@ This module provides:
   helpers (default location: ``~/.cache/repro/machine_profile.json``,
   overridden by ``REPRO_PROFILE``).
 * :func:`calibrate` — run the measurement pass: time parallel-fault
-  simulation and Procedure 2-shaped candidate scans serially and sharded
+  simulation and Procedure 2-shaped candidate scans serially, under the
+  native kernel's in-process thread lanes, and process-sharded
   (``force_shard=True``, so the static single-core fallback cannot mask
-  the measurement), and sweep a few batch widths per axis.  On a 1-core
+  the measurement), and sweep a few batch widths per axis.  The best
+  measured speedup picks the work-distribution tier
+  (serial/threads/processes) recorded as ``parallel_mode``.  On a 1-core
   machine (per :func:`~repro.sim.workerpool.cpu_count`, which honours
-  ``REPRO_ASSUME_CPUS``) the sharded measurements are skipped — process
-  sharding cannot win without a second core — and the profile records
-  serial execution directly.
+  ``REPRO_ASSUME_CPUS``) the parallel measurements are skipped — neither
+  tier can win without a second core — and the profile records serial
+  execution directly.
 * :func:`static_profile` — the no-measurement fallback mirroring today's
   static defaults, so consumers can always hold *some* profile.
 
@@ -47,8 +50,12 @@ from repro.errors import SimulationError
 from repro.util.rng import SplitMix64
 from repro.util.timing import Stopwatch
 
-#: Profile format version; bumped when fields change incompatibly.
-PROFILE_VERSION = 1
+#: Profile format version; bumped when fields change incompatibly.  v2
+#: added the work-distribution tier verdict (``parallel_mode``,
+#: ``threads`` and the per-axis thread speedups); v1 profiles are
+#: rejected on load, which makes :func:`profile_for_startup` recalibrate
+#: rather than run with a verdict that predates the thread tier.
+PROFILE_VERSION = 2
 
 #: Environment override for the persisted profile location.
 PROFILE_ENV = "REPRO_PROFILE"
@@ -90,9 +97,19 @@ class MachineProfile:
         fault_batch_width: fastest measured parallel-fault batch width.
         search_batch_width: fastest measured window-search batch width.
         omission_batch_width: fastest measured omission batch width.
+        parallel_mode: the measured work-distribution verdict —
+            ``"serial"``, ``"threads"`` (in-kernel word-span lanes) or
+            ``"processes"`` (the shard pool); ``"auto"`` when nothing
+            was measured (static profiles), deferring to the factories'
+            heuristics.
+        threads: recommended in-kernel thread-lane count when
+            ``parallel_mode == "threads"`` (``1`` otherwise).
         fault_shard_speedup: measured sharded/serial throughput ratio on
             the fault axis (``0.0`` = not measured).
         candidate_shard_speedup: same for Procedure 2's candidate axis.
+        fault_thread_speedup: measured threaded/serial throughput ratio
+            on the fault axis (``0.0`` = not measured).
+        candidate_thread_speedup: same for the candidate axis.
         fault_scan_mode: measured fused-vs-stepped winner for fault-axis
             scans (``"fused"`` when unmeasured — the static default).
         candidate_scan_mode: same for the paired candidate axis.
@@ -107,8 +124,12 @@ class MachineProfile:
     fault_batch_width: int
     search_batch_width: int
     omission_batch_width: int
+    parallel_mode: str = "auto"
+    threads: int = 1
     fault_shard_speedup: float = 0.0
     candidate_shard_speedup: float = 0.0
+    fault_thread_speedup: float = 0.0
+    candidate_thread_speedup: float = 0.0
     fault_scan_mode: str = "fused"
     candidate_scan_mode: str = "fused"
     source: str = "static"
@@ -129,11 +150,33 @@ class MachineProfile:
     def force_shard(self) -> bool:
         """Bypass the static single-core serial fallback.
 
-        True when a measurement proved sharding wins here: the factories'
-        :func:`~repro.sim.workerpool.single_core_machine` guess must not
-        silently undo a measured verdict.
+        True when a measurement proved a multi-worker tier wins here:
+        the factories' :func:`~repro.sim.workerpool.single_core_machine`
+        guess must not silently undo a measured verdict (the same flag
+        forces the thread tier past the single-core clamp in
+        :func:`~repro.sim.workerpool.resolve_work_distribution`).
         """
         return self.calibrated and self.workers > 1
+
+    def resolve_execution(self, requested: int | None) -> tuple[str, int]:
+        """The ``(parallel, workers)`` tier a consumer should run with.
+
+        This is how a calibrated profile answers "threads×4": the
+        measured serial/threads/processes crossover picks the tier, and
+        :meth:`resolve_workers` the lane count.  An uncalibrated
+        profile returns ``("auto", count)`` so the factories' static
+        heuristics stay in charge.  Results are tier-independent by
+        construction; this is purely a throughput decision.
+        """
+        count = self.resolve_workers(requested)
+        if count <= 1:
+            return ("serial", 1)
+        mode = self.parallel_mode if self.calibrated else "auto"
+        if mode == "serial":
+            return ("serial", 1)
+        if mode not in ("threads", "processes"):
+            mode = "auto"
+        return (mode, count)
 
     def resolve_workers(self, requested: int | None) -> int:
         """The worker count a consumer should actually use.
@@ -272,9 +315,15 @@ def _calibration_stimulus(num_inputs: int, length: int, seed: int):
 
 
 def _measure_fault_axis(
-    compiled, faults, stimulus, backend: str, widths: tuple[int, ...], workers: int
-) -> tuple[int, float, list[str]]:
-    """Best fault batch width and the sharded/serial speedup."""
+    compiled,
+    faults,
+    stimulus,
+    backend: str,
+    widths: tuple[int, ...],
+    workers: int,
+    threads: int = 0,
+) -> tuple[int, float, float, list[str]]:
+    """Best fault batch width and the sharded/threaded serial speedups."""
     from repro.sim.sharding import make_fault_simulator
 
     notes: list[str] = []
@@ -312,7 +361,28 @@ def _measure_fault_axis(
         notes.append(
             f"fault axis sharded x{workers}: {speedup:.2f}x serial throughput"
         )
-    return best_width, speedup, notes
+
+    thread_speedup = 0.0
+    if threads > 1:
+        threaded = make_fault_simulator(
+            compiled,
+            batch_width=best_width,
+            backend=backend,
+            workers=threads,
+            parallel="threads",
+            force_shard=True,
+        )
+        try:
+            if threaded.threads > 1:
+                threaded_seconds = _time(lambda: threaded.run(stimulus, faults))
+                thread_speedup = timings[best_width] / threaded_seconds
+                notes.append(
+                    f"fault axis threads x{threaded.threads}: "
+                    f"{thread_speedup:.2f}x serial throughput"
+                )
+        finally:
+            threaded.close()
+    return best_width, speedup, thread_speedup, notes
 
 
 def _measure_candidate_axis(
@@ -323,8 +393,9 @@ def _measure_candidate_axis(
     widths: tuple[int, ...],
     workers: int,
     chunking: str,
-) -> tuple[int, float, list[str]]:
-    """Best search batch width and the sharded/serial speedup."""
+    threads: int = 0,
+) -> tuple[int, float, float, list[str]]:
+    """Best search batch width and the sharded/threaded serial speedups."""
     from repro.core.ops import ExpansionConfig
     from repro.sim.seqshard import make_sequence_simulator
 
@@ -370,7 +441,32 @@ def _measure_candidate_axis(
         notes.append(
             f"candidate axis sharded x{workers}: {speedup:.2f}x serial throughput"
         )
-    return best_width, speedup, notes
+
+    thread_speedup = 0.0
+    if threads > 1:
+        threaded = make_sequence_simulator(
+            compiled,
+            batch_width=best_width,
+            backend=backend,
+            workers=threads,
+            parallel="threads",
+            force_shard=True,
+        )
+        try:
+            if threaded.threads > 1:
+                threaded_seconds = _time(
+                    lambda: threaded.detects_windows(
+                        fault, stimulus, spans, expansion
+                    )
+                )
+                thread_speedup = timings[best_width] / threaded_seconds
+                notes.append(
+                    f"candidate axis threads x{threaded.threads}: "
+                    f"{thread_speedup:.2f}x serial throughput"
+                )
+        finally:
+            threaded.close()
+    return best_width, speedup, thread_speedup, notes
 
 
 def _measure_scan_modes(
@@ -464,10 +560,17 @@ def calibrate(
     stimulus_length = 48 if quick else 192
 
     shard_workers = 0
+    thread_workers = 0
     if cpus > 1:
         shard_workers = workers if workers and workers > 1 else min(cpus, 4)
+        from repro.sim.native_build import native_threads_available
+
+        if backend == "native" and native_threads_available():
+            thread_workers = shard_workers
+        elif backend == "native":
+            notes.append("native kernel is serial-only: thread tier skipped")
     else:
-        notes.append("1 core: sharding cannot win, measuring serial only")
+        notes.append("1 core: parallel tiers cannot win, measuring serial only")
 
     compiled = CompiledCircuit(load_circuit(circuit_name))
     universe = FaultUniverse(compiled.circuit)
@@ -480,13 +583,26 @@ def calibrate(
         f"{stimulus_length}-vector stimulus"
     )
 
-    fault_width, fault_speedup, fault_notes = _measure_fault_axis(
-        compiled, faults, stimulus, backend, family["fault"], shard_workers
+    fault_width, fault_speedup, fault_thread_speedup, fault_notes = (
+        _measure_fault_axis(
+            compiled,
+            faults,
+            stimulus,
+            backend,
+            family["fault"],
+            shard_workers,
+            threads=thread_workers,
+        )
     )
     notes.extend(fault_notes)
 
     probe_fault = faults[len(faults) // 2]
-    search_width, candidate_speedup, search_notes = _measure_candidate_axis(
+    (
+        search_width,
+        candidate_speedup,
+        candidate_thread_speedup,
+        search_notes,
+    ) = _measure_candidate_axis(
         compiled,
         probe_fault,
         stimulus,
@@ -494,6 +610,7 @@ def calibrate(
         family["search"],
         shard_workers,
         DEFAULT_CHUNKING,
+        threads=thread_workers,
     )
     notes.extend(search_notes)
 
@@ -508,20 +625,35 @@ def calibrate(
     )
     notes.extend(scan_notes)
 
-    best_speedup = max(fault_speedup, candidate_speedup)
-    if shard_workers > 1 and best_speedup >= SHARD_SPEEDUP_THRESHOLD:
+    # Tier verdict: the best measured speedup picks serial vs threads vs
+    # processes, with the same noise threshold sharding always had.  On a
+    # tie threads win — same throughput without the process pool's
+    # memory and dispatch overheads.
+    best_shard = max(fault_speedup, candidate_speedup)
+    best_thread = max(fault_thread_speedup, candidate_thread_speedup)
+    parallel_mode = "serial"
+    recommended = 1
+    recommended_threads = 1
+    if best_thread >= SHARD_SPEEDUP_THRESHOLD and best_thread >= best_shard:
+        parallel_mode = "threads"
+        recommended = thread_workers
+        recommended_threads = thread_workers
+        notes.append(
+            f"threads win ({best_thread:.2f}x >= {SHARD_SPEEDUP_THRESHOLD}x, "
+            f">= sharded {best_shard:.2f}x): threads x{recommended}"
+        )
+    elif shard_workers > 1 and best_shard >= SHARD_SPEEDUP_THRESHOLD:
+        parallel_mode = "processes"
         recommended = shard_workers
         notes.append(
-            f"sharding wins ({best_speedup:.2f}x >= "
+            f"sharding wins ({best_shard:.2f}x >= "
             f"{SHARD_SPEEDUP_THRESHOLD}x): workers={recommended}"
         )
-    else:
-        recommended = 1
-        if shard_workers > 1:
-            notes.append(
-                f"sharding loses ({best_speedup:.2f}x < "
-                f"{SHARD_SPEEDUP_THRESHOLD}x): serial execution"
-            )
+    elif shard_workers > 1:
+        notes.append(
+            f"parallel tiers lose (threads {best_thread:.2f}x, sharded "
+            f"{best_shard:.2f}x < {SHARD_SPEEDUP_THRESHOLD}x): serial execution"
+        )
 
     # The omission axis shares the candidate pipeline; scale its static
     # default by the same factor the search sweep preferred.
@@ -535,8 +667,12 @@ def calibrate(
         fault_batch_width=fault_width,
         search_batch_width=search_width,
         omission_batch_width=max(1, omission_width),
+        parallel_mode=parallel_mode,
+        threads=recommended_threads,
         fault_shard_speedup=round(fault_speedup, 3),
         candidate_shard_speedup=round(candidate_speedup, 3),
+        fault_thread_speedup=round(fault_thread_speedup, 3),
+        candidate_thread_speedup=round(candidate_thread_speedup, 3),
         fault_scan_mode=fault_scan_mode,
         candidate_scan_mode=candidate_scan_mode,
         source="calibrated",

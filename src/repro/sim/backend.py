@@ -39,6 +39,7 @@ cost.
 from __future__ import annotations
 
 import os
+import threading
 from abc import ABC, abstractmethod
 from collections import OrderedDict
 from collections.abc import Sequence
@@ -172,6 +173,28 @@ def resolve_scan_mode(scan_mode: str | None = None, paired: bool = False) -> str
     return "fused"
 
 
+def resolve_simulator_threads(backend: "SimBackend", threads: int) -> int:
+    """Clamp a simulator's requested kernel thread lanes to reality.
+
+    Only the native backend executes thread lanes (it splits each
+    batch's words axis across the kernel's persistent pthread pool);
+    for it, the pool is warmed here and the request clamped to the size
+    it granted.  Every other backend — and serial-only native builds —
+    resolves to ``1``.  Detection times are bit-identical at any count,
+    so clamping is purely a performance decision, never an error.
+    """
+    count = int(threads)
+    if count <= 1:
+        return 1
+    if getattr(backend, "name", None) != "native":
+        return 1
+    from repro.sim.native_build import ensure_thread_pool
+
+    # The pool never shrinks, so a smaller request than the current pool
+    # still runs on exactly `count` lanes (the extra workers idle).
+    return max(1, min(count, ensure_thread_pool(count)))
+
+
 # ----------------------------------------------------------------------
 # Dispatch accounting
 # ----------------------------------------------------------------------
@@ -179,23 +202,29 @@ def resolve_scan_mode(scan_mode: str | None = None, paired: bool = False) -> str
 #: counts actual ctypes crossings into the C kernel; ``scan_calls`` /
 #: ``scan_steps`` count whole-sequence scans and the time steps they
 #: simulated.  Sharded workers count in their own processes; the parent's
-#: counters cover work it ran locally.
+#: counters cover work it ran locally.  Concurrent serving lanes all
+#: record into this one table, so updates take the lock below — a plain
+#: dict read-modify-write would silently drop counts under contention.
 _DISPATCH_COUNTERS: dict[str, int] = {}
+_DISPATCH_LOCK = threading.Lock()
 
 
 def record_dispatch(kind: str, count: int = 1) -> None:
     """Add ``count`` dispatches of ``kind`` to the process counters."""
-    _DISPATCH_COUNTERS[kind] = _DISPATCH_COUNTERS.get(kind, 0) + count
+    with _DISPATCH_LOCK:
+        _DISPATCH_COUNTERS[kind] = _DISPATCH_COUNTERS.get(kind, 0) + count
 
 
 def dispatch_counters() -> dict[str, int]:
     """A snapshot of the process dispatch counters."""
-    return dict(_DISPATCH_COUNTERS)
+    with _DISPATCH_LOCK:
+        return dict(_DISPATCH_COUNTERS)
 
 
 def reset_dispatch_counters() -> None:
     """Zero the process dispatch counters (benchmark bracketing)."""
-    _DISPATCH_COUNTERS.clear()
+    with _DISPATCH_LOCK:
+        _DISPATCH_COUNTERS.clear()
 
 
 class BroadcastStimulus:
@@ -288,6 +317,14 @@ class SimBatch(ABC):
     State starts all-X; :meth:`set_state_packed` /
     :meth:`set_state_scalar` override it before the first step.
     """
+
+    #: Thread lanes the backend may split this batch's ``words`` axis
+    #: across for kernel calls (:meth:`eval`, fused scans, paired
+    #: detection).  Simulators running with ``parallel="threads"`` set
+    #: it after opening the batch; ``1`` means serial.  Only the native
+    #: backend consumes it — results are bit-identical at any value, so
+    #: other engines simply ignore it.
+    threads: int = 1
 
     @abstractmethod
     def load_inputs_broadcast(self, bits: Sequence[int]) -> None:
@@ -390,6 +427,10 @@ class SimBackend(ABC):
         self._programs: OrderedDict[tuple[Fault, ...] | None, SimProgram] = (
             OrderedDict()
         )
+        # One backend instance is shared by every consumer of a compiled
+        # circuit (see get_backend), including concurrent serving lanes,
+        # so the LRU's pop/insert/evict must be atomic.
+        self._program_lock = threading.Lock()
         self._program_cache_limit = max(
             8,
             min(
@@ -423,12 +464,22 @@ class SimBackend(ABC):
         program without rebuilding op lists.
         """
         cache = self._programs
-        program = cache.pop(faults, None)
-        if program is None:
-            program = self._compile_program(faults)
-        cache[faults] = program
-        while len(cache) > self._program_cache_limit:
-            cache.popitem(last=False)
+        with self._program_lock:
+            program = cache.pop(faults, None)
+            if program is not None:
+                cache[faults] = program
+                return program
+        # Compile outside the lock: two lanes racing on the same new
+        # batch may both compile, but the loser's program is simply
+        # dropped — correctness never depends on cache identity.
+        program = self._compile_program(faults)
+        with self._program_lock:
+            cached = cache.pop(faults, None)
+            if cached is not None:
+                program = cached
+            cache[faults] = program
+            while len(cache) > self._program_cache_limit:
+                cache.popitem(last=False)
         return program
 
     @abstractmethod
@@ -553,6 +604,12 @@ class SimBackend(ABC):
 # ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
+#: Guards the per-compiled-circuit backend-instance memo in get_backend:
+#: concurrent serving lanes resolving the same circuit must converge on
+#: one shared instance (and therefore one program cache).
+_BACKEND_MEMO_LOCK = threading.Lock()
+
+
 def _load_python_backend() -> type[SimBackend]:
     from repro.sim.backend_python import PythonBackend
 
@@ -740,11 +797,13 @@ def get_backend(
             f"unknown simulation backend {name!r}; "
             f"available: {available_backends()}"
         )
-    cache: dict[str, SimBackend] = compiled.__dict__.setdefault(
-        "_sim_backends", {}
-    )
-    instance = cache.get(name)
+    with _BACKEND_MEMO_LOCK:
+        cache: dict[str, SimBackend] = compiled.__dict__.setdefault(
+            "_sim_backends", {}
+        )
+        instance = cache.get(name)
     if instance is None:
         instance = loader()(compiled)
-        cache[name] = instance
+        with _BACKEND_MEMO_LOCK:
+            instance = cache.setdefault(name, instance)
     return instance

@@ -192,7 +192,7 @@ class NativeBatch(NumpyBatch):
 
     def eval(self) -> None:
         record_dispatch("native_ffi_calls")
-        self._lib.repro_eval(*self._eval_args)
+        self._lib.repro_eval(*self._eval_args, self.threads)
 
     def detect_mask(self, observations: Sequence[tuple[int, int]]) -> int:
         if not observations:
@@ -348,6 +348,7 @@ class NativeBackend(NumpyBackend):
             _addr(faulty._po_sa1),
             _addr(faulty._po_sa0),
             _addr(out),
+            max(good.threads, faulty.threads),
         )
         return _words_to_mask(out) & alive_mask
 
@@ -514,7 +515,15 @@ class NativeBackend(NumpyBackend):
             None if obs_pos is None else _addr(obs_pos),
             None if obs_vals is None else _addr(obs_vals),
         )
-        fixed = (_addr(pending), _addr(times), _addr(det), int(collect_final_states))
+        # Thread lanes for the kernel's word-span partition; bit-identical
+        # at any count, so the stepped/fused parity contract is unchanged.
+        fixed = (
+            _addr(pending),
+            _addr(times),
+            _addr(det),
+            int(collect_final_states),
+            faulty.threads,
+        )
         executed = 0
         if paired:
             t = 0

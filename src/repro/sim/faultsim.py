@@ -39,6 +39,7 @@ from repro.sim.backend import (
     get_backend,
     resolve_auto,
     resolve_scan_mode,
+    resolve_simulator_threads,
 )
 from repro.sim.compiled import CompiledCircuit
 from repro.sim.detection import FaultSimResult
@@ -64,6 +65,7 @@ class FaultSimulator:
         batch_width: int = DEFAULT_BATCH_WIDTH,
         backend: str | SimBackend | None = None,
         scan_mode: str | None = None,
+        threads: int = 1,
     ) -> None:
         if isinstance(circuit, CompiledCircuit):
             self._compiled = circuit
@@ -74,6 +76,11 @@ class FaultSimulator:
         backend, batch_width = resolve_auto(self._compiled, backend, batch_width)
         self._backend = get_backend(self._compiled, backend)
         self._batch_width = self._backend.validate_batch_width(batch_width)
+        # In-kernel thread lanes: the native backend splits every batch's
+        # words axis across the kernel's persistent pool.  Warm the pool
+        # here and clamp to what it actually granted; other engines run
+        # serial regardless (detection times are identical either way).
+        self._threads = resolve_simulator_threads(self._backend, threads)
         # The fault-free machine is a single scalar slot; the big-int
         # kernel is the fastest engine for that shape regardless of the
         # batch backend, and sharing it keeps observation plans trivially
@@ -101,6 +108,11 @@ class FaultSimulator:
     @property
     def scan_mode(self) -> str:
         return self._scan_mode
+
+    @property
+    def threads(self) -> int:
+        """Kernel thread lanes each batch dispatch may use (1 = serial)."""
+        return self._threads
 
     def close(self) -> None:
         """Release simulator resources.
@@ -191,6 +203,7 @@ class FaultSimulator:
         backend = self._backend
         program = backend.program(tuple(batch))
         machines = backend.batch(program, len(batch))
+        machines.threads = self._threads
         if initial_states is not None:
             machines.set_state_packed(initial_states)
 

@@ -45,8 +45,10 @@ CACHE_DIR_ENV = "REPRO_NATIVE_CACHE_DIR"
 
 #: Python-side ABI expectation; must equal REPRO_NATIVE_ABI in the C
 #: source (checked after every load, so a stale .so cannot be driven
-#: with the wrong marshaling).  v2 added repro_scan.
-NATIVE_ABI_VERSION = 2
+#: with the wrong marshaling).  v2 added repro_scan; v3 added the
+#: persistent thread pool and the trailing n_threads argument on
+#: repro_eval/repro_detect_step/repro_scan.
+NATIVE_ABI_VERSION = 3
 
 #: Compilers tried in order when $CC is unset.
 _COMPILER_CANDIDATES = ("cc", "gcc", "clang")
@@ -96,8 +98,9 @@ def _cache_dir() -> Path:
 
 
 def _library_path(source: bytes) -> Path:
+    extra = os.environ.get("REPRO_NATIVE_CFLAGS", "")
     digest = hashlib.sha256(
-        source + f"|abi={NATIVE_ABI_VERSION}".encode()
+        source + f"|abi={NATIVE_ABI_VERSION}|cflags={extra}".encode()
     ).hexdigest()[:16]
     return _cache_dir() / f"repro_kernel-{digest}.so"
 
@@ -115,10 +118,18 @@ def _compile(compiler: str, source_path: Path, target: Path) -> None:
         "-std=c11",
         "-fPIC",
         "-shared",
-        "-o",
-        temp_name,
-        str(source_path),
     ]
+    if os.name != "nt":
+        # The thread tier needs pthreads; Windows builds compile the
+        # serial-only kernel (REPRO_HAVE_THREADS off) without the flag.
+        command.append("-pthread")
+    extra = os.environ.get("REPRO_NATIVE_CFLAGS")
+    if extra:
+        # Escape hatch for instrumented builds (the CI ThreadSanitizer
+        # lane injects -fsanitize=thread -g -O1 here); folded into the
+        # cache key via the digest salt below.
+        command.extend(extra.split())
+    command.extend(["-o", temp_name, str(source_path)])
     try:
         build = subprocess.run(
             command, capture_output=True, text=True, timeout=120
@@ -145,19 +156,29 @@ def _bind(library: ctypes.CDLL) -> ctypes.CDLL:
     i64 = ctypes.c_int64
     library.repro_abi_version.argtypes = []
     library.repro_abi_version.restype = i64
+    library.repro_threads_available.argtypes = []
+    library.repro_threads_available.restype = i64
+    library.repro_thread_pool_init.argtypes = [i64]
+    library.repro_thread_pool_init.restype = i64
+    library.repro_thread_pool_size.argtypes = []
+    library.repro_thread_pool_size.restype = i64
+    library.repro_thread_pool_shutdown.argtypes = []
+    library.repro_thread_pool_shutdown.restype = None
     library.repro_eval.argtypes = [
-        p, i64, p, p, p, p, i64, p, p, p, p, i64, p, p, p, i64, p
+        p, i64, p, p, p, p, i64, p, p, p, p, i64, p, p, p, i64, p, i64
     ]
     library.repro_eval.restype = None
     library.repro_detect_mask.argtypes = [p, i64, p, p, i64, p, p, p, p]
     library.repro_detect_mask.restype = None
-    library.repro_detect_step.argtypes = [p, p, i64, p, i64, p, p, p, p, p]
+    library.repro_detect_step.argtypes = [
+        p, p, i64, p, i64, p, p, p, p, p, i64
+    ]
     library.repro_detect_step.restype = None
-    # repro_scan: 56 arguments, pointers except the size/flag integers
+    # repro_scan: 57 arguments, pointers except the size/flag integers
     # (see the C signature; ctypes releases the GIL for the whole call,
     # which is what lets concurrent serving lanes scan in parallel).
-    scan_sig: list = [p] * 56
-    for index in (2, 7, 12, 16, 21, 23, 26, 32, 40, 41, 43, 55):
+    scan_sig: list = [p] * 57
+    for index in (2, 7, 12, 16, 21, 23, 26, 32, 40, 41, 43, 55, 56):
         scan_sig[index] = i64
     library.repro_scan.argtypes = scan_sig
     library.repro_scan.restype = i64
@@ -218,3 +239,36 @@ def load_native_library() -> ctypes.CDLL:
         raise SimulationError(_BUILD_FAILURE) from error
     _LIBRARY = library
     return library
+
+
+def native_threads_available() -> bool:
+    """Whether the loadable kernel was compiled with the thread pool.
+
+    ``False`` when the native backend itself is unavailable (no
+    compiler, disabled, build failure) or the platform build is
+    serial-only — callers then fall back to serial execution, never an
+    error.
+    """
+    try:
+        library = load_native_library()
+    except SimulationError:
+        return False
+    return bool(library.repro_threads_available())
+
+
+def ensure_thread_pool(n_threads: int) -> int:
+    """Grow the kernel's persistent thread pool to ``n_threads`` lanes.
+
+    Returns the pool size actually available (``1`` means caller-only,
+    i.e. every scan runs serially).  Idempotent and monotone: the pool
+    never shrinks, and repeated calls are cheap.  Callers clamp their
+    per-call ``threads`` request to the returned size so the kernel's
+    busy-pool fallback stays a rare event rather than the common path.
+    """
+    if n_threads <= 1:
+        return 1
+    try:
+        library = load_native_library()
+    except SimulationError:
+        return 1
+    return int(library.repro_thread_pool_init(int(n_threads)))

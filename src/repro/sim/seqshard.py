@@ -106,6 +106,7 @@ from repro.sim.workerpool import (
     PoolContext,
     default_workers,
     get_worker_pool,
+    resolve_work_distribution,
     single_core_machine,
     worker_attach_shm,
     worker_state,
@@ -553,11 +554,17 @@ def make_sequence_simulator(
     chunking: str = DEFAULT_CHUNKING,
     force_shard: bool = False,
     scan_mode: str | None = None,
+    parallel: str | None = None,
 ) -> SequenceBatchSimulator:
-    """The ``workers=`` seam for every candidate-simulation consumer.
+    """The work-distribution seam for every candidate-simulation consumer.
 
-    ``workers <= 1`` returns the plain serial
-    :class:`SequenceBatchSimulator`; anything larger a
+    ``parallel`` picks the tier (see
+    :data:`~repro.sim.workerpool.PARALLEL_MODES`): ``"serial"`` one
+    simulator on one kernel thread, ``"threads"`` one simulator whose
+    native kernel splits each packed batch across ``workers``
+    in-process thread lanes, ``"processes"`` the shard pool, and
+    ``"auto"`` (the default, also ``None``) the historical behaviour —
+    ``workers <= 1`` serial, anything larger a
     :class:`ShardedSequenceBatchSimulator` (which still runs candidate
     sets that fit one bit-parallel pass serially — see
     :data:`SERIAL_FALLBACK_CANDIDATES`).  ``workers=0`` /
@@ -565,19 +572,31 @@ def make_sequence_simulator(
     sharded simulator cuts a scan into worker chunks — ``"cost"``
     (equal simulated-step budgets, the default) or ``"count"`` (the
     historical equal-candidate plan); results are bit-identical either
-    way, so like ``workers`` it is a pure throughput knob.
+    way, so like ``workers`` and ``parallel`` it is a pure throughput
+    knob.
 
-    On a single-core machine a ``workers > 1`` request falls back to the
+    On a single-core machine a multi-worker request falls back to the
     serial engine (see :func:`~repro.sim.workerpool.single_core_machine`)
     unless ``force_shard=True``; constructing
     :class:`ShardedSequenceBatchSimulator` directly also bypasses the
     fallback.
     """
-    if workers is None or workers == 0:
-        workers = default_workers()
+    mode, workers = resolve_work_distribution(
+        parallel, workers, force=force_shard
+    )
+    if mode == "threads":
+        validate_chunking(chunking)
+        return SequenceBatchSimulator(
+            circuit,
+            batch_width=batch_width,
+            backend=backend,
+            pipeline=pipeline,
+            scan_mode=scan_mode,
+            threads=workers,
+        )
     if workers > 1 and not force_shard and single_core_machine():
         workers = 1
-    if workers <= 1:
+    if workers <= 1 or mode == "serial":
         validate_chunking(chunking)
         return SequenceBatchSimulator(
             circuit,

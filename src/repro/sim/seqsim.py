@@ -71,6 +71,7 @@ from repro.sim.backend import (
     get_backend,
     resolve_auto,
     resolve_scan_mode,
+    resolve_simulator_threads,
 )
 from repro.sim.compiled import CompiledCircuit
 from repro.sim.scanplan import (
@@ -363,6 +364,7 @@ class SequenceBatchSimulator:
         backend: str | SimBackend | None = None,
         pipeline: str = "packed",
         scan_mode: str | None = None,
+        threads: int = 1,
     ) -> None:
         if isinstance(circuit, CompiledCircuit):
             self._compiled = circuit
@@ -375,6 +377,9 @@ class SequenceBatchSimulator:
         )
         self._backend = get_backend(self._compiled, backend)
         self._batch_width = self._backend.validate_batch_width(batch_width)
+        # In-kernel thread lanes (native backend only): warm the pool and
+        # clamp to what it granted; outcomes are bit-identical either way.
+        self._threads = resolve_simulator_threads(self._backend, threads)
         if pipeline not in ("packed", "legacy"):
             raise SimulationError(
                 f"unknown seqsim pipeline {pipeline!r}; "
@@ -406,6 +411,11 @@ class SequenceBatchSimulator:
     @property
     def scan_mode(self) -> str:
         return self._scan_mode
+
+    @property
+    def threads(self) -> int:
+        """Kernel thread lanes each batch dispatch may use (1 = serial)."""
+        return self._threads
 
     def close(self) -> None:
         """Release simulator resources.
@@ -653,6 +663,8 @@ class SequenceBatchSimulator:
         faulty = backend.batch(
             backend.program((fault,) * batch_width), batch_width
         )
+        good.threads = self._threads
+        faulty.threads = self._threads
         # The whole per-step loop — input load, paired eval, detection,
         # first-hit bookkeeping, state latch — lives in run_scan now.
         # "stepped" pins the base class's per-step reference loop (the

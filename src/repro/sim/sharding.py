@@ -73,6 +73,7 @@ from repro.sim.workerpool import (
     PoolContext,
     default_workers,
     get_worker_pool,
+    resolve_work_distribution,
     single_core_machine,
     worker_state,
 )
@@ -442,27 +443,43 @@ def make_fault_simulator(
     oversplit: int = DEFAULT_OVERSPLIT,
     force_shard: bool = False,
     scan_mode: str | None = None,
+    parallel: str | None = None,
 ) -> FaultSimulator:
-    """The ``workers=`` seam used by every fault-simulation consumer.
+    """The work-distribution seam used by every fault-simulation consumer.
 
-    ``workers <= 1`` returns the plain serial :class:`FaultSimulator`;
-    anything larger returns a :class:`ShardedFaultSimulator` (which still
-    runs small universes serially — see :data:`SERIAL_FALLBACK_FAULTS`).
+    ``parallel`` picks the tier (see
+    :data:`~repro.sim.workerpool.PARALLEL_MODES`): ``"serial"`` one
+    simulator on one kernel thread, ``"threads"`` one simulator whose
+    native kernel splits each batch across ``workers`` in-process thread
+    lanes, ``"processes"`` the shard pool, and ``"auto"`` (the default,
+    also ``None``) the historical behaviour — ``workers <= 1`` serial,
+    larger counts the :class:`ShardedFaultSimulator` (which still runs
+    small universes serially — see :data:`SERIAL_FALLBACK_FAULTS`).
     ``workers=0`` / ``workers=None`` mean "one per CPU".
 
-    On a single-core machine a ``workers > 1`` request falls back to the
-    serial engine (sharding only adds process traffic there — see
-    :func:`~repro.sim.workerpool.single_core_machine`) unless
-    ``force_shard=True``, which honors the requested worker count
-    regardless; benchmarks measuring the sharding layer itself use the
-    override.  Constructing :class:`ShardedFaultSimulator` directly also
-    bypasses the fallback.
+    On a single-core machine a multi-worker request falls back to the
+    serial engine under every tier (sharding only adds process traffic
+    there — see :func:`~repro.sim.workerpool.single_core_machine`)
+    unless ``force_shard=True``, which honors the requested count
+    regardless; benchmarks measuring the distribution layers themselves
+    use the override.  Constructing :class:`ShardedFaultSimulator`
+    directly also bypasses the fallback.  Detection times are
+    bit-identical across every ``(parallel, workers)`` setting.
     """
-    if workers is None or workers == 0:
-        workers = default_workers()
+    mode, workers = resolve_work_distribution(
+        parallel, workers, force=force_shard
+    )
+    if mode == "threads":
+        return FaultSimulator(
+            circuit,
+            batch_width=batch_width,
+            backend=backend,
+            scan_mode=scan_mode,
+            threads=workers,
+        )
     if workers > 1 and not force_shard and single_core_machine():
         workers = 1
-    if workers <= 1:
+    if workers <= 1 or mode == "serial":
         return FaultSimulator(
             circuit,
             batch_width=batch_width,

@@ -45,6 +45,7 @@ from __future__ import annotations
 import atexit
 import os
 import pickle
+import threading
 from collections import OrderedDict
 
 try:  # Packed bit columns need numpy; the trace itself does not.
@@ -185,6 +186,11 @@ class GoodTraceCache:
         # on any circuit; sharing it keeps observation plans trivially
         # identical across batch backends.
         self._logic = LogicSimulator(compiled)
+        # Concurrent serving lanes share one cache per circuit; the lock
+        # serializes the stateful scalar engine and the LRU bookkeeping.
+        # Computation happens under it too, so a cold (circuit, sequence)
+        # pair is simulated once even when two lanes race on it.
+        self._lock = threading.RLock()
         self._entries: OrderedDict[TestSequence, _TraceEntry] = OrderedDict()
         self._counters = {
             "trace_hits": 0,
@@ -221,37 +227,42 @@ class GoodTraceCache:
         one-shot ``run`` shares.  Incremental sessions carry their own
         evolving state and bypass the cache.
         """
-        entry = self._entry(sequence)
-        if entry.trace is None:
-            self._counters["trace_misses"] += 1
-            entry.trace = self._logic.run(sequence)
-        else:
-            self._counters["trace_hits"] += 1
-        return entry.trace
+        with self._lock:
+            entry = self._entry(sequence)
+            if entry.trace is None:
+                self._counters["trace_misses"] += 1
+                entry.trace = self._logic.run(sequence)
+            else:
+                self._counters["trace_hits"] += 1
+            return entry.trace
 
     def observation_plan(self, sequence: TestSequence) -> list[ObservationRow]:
         """The detection comparison rows derived from the cached trace."""
-        entry = self._entry(sequence)
-        if entry.observation_plan is None:
-            entry.observation_plan = build_observation_plan(self.trace(sequence))
-        else:
-            # Served without touching trace(): still a trace reuse.
-            self._counters["trace_hits"] += 1
-        return entry.observation_plan
+        with self._lock:
+            entry = self._entry(sequence)
+            if entry.observation_plan is None:
+                entry.observation_plan = build_observation_plan(
+                    self.trace(sequence)
+                )
+            else:
+                # Served without touching trace(): still a trace reuse.
+                self._counters["trace_hits"] += 1
+            return entry.observation_plan
 
     def base_bits(self, sequence: TestSequence):
         """The packed PI bit columns (requires numpy), computed once."""
         if np is None:
             raise SimulationError("base_bits requires numpy")
-        entry = self._entry(sequence)
-        if entry.bits is None:
-            self._counters["bits_misses"] += 1
-            entry.bits = np.ascontiguousarray(
-                base_bits_of(sequence, self.compiled.num_inputs)
-            )
-        else:
-            self._counters["bits_hits"] += 1
-        return entry.bits
+        with self._lock:
+            entry = self._entry(sequence)
+            if entry.bits is None:
+                self._counters["bits_misses"] += 1
+                entry.bits = np.ascontiguousarray(
+                    base_bits_of(sequence, self.compiled.num_inputs)
+                )
+            else:
+                self._counters["bits_hits"] += 1
+            return entry.bits
 
     # ------------------------------------------------------------------
     # Shared-memory publication (the worker-pool broadcast contract)
@@ -265,24 +276,25 @@ class GoodTraceCache:
         width)`` — the pickle fallback with identical worker-side
         semantics.
         """
-        bits = self.base_bits(sequence)
-        if shm_available() and bits.size:
-            entry = self._entry(sequence)
-            if entry.bits_segment is None:
-                segment = shared_memory.SharedMemory(
-                    create=True, size=bits.nbytes
+        with self._lock:
+            bits = self.base_bits(sequence)
+            if shm_available() and bits.size:
+                entry = self._entry(sequence)
+                if entry.bits_segment is None:
+                    segment = shared_memory.SharedMemory(
+                        create=True, size=bits.nbytes
+                    )
+                    np.ndarray(bits.shape, dtype=np.uint8, buffer=segment.buf)[
+                        :
+                    ] = bits
+                    entry.bits_segment = segment
+                return (
+                    "shm",
+                    entry.bits_segment.name,
+                    bits.shape[0],
+                    bits.shape[1],
                 )
-                np.ndarray(bits.shape, dtype=np.uint8, buffer=segment.buf)[
-                    :
-                ] = bits
-                entry.bits_segment = segment
-            return (
-                "shm",
-                entry.bits_segment.name,
-                bits.shape[0],
-                bits.shape[1],
-            )
-        return ("bytes", bits.tobytes(), bits.shape[0], bits.shape[1])
+            return ("bytes", bits.tobytes(), bits.shape[0], bits.shape[1])
 
     def plan_ref(self, sequence: TestSequence) -> tuple | None:
         """Cross-process reference for the pickled observation plan.
@@ -293,29 +305,33 @@ class GoodTraceCache:
         """
         if not shm_available():
             return None
-        entry = self._entry(sequence)
-        if entry.plan_segment is None:
-            payload = pickle.dumps(
-                self.observation_plan(sequence), protocol=pickle.HIGHEST_PROTOCOL
-            )
-            segment = shared_memory.SharedMemory(
-                create=True, size=max(1, len(payload))
-            )
-            segment.buf[: len(payload)] = payload
-            entry.plan_segment = segment
-            entry.plan_size = len(payload)
-        return ("shmplan", entry.plan_segment.name, entry.plan_size)
+        with self._lock:
+            entry = self._entry(sequence)
+            if entry.plan_segment is None:
+                payload = pickle.dumps(
+                    self.observation_plan(sequence),
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+                segment = shared_memory.SharedMemory(
+                    create=True, size=max(1, len(payload))
+                )
+                segment.buf[: len(payload)] = payload
+                entry.plan_segment = segment
+                entry.plan_size = len(payload)
+            return ("shmplan", entry.plan_segment.name, entry.plan_size)
 
     # ------------------------------------------------------------------
     # Observability and lifecycle
     # ------------------------------------------------------------------
     def stats(self) -> dict[str, int]:
         """Hit/miss counters (misses == good-machine simulations run)."""
-        return dict(self._counters)
+        with self._lock:
+            return dict(self._counters)
 
     def reset_stats(self) -> None:
-        for key in self._counters:
-            self._counters[key] = 0
+        with self._lock:
+            for key in self._counters:
+                self._counters[key] = 0
 
     def close(self) -> None:
         """Drop all entries and unlink published segments (idempotent).
@@ -328,9 +344,10 @@ class GoodTraceCache:
         names other processes still resolve.
         """
         unlink = self._owns_segments()
-        while self._entries:
-            _, entry = self._entries.popitem(last=False)
-            entry.close(unlink=unlink)
+        with self._lock:
+            while self._entries:
+                _, entry = self._entries.popitem(last=False)
+                entry.close(unlink=unlink)
 
 
 # ----------------------------------------------------------------------
@@ -366,6 +383,7 @@ def resolve_observation_plan(plan_or_ref) -> list[ObservationRow]:
 # Per-session registry
 # ----------------------------------------------------------------------
 _CACHES: OrderedDict[int, GoodTraceCache] = OrderedDict()
+_CACHES_LOCK = threading.Lock()
 
 
 def get_trace_cache(compiled: CompiledCircuit) -> GoodTraceCache:
@@ -375,28 +393,32 @@ def get_trace_cache(compiled: CompiledCircuit) -> GoodTraceCache:
     :class:`CompiledCircuit` shares one cache), LRU-bounded at
     :data:`CIRCUIT_CACHE_CAPACITY` circuits; eviction closes the evicted
     cache's segments.  The identity check guards against ``id`` reuse
-    after garbage collection.
+    after garbage collection.  Thread-safe: concurrent serving lanes
+    resolving the same circuit get the same cache object.
     """
     key = id(compiled)
-    cache = _CACHES.get(key)
-    if cache is not None and cache.compiled is compiled:
-        _CACHES.move_to_end(key)
+    with _CACHES_LOCK:
+        cache = _CACHES.get(key)
+        if cache is not None and cache.compiled is compiled:
+            _CACHES.move_to_end(key)
+            return cache
+        if cache is not None:
+            cache.close()
+        cache = GoodTraceCache(compiled)
+        _CACHES[key] = cache
+        while len(_CACHES) > CIRCUIT_CACHE_CAPACITY:
+            _, stale = _CACHES.popitem(last=False)
+            stale.close()
         return cache
-    if cache is not None:
-        cache.close()
-    cache = GoodTraceCache(compiled)
-    _CACHES[key] = cache
-    while len(_CACHES) > CIRCUIT_CACHE_CAPACITY:
-        _, stale = _CACHES.popitem(last=False)
-        stale.close()
-    return cache
 
 
 def close_trace_caches() -> None:
     """Close every registered cache (registered ``atexit``)."""
-    for cache in list(_CACHES.values()):
+    with _CACHES_LOCK:
+        caches = list(_CACHES.values())
+        _CACHES.clear()
+    for cache in caches:
         cache.close()
-    _CACHES.clear()
 
 
 atexit.register(close_trace_caches)

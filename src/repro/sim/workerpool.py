@@ -113,6 +113,51 @@ def resolve_start_method() -> str:
     return "spawn"
 
 
+#: The three work-distribution tiers plus the measured selector.
+#: ``serial`` — one simulator, one kernel thread; ``threads`` — one
+#: simulator whose native kernel splits each batch's words axis across
+#: the in-process pthread pool; ``processes`` — the shard pool (one
+#: simulator per worker process).  ``auto`` defers to the machine
+#: profile / single-core heuristics at the factory layer.
+PARALLEL_MODES = ("auto", "serial", "threads", "processes")
+
+
+def resolve_work_distribution(
+    parallel: str | None,
+    workers: int | None,
+    *,
+    force: bool = False,
+) -> tuple[str, int]:
+    """Resolve a ``(parallel, workers)`` request to a concrete tier.
+
+    Returns ``(mode, count)`` where ``mode`` is one of ``serial`` /
+    ``threads`` / ``processes`` / ``auto`` and ``count`` is the lane or
+    worker count for that tier.  ``workers`` of ``None``/``0`` means
+    "size for this machine" via :func:`default_workers`, which routes
+    through :func:`cpu_count` and therefore honours the
+    ``REPRO_ASSUME_CPUS`` override.  A single usable core collapses
+    ``threads`` to ``serial`` (there is nothing to run lanes on) unless
+    ``force`` insists — the same policy the factories apply to process
+    sharding.  ``auto`` is returned as-is with the resolved count; the
+    caller owns the measured-profile / heuristic choice because only it
+    knows the axis and circuit size.
+    """
+    mode = parallel or "auto"
+    if mode not in PARALLEL_MODES:
+        raise SimulationError(
+            f"unknown parallel mode {mode!r}; expected one of {PARALLEL_MODES}"
+        )
+    count = workers if workers else default_workers()
+    if count < 0:
+        raise SimulationError(f"workers must be >= 0, got {workers}")
+    count = max(1, int(count))
+    if mode == "serial" or count == 1:
+        return ("serial", 1)
+    if mode == "threads" and single_core_machine() and not force:
+        return ("serial", 1)
+    return (mode, count)
+
+
 # ----------------------------------------------------------------------
 # Worker-process side.  Module-level (spawn-picklable) state and
 # functions; each worker holds its built contexts and a small cache of

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import pytest
 
 from repro.errors import SimulationError
@@ -49,9 +51,30 @@ class TestProfilePersistence:
         profile = profile_with(workers=2, source="calibrated")
         assert MachineProfile.from_json(profile.to_json()) == profile
 
+    def test_json_round_trip_with_thread_tier(self):
+        profile = replace(
+            profile_with(workers=4, source="calibrated"),
+            parallel_mode="threads",
+            threads=4,
+            fault_thread_speedup=2.1,
+            candidate_thread_speedup=1.8,
+        )
+        restored = MachineProfile.from_json(profile.to_json())
+        assert restored == profile
+        assert restored.parallel_mode == "threads"
+        assert restored.threads == 4
+
     def test_version_guard(self):
         payload = static_profile().to_json()
         payload["version"] = 999
+        with pytest.raises(SimulationError, match="version"):
+            MachineProfile.from_json(payload)
+
+    def test_v1_profiles_rejected(self):
+        """Pre-thread-tier profiles lack the tier verdict; force a
+        recalibration instead of silently defaulting it."""
+        payload = static_profile().to_json()
+        payload["version"] = 1
         with pytest.raises(SimulationError, match="version"):
             MachineProfile.from_json(payload)
 
@@ -89,6 +112,39 @@ class TestWorkerResolution:
         assert profile_with(2, "calibrated").force_shard
         assert not profile_with(1, "calibrated").force_shard
         assert not profile_with(2, "static").force_shard
+
+
+class TestExecutionResolution:
+    """resolve_execution answers both *which tier* and *how many lanes*."""
+
+    def test_single_worker_is_always_serial(self):
+        profile = replace(
+            profile_with(1, "calibrated"), parallel_mode="threads", threads=4
+        )
+        assert profile.resolve_execution(None) == ("serial", 1)
+
+    def test_measured_threads_verdict_wins(self):
+        profile = replace(
+            profile_with(4, "calibrated"), parallel_mode="threads", threads=4
+        )
+        assert profile.resolve_execution(None) == ("threads", 4)
+        assert profile.resolve_execution(2) == ("threads", 2)
+
+    def test_measured_processes_verdict_wins(self):
+        profile = replace(
+            profile_with(4, "calibrated"), parallel_mode="processes"
+        )
+        assert profile.resolve_execution(0) == ("processes", 4)
+
+    def test_measured_serial_verdict_overrides_request(self):
+        profile = replace(profile_with(1, "calibrated"), parallel_mode="serial")
+        assert profile.resolve_execution(4) == ("serial", 1)
+
+    def test_uncalibrated_profile_stays_auto(self):
+        profile = replace(profile_with(4, "static"), parallel_mode="threads")
+        mode, count = profile.resolve_execution(4)
+        assert mode == "auto"
+        assert count == 4
 
 
 class TestCalibration:

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 import asyncio
 import json
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
 
 import pytest
 
@@ -119,6 +121,86 @@ class TestPlanExecution:
         plan = plan_execution(request, static_profile())
         assert plan.workers == 3
         assert plan.request.atpg.workers == 3
+
+    def test_plan_json_carries_the_tier(self):
+        payload = plan_execution(S27_REQUEST, None).to_json()
+        assert payload["parallel"] == "auto"
+
+    def test_single_lane_leaves_process_tier_alone(self):
+        profile = replace(
+            calibrated_profile(workers=4),
+            parallel_mode="processes",
+            fault_thread_speedup=1.5,
+        )
+        request = RunRequest(
+            kind="scheme",
+            circuit="s27",
+            selection=repro.SelectionConfig(workers=4, parallel="processes"),
+        )
+        plan = plan_execution(request, profile, lanes=1)
+        assert plan.parallel == "processes"
+        assert plan.request.selection.parallel == "processes"
+
+    def test_lanes_pin_process_tier_to_threads(self):
+        """Concurrent lanes must never contend for the shared worker pool."""
+        profile = replace(
+            calibrated_profile(workers=4),
+            parallel_mode="processes",
+            fault_thread_speedup=1.5,
+        )
+        request = RunRequest(
+            kind="scheme",
+            circuit="s27",
+            selection=repro.SelectionConfig(workers=4, parallel="processes"),
+        )
+        plan = plan_execution(request, profile, lanes=2)
+        assert plan.parallel == "threads"
+        assert plan.request.selection.parallel == "threads"
+        assert plan.workers == 4
+        assert any("lanes=2" in note for note in plan.notes)
+
+    def test_lanes_pin_to_serial_without_a_measured_thread_win(self):
+        profile = replace(
+            calibrated_profile(workers=4),
+            parallel_mode="processes",
+            fault_thread_speedup=0.5,
+            candidate_thread_speedup=0.6,
+        )
+        request = RunRequest(
+            kind="scheme",
+            circuit="s27",
+            selection=repro.SelectionConfig(workers=4),
+        )
+        plan = plan_execution(request, profile, lanes=2)
+        assert plan.parallel == "serial"
+        assert plan.workers == 1
+        assert plan.request.selection.workers == 1
+
+    def test_lanes_pin_auto_tier_too(self):
+        """'auto' could resolve to processes downstream, so it is pinned."""
+        profile = replace(
+            calibrated_profile(workers=4), fault_thread_speedup=1.5
+        )
+        request = RunRequest(
+            kind="scheme",
+            circuit="s27",
+            selection=repro.SelectionConfig(workers=0),
+        )
+        plan = plan_execution(request, profile, lanes=2)
+        assert plan.parallel == "threads"
+
+    def test_lanes_leave_explicit_serial_and_threads_alone(self):
+        profile = replace(
+            calibrated_profile(workers=4), fault_thread_speedup=1.5
+        )
+        for tier in ("serial", "threads"):
+            request = RunRequest(
+                kind="scheme",
+                circuit="s27",
+                selection=repro.SelectionConfig(workers=4, parallel=tier),
+            )
+            plan = plan_execution(request, profile, lanes=2)
+            assert plan.parallel == tier
 
 
 class TestSessionLifecycle:
@@ -242,6 +324,60 @@ class TestJobService:
 
         asyncio.run(main())
 
+    def test_lanes_validation(self):
+        with pytest.raises(ReproError, match="lane"):
+            JobService(lanes=0)
+
+    def test_two_lanes_serve_two_tenants_bit_identical(self):
+        """The acceptance criterion: lanes=2, concurrent tenants, exact
+        fingerprints against a direct Session.run of the same request."""
+
+        async def main():
+            async with JobService(profile=static_profile(), lanes=2) as service:
+                results = await asyncio.gather(
+                    service.run("tenant-a", S27_REQUEST),
+                    service.run("tenant-b", S27_REQUEST),
+                )
+                return results, service.stats()
+
+        (result_a, result_b), stats = asyncio.run(main())
+        with Session() as session:
+            direct = session.run(S27_REQUEST)
+        assert result_a.fingerprint() == direct.fingerprint()
+        assert result_b.fingerprint() == direct.fingerprint()
+        assert stats["lanes"] == 2
+        assert stats["jobs_completed"] == 2
+        assert stats["jobs_running"] == 0
+
+    def test_two_lanes_actually_overlap(self):
+        """Both lanes must be in flight at once, not serialized.
+
+        Each job blocks on a two-party barrier before running: the
+        barrier only releases when *both* lanes are inside their job at
+        the same moment.  A serialized service would break the barrier
+        (timeout) and fail both jobs.
+        """
+        import threading
+
+        barrier = threading.Barrier(2, timeout=30)
+
+        async def main():
+            async with JobService(profile=static_profile(), lanes=2) as service:
+                real_run = service._session.run
+
+                def rendezvous_run(request):
+                    barrier.wait()
+                    return real_run(request)
+
+                service._session.run = rendezvous_run
+                return await asyncio.gather(
+                    service.run("tenant-a", S27_REQUEST),
+                    service.run("tenant-b", S27_REQUEST),
+                )
+
+        result_a, result_b = asyncio.run(main())
+        assert result_a.fingerprint() == result_b.fingerprint()
+
     def test_plan_recorded_on_job(self):
         async def main():
             profile = calibrated_profile(workers=1)
@@ -257,6 +393,44 @@ class TestJobService:
         assert job.status == "done", job.error
         assert job.plan.workers == 1
         assert job.plan.source == "calibrated"
+
+
+class TestConcurrentSession:
+    def test_concurrent_runs_bit_identical_to_serial(self):
+        """Satellite: N threads hammering one Session agree bit-for-bit."""
+        with Session() as session:
+            reference = session.run(S27_REQUEST).fingerprint()
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                futures = [
+                    pool.submit(session.run, S27_REQUEST) for _ in range(8)
+                ]
+                fingerprints = {f.result().fingerprint() for f in futures}
+        assert fingerprints == {reference}
+
+    def test_concurrent_scopes_close_only_their_own_simulators(self, s27):
+        """Each thread's scope frame is private: a scope exiting on one
+        thread must not close the simulator another thread still runs."""
+        import threading
+
+        with Session() as session:
+            ready = threading.Barrier(2)
+            errors = []
+
+            def worker():
+                try:
+                    with session.scope():
+                        simulator = session.fault_simulator(s27)
+                        ready.wait()  # both scopes hold a live simulator
+                        simulator.run(repro.paper_t0_s27(), [])
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            workers = [threading.Thread(target=worker) for _ in range(2)]
+            for thread in workers:
+                thread.start()
+            for thread in workers:
+                thread.join()
+        assert errors == []
 
 
 async def _http_request(port: int, method: str, path: str, payload=None):
